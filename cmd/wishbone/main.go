@@ -1,0 +1,133 @@
+// Command wishbone compiles a WaveScript-like program (see
+// internal/wscript), profiles it on synthetic input, partitions it for a
+// target platform, and reports the result — optionally emitting the §3
+// GraphViz visualization.
+//
+// Usage:
+//
+//	wishbone -src prog.ws [-platform TMoteSky] [-mode permissive]
+//	         [-events 64] [-dot out.dot] [-maxrate]
+//
+// Sources in the program are fed a synthetic ramp signal; real deployments
+// would substitute recorded traces (profiling only needs representative
+// rate/shape, §1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	"wishbone/internal/viz"
+	"wishbone/internal/wscript"
+)
+
+func main() {
+	srcPath := flag.String("src", "", "wscript source file (required)")
+	platName := flag.String("platform", "TMoteSky", "target platform name")
+	modeName := flag.String("mode", "permissive", "stateful relocation mode: conservative|permissive")
+	events := flag.Int("events", 64, "synthetic sample events per source for profiling")
+	window := flag.Int("window", 0, "feed each source windows of N samples instead of scalars")
+	dotPath := flag.String("dot", "", "write a GraphViz visualization here")
+	maxrate := flag.Bool("maxrate", false, "if infeasible, binary-search the max sustainable rate")
+	flag.Parse()
+
+	if *srcPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat := platform.ByName(*platName)
+	if plat == nil {
+		log.Fatalf("unknown platform %q (try TMoteSky, NokiaN80, iPhone, Gumstix, MerakiMini, VoxNet)", *platName)
+	}
+	mode := dataflow.Permissive
+	if *modeName == "conservative" {
+		mode = dataflow.Conservative
+	}
+
+	compiled, err := wscript.Compile(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s: %d operators, %d edges, %d source(s)\n",
+		*srcPath, compiled.Graph.NumOperators(), compiled.Graph.NumEdges(), len(compiled.Sources))
+
+	// Synthetic profiling input: a slow sine ramp per source, as scalars or
+	// as sample windows depending on -window.
+	inputs, err := compiled.Inputs(*events, func(name string, i int) any {
+		if *window <= 0 {
+			return math.Sin(float64(i)/8) * 100
+		}
+		w := make([]float64, *window)
+		for k := range w {
+			w[k] = math.Sin(float64(i**window+k)/8) * 100
+		}
+		return w
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := profile.Run(compiled.Graph, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := dataflow.Classify(compiled.Graph, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := profile.BuildSpec(cls, rep, plat)
+
+	asg, err := core.Partition(spec, core.DefaultOptions())
+	rate := 1.0
+	if err != nil {
+		if _, ok := err.(*core.ErrInfeasible); !ok {
+			log.Fatal(err)
+		}
+		if !*maxrate {
+			log.Fatalf("no feasible partition on %s at full rate; rerun with -maxrate", plat.Name)
+		}
+		res, err := core.MaxRate(spec, 1, 0.005, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Rate <= 0 {
+			log.Fatalf("no feasible partition at any rate on %s", plat.Name)
+		}
+		asg, rate = res.Assignment, res.Rate
+		fmt.Printf("full rate infeasible; max sustainable rate = %.3f×\n", rate)
+	}
+
+	fmt.Printf("partition on %s (rate ×%.3f): node CPU %.1f%%, radio %.0f B/s, %d/%d operators on node\n",
+		plat.Name, rate, 100*asg.CPULoad, asg.NetLoad,
+		asg.NodeOperatorCount(), compiled.Graph.NumOperators())
+	for _, op := range compiled.Graph.Operators() {
+		side := "server"
+		if asg.OnNode[op.ID()] {
+			side = "node"
+		}
+		fmt.Printf("  %-24s %s\n", op.Name, side)
+	}
+
+	if *dotPath != "" {
+		dot := viz.DOT(compiled.Graph, viz.Options{
+			Title:     fmt.Sprintf("%s on %s", *srcPath, plat.Name),
+			CPU:       spec.CPU,
+			OnNode:    asg.OnNode,
+			Bandwidth: spec.Bandwidth,
+		})
+		if err := os.WriteFile(*dotPath, []byte(dot), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+}

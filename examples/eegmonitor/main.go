@@ -1,0 +1,61 @@
+// Command eegmonitor runs the paper's EEG seizure-onset application (§6.1):
+// it builds the 22-channel, ~1200-operator wavelet-decomposition graph,
+// profiles it, and shows how the optimal node partition shrinks as the
+// input data rate scales up — the experiment behind Figure 5(a), here for
+// the whole application rather than one channel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wishbone"
+	"wishbone/internal/apps/eeg"
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/profile"
+)
+
+func main() {
+	app := eeg.New()
+	fmt.Printf("EEG application: %d operators, %d edges, %d channels\n",
+		app.Graph.NumOperators(), app.Graph.NumEdges(), eeg.Channels)
+
+	rep, err := profile.Run(app.Graph, app.SampleTrace(11, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := dataflow.Classify(app.Graph, dataflow.Permissive)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plat := wishbone.TMoteSky()
+	spec := profile.BuildSpec(cls, rep, plat)
+	spec.NetBudget = 0 // α=0, β=1: minimize bandwidth subject to CPU (§7.1)
+
+	fmt.Printf("\n%-8s %-14s %-14s %-12s\n", "rate ×", "ops on node", "node CPU %", "radio B/s")
+	for _, rate := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		asg, err := core.Partition(spec.Scaled(rate), core.DefaultOptions())
+		if err != nil {
+			if _, ok := err.(*core.ErrInfeasible); ok {
+				fmt.Printf("%-8.2f infeasible\n", rate)
+				continue
+			}
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f %-14d %-14.1f %-12.0f\n",
+			rate, asg.NodeOperatorCount(), 100*asg.CPULoad, asg.NetLoad)
+	}
+
+	// Where does the seizure detector itself live? Always on the server:
+	// it is stateful with serial semantics across the whole patient.
+	asg, err := core.Partition(spec, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat full rate: svm on node=%v, detect on node=%v (both must be false)\n",
+		asg.OnNode[app.SVM.ID()], asg.OnNode[app.Detect.ID()])
+	fmt.Printf("solver: %d clusters after preprocessing (from %d ops), %d B&B nodes, %.2fs to prove\n",
+		asg.Stats.ClustersAfter, asg.Stats.ClustersBefore, asg.Stats.Nodes, asg.Stats.ProveTime)
+}

@@ -1,0 +1,219 @@
+// Package speech builds the paper's acoustic speech-detection application
+// (§6.2): a linear pipeline that reduces raw audio to Mel Frequency
+// Cepstral Coefficients (MFCCs).
+//
+// The pipeline is the one profiled in Figures 7–10:
+//
+//	source → preemph → hamming → prefilt → FFT → filtBank → logs → cepstrals → sink
+//
+// Element sizes follow the paper: 200-sample (400-byte) frames at 40
+// frames/s for 8 kHz audio; 128 bytes after the filter bank; 52 bytes (13
+// float32 coefficients) after the DCT.
+package speech
+
+import (
+	"math"
+
+	"wishbone/internal/dataflow"
+	"wishbone/internal/dsp"
+	"wishbone/internal/profile"
+	"wishbone/internal/synth"
+)
+
+// FrameSamples is the number of audio samples per frame (25 ms at 8 kHz).
+const FrameSamples = 200
+
+// FrameRate is the full-rate frame frequency in frames/second.
+const FrameRate = 40.0
+
+// SampleRate is the audio sample rate in Hz.
+const SampleRate = 8000.0
+
+// NumMelFilters is the size of the mel filter bank (32 energies → 128
+// bytes as float32, the paper's 4× reduction from the 512-byte spectrum).
+const NumMelFilters = 32
+
+// NumCepstra is the number of cepstral coefficients kept (13 → 52 bytes).
+const NumCepstra = 13
+
+// fftBins is the number of one-sided spectrum bins (200 samples padded to
+// 256).
+var fftBins = dsp.NextPow2(FrameSamples) / 2
+
+// App is the constructed speech-detection program.
+type App struct {
+	Graph *dataflow.Graph
+
+	// Pipeline operators in order, source first, sink last. Cutpoint k
+	// (1-based, as in Figures 9–10) places operators Pipeline[0..k-1] on
+	// the node.
+	Pipeline []*dataflow.Operator
+
+	// Sink consumes cepstral vectors on the server. Last element of
+	// Pipeline.
+	Sink *dataflow.Operator
+}
+
+// preemphState is the stateful pre-emphasis filter memory.
+type preemphState struct{ prev float64 }
+
+// prefiltState is the 4-tap noise-shaping FIR's delay line.
+type prefiltState struct{ fir *dsp.FIRState }
+
+var prefiltCoeffs = []float64{0.35, 0.4, 0.2, 0.05}
+
+// New builds the application graph. Every operator is declared in the Node
+// namespace except the sink, so the partitioner is free to place the whole
+// pipeline (§2.1's program skeleton with the sink's consumer on the
+// server).
+func New() *App {
+	g := dataflow.New()
+	hamming := dsp.HammingWindow(FrameSamples)
+	mel := dsp.NewMelBank(NumMelFilters, fftBins, SampleRate, 100, 4000)
+
+	source := g.Add(&dataflow.Operator{
+		Name: "source", NS: dataflow.NSNode, SideEffect: true,
+	})
+	preemph := g.Add(&dataflow.Operator{
+		Name: "preemph", NS: dataflow.NSNode, Stateful: true,
+		NewState: func() any { return &preemphState{} },
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			st := ctx.State.(*preemphState)
+			in := v.([]int16)
+			x := make([]float64, len(in))
+			for i, s := range in {
+				x[i] = float64(s)
+			}
+			y, prev := dsp.PreEmphasis(ctx.Counter, x, 0.97, st.prev)
+			st.prev = prev
+			emit(toInt16(y))
+		},
+	})
+	hammingOp := g.Add(&dataflow.Operator{
+		Name: "hamming", NS: dataflow.NSNode,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			x := toFloat(v.([]int16))
+			emit(toInt16(dsp.ApplyWindow(ctx.Counter, x, hamming)))
+		},
+	})
+	prefilt := g.Add(&dataflow.Operator{
+		Name: "prefilt", NS: dataflow.NSNode, Stateful: true,
+		NewState: func() any { return &prefiltState{fir: dsp.NewFIRState(len(prefiltCoeffs))} },
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			st := ctx.State.(*prefiltState)
+			x := toFloat(v.([]int16))
+			emit(toInt16(dsp.FIRBlock(ctx.Counter, st.fir, prefiltCoeffs, x)))
+		},
+	})
+	fft := g.Add(&dataflow.Operator{
+		Name: "FFT", NS: dataflow.NSNode,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			x := toFloat(v.([]int16))
+			ps := dsp.PowerSpectrum(ctx.Counter, x)
+			emit(toFloat32(ps))
+		},
+	})
+	filtBank := g.Add(&dataflow.Operator{
+		Name: "filtBank", NS: dataflow.NSNode,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			spec := toFloat64From32(v.([]float32))
+			emit(toFloat32(mel.Apply(ctx.Counter, spec)))
+		},
+	})
+	logs := g.Add(&dataflow.Operator{
+		Name: "logs", NS: dataflow.NSNode,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			energies := toFloat64From32(v.([]float32))
+			lg := dsp.Log10Block(ctx.Counter, energies)
+			// Quantize to 8.8 fixed point: halves the element size, making
+			// logs a viable (data-reducing) cutpoint as in Figure 5(b).
+			q := make([]int16, len(lg))
+			for i, e := range lg {
+				q[i] = int16(math.Max(-128, math.Min(127, e)) * 256)
+			}
+			emit(q)
+		},
+	})
+	cepstrals := g.Add(&dataflow.Operator{
+		Name: "cepstrals", NS: dataflow.NSNode,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			q := v.([]int16)
+			lg := make([]float64, len(q))
+			for i, e := range q {
+				lg[i] = float64(e) / 256
+			}
+			emit(toFloat32(dsp.DCTII(ctx.Counter, lg, NumCepstra)))
+		},
+	})
+	sink := g.Add(&dataflow.Operator{
+		Name: "sink", NS: dataflow.NSServer, SideEffect: true,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			// Results are delivered to the speaker-identification backend.
+		},
+	})
+
+	pipeline := []*dataflow.Operator{
+		source, preemph, hammingOp, prefilt, fft, filtBank, logs, cepstrals, sink,
+	}
+	g.Chain(pipeline...)
+	return &App{Graph: g, Pipeline: pipeline, Sink: sink}
+}
+
+// SampleTrace generates a deterministic audio trace of the given duration
+// for profiling.
+func (a *App) SampleTrace(seed int64, seconds float64) profile.Input {
+	gen := synth.NewAudio(seed, SampleRate)
+	frames := int(seconds * FrameRate)
+	events := make([]dataflow.Value, frames)
+	for i := range events {
+		events[i] = gen.Frame(FrameSamples)
+	}
+	return profile.Input{Source: a.Pipeline[0], Events: events, Rate: FrameRate}
+}
+
+// CutpointNames lists the pipeline stages in order; cutting after stage k
+// leaves stages 1..k on the node.
+func (a *App) CutpointNames() []string {
+	names := make([]string, len(a.Pipeline))
+	for i, op := range a.Pipeline {
+		names[i] = op.Name
+	}
+	return names
+}
+
+func toFloat(x []int16) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func toInt16(x []float64) []int16 {
+	out := make([]int16, len(x))
+	for i, v := range x {
+		if v > 32767 {
+			v = 32767
+		} else if v < -32768 {
+			v = -32768
+		}
+		out[i] = int16(v)
+	}
+	return out
+}
+
+func toFloat32(x []float64) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+func toFloat64From32(x []float32) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package baseline implements the alternative partitioners the paper
+// compares against conceptually (§4): trivial all-on-node / all-on-server
+// placements, a greedy throughput heuristic, an exhaustive cut enumeration
+// for linear pipelines ("a brute force testing of all cut points will
+// suffice", §7.2), and a Kernighan–Lin style balanced min-cut — the
+// METIS/Zoltan family the paper argues is a poor fit because it balances
+// partition sizes instead of respecting asymmetric budgets.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+)
+
+// evaluate computes loads and feasibility of an onNode assignment under s.
+func evaluate(s *core.Spec, onNode map[int]bool) (cpu, net float64, monotone bool) {
+	monotone = true
+	for _, op := range s.Graph.Operators() {
+		if onNode[op.ID()] {
+			cpu += s.CPU[op.ID()].Mean
+		}
+	}
+	for _, e := range s.Graph.Edges() {
+		from, to := onNode[e.From.ID()], onNode[e.To.ID()]
+		if from && !to {
+			net += s.Bandwidth[e].Mean
+		}
+		if !from && to {
+			monotone = false
+		}
+	}
+	return cpu, net, monotone
+}
+
+// respectsPins reports whether onNode matches the classification's pins.
+func respectsPins(s *core.Spec, onNode map[int]bool) bool {
+	for id, p := range s.Class.Place {
+		if p == dataflow.PinNode && !onNode[id] {
+			return false
+		}
+		if p == dataflow.PinServer && onNode[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// feasible reports whether the assignment fits the budgets.
+func feasible(s *core.Spec, cpu, net float64) bool {
+	if s.CPUBudget > 0 && cpu > s.CPUBudget+1e-9 {
+		return false
+	}
+	if s.NetBudget > 0 && net > s.NetBudget+1e-9 {
+		return false
+	}
+	return true
+}
+
+// assignment packages a baseline result in the core type.
+func assignment(s *core.Spec, onNode map[int]bool) *core.Assignment {
+	cpu, net, _ := evaluate(s, onNode)
+	cut := []*dataflow.Edge(nil)
+	for _, e := range s.Graph.Edges() {
+		if onNode[e.From.ID()] && !onNode[e.To.ID()] {
+			cut = append(cut, e)
+		}
+	}
+	return &core.Assignment{
+		OnNode: onNode, CutEdges: cut,
+		CPULoad: cpu, NetLoad: net,
+		Objective: s.Alpha*cpu + s.Beta*net,
+	}
+}
+
+// AllOnServer places every movable operator on the server (ship raw data).
+// It returns an error when the result violates the budgets.
+func AllOnServer(s *core.Spec) (*core.Assignment, error) {
+	onNode := make(map[int]bool)
+	for id, p := range s.Class.Place {
+		onNode[id] = p == dataflow.PinNode
+	}
+	cpu, net, _ := evaluate(s, onNode)
+	if !feasible(s, cpu, net) {
+		return nil, fmt.Errorf("baseline: all-on-server violates budgets (cpu %.3f, net %.1f)", cpu, net)
+	}
+	return assignment(s, onNode), nil
+}
+
+// AllOnNode places every movable operator on the node (maximum in-network
+// processing).
+func AllOnNode(s *core.Spec) (*core.Assignment, error) {
+	onNode := make(map[int]bool)
+	for id, p := range s.Class.Place {
+		onNode[id] = p != dataflow.PinServer
+	}
+	cpu, net, _ := evaluate(s, onNode)
+	if !feasible(s, cpu, net) {
+		return nil, fmt.Errorf("baseline: all-on-node violates budgets (cpu %.3f, net %.1f)", cpu, net)
+	}
+	return assignment(s, onNode), nil
+}
+
+// Greedy grows the node partition from the pinned sources: repeatedly move
+// the server-side operator (whose predecessors are all on the node) that
+// most reduces cut bandwidth per unit CPU, while the budgets hold. This is
+// the "list scheduling"-flavoured heuristic the ILP is compared against.
+func Greedy(s *core.Spec) (*core.Assignment, error) {
+	onNode := make(map[int]bool)
+	for id, p := range s.Class.Place {
+		onNode[id] = p == dataflow.PinNode
+	}
+	cpu, net, _ := evaluate(s, onNode)
+	if !feasible(s, cpu, net) {
+		return nil, fmt.Errorf("baseline: even the pinned node set violates budgets")
+	}
+	for {
+		bestID, bestScore := -1, 0.0
+		var bestCPU, bestNet float64
+		for _, op := range s.Graph.Operators() {
+			id := op.ID()
+			if onNode[id] || s.Class.Place[id] == dataflow.PinServer {
+				continue
+			}
+			ready := true
+			for _, e := range s.Graph.In(op) {
+				if !onNode[e.From.ID()] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			trial := make(map[int]bool, len(onNode))
+			for k, v := range onNode {
+				trial[k] = v
+			}
+			trial[id] = true
+			tCPU, tNet, mono := evaluate(s, trial)
+			if !mono || !feasible(s, tCPU, tNet) {
+				continue
+			}
+			gain := net - tNet
+			if gain <= 0 {
+				continue
+			}
+			dCPU := math.Max(1e-12, tCPU-cpu)
+			score := gain / dCPU
+			if score > bestScore {
+				bestScore, bestID = score, id
+				bestCPU, bestNet = tCPU, tNet
+			}
+		}
+		if bestID == -1 {
+			break
+		}
+		onNode[bestID] = true
+		cpu, net = bestCPU, bestNet
+	}
+	return assignment(s, onNode), nil
+}
+
+// ChainExhaustive enumerates every prefix cut of a linear pipeline and
+// returns the feasible one with minimum objective. It errors when the graph
+// is not a chain.
+func ChainExhaustive(s *core.Spec) (*core.Assignment, error) {
+	order, err := s.Graph.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range order {
+		if len(s.Graph.Out(op)) > 1 || len(s.Graph.In(op)) > 1 {
+			return nil, fmt.Errorf("baseline: %s is not on a linear chain", op)
+		}
+	}
+	var best *core.Assignment
+	for cut := 0; cut <= len(order); cut++ {
+		onNode := make(map[int]bool, len(order))
+		for i, op := range order {
+			onNode[op.ID()] = i < cut
+		}
+		if !respectsPins(s, onNode) {
+			continue
+		}
+		cpu, net, _ := evaluate(s, onNode)
+		if !feasible(s, cpu, net) {
+			continue
+		}
+		a := assignment(s, onNode)
+		if best == nil || a.Objective < best.Objective {
+			best = a
+		}
+	}
+	if best == nil {
+		return nil, &core.ErrInfeasible{Spec: s}
+	}
+	return best, nil
+}
+
+// KernighanLin runs a balanced min-cut pass in the style of METIS-like
+// tools: start from a half/half split and greedily swap the vertex whose
+// move most reduces cut bandwidth, keeping partitions within the balance
+// ratio. It knows nothing about CPU budgets, monotonicity, or pins beyond
+// sources/sinks — exactly the mismatch §4 describes — so its result often
+// violates Wishbone's constraints; the ablation bench quantifies that.
+func KernighanLin(s *core.Spec, balance float64) *core.Assignment {
+	if balance <= 0 || balance >= 1 {
+		balance = 0.5
+	}
+	ops := s.Graph.Operators()
+	onNode := make(map[int]bool, len(ops))
+	// Seed: sources on node, sinks on server, first half of the topo order
+	// on the node.
+	order, _ := s.Graph.TopoSort()
+	half := int(float64(len(order)) * balance)
+	for i, op := range order {
+		onNode[op.ID()] = i < half
+	}
+	minSize := int(float64(len(ops)) * balance * 0.5)
+
+	improved := true
+	for iter := 0; improved && iter < 2*len(ops); iter++ {
+		improved = false
+		_, net, _ := evaluate(s, onNode)
+		bestID, bestNet := -1, net
+		for _, op := range ops {
+			id := op.ID()
+			// Respect only source/sink pins, as a generic tool would.
+			if len(s.Graph.In(op)) == 0 || len(s.Graph.Out(op)) == 0 {
+				continue
+			}
+			onNode[id] = !onNode[id]
+			nNode := 0
+			for _, v := range onNode {
+				if v {
+					nNode++
+				}
+			}
+			if nNode >= minSize && len(ops)-nNode >= minSize {
+				if _, tNet, _ := evaluate(s, onNode); tNet < bestNet-1e-12 {
+					bestNet, bestID = tNet, id
+				}
+			}
+			onNode[id] = !onNode[id]
+		}
+		if bestID >= 0 {
+			onNode[bestID] = !onNode[bestID]
+			improved = true
+		}
+	}
+	return assignment(s, onNode)
+}
+
+// Violations describes how an assignment breaks Wishbone's constraints.
+type Violations struct {
+	CPUOver     bool
+	NetOver     bool
+	NonMonotone bool
+	PinBreaks   int
+}
+
+// Check audits an assignment against the spec (used to show why balanced
+// min-cut tools are a poor fit).
+func Check(s *core.Spec, a *core.Assignment) Violations {
+	cpu, net, mono := evaluate(s, a.OnNode)
+	v := Violations{
+		CPUOver:     s.CPUBudget > 0 && cpu > s.CPUBudget+1e-9,
+		NetOver:     s.NetBudget > 0 && net > s.NetBudget+1e-9,
+		NonMonotone: !mono,
+	}
+	for id, p := range s.Class.Place {
+		if p == dataflow.PinNode && !a.OnNode[id] || p == dataflow.PinServer && a.OnNode[id] {
+			v.PinBreaks++
+		}
+	}
+	return v
+}

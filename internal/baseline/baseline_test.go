@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+)
+
+// chainSpec builds src → a → b → sink with decreasing bandwidth.
+func chainSpec(t *testing.T) *core.Spec {
+	t.Helper()
+	g := dataflow.New()
+	src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+	a := g.Add(&dataflow.Operator{Name: "a", NS: dataflow.NSNode})
+	b := g.Add(&dataflow.Operator{Name: "b", NS: dataflow.NSNode})
+	sink := g.Add(&dataflow.Operator{Name: "sink", NS: dataflow.NSServer, SideEffect: true})
+	e1 := g.Connect(src, a, 0)
+	e2 := g.Connect(a, b, 0)
+	e3 := g.Connect(b, sink, 0)
+	cls, err := dataflow.Classify(g, dataflow.Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Spec{
+		Graph: g, Class: cls,
+		CPU: map[int]core.OpCost{a.ID(): {Mean: 2}, b.ID(): {Mean: 3}},
+		Bandwidth: map[*dataflow.Edge]core.EdgeCost{
+			e1: {Mean: 10}, e2: {Mean: 6}, e3: {Mean: 2},
+		},
+		CPUBudget: 10, Alpha: 0, Beta: 1,
+	}
+}
+
+func TestChainExhaustiveMatchesILP(t *testing.T) {
+	spec := chainSpec(t)
+	for _, budget := range []float64{0, 1, 2, 5, 10} {
+		s := *spec
+		s.CPUBudget = budget
+		want, errILP := core.Partition(&s, core.DefaultOptions())
+		got, errChain := ChainExhaustive(&s)
+		if budget == 1 {
+			// Only the zero-cost source fits... the source costs 0, so cut
+			// at source is always feasible; both must agree regardless.
+			_ = budget
+		}
+		if (errILP == nil) != (errChain == nil) {
+			t.Fatalf("budget %v: ilp err=%v chain err=%v", budget, errILP, errChain)
+		}
+		if errILP != nil {
+			continue
+		}
+		if math.Abs(want.Objective-got.Objective) > 1e-9 {
+			t.Fatalf("budget %v: ilp %v chain %v", budget, want.Objective, got.Objective)
+		}
+	}
+}
+
+func TestChainExhaustiveRejectsDAG(t *testing.T) {
+	g := dataflow.New()
+	src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+	a := g.Add(&dataflow.Operator{Name: "a", NS: dataflow.NSNode})
+	b := g.Add(&dataflow.Operator{Name: "b", NS: dataflow.NSNode})
+	sink := g.Add(&dataflow.Operator{Name: "sink", NS: dataflow.NSServer, SideEffect: true})
+	g.Connect(src, a, 0)
+	g.Connect(src, b, 0) // fan-out: not a chain
+	g.Connect(a, sink, 0)
+	g.Connect(b, sink, 1)
+	cls, _ := dataflow.Classify(g, dataflow.Conservative)
+	spec := &core.Spec{Graph: g, Class: cls, CPU: map[int]core.OpCost{},
+		Bandwidth: map[*dataflow.Edge]core.EdgeCost{}}
+	if _, err := ChainExhaustive(spec); err == nil {
+		t.Fatal("expected error for non-chain graph")
+	}
+}
+
+func TestGreedyFeasibleAndNoBetterThanILP(t *testing.T) {
+	spec := chainSpec(t)
+	for _, budget := range []float64{2, 5, 10} {
+		s := *spec
+		s.CPUBudget = budget
+		greedy, err := Greedy(&s)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if err := greedy.Verify(&s); err != nil {
+			t.Fatalf("budget %v: greedy produced invalid cut: %v", budget, err)
+		}
+		ilp, err := core.Partition(&s, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if greedy.Objective < ilp.Objective-1e-9 {
+			t.Fatalf("budget %v: greedy %v beat the optimal ILP %v", budget, greedy.Objective, ilp.Objective)
+		}
+	}
+}
+
+func TestAllOnNodeAllOnServer(t *testing.T) {
+	spec := chainSpec(t)
+	server, err := AllOnServer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server.NetLoad != 10 { // cut at the source's output
+		t.Fatalf("all-on-server net %v want 10", server.NetLoad)
+	}
+	node, err := AllOnNode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.NetLoad != 2 { // cut at the last edge
+		t.Fatalf("all-on-node net %v want 2", node.NetLoad)
+	}
+	if node.CPULoad != 5 {
+		t.Fatalf("all-on-node cpu %v want 5", node.CPULoad)
+	}
+	// With a tight CPU budget all-on-node must fail.
+	s := *spec
+	s.CPUBudget = 1
+	if _, err := AllOnNode(&s); err == nil {
+		t.Fatal("all-on-node should violate a CPU budget of 1")
+	}
+}
+
+func TestKernighanLinIgnoresBudgets(t *testing.T) {
+	spec := chainSpec(t)
+	s := *spec
+	s.CPUBudget = 0.5 // impossible for anything but the bare source
+	a := KernighanLin(&s, 0.5)
+	v := Check(&s, a)
+	// The point of the baseline: a balanced min-cut tool produces an
+	// assignment, but it does not respect Wishbone's budgets.
+	if !v.CPUOver {
+		t.Fatalf("KL result unexpectedly fits an impossible CPU budget: %+v (cpu=%v)", v, a.CPULoad)
+	}
+}

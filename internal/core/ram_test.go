@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"wishbone/internal/dataflow"
+)
+
+// TestRAMBudgetConstrains checks §4.2.1's memory extension: an operator
+// whose buffers exceed the mote's RAM must move to the server even when
+// CPU and bandwidth would prefer it on the node.
+func TestRAMBudgetConstrains(t *testing.T) {
+	g := dataflow.New()
+	src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+	big := g.Add(&dataflow.Operator{Name: "bigbuf", NS: dataflow.NSNode})
+	sink := g.Add(&dataflow.Operator{Name: "sink", NS: dataflow.NSServer, SideEffect: true})
+	e1 := g.Connect(src, big, 0)
+	e2 := g.Connect(big, sink, 0)
+	cls, err := dataflow.Classify(g, dataflow.Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Graph: g, Class: cls,
+		CPU: map[int]OpCost{big.ID(): {Mean: 0.1}},
+		Bandwidth: map[*dataflow.Edge]EdgeCost{
+			e1: {Mean: 1000}, e2: {Mean: 10}, // big reducer: node placement saves 99% bandwidth
+		},
+		RAM:       map[int]float64{big.ID(): 12_000}, // needs 12 KB of buffers
+		CPUBudget: 1,
+		Alpha:     0, Beta: 1,
+	}
+
+	// Without a RAM budget the reducer goes on the node.
+	noRAM := *spec
+	asg, err := Partition(&noRAM, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !asg.OnNode[big.ID()] {
+		t.Fatal("without a RAM budget the reducer should run on the node")
+	}
+	if asg.RAMLoad != 12_000 {
+		t.Fatalf("RAMLoad=%v want 12000", asg.RAMLoad)
+	}
+
+	// A TMote-class 10 KB RAM budget forces it to the server.
+	withRAM := *spec
+	withRAM.RAMBudget = 10_000
+	asg, err = Partition(&withRAM, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.OnNode[big.ID()] {
+		t.Fatal("a 10 KB RAM budget must exclude the 12 KB operator from the node")
+	}
+	if err := asg.Verify(&withRAM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAMValidate(t *testing.T) {
+	_, spec := fig3Graph(t)
+	s := *spec
+	s.RAM = map[int]float64{0: -1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative RAM must fail validation")
+	}
+	s.RAM = map[int]float64{999: 1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("RAM for unknown operator must fail validation")
+	}
+}

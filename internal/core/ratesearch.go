@@ -1,0 +1,67 @@
+package core
+
+import "math"
+
+// RateSearchResult reports the outcome of MaxRate.
+type RateSearchResult struct {
+	// Rate is the highest feasible rate scale found (0 if even the lowest
+	// probe is infeasible).
+	Rate float64
+	// Assignment is the optimal partition at Rate (nil when Rate is 0).
+	Assignment *Assignment
+	// Probes is the number of Partition invocations performed.
+	Probes int
+}
+
+// MaxRate finds the maximum input-data-rate scale factor in (0, hi] for
+// which a feasible partition exists, by binary search (§4.3). The search
+// relies on monotonicity: CPU and network load scale linearly with input
+// rate, so if scale X is feasible every Y < X is too. tol is the relative
+// precision of the returned rate (e.g. 0.01 for 1%).
+//
+// The monotone assumption breaks above the radio's congestion-collapse
+// point, where offered load no longer translates into received data; the
+// caller should cap hi at the network profiler's maximum send rate
+// (§7.3.1), as the paper's deployment procedure does.
+func MaxRate(spec *Spec, hi float64, tol float64, opts Options) (*RateSearchResult, error) {
+	if hi <= 0 {
+		return &RateSearchResult{}, nil
+	}
+	if tol <= 0 {
+		tol = 0.01
+	}
+	res := &RateSearchResult{}
+
+	// Fast path: full rate already fits.
+	asg, err := Partition(spec.Scaled(hi), opts)
+	res.Probes++
+	if err == nil {
+		res.Rate = hi
+		res.Assignment = asg
+		return res, nil
+	}
+	if _, ok := err.(*ErrInfeasible); !ok {
+		return nil, err
+	}
+
+	lo := 0.0 // highest known-feasible scale (0 = unknown/none)
+	cur := hi
+	for cur-lo > tol*math.Max(lo, tol) {
+		mid := (lo + cur) / 2
+		if mid <= 0 {
+			break
+		}
+		asg, err := Partition(spec.Scaled(mid), opts)
+		res.Probes++
+		if err == nil {
+			lo = mid
+			res.Assignment = asg
+		} else if _, ok := err.(*ErrInfeasible); !ok {
+			return nil, err
+		} else {
+			cur = mid
+		}
+	}
+	res.Rate = lo
+	return res, nil
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"wishbone/internal/dataflow"
+	"wishbone/internal/ilp"
+)
+
+// The paper's §9 sketches a three-tier extension: motes communicate only
+// with microservers, and microservers with the central server ("We have
+// verified that we can use an ILP approach for a restricted three tier
+// network architecture"). This file implements that formulation.
+//
+// Each operator gets a tier: Mote (the sensing devices), Micro (gateway
+// microservers, as in Triage), or Server. Data flows downward only and may
+// cross each boundary at most once, the natural generalization of the
+// single-crossing restriction. The encoding uses two nested binary
+// indicators per vertex:
+//
+//	f2_v = 1 ⇔ v runs on the mote
+//	f1_v = 1 ⇔ v runs on the mote or the microserver
+//
+// with f1 ≥ f2, monotonicity f2_u ≥ f2_v and f1_u ≥ f1_v on every edge,
+// separate CPU budgets for the mote and microserver tiers, and separate
+// bandwidth budgets for the radio (mote→micro) and backhaul (micro→server)
+// links.
+
+// Tier identifies a placement level in the three-tier architecture.
+type Tier int
+
+const (
+	// TierServer is the central server.
+	TierServer Tier = iota
+	// TierMicro is the gateway microserver.
+	TierMicro
+	// TierMote is the embedded sensing node.
+	TierMote
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierMote:
+		return "mote"
+	case TierMicro:
+		return "micro"
+	default:
+		return "server"
+	}
+}
+
+// TieredSpec is a three-tier partitioning problem.
+type TieredSpec struct {
+	Graph *dataflow.Graph
+	Class *dataflow.Classification
+
+	// MoteCPU and MicroCPU price each operator on the two constrained
+	// tiers (fractions of that tier's CPU). The server is unconstrained.
+	MoteCPU  map[int]OpCost
+	MicroCPU map[int]OpCost
+
+	// Bandwidth prices each edge in bytes/s (rate-scaled like Spec).
+	Bandwidth map[*dataflow.Edge]EdgeCost
+
+	// MoteCPUBudget and MicroCPUBudget cap the two tiers' CPU loads.
+	MoteCPUBudget, MicroCPUBudget float64
+
+	// RadioBudget caps mote→micro traffic; BackhaulBudget micro→server.
+	// Zero means unconstrained.
+	RadioBudget, BackhaulBudget float64
+
+	// Objective coefficients. The total objective is
+	// AlphaMote·moteCPU + AlphaMicro·microCPU + BetaRadio·radio +
+	// BetaBackhaul·backhaul.
+	AlphaMote, AlphaMicro, BetaRadio, BetaBackhaul float64
+}
+
+// TieredAssignment is a computed three-tier placement.
+type TieredAssignment struct {
+	// TierOf maps operator ID to its tier.
+	TierOf map[int]Tier
+
+	MoteCPULoad  float64
+	MicroCPULoad float64
+	RadioLoad    float64
+	BackhaulLoad float64
+	Objective    float64
+
+	Stats SolveStats
+}
+
+// Validate reports structural problems with the spec.
+func (s *TieredSpec) Validate() error {
+	if s.Graph == nil || s.Class == nil {
+		return fmt.Errorf("core: tiered spec missing graph or classification")
+	}
+	for _, m := range []map[int]OpCost{s.MoteCPU, s.MicroCPU} {
+		for id, c := range m {
+			if s.Graph.ByID(id) == nil {
+				return fmt.Errorf("core: tiered CPU cost for unknown operator %d", id)
+			}
+			if c.Mean < 0 {
+				return fmt.Errorf("core: negative tiered CPU cost for operator %d", id)
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionTiered solves the three-tier placement exactly. Placement
+// constraints from the classification map as: PinNode → mote,
+// PinServer → server; movable operators may take any tier.
+func PartitionTiered(s *TieredSpec, opts Options) (*TieredAssignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := s.Graph
+	n := g.NumOperators()
+
+	m := ilp.NewModel()
+	f1 := make([]ilp.Var, n) // on mote or micro
+	f2 := make([]ilp.Var, n) // on mote
+	for _, op := range g.Operators() {
+		id := op.ID()
+		f1[id] = m.AddBinary(fmt.Sprintf("f1_%d", id))
+		f2[id] = m.AddBinary(fmt.Sprintf("f2_%d", id))
+		// Nesting: f1 ≥ f2.
+		m.AddConstraint(fmt.Sprintf("nest_%d", id),
+			[]ilp.Term{{Var: f1[id], Coef: 1}, {Var: f2[id], Coef: -1}}, ilp.GE, 0)
+		switch s.Class.Place[id] {
+		case dataflow.PinNode:
+			m.SetBounds(f2[id], 1, 1)
+			m.SetBounds(f1[id], 1, 1)
+		case dataflow.PinServer:
+			m.SetBounds(f1[id], 0, 0)
+			m.SetBounds(f2[id], 0, 0)
+		}
+	}
+
+	// Monotonicity on both indicator levels.
+	for i, e := range g.Edges() {
+		u, v := e.From.ID(), e.To.ID()
+		m.AddConstraint(fmt.Sprintf("mono2_%d", i),
+			[]ilp.Term{{Var: f2[u], Coef: 1}, {Var: f2[v], Coef: -1}}, ilp.GE, 0)
+		m.AddConstraint(fmt.Sprintf("mono1_%d", i),
+			[]ilp.Term{{Var: f1[u], Coef: 1}, {Var: f1[v], Coef: -1}}, ilp.GE, 0)
+	}
+
+	load := func(kind LoadKind, c OpCost) float64 {
+		if kind == PeakLoad {
+			return c.Peak
+		}
+		return c.Mean
+	}
+
+	// Mote CPU: Σ f2·c2.
+	var moteTerms []ilp.Term
+	for id, c := range s.MoteCPU {
+		if w := load(MeanLoad, c); w > 0 {
+			moteTerms = append(moteTerms, ilp.Term{Var: f2[id], Coef: w})
+			m.AddObjCoef(f2[id], s.AlphaMote*w)
+		}
+	}
+	if s.MoteCPUBudget > 0 && len(moteTerms) > 0 {
+		m.AddConstraint("mote_cpu", moteTerms, ilp.LE, s.MoteCPUBudget)
+	}
+	// Micro CPU: Σ (f1−f2)·c1.
+	var microTerms []ilp.Term
+	for id, c := range s.MicroCPU {
+		if w := load(MeanLoad, c); w > 0 {
+			microTerms = append(microTerms,
+				ilp.Term{Var: f1[id], Coef: w}, ilp.Term{Var: f2[id], Coef: -w})
+			m.AddObjCoef(f1[id], s.AlphaMicro*w)
+			m.AddObjCoef(f2[id], -s.AlphaMicro*w)
+		}
+	}
+	if s.MicroCPUBudget > 0 && len(microTerms) > 0 {
+		m.AddConstraint("micro_cpu", microTerms, ilp.LE, s.MicroCPUBudget)
+	}
+
+	// Link loads: radio = Σ (f2_u−f2_v)·r, backhaul = Σ (f1_u−f1_v)·r.
+	var radioTerms, backTerms []ilp.Term
+	for _, e := range g.Edges() {
+		bw := s.Bandwidth[e].Mean
+		if bw == 0 {
+			continue
+		}
+		u, v := e.From.ID(), e.To.ID()
+		radioTerms = append(radioTerms,
+			ilp.Term{Var: f2[u], Coef: bw}, ilp.Term{Var: f2[v], Coef: -bw})
+		m.AddObjCoef(f2[u], s.BetaRadio*bw)
+		m.AddObjCoef(f2[v], -s.BetaRadio*bw)
+		backTerms = append(backTerms,
+			ilp.Term{Var: f1[u], Coef: bw}, ilp.Term{Var: f1[v], Coef: -bw})
+		m.AddObjCoef(f1[u], s.BetaBackhaul*bw)
+		m.AddObjCoef(f1[v], -s.BetaBackhaul*bw)
+	}
+	if s.RadioBudget > 0 && len(radioTerms) > 0 {
+		m.AddConstraint("radio_budget", radioTerms, ilp.LE, s.RadioBudget)
+	}
+	if s.BackhaulBudget > 0 && len(backTerms) > 0 {
+		m.AddConstraint("backhaul_budget", backTerms, ilp.LE, s.BackhaulBudget)
+	}
+
+	// Rounding heuristic: thresholding both indicator levels at 1
+	// preserves nesting and monotonicity and can only shrink loads.
+	rounder := func(_ *ilp.Model, x []float64) []float64 {
+		out := make([]float64, len(x))
+		for i, v := range x {
+			if v >= 1-1e-9 {
+				out[i] = 1
+			}
+		}
+		return out
+	}
+
+	res, err := ilp.Solve(m, ilp.Options{
+		TimeLimit: opts.TimeLimit, GapTol: opts.GapTol, MaxNodes: opts.MaxNodes,
+		Rounder: rounder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats := SolveStats{
+		Nodes:        res.Nodes,
+		DiscoverTime: res.DiscoverTime.Seconds(),
+		ProveTime:    res.ProveTime.Seconds(),
+		Variables:    m.NumVars(),
+		Constraints:  m.NumConstraints(),
+	}
+	switch res.Status {
+	case ilp.StatusOptimal, ilp.StatusFeasible:
+	case ilp.StatusInfeasible:
+		return &TieredAssignment{Stats: stats}, &ErrInfeasibleTiered{Spec: s}
+	default:
+		return nil, fmt.Errorf("core: tiered solver failed with status %v", res.Status)
+	}
+	stats.Feasible = true
+
+	asg := &TieredAssignment{TierOf: make(map[int]Tier, n), Stats: stats}
+	for _, op := range g.Operators() {
+		id := op.ID()
+		switch {
+		case res.X[f2[id]] > 0.5:
+			asg.TierOf[id] = TierMote
+			asg.MoteCPULoad += s.MoteCPU[id].Mean
+		case res.X[f1[id]] > 0.5:
+			asg.TierOf[id] = TierMicro
+			asg.MicroCPULoad += s.MicroCPU[id].Mean
+		default:
+			asg.TierOf[id] = TierServer
+		}
+	}
+	for _, e := range g.Edges() {
+		bw := s.Bandwidth[e].Mean
+		tu, tv := asg.TierOf[e.From.ID()], asg.TierOf[e.To.ID()]
+		if tu == TierMote && tv != TierMote {
+			asg.RadioLoad += bw
+		}
+		if tu != TierServer && tv == TierServer {
+			asg.BackhaulLoad += bw
+		}
+	}
+	asg.Objective = s.AlphaMote*asg.MoteCPULoad + s.AlphaMicro*asg.MicroCPULoad +
+		s.BetaRadio*asg.RadioLoad + s.BetaBackhaul*asg.BackhaulLoad
+	return asg, nil
+}
+
+// ErrInfeasibleTiered reports that no three-tier placement satisfies the
+// budgets.
+type ErrInfeasibleTiered struct{ Spec *TieredSpec }
+
+// Error describes the failure.
+func (e *ErrInfeasibleTiered) Error() string {
+	return fmt.Sprintf("core: no feasible three-tier partition (mote cpu ≤ %g, micro cpu ≤ %g, radio ≤ %g, backhaul ≤ %g)",
+		e.Spec.MoteCPUBudget, e.Spec.MicroCPUBudget, e.Spec.RadioBudget, e.Spec.BackhaulBudget)
+}
+
+// Verify checks a tiered assignment: pins, downward-only flow, budgets.
+func (a *TieredAssignment) Verify(s *TieredSpec) error {
+	for id, p := range s.Class.Place {
+		if p == dataflow.PinNode && a.TierOf[id] != TierMote {
+			return fmt.Errorf("core: node-pinned operator %d on tier %v", id, a.TierOf[id])
+		}
+		if p == dataflow.PinServer && a.TierOf[id] != TierServer {
+			return fmt.Errorf("core: server-pinned operator %d on tier %v", id, a.TierOf[id])
+		}
+	}
+	for _, e := range s.Graph.Edges() {
+		if a.TierOf[e.From.ID()] < a.TierOf[e.To.ID()] {
+			return fmt.Errorf("core: edge %s flows upward (%v → %v)",
+				e, a.TierOf[e.From.ID()], a.TierOf[e.To.ID()])
+		}
+	}
+	const tol = 1e-6
+	if s.MoteCPUBudget > 0 && a.MoteCPULoad > s.MoteCPUBudget*(1+tol)+tol {
+		return fmt.Errorf("core: mote CPU %v over budget %v", a.MoteCPULoad, s.MoteCPUBudget)
+	}
+	if s.MicroCPUBudget > 0 && a.MicroCPULoad > s.MicroCPUBudget*(1+tol)+tol {
+		return fmt.Errorf("core: micro CPU %v over budget %v", a.MicroCPULoad, s.MicroCPUBudget)
+	}
+	if s.RadioBudget > 0 && a.RadioLoad > s.RadioBudget*(1+tol)+tol {
+		return fmt.Errorf("core: radio %v over budget %v", a.RadioLoad, s.RadioBudget)
+	}
+	if s.BackhaulBudget > 0 && a.BackhaulLoad > s.BackhaulBudget*(1+tol)+tol {
+		return fmt.Errorf("core: backhaul %v over budget %v", a.BackhaulLoad, s.BackhaulBudget)
+	}
+	return nil
+}

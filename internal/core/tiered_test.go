@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wishbone/internal/dataflow"
+)
+
+// tieredChain builds src → a → b → sink with a 10× data reduction at each
+// stage, priced differently per tier (the mote is ~50× slower than the
+// microserver).
+func tieredChain(t *testing.T) *TieredSpec {
+	t.Helper()
+	g := dataflow.New()
+	src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+	a := g.Add(&dataflow.Operator{Name: "a", NS: dataflow.NSNode})
+	b := g.Add(&dataflow.Operator{Name: "b", NS: dataflow.NSNode})
+	sink := g.Add(&dataflow.Operator{Name: "sink", NS: dataflow.NSServer, SideEffect: true})
+	e1 := g.Connect(src, a, 0)
+	e2 := g.Connect(a, b, 0)
+	e3 := g.Connect(b, sink, 0)
+	cls, err := dataflow.Classify(g, dataflow.Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &TieredSpec{
+		Graph: g, Class: cls,
+		MoteCPU:  map[int]OpCost{a.ID(): {Mean: 0.8}, b.ID(): {Mean: 0.8}},
+		MicroCPU: map[int]OpCost{a.ID(): {Mean: 0.016}, b.ID(): {Mean: 0.016}},
+		Bandwidth: map[*dataflow.Edge]EdgeCost{
+			e1: {Mean: 1000}, e2: {Mean: 100}, e3: {Mean: 10},
+		},
+		MoteCPUBudget: 1, MicroCPUBudget: 1,
+		BetaRadio: 1, BetaBackhaul: 0.1, // the radio is the expensive link
+	}
+}
+
+func TestTieredPlacesWorkAcrossTiers(t *testing.T) {
+	spec := tieredChain(t)
+	asg, err := PartitionTiered(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asg.Verify(spec); err != nil {
+		t.Fatal(err)
+	}
+	// One reducing stage fits on the mote (0.8 ≤ 1); the second belongs on
+	// the microserver (radio then carries 100 B/s, backhaul 10 B/s).
+	g := spec.Graph
+	if asg.TierOf[g.ByName("a").ID()] != TierMote {
+		t.Errorf("a on %v, want mote", asg.TierOf[g.ByName("a").ID()])
+	}
+	if asg.TierOf[g.ByName("b").ID()] != TierMicro {
+		t.Errorf("b on %v, want micro", asg.TierOf[g.ByName("b").ID()])
+	}
+	if math.Abs(asg.RadioLoad-100) > 1e-9 || math.Abs(asg.BackhaulLoad-10) > 1e-9 {
+		t.Errorf("radio=%v backhaul=%v, want 100/10", asg.RadioLoad, asg.BackhaulLoad)
+	}
+}
+
+func TestTieredMoteBudgetZeroPushesToMicro(t *testing.T) {
+	spec := tieredChain(t)
+	spec.MoteCPUBudget = 0.1 // nothing heavy fits on the mote
+	asg, err := PartitionTiered(spec, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Graph
+	if asg.TierOf[g.ByName("a").ID()] == TierMote {
+		t.Error("a cannot fit the 0.1 mote budget")
+	}
+	if err := asg.Verify(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieredInfeasible(t *testing.T) {
+	spec := tieredChain(t)
+	spec.RadioBudget = 1 // even the deepest mote cut sends ≥ 10 B/s... the
+	// deepest cut is after b on the mote? b can't exceed mote budget with a.
+	spec.MoteCPUBudget = 0.9 // only one of a,b fits → radio ≥ 100 B/s > 1
+	_, err := PartitionTiered(spec, DefaultOptions())
+	if _, ok := err.(*ErrInfeasibleTiered); !ok {
+		t.Fatalf("err=%v, want ErrInfeasibleTiered", err)
+	}
+}
+
+// bruteForceTiered enumerates all 3^n tier assignments.
+func bruteForceTiered(s *TieredSpec) float64 {
+	ops := s.Graph.Operators()
+	n := len(ops)
+	best := math.NaN()
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 3
+	}
+	tiers := make([]Tier, n)
+	for mask := 0; mask < total; mask++ {
+		m := mask
+		for i := 0; i < n; i++ {
+			tiers[i] = Tier(m % 3)
+			m /= 3
+		}
+		ok := true
+		for id, p := range s.Class.Place {
+			if p == dataflow.PinNode && tiers[id] != TierMote ||
+				p == dataflow.PinServer && tiers[id] != TierServer {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var moteCPU, microCPU, radio, back float64
+		for _, e := range s.Graph.Edges() {
+			tu, tv := tiers[e.From.ID()], tiers[e.To.ID()]
+			if tu < tv {
+				ok = false
+				break
+			}
+			bw := s.Bandwidth[e].Mean
+			if tu == TierMote && tv != TierMote {
+				radio += bw
+			}
+			if tu != TierServer && tv == TierServer {
+				back += bw
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, op := range ops {
+			switch tiers[op.ID()] {
+			case TierMote:
+				moteCPU += s.MoteCPU[op.ID()].Mean
+			case TierMicro:
+				microCPU += s.MicroCPU[op.ID()].Mean
+			}
+		}
+		if s.MoteCPUBudget > 0 && moteCPU > s.MoteCPUBudget+1e-9 {
+			continue
+		}
+		if s.MicroCPUBudget > 0 && microCPU > s.MicroCPUBudget+1e-9 {
+			continue
+		}
+		if s.RadioBudget > 0 && radio > s.RadioBudget+1e-9 {
+			continue
+		}
+		if s.BackhaulBudget > 0 && back > s.BackhaulBudget+1e-9 {
+			continue
+		}
+		z := s.AlphaMote*moteCPU + s.AlphaMicro*microCPU + s.BetaRadio*radio + s.BetaBackhaul*back
+		if math.IsNaN(best) || z < best {
+			best = z
+		}
+	}
+	return best
+}
+
+// TestTieredAgainstBruteForce validates the three-tier ILP against
+// exhaustive enumeration on small random DAGs.
+func TestTieredAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		g := dataflow.New()
+		nMid := 2 + rng.Intn(4)
+		src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+		var mids []*dataflow.Operator
+		for i := 0; i < nMid; i++ {
+			mids = append(mids, g.Add(&dataflow.Operator{Name: "m", NS: dataflow.NSNode}))
+		}
+		sink := g.Add(&dataflow.Operator{Name: "sink", NS: dataflow.NSServer, SideEffect: true})
+		spec := &TieredSpec{
+			Graph:     g,
+			MoteCPU:   map[int]OpCost{},
+			MicroCPU:  map[int]OpCost{},
+			Bandwidth: map[*dataflow.Edge]EdgeCost{},
+			AlphaMote: float64(rng.Intn(2)), AlphaMicro: 0.1,
+			BetaRadio: 1, BetaBackhaul: float64(rng.Intn(2)),
+		}
+		addEdge := func(a, b *dataflow.Operator) {
+			e := g.Connect(a, b, len(g.In(b)))
+			spec.Bandwidth[e] = EdgeCost{Mean: float64(1 + rng.Intn(9))}
+		}
+		addEdge(src, mids[0])
+		for i := 0; i < nMid; i++ {
+			for j := i + 1; j < nMid; j++ {
+				if rng.Float64() < 0.35 {
+					addEdge(mids[i], mids[j])
+				}
+			}
+		}
+		for _, mo := range mids {
+			if len(g.Out(mo)) == 0 {
+				addEdge(mo, sink)
+			}
+			if len(g.In(mo)) == 0 {
+				addEdge(src, mo)
+			}
+			spec.MoteCPU[mo.ID()] = OpCost{Mean: float64(1 + rng.Intn(4))}
+			spec.MicroCPU[mo.ID()] = OpCost{Mean: float64(rng.Intn(3))}
+		}
+		spec.MoteCPUBudget = float64(1 + rng.Intn(8))
+		spec.MicroCPUBudget = float64(1 + rng.Intn(5))
+		cls, err := dataflow.Classify(g, dataflow.Conservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Class = cls
+
+		want := bruteForceTiered(spec)
+		asg, err := PartitionTiered(spec, DefaultOptions())
+		if math.IsNaN(want) {
+			if _, ok := err.(*ErrInfeasibleTiered); !ok {
+				t.Fatalf("trial %d: err=%v, brute force infeasible", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v (brute force %v)", trial, err, want)
+		}
+		if math.Abs(asg.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: objective %v, brute force %v", trial, asg.Objective, want)
+		}
+		if err := asg.Verify(spec); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package dataflow
+
+import "fmt"
+
+// Sized lets application value types report their marshalled size. Types
+// that do not implement Sized fall back to the built-in rules in WireSize.
+type Sized interface {
+	// WireSize returns the number of bytes this value occupies when
+	// marshalled onto a cut edge (radio message payload).
+	WireSize() int
+}
+
+// WireSize returns the marshalled size in bytes of a stream element. The
+// profiler uses it to compute per-edge bandwidth; the runtime uses it to
+// split elements into radio packets. Unknown types panic: silently guessing
+// a size would corrupt bandwidth profiles.
+func WireSize(v Value) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case Sized:
+		return x.WireSize()
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, uint, int64, uint64, float64:
+		return 8
+	case []byte:
+		return len(x)
+	case []int16:
+		return 2 * len(x)
+	case []uint16:
+		return 2 * len(x)
+	case []int32:
+		return 4 * len(x)
+	case []float32:
+		return 4 * len(x)
+	case []float64:
+		return 8 * len(x)
+	case []int:
+		return 8 * len(x)
+	case string:
+		return len(x)
+	default:
+		panic(fmt.Sprintf("dataflow: WireSize: unsized value type %T", v))
+	}
+}

@@ -1,0 +1,195 @@
+package dsp
+
+import (
+	"math"
+
+	"wishbone/internal/cost"
+)
+
+// PreEmphasis applies the first-order high-pass y[i] = x[i] − coef·x[i−1]
+// used at the front of speech pipelines; prev is the last sample of the
+// previous frame and the updated value is returned (the operator keeps it
+// as private state).
+func PreEmphasis(c *cost.Counter, x []float64, coef, prev float64) ([]float64, float64) {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - coef*prev
+		prev = v
+		c.Add(cost.FloatMul, 1)
+		c.Add(cost.FloatAdd, 1)
+		c.Add(cost.Load, 1)
+		c.Add(cost.Store, 1)
+	}
+	return out, prev
+}
+
+// HammingWindow returns the n-point Hamming window coefficients.
+func HammingWindow(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// ApplyWindow multiplies x elementwise by the window w (len(w) ≥ len(x)).
+func ApplyWindow(c *cost.Counter, x, w []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v * w[i]
+		c.Add(cost.FloatMul, 1)
+		c.Add(cost.Load, 2)
+		c.Add(cost.Store, 1)
+	}
+	return out
+}
+
+// FIRState is the tapped delay line of one FIR filter instance.
+type FIRState struct {
+	taps []float64
+	pos  int
+}
+
+// NewFIRState returns a delay line for n coefficients, primed with zeros
+// (the paper's FIRFilter enqueues N−1 zeros at construction, Figure 1).
+func NewFIRState(n int) *FIRState { return &FIRState{taps: make([]float64, n)} }
+
+// Clone returns an independent copy of the state.
+func (s *FIRState) Clone() *FIRState {
+	return &FIRState{taps: append([]float64(nil), s.taps...), pos: s.pos}
+}
+
+// Step pushes sample x into the delay line and returns Σ coeffs[i]·x[n−i].
+func (s *FIRState) Step(c *cost.Counter, coeffs []float64, x float64) float64 {
+	s.taps[s.pos] = x
+	s.pos = (s.pos + 1) % len(s.taps)
+	sum := 0.0
+	for i, co := range coeffs {
+		idx := s.pos - 1 - i
+		if idx < 0 {
+			idx += len(s.taps)
+		}
+		sum += co * s.taps[idx]
+	}
+	c.Add(cost.FloatMul, len(coeffs))
+	c.Add(cost.FloatAdd, len(coeffs))
+	c.Add(cost.Load, 2*len(coeffs))
+	c.Add(cost.IntOp, 2*len(coeffs))
+	c.Add(cost.Store, 1)
+	return sum
+}
+
+// FIRBlock filters a whole block through the delay line.
+func FIRBlock(c *cost.Counter, s *FIRState, coeffs, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = s.Step(c, coeffs, v)
+	}
+	return out
+}
+
+// SplitEvenOdd separates a block into its even- and odd-indexed samples
+// (the polyphase decomposition step of the EEG filter cascade, §6.1).
+func SplitEvenOdd(c *cost.Counter, x []float64) (even, odd []float64) {
+	even = make([]float64, 0, (len(x)+1)/2)
+	odd = make([]float64, 0, len(x)/2)
+	for i, v := range x {
+		if i%2 == 0 {
+			even = append(even, v)
+		} else {
+			odd = append(odd, v)
+		}
+	}
+	c.Add(cost.Load, len(x))
+	c.Add(cost.Store, len(x))
+	c.Add(cost.IntOp, len(x))
+	c.Add(cost.Branch, len(x))
+	return even, odd
+}
+
+// AddBlocks sums two equal-length blocks elementwise (recombining the
+// even/odd polyphase branches).
+func AddBlocks(c *cost.Counter, a, b []float64) []float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] + b[i]
+		c.Add(cost.FloatAdd, 1)
+		c.Add(cost.Load, 2)
+		c.Add(cost.Store, 1)
+	}
+	return out
+}
+
+// MagWithScale computes scale·Σ|x[i]| — the windowed energy feature the
+// EEG application extracts from each high-pass band (Figure 1).
+func MagWithScale(c *cost.Counter, scale float64, x []float64) float64 {
+	sum := 0.0
+	for _, v := range x {
+		sum += math.Abs(v)
+		c.Add(cost.FloatAdd, 1)
+		c.Add(cost.Branch, 1)
+		c.Add(cost.Load, 1)
+	}
+	c.Add(cost.FloatMul, 1)
+	return scale * sum
+}
+
+// Log10Block takes log10 of every element, flooring tiny values to avoid
+// −Inf (the log-spectrum step that makes convolutional components
+// additive, §6.2.1).
+func Log10Block(c *cost.Counter, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		out[i] = math.Log10(v)
+		c.Add(cost.Log, 1)
+		c.Add(cost.Branch, 1)
+		c.Add(cost.Load, 1)
+		c.Add(cost.Store, 1)
+	}
+	return out
+}
+
+// DCTII computes the first nOut coefficients of the DCT-II of x, evaluating
+// the cosines at runtime (as the ported C implementation does, which is why
+// cepstral extraction dominates CPU on FPU-less platforms — Figure 8).
+func DCTII(c *cost.Counter, x []float64, nOut int) []float64 {
+	n := len(x)
+	out := make([]float64, nOut)
+	for k := 0; k < nOut; k++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+			c.Add(cost.Trig, 1)
+			c.Add(cost.FloatMul, 3)
+			c.Add(cost.FloatAdd, 2)
+			c.Add(cost.Load, 1)
+		}
+		out[k] = sum
+		c.Add(cost.Store, 1)
+	}
+	return out
+}
+
+// Decimate keeps every factor-th sample, after the caller has low-passed
+// the signal (the TMote audio path samples at 32 ks/s and decimates to
+// 8 ks/s, §6.2.3).
+func Decimate(c *cost.Counter, x []float64, factor int) []float64 {
+	if factor <= 1 {
+		return x
+	}
+	out := make([]float64, 0, len(x)/factor+1)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+		c.Add(cost.Load, 1)
+		c.Add(cost.Store, 1)
+		c.Add(cost.IntOp, 1)
+	}
+	return out
+}

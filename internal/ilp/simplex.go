@@ -1,0 +1,538 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// lpStatus is the outcome of a linear-relaxation solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+	lpIterLimit
+)
+
+func (s lpStatus) String() string {
+	switch s {
+	case lpOptimal:
+		return "optimal"
+	case lpInfeasible:
+		return "infeasible"
+	case lpUnbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+const (
+	eps        = 1e-9
+	feasTol    = 1e-7
+	maxDegen   = 200  // consecutive degenerate pivots before Bland's rule
+	iterFactor = 200  // iteration cap = iterFactor * (m + n)
+	minIters   = 5000 // floor on the iteration cap
+)
+
+// standard is a model in computational standard form:
+//
+//	minimize  c·y + objConst
+//	subject to  A·y = b,  0 ≤ y ≤ u
+//
+// where y are the shifted structural variables followed by slacks. Lower
+// bounds are shifted to zero (y_j = x_j − lo_j); GE rows are negated to LE
+// before slacks are added, so every slack has bounds [0, +inf) except EQ
+// rows, which get no slack.
+type standard struct {
+	m, n     int // rows, columns (structurals + slacks)
+	nStruct  int // structural variable count
+	a        [][]float64
+	b        []float64
+	c        []float64
+	u        []float64 // upper bounds (math.Inf(1) when unbounded)
+	objConst float64
+	lo       []float64 // original lower bounds of structurals (for unshifting)
+	negate   bool      // true when the model was a maximization
+}
+
+// standardize converts a Model to standard form. It returns an error for
+// malformed bounds (lo > hi).
+func standardize(m *Model) (*standard, error) {
+	ns := len(m.vars)
+	st := &standard{nStruct: ns, objConst: m.objConst}
+	st.lo = make([]float64, ns)
+
+	for j, v := range m.vars {
+		if v.lo > v.hi+eps {
+			return nil, fmt.Errorf("ilp: variable %s has lo %g > hi %g", v.name, v.lo, v.hi)
+		}
+		st.lo[j] = v.lo
+	}
+
+	// Count slacks: one per inequality row.
+	nSlack := 0
+	for _, con := range m.constraints {
+		if con.Sense != EQ {
+			nSlack++
+		}
+	}
+	st.m = len(m.constraints)
+	st.n = ns + nSlack
+
+	st.a = make([][]float64, st.m)
+	st.b = make([]float64, st.m)
+	st.c = make([]float64, st.n)
+	st.u = make([]float64, st.n)
+
+	// z = objConst + Σ obj_j·x_j with x_j = lo_j + y_j, so in shifted space
+	// z = (objConst + Σ obj_j·lo_j) + Σ obj_j·y_j. Maximization becomes
+	// minimization of −z; the final objective is negated back in solveLP.
+	sign := 1.0
+	if m.dir == Maximize {
+		sign = -1
+		st.negate = true
+	}
+	st.objConst = sign * m.objConst
+	for j, v := range m.vars {
+		st.c[j] = sign * v.obj
+		st.u[j] = v.hi - v.lo
+		st.objConst += sign * v.obj * v.lo
+	}
+	for j := ns; j < st.n; j++ {
+		st.u[j] = math.Inf(1)
+	}
+
+	slack := ns
+	for i, con := range m.constraints {
+		row := make([]float64, st.n)
+		rhs := con.RHS
+		for _, t := range con.Terms {
+			row[t.Var] += t.Coef
+			rhs -= t.Coef * m.vars[t.Var].lo // shift lower bounds into RHS
+		}
+		rowSign := 1.0
+		switch con.Sense {
+		case GE:
+			rowSign = -1 // negate to LE
+			fallthrough
+		case LE:
+			for j := range row {
+				row[j] *= rowSign
+			}
+			rhs *= rowSign
+			row[slack] = 1
+			slack++
+		case EQ:
+			// no slack
+		}
+		st.a[i] = row
+		st.b[i] = rhs
+	}
+	return st, nil
+}
+
+// unshift converts a standard-form solution back to model-space values for
+// the structural variables.
+func (st *standard) unshift(y []float64) []float64 {
+	x := make([]float64, st.nStruct)
+	for j := 0; j < st.nStruct; j++ {
+		x[j] = y[j] + st.lo[j]
+	}
+	return x
+}
+
+// varStatus is the position of a nonbasic variable.
+type varStatus uint8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	inBasis
+)
+
+// tableau is the dense working state of the bounded-variable simplex.
+type tableau struct {
+	st    *standard
+	m, n  int // rows, total columns including artificials
+	nReal int // structurals + slacks (artificials have index ≥ nReal)
+	t     [][]float64
+	xB    []float64 // current values of basic variables
+	basis []int     // basis[i] = column basic in row i
+	stat  []varStatus
+	u     []float64 // bounds including artificials (u=0 after phase 1)
+	iters int
+}
+
+// newTableau builds the initial tableau with artificial variables for every
+// row that lacks a natural basic slack (EQ rows, and rows whose RHS was
+// negative after normalization).
+func newTableau(st *standard) *tableau {
+	m, n := st.m, st.n
+	tb := &tableau{st: st, m: m, nReal: n}
+
+	// Normalize b ≥ 0 by negating rows.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = append([]float64(nil), st.a[i]...)
+		b[i] = st.b[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+	}
+
+	// Identify rows with a usable identity slack column (coefficient +1
+	// and the slack appears in no other row — true by construction unless
+	// the row was negated).
+	needArt := make([]bool, m)
+	slackCol := make([]int, m)
+	for i := range slackCol {
+		slackCol[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		needArt[i] = true
+		for j := st.nStruct; j < st.n; j++ {
+			if a[i][j] == 1 {
+				// Slack columns have exactly one nonzero entry overall.
+				needArt[i] = false
+				slackCol[i] = j
+				break
+			}
+		}
+	}
+
+	nArt := 0
+	for i := range needArt {
+		if needArt[i] {
+			nArt++
+		}
+	}
+	tb.n = n + nArt
+	tb.t = make([][]float64, m)
+	tb.u = make([]float64, tb.n)
+	copy(tb.u, st.u)
+	for j := n; j < tb.n; j++ {
+		tb.u[j] = math.Inf(1)
+	}
+	tb.basis = make([]int, m)
+	tb.xB = make([]float64, m)
+	tb.stat = make([]varStatus, tb.n)
+
+	art := n
+	for i := 0; i < m; i++ {
+		row := make([]float64, tb.n)
+		copy(row, a[i])
+		if needArt[i] {
+			row[art] = 1
+			tb.basis[i] = art
+			tb.stat[art] = inBasis
+			art++
+		} else {
+			tb.basis[i] = slackCol[i]
+			tb.stat[slackCol[i]] = inBasis
+		}
+		tb.t[i] = row
+		tb.xB[i] = b[i]
+	}
+	return tb
+}
+
+// value returns the current value of column j.
+func (tb *tableau) value(j int) float64 {
+	switch tb.stat[j] {
+	case atLower:
+		return 0
+	case atUpper:
+		return tb.u[j]
+	default:
+		for i, bj := range tb.basis {
+			if bj == j {
+				return tb.xB[i]
+			}
+		}
+		return 0
+	}
+}
+
+// solution extracts all column values.
+func (tb *tableau) solution() []float64 {
+	y := make([]float64, tb.n)
+	for j := 0; j < tb.n; j++ {
+		switch tb.stat[j] {
+		case atUpper:
+			y[j] = tb.u[j]
+		case atLower:
+			y[j] = 0
+		}
+	}
+	for i, j := range tb.basis {
+		y[j] = tb.xB[i]
+	}
+	return y
+}
+
+// reducedCosts computes c̄ = c − c_B·T for the given cost vector (length
+// tb.n; artificial costs included).
+func (tb *tableau) reducedCosts(c []float64) []float64 {
+	cb := make([]float64, tb.m)
+	for i, j := range tb.basis {
+		cb[i] = c[j]
+	}
+	red := make([]float64, tb.n)
+	copy(red, c)
+	for i := 0; i < tb.m; i++ {
+		if cb[i] == 0 {
+			continue
+		}
+		row := tb.t[i]
+		for j := 0; j < tb.n; j++ {
+			red[j] -= cb[i] * row[j]
+		}
+	}
+	for _, j := range tb.basis {
+		red[j] = 0
+	}
+	return red
+}
+
+// iterate runs bounded-variable primal simplex with cost vector c until
+// optimality, unboundedness, or the iteration cap. The reduced-cost vector
+// is maintained incrementally.
+func (tb *tableau) iterate(c []float64, maxIters int) lpStatus {
+	red := tb.reducedCosts(c)
+	degen := 0
+	bland := false
+
+	for ; tb.iters < maxIters; tb.iters++ {
+		// Entering variable: nonbasic at lower with negative reduced cost,
+		// or at upper with positive reduced cost.
+		enter := -1
+		best := eps
+		for j := 0; j < tb.n; j++ {
+			if tb.stat[j] == inBasis || tb.u[j] == 0 {
+				continue
+			}
+			var score float64
+			if tb.stat[j] == atLower && red[j] < -eps {
+				score = -red[j]
+			} else if tb.stat[j] == atUpper && red[j] > eps {
+				score = red[j]
+			} else {
+				continue
+			}
+			if bland {
+				enter = j
+				break
+			}
+			if score > best {
+				best = score
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return lpOptimal
+		}
+
+		sign := 1.0
+		if tb.stat[enter] == atUpper {
+			sign = -1
+		}
+
+		// Ratio test: the entering variable moves distance t from its
+		// current bound. Basic variables change by −sign·T[i][enter]·t.
+		tMax := tb.u[enter] // bound-flip distance (may be +inf)
+		leave := -1
+		leaveAt := atLower
+		for i := 0; i < tb.m; i++ {
+			g := sign * tb.t[i][enter]
+			var lim float64
+			var at varStatus
+			switch {
+			case g > eps:
+				// basic i decreases toward 0
+				lim = tb.xB[i] / g
+				at = atLower
+			case g < -eps:
+				// basic i increases toward its upper bound
+				ub := tb.u[tb.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				lim = (ub - tb.xB[i]) / (-g)
+				at = atUpper
+			default:
+				continue
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			better := lim < tMax-eps
+			tied := !better && lim < tMax+eps && leave != -1
+			if better || (tied && bland && tb.basis[i] < tb.basis[leave]) {
+				tMax = lim
+				leave = i
+				leaveAt = at
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return lpUnbounded
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+
+		if tMax <= eps {
+			degen++
+			if degen > maxDegen {
+				bland = true
+			}
+		} else {
+			degen = 0
+			bland = false
+		}
+
+		if leave == -1 {
+			// Bound flip: the entering variable crosses to its other bound
+			// without any basic variable blocking.
+			for i := 0; i < tb.m; i++ {
+				tb.xB[i] -= sign * tb.t[i][enter] * tMax
+			}
+			if tb.stat[enter] == atLower {
+				tb.stat[enter] = atUpper
+			} else {
+				tb.stat[enter] = atLower
+			}
+			continue
+		}
+
+		// Update basic values for the step, then pivot.
+		for i := 0; i < tb.m; i++ {
+			if i != leave {
+				tb.xB[i] -= sign * tb.t[i][enter] * tMax
+			}
+		}
+		var enterVal float64
+		if tb.stat[enter] == atLower {
+			enterVal = tMax
+		} else {
+			enterVal = tb.u[enter] - tMax
+		}
+
+		out := tb.basis[leave]
+		tb.stat[out] = leaveAt
+		tb.stat[enter] = inBasis
+		tb.basis[leave] = enter
+		tb.xB[leave] = enterVal
+
+		// Pivot the tableau on (leave, enter).
+		pr := tb.t[leave]
+		pv := pr[enter]
+		inv := 1.0 / pv
+		for j := 0; j < tb.n; j++ {
+			pr[j] *= inv
+		}
+		pr[enter] = 1
+		for i := 0; i < tb.m; i++ {
+			if i == leave {
+				continue
+			}
+			f := tb.t[i][enter]
+			if f == 0 {
+				continue
+			}
+			row := tb.t[i]
+			for j := 0; j < tb.n; j++ {
+				row[j] -= f * pr[j]
+			}
+			row[enter] = 0
+		}
+		// Update reduced costs.
+		f := red[enter]
+		if f != 0 {
+			for j := 0; j < tb.n; j++ {
+				red[j] -= f * pr[j]
+			}
+		}
+		red[enter] = 0
+	}
+	return lpIterLimit
+}
+
+// solveLP solves the standard-form LP. On lpOptimal it returns the
+// structural solution (model space) and objective value.
+func solveLP(st *standard) (lpStatus, []float64, float64) {
+	tb := newTableau(st)
+	maxIters := iterFactor * (tb.m + tb.n)
+	if maxIters < minIters {
+		maxIters = minIters
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if tb.nReal < tb.n {
+		c1 := make([]float64, tb.n)
+		for j := tb.nReal; j < tb.n; j++ {
+			c1[j] = 1
+		}
+		status := tb.iterate(c1, maxIters)
+		if status == lpIterLimit {
+			return lpIterLimit, nil, 0
+		}
+		sum := 0.0
+		for i, j := range tb.basis {
+			if j >= tb.nReal {
+				sum += tb.xB[i]
+			}
+		}
+		if sum > feasTol {
+			return lpInfeasible, nil, 0
+		}
+		// Lock artificials at zero so they can never re-enter or grow.
+		for j := tb.nReal; j < tb.n; j++ {
+			tb.u[j] = 0
+		}
+	}
+
+	// Phase 2: the real objective (artificial costs zero).
+	c2 := make([]float64, tb.n)
+	copy(c2, st.c)
+	status := tb.iterate(c2, maxIters)
+	if status != lpOptimal {
+		return status, nil, 0
+	}
+
+	y := tb.solution()
+	obj := st.objConst
+	for j := 0; j < st.n; j++ {
+		obj += st.c[j] * y[j]
+	}
+	x := st.unshift(y)
+	if st.negate {
+		obj = -obj
+	}
+	return lpOptimal, x, obj
+}
+
+// SolveLP solves the linear relaxation of m (ignoring integrality) and
+// returns the status, the solution (model space) and the objective value.
+func SolveLP(m *Model) (Status, []float64, float64, error) {
+	st, err := standardize(m)
+	if err != nil {
+		return StatusError, nil, 0, err
+	}
+	status, x, obj := solveLP(st)
+	switch status {
+	case lpOptimal:
+		return StatusOptimal, x, obj, nil
+	case lpInfeasible:
+		return StatusInfeasible, nil, 0, nil
+	case lpUnbounded:
+		return StatusUnbounded, nil, 0, nil
+	default:
+		return StatusError, nil, 0, fmt.Errorf("ilp: simplex iteration limit exceeded")
+	}
+}

@@ -1,0 +1,147 @@
+// Package netsim models the wireless collection network between embedded
+// nodes and the basestation: a shared channel whose reception degrades with
+// offered load, with congestion collapse beyond saturation (§7.3.1: "each
+// node has a baseline packet drop rate that stays steady over a range of
+// sending rates, and then at some point drops off dramatically as the
+// network becomes excessively congested").
+//
+// It also implements the paper's network-profiling tool: given a target
+// reception rate, return the maximum send rate the network can sustain —
+// the upper bound handed to the data-rate binary search (§4.3), keeping the
+// search inside the region where the monotone-rate assumption holds.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"wishbone/internal/platform"
+)
+
+// Channel is a shared radio channel rooted at the basestation. All nodes'
+// traffic shares the single link at the root of the routing tree ("a many
+// node network is limited by the same bottleneck as a network of only one
+// node: the single link at the root", §7.3).
+type Channel struct {
+	// CapacityBytesPerSec is the usable on-air byte rate at the root.
+	CapacityBytesPerSec float64
+	// CollapseBytesPerSec is the offered on-air load beyond which
+	// reception collapses super-linearly.
+	CollapseBytesPerSec float64
+	// BaselineLoss is the loss probability under light load.
+	BaselineLoss float64
+}
+
+// ChannelFor derives the shared channel from a platform's radio. The
+// platform's sustainable app-level rate is grossed up by its packet
+// overhead to an on-air capacity.
+func ChannelFor(p *platform.Platform) Channel {
+	r := p.Radio
+	gross := 1.0
+	if r.PacketPayload > 0 {
+		gross = float64(r.PacketPayload+r.PacketOverhead) / float64(r.PacketPayload)
+	}
+	return Channel{
+		CapacityBytesPerSec: r.BytesPerSec * gross / math.Max(1e-9, 1-r.BaselineLoss),
+		CollapseBytesPerSec: r.CollapseBytesPerSec * gross,
+		BaselineLoss:        r.BaselineLoss,
+	}
+}
+
+// DeliveryRatio returns the fraction of offered on-air bytes that arrive at
+// the basestation when the aggregate offered load is the given rate:
+//
+//   - below capacity: 1 − BaselineLoss
+//   - between capacity and collapse: capacity-limited queue drops
+//   - beyond collapse: reception decays quadratically (retransmission storms
+//     and CSMA backoff waste the channel), driving goodput toward zero —
+//     the regime Figure 9 shows for raw-data cutpoints.
+func (c Channel) DeliveryRatio(offeredBytesPerSec float64) float64 {
+	if offeredBytesPerSec <= 0 {
+		return 1 - c.BaselineLoss
+	}
+	base := 1 - c.BaselineLoss
+	switch {
+	case offeredBytesPerSec <= c.CapacityBytesPerSec:
+		return base
+	case offeredBytesPerSec <= c.CollapseBytesPerSec:
+		return base * c.CapacityBytesPerSec / offeredBytesPerSec
+	default:
+		// Quadratic collapse beyond the cliff.
+		atCliff := base * c.CapacityBytesPerSec / c.CollapseBytesPerSec
+		f := c.CollapseBytesPerSec / offeredBytesPerSec
+		return atCliff * f * f
+	}
+}
+
+// DeliveredBytesPerSec returns app-visible delivered rate for an offered
+// on-air rate.
+func (c Channel) DeliveredBytesPerSec(offered float64) float64 {
+	return offered * c.DeliveryRatio(offered)
+}
+
+// ProfileEntry is one row of a network profile sweep.
+type ProfileEntry struct {
+	OfferedBytesPerSec   float64
+	DeliveryRatio        float64
+	DeliveredBytesPerSec float64
+}
+
+// Sweep measures the channel at n offered loads from lo to hi (the
+// profiling tool "sends packets from all nodes at an identical rate, which
+// gradually increases", §7.3.1).
+func (c Channel) Sweep(lo, hi float64, n int) []ProfileEntry {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]ProfileEntry, n)
+	for i := 0; i < n; i++ {
+		off := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = ProfileEntry{
+			OfferedBytesPerSec:   off,
+			DeliveryRatio:        c.DeliveryRatio(off),
+			DeliveredBytesPerSec: c.DeliveredBytesPerSec(off),
+		}
+	}
+	return out
+}
+
+// MaxSendRate returns the maximum aggregate on-air send rate at which the
+// delivery ratio is still at least target (e.g. 0.9). This is the paper's
+// profiling-tool output: the cap for the data-rate binary search.
+func (c Channel) MaxSendRate(target float64) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("netsim: target reception %v out of (0,1)", target)
+	}
+	if c.DeliveryRatio(0) < target {
+		return 0, fmt.Errorf("netsim: baseline loss %.2f already below target %.2f",
+			c.BaselineLoss, target)
+	}
+	lo, hi := 0.0, c.CollapseBytesPerSec*4
+	if c.DeliveryRatio(hi) >= target {
+		return hi, nil
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if c.DeliveryRatio(mid) >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// PerNodePayloadBudget converts an aggregate on-air budget into a per-node
+// application payload budget for n nodes sharing the channel with the given
+// radio packetization.
+func PerNodePayloadBudget(r platform.Radio, aggregateAir float64, nodes int) float64 {
+	if nodes <= 0 {
+		return 0
+	}
+	gross := 1.0
+	if r.PacketPayload > 0 {
+		gross = float64(r.PacketPayload+r.PacketOverhead) / float64(r.PacketPayload)
+	}
+	return aggregateAir / gross / float64(nodes)
+}

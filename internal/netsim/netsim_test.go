@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wishbone/internal/platform"
+)
+
+func tmoteChannel() Channel { return ChannelFor(platform.TMoteSky()) }
+
+func TestDeliveryRegions(t *testing.T) {
+	ch := tmoteChannel()
+	base := 1 - ch.BaselineLoss
+	// Light load: baseline loss only.
+	if got := ch.DeliveryRatio(ch.CapacityBytesPerSec / 2); got != base {
+		t.Fatalf("light load ratio %v want %v", got, base)
+	}
+	// At capacity: still baseline.
+	if got := ch.DeliveryRatio(ch.CapacityBytesPerSec); got != base {
+		t.Fatalf("at-capacity ratio %v want %v", got, base)
+	}
+	// Past collapse: far below the capacity-limited value.
+	deep := ch.DeliveryRatio(ch.CollapseBytesPerSec * 10)
+	atCliff := ch.DeliveryRatio(ch.CollapseBytesPerSec)
+	if deep >= atCliff/10 {
+		t.Fatalf("collapse not severe enough: %v at cliff, %v at 10×", atCliff, deep)
+	}
+}
+
+func TestDeliveryMonotoneNonIncreasing(t *testing.T) {
+	ch := tmoteChannel()
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return ch.DeliveryRatio(lo*10) >= ch.DeliveryRatio(hi*10)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveredBytesPeaksThenFalls(t *testing.T) {
+	// Delivered payload grows with offered load up to saturation, then
+	// collapses — the reason §4.3's binary search must stay below the
+	// profiler's cap.
+	ch := tmoteChannel()
+	atCap := ch.DeliveredBytesPerSec(ch.CapacityBytesPerSec)
+	deep := ch.DeliveredBytesPerSec(ch.CollapseBytesPerSec * 8)
+	if atCap <= ch.DeliveredBytesPerSec(ch.CapacityBytesPerSec/4) {
+		t.Fatal("delivered rate should grow below capacity")
+	}
+	if deep >= atCap/2 {
+		t.Fatalf("delivered rate should collapse: %v at capacity, %v deep", atCap, deep)
+	}
+}
+
+func TestMaxSendRateMatchesTarget(t *testing.T) {
+	ch := tmoteChannel()
+	max, err := ch.MaxSendRate(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.DeliveryRatio(max) < 0.9-1e-6 {
+		t.Fatalf("delivery at returned rate = %v < target", ch.DeliveryRatio(max))
+	}
+	if ch.DeliveryRatio(max*1.2) >= 0.9 {
+		t.Fatalf("rate %v is not maximal", max)
+	}
+}
+
+func TestMaxSendRateUnreachableTarget(t *testing.T) {
+	ch := tmoteChannel() // baseline loss 8% → 93% reception impossible
+	if _, err := ch.MaxSendRate(0.95); err == nil {
+		t.Fatal("target above 1-baselineLoss must error")
+	}
+	if _, err := ch.MaxSendRate(1.5); err == nil {
+		t.Fatal("target outside (0,1) must error")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	ch := tmoteChannel()
+	entries := ch.Sweep(100, ch.CollapseBytesPerSec*4, 20)
+	if len(entries) != 20 {
+		t.Fatalf("entries=%d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].OfferedBytesPerSec <= entries[i-1].OfferedBytesPerSec {
+			t.Fatal("offered loads must increase")
+		}
+		if entries[i].DeliveryRatio > entries[i-1].DeliveryRatio+1e-12 {
+			t.Fatal("delivery ratio must be non-increasing")
+		}
+	}
+}
+
+func TestChannelForGrossesUpOverhead(t *testing.T) {
+	p := platform.TMoteSky()
+	ch := ChannelFor(p)
+	if ch.CapacityBytesPerSec <= p.Radio.BytesPerSec {
+		t.Fatal("on-air capacity must exceed app-level payload capacity")
+	}
+}
+
+func TestPerNodePayloadBudget(t *testing.T) {
+	r := platform.TMoteSky().Radio
+	agg := 3900.0
+	one := PerNodePayloadBudget(r, agg, 1)
+	twenty := PerNodePayloadBudget(r, agg, 20)
+	if one <= 0 || twenty <= 0 {
+		t.Fatal("budgets must be positive")
+	}
+	if diff := one - 20*twenty; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("budget must divide evenly across nodes: %v vs %v", one, 20*twenty)
+	}
+	if one >= agg {
+		t.Fatal("payload budget must be below the on-air budget (packet overhead)")
+	}
+	if PerNodePayloadBudget(r, agg, 0) != 0 {
+		t.Fatal("zero nodes → zero budget")
+	}
+}

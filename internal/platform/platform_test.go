@@ -1,0 +1,127 @@
+package platform
+
+import (
+	"testing"
+
+	"wishbone/internal/cost"
+)
+
+func TestAllPlatformsValidate(t *testing.T) {
+	for _, p := range append(All(), Server(), Scheme()) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	cases := []func(*Platform){
+		func(p *Platform) { p.Name = "" },
+		func(p *Platform) { p.ClockHz = 0 },
+		func(p *Platform) { p.Overhead = 0 },
+		func(p *Platform) { p.CyclesPerOp[cost.FloatMul] = -1 },
+		func(p *Platform) { p.Radio.BytesPerSec = -5 },
+		func(p *Platform) { p.Radio.BaselineLoss = 1.5 },
+	}
+	for i, mutate := range cases {
+		p := TMoteSky()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCyclesAndSeconds(t *testing.T) {
+	p := TMoteSky()
+	var c cost.Counter
+	c.Add(cost.FloatMul, 100)
+	want := 100 * p.CyclesPerOp[cost.FloatMul] * p.Overhead
+	if got := p.Cycles(&c); got != want {
+		t.Fatalf("cycles=%v want %v", got, want)
+	}
+	if got := p.Seconds(&c); got != want/p.ClockHz {
+		t.Fatalf("seconds=%v", got)
+	}
+	if p.Cycles(nil) != 0 {
+		t.Fatal("nil counter must cost nothing")
+	}
+}
+
+func TestOverheadScalesEverything(t *testing.T) {
+	a := Gumstix()
+	b := Gumstix()
+	b.Overhead = 2 * a.Overhead
+	var c cost.Counter
+	c.Add(cost.IntOp, 10)
+	c.Add(cost.Trig, 3)
+	if b.Cycles(&c) != 2*a.Cycles(&c) {
+		t.Fatal("overhead must scale all op classes uniformly")
+	}
+}
+
+func TestSoftFloatPlatformsPenalizeFloats(t *testing.T) {
+	// The paper's central profiling observation: float-heavy operators are
+	// disproportionately slow on FPU-less platforms (Figure 8).
+	var fl, in cost.Counter
+	fl.Add(cost.FloatMul, 1000)
+	in.Add(cost.IntOp, 1000)
+	for _, p := range []*Platform{TMoteSky(), NokiaN80(), MerakiMini()} {
+		if p.Cycles(&fl) < 10*p.Cycles(&in) {
+			t.Errorf("%s: float/int cycle ratio %.1f, want ≥10 (software FP)",
+				p.Name, p.Cycles(&fl)/p.Cycles(&in))
+		}
+	}
+	srv := Server()
+	if srv.Cycles(&fl) > 5*srv.Cycles(&in) {
+		t.Errorf("server: float/int ratio %.1f, want small (hardware FP)",
+			srv.Cycles(&fl)/srv.Cycles(&in))
+	}
+}
+
+func TestPacketsFor(t *testing.T) {
+	r := TMoteSky().Radio // 28-byte payload, 11-byte overhead
+	cases := []struct {
+		n, pkts, air int
+	}{
+		{0, 0, 0}, {-3, 0, 0},
+		{1, 1, 12}, {28, 1, 39}, {29, 2, 51}, {400, 15, 565},
+	}
+	for _, c := range cases {
+		pkts, air := r.PacketsFor(c.n)
+		if pkts != c.pkts || air != c.air {
+			t.Errorf("PacketsFor(%d) = (%d,%d), want (%d,%d)", c.n, pkts, air, c.pkts, c.air)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("TMoteSky") == nil || ByName("Scheme") == nil {
+		t.Fatal("known platforms must resolve")
+	}
+	if ByName("PDP-11") != nil {
+		t.Fatal("unknown platform must return nil")
+	}
+}
+
+func TestPaperSpeedRelationsHold(t *testing.T) {
+	// Cross-platform invariants the evaluation depends on, checked on a
+	// float-heavy synthetic workload.
+	var c cost.Counter
+	c.Add(cost.FloatMul, 5000)
+	c.Add(cost.FloatAdd, 5000)
+	c.Add(cost.Trig, 400)
+	sec := func(p *Platform) float64 { return p.Seconds(&c) }
+	if r := sec(TMoteSky()) / sec(NokiaN80()); r < 1.2 || r > 4 {
+		t.Errorf("TMote/N80 = %.2f, want ≈2 (§7.2)", r)
+	}
+	if r := sec(IPhone()) / sec(Gumstix()); r < 2 || r > 4.5 {
+		t.Errorf("iPhone/Gumstix = %.2f, want ≈3 (§7.2)", r)
+	}
+	if r := sec(TMoteSky()) / sec(MerakiMini()); r < 8 || r > 30 {
+		t.Errorf("TMote/Meraki = %.2f, want ≈15 (§7.3.1)", r)
+	}
+	if MerakiMini().Radio.BytesPerSec < 10*TMoteSky().Radio.BytesPerSec {
+		t.Error("Meraki radio must be ≥10× TMote bandwidth (§7.3.1)")
+	}
+}

@@ -1,0 +1,58 @@
+package profile
+
+import (
+	"fmt"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+)
+
+// The paper's §9 notes that heterogeneous (mixed) networks need no new
+// machinery: "A single logical node partition can take on different
+// physical partitions at different nodes. This is accomplished simply by
+// running the partitioning algorithm once for each type of node. The
+// server would need to be engineered to deal with receiving results from
+// the network at various stages of partial processing."
+
+// MixedResult is one node type's physical partition in a mixed network.
+type MixedResult struct {
+	Platform   *platform.Platform
+	Assignment *core.Assignment
+	// RateMultiple is 1 when the platform fits at full rate, or the §4.3
+	// reduced rate otherwise.
+	RateMultiple float64
+}
+
+// PartitionMixed computes a physical partition per platform from one
+// shared profile report and classification — one logical partition, many
+// physical ones. Platforms that cannot fit at full rate fall back to the
+// maximum sustainable rate; a platform with no feasible rate at all
+// produces an error.
+func PartitionMixed(cls *dataflow.Classification, rep *Report,
+	platforms []*platform.Platform, opts core.Options) ([]MixedResult, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("profile: no platforms given")
+	}
+	out := make([]MixedResult, 0, len(platforms))
+	for _, p := range platforms {
+		spec := BuildSpec(cls, rep, p)
+		asg, err := core.Partition(spec, opts)
+		if err == nil {
+			out = append(out, MixedResult{Platform: p, Assignment: asg, RateMultiple: 1})
+			continue
+		}
+		if _, ok := err.(*core.ErrInfeasible); !ok {
+			return nil, fmt.Errorf("profile: %s: %w", p.Name, err)
+		}
+		res, err := core.MaxRate(spec, 1, 0.005, opts)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %s: %w", p.Name, err)
+		}
+		if res.Rate <= 0 || res.Assignment == nil {
+			return nil, fmt.Errorf("profile: %s: no feasible partition at any rate", p.Name)
+		}
+		out = append(out, MixedResult{Platform: p, Assignment: res.Assignment, RateMultiple: res.Rate})
+	}
+	return out, nil
+}

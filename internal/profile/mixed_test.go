@@ -1,0 +1,65 @@
+package profile
+
+import (
+	"testing"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+)
+
+// TestPartitionMixed verifies §9's mixed-network story: the same logical
+// program takes different physical partitions on different node types —
+// the capable platform computes on the node at full rate, the weak one
+// sheds load or ships shallower data.
+func TestPartitionMixed(t *testing.T) {
+	g, src := buildChain() // src → heavy(1000 fmul) → reduce(10×) → sink
+	events := make([]dataflow.Value, 30)
+	for i := range events {
+		events[i] = make([]byte, 100)
+	}
+	rep, err := Run(g, []Input{{Source: src, Events: events, Rate: 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := dataflow.Classify(g, dataflow.Permissive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := PartitionMixed(cls, rep,
+		[]*platform.Platform{platform.TMoteSky(), platform.Gumstix()},
+		core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results=%d", len(results))
+	}
+	byName := map[string]MixedResult{}
+	for _, r := range results {
+		byName[r.Platform.Name] = r
+	}
+	gum := byName["Gumstix"]
+	if gum.RateMultiple != 1 {
+		t.Fatalf("Gumstix rate ×%v, want full rate", gum.RateMultiple)
+	}
+	if !gum.Assignment.OnNode[g.ByName("heavy").ID()] {
+		t.Error("Gumstix should run the heavy stage on the node")
+	}
+	tm := byName["TMoteSky"]
+	// 400 events/s × 1000 fmul ≈ 5.5× the TMote CPU, and raw forwarding
+	// (40 KB/s) dwarfs its radio: the mote must differ from the Gumstix —
+	// reduced rate, shallower cut, or both.
+	same := tm.RateMultiple == 1 &&
+		tm.Assignment.OnNode[g.ByName("heavy").ID()] == gum.Assignment.OnNode[g.ByName("heavy").ID()] &&
+		tm.Assignment.OnNode[g.ByName("reduce").ID()] == gum.Assignment.OnNode[g.ByName("reduce").ID()]
+	if same {
+		t.Error("TMote and Gumstix should not share a physical partition at full rate here")
+	}
+}
+
+func TestPartitionMixedNoPlatforms(t *testing.T) {
+	if _, err := PartitionMixed(nil, nil, nil, core.DefaultOptions()); err == nil {
+		t.Fatal("empty platform list must error")
+	}
+}

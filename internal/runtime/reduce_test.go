@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"testing"
+
+	"wishbone/internal/cost"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+)
+
+// reduceApp builds src → localAvg(reduce) → report where localAvg computes
+// a per-window average and aggregation-trees can combine averages across
+// nodes (§9's average-sensor-readings example, using sums to stay
+// associative).
+func reduceApp() (*dataflow.Graph, *dataflow.Operator, *dataflow.Operator) {
+	g := dataflow.New()
+	src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+	sum := g.Add(&dataflow.Operator{
+		Name: "netsum", NS: dataflow.NSNode,
+		Reduce: true,
+		Combine: func(a, b dataflow.Value) dataflow.Value {
+			x, y := a.([]float64), b.([]float64)
+			return []float64{x[0] + y[0], x[1] + y[1]} // (sum, count)
+		},
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			w := v.([]float64)
+			var s float64
+			for _, x := range w {
+				s += x
+			}
+			ctx.Counter.Add(cost.FloatAdd, len(w))
+			emit([]float64{s, float64(len(w))})
+		},
+	})
+	report := g.Add(&dataflow.Operator{Name: "report", NS: dataflow.NSServer, SideEffect: true,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {}})
+	g.Chain(src, sum, report)
+	return g, src, sum
+}
+
+func reduceInputs(src *dataflow.Operator) func(int) []profile.Input {
+	window := make([]float64, 25)
+	for i := range window {
+		window[i] = float64(i)
+	}
+	return func(nodeID int) []profile.Input {
+		return []profile.Input{{Source: src, Events: []dataflow.Value{window}, Rate: 2}}
+	}
+}
+
+func TestReduceOnNodeAggregatesInTree(t *testing.T) {
+	g, src, sum := reduceApp()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	run := func(onNodeReduce bool) *Result {
+		onNode := map[int]bool{src.ID(): true, sum.ID(): onNodeReduce}
+		res, err := Run(Config{
+			Graph: g, OnNode: onNode, Platform: platform.Gumstix(),
+			Nodes: 10, Duration: 10,
+			Inputs: reduceInputs(src),
+			Seed:   5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inNet := run(true)
+	onServer := run(false)
+
+	// In-network aggregation: one aggregate per round crosses the root
+	// link, regardless of node count; server placement forwards every
+	// node's raw window.
+	if inNet.MsgsSent*5 > onServer.MsgsSent {
+		t.Fatalf("in-network: %d msgs vs %d on server; tree aggregation should shrink root traffic ≥5×",
+			inNet.MsgsSent, onServer.MsgsSent)
+	}
+	if inNet.PayloadBytes*5 > onServer.PayloadBytes {
+		t.Fatalf("in-network payload %dB vs %dB", inNet.PayloadBytes, onServer.PayloadBytes)
+	}
+	if inNet.DeliveredBytes == 0 {
+		t.Fatal("aggregates must still reach the server partition")
+	}
+	// 10 nodes × 2 rounds/s × 10 s = 200 processed events; 20 rounds of
+	// aggregates.
+	if inNet.ProcessedEvents != 200 {
+		t.Fatalf("processed=%d want 200", inNet.ProcessedEvents)
+	}
+}
+
+func TestReduceCombinedValueIsCorrect(t *testing.T) {
+	g, src, sum := reduceApp()
+	var got []dataflow.Value
+	g.ByName("report").Work = func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+		got = append(got, v)
+	}
+	onNode := map[int]bool{src.ID(): true, sum.ID(): true}
+	_, err := Run(Config{
+		Graph: g, OnNode: onNode, Platform: platform.Gumstix(),
+		Nodes: 4, Duration: 1, // one round per node at 2/s → 2 rounds
+		Inputs: reduceInputs(src),
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no aggregates delivered")
+	}
+	// Each window sums 0..24 = 300 over 25 samples; 4 nodes → (1200, 100).
+	agg := got[0].([]float64)
+	if agg[0] != 1200 || agg[1] != 100 {
+		t.Fatalf("aggregate=(%v,%v), want (1200,100) for 4 nodes", agg[0], agg[1])
+	}
+}
+
+func TestReduceValidationRequiresCombine(t *testing.T) {
+	g := dataflow.New()
+	g.Add(&dataflow.Operator{Name: "bad", NS: dataflow.NSNode, Reduce: true})
+	if err := g.Validate(); err == nil {
+		t.Fatal("reduce without Combine must fail validation")
+	}
+}

@@ -1,0 +1,415 @@
+// Package runtime executes a partitioned Wishbone program over a simulated
+// deployment: N embedded nodes running the node partition against sensor
+// traces, a shared radio channel (internal/netsim), and a server running
+// the server partition — including the per-node state tables that emulate
+// relocated stateful operators (§2.1.1).
+//
+// It measures the quantities of Figures 9 and 10: the fraction of input
+// events the node CPU managed to process (missed events are dropped at the
+// source while the depth-first traversal of a previous event is still
+// running, §5.2), the fraction of radio messages received, and their
+// product — the goodput, "the percentage of sample data that was fully
+// processed to produce output" (§7.3.1).
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wishbone/internal/cost"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/netsim"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	"wishbone/internal/wire"
+)
+
+// reasmKey identifies one node's stream on one cut edge for reassembly.
+type reasmKey struct {
+	node int
+	edge *dataflow.Edge
+}
+
+// Config describes one deployment run.
+type Config struct {
+	// Graph is the application; OnNode the partition assignment (operator
+	// ID → node side).
+	Graph  *dataflow.Graph
+	OnNode map[int]bool
+
+	// Platform prices node-side CPU and provides the radio.
+	Platform *platform.Platform
+
+	// Nodes is the number of embedded nodes (each runs a replica of the
+	// node partition).
+	Nodes int
+
+	// Duration is the simulated time span in seconds.
+	Duration float64
+
+	// RateScale multiplies every input's base rate (1.0 = full rate).
+	RateScale float64
+
+	// Inputs supplies each node's sensor traces. The Rate field of each
+	// input is its base (unscaled) event rate.
+	Inputs func(nodeID int) []profile.Input
+
+	// Seed drives packet-loss sampling.
+	Seed int64
+}
+
+// Result reports a deployment run.
+type Result struct {
+	InputEvents     int // events offered at sensors, all nodes
+	ProcessedEvents int // events fully processed by node CPUs
+	MsgsSent        int // radio packets offered to the channel
+	MsgsReceived    int // radio packets delivered
+	PayloadBytes    int // application payload offered, bytes
+	DeliveredBytes  int // application payload delivered, bytes
+	ServerEmits     int // elements emitted by server sink-feeding operators
+
+	// OfferedAirBytesPerSec is the aggregate on-air load; DeliveryRatio the
+	// channel's resulting delivery probability.
+	OfferedAirBytesPerSec float64
+	DeliveryRatio         float64
+
+	// NodeCPU is the measured busy fraction of the node CPU (averaged over
+	// nodes), including the platform's OS overhead — the number the paper
+	// compares against profiling's prediction for the Gumstix (§7.3.1).
+	NodeCPU float64
+}
+
+// PercentInputProcessed returns 100·processed/offered.
+func (r *Result) PercentInputProcessed() float64 {
+	if r.InputEvents == 0 {
+		return 0
+	}
+	return 100 * float64(r.ProcessedEvents) / float64(r.InputEvents)
+}
+
+// PercentMsgsReceived returns 100·received/sent (100 when nothing was sent).
+func (r *Result) PercentMsgsReceived() float64 {
+	if r.MsgsSent == 0 {
+		return 100
+	}
+	return 100 * float64(r.MsgsReceived) / float64(r.MsgsSent)
+}
+
+// Goodput returns the percentage of input events fully processed AND
+// delivered — the product of the two loss stages (§7.3.1).
+func (r *Result) Goodput() float64 {
+	return r.PercentInputProcessed() * r.PercentMsgsReceived() / 100
+}
+
+// message is one cut-edge element in flight. Elements whose type the wire
+// codec supports travel as real marshalled fragments (§3's generated
+// marshal/unmarshal code); other types fall back to size-accurate abstract
+// packets.
+type message struct {
+	time    float64
+	nodeID  int
+	edge    *dataflow.Edge
+	value   dataflow.Value
+	frags   [][]byte // nil for abstract messages
+	packets int
+	air     int
+}
+
+// Run simulates the deployment.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil || cfg.OnNode == nil || cfg.Platform == nil {
+		return nil, fmt.Errorf("runtime: incomplete config")
+	}
+	if cfg.Nodes <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("runtime: need positive Nodes and Duration")
+	}
+	scale := cfg.RateScale
+	if scale <= 0 {
+		scale = 1
+	}
+	res := &Result{}
+	radio := cfg.Platform.Radio
+	var msgs []message
+	var busyTotal float64
+
+	// --- Node side ---------------------------------------------------
+	for n := 0; n < cfg.Nodes; n++ {
+		inputs := cfg.Inputs(n)
+		if len(inputs) == 0 {
+			return nil, fmt.Errorf("runtime: node %d has no inputs", n)
+		}
+		ex := dataflow.NewExecutor(cfg.Graph, n)
+		ex.Include = func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] }
+		counter := &cost.Counter{}
+		ex.CounterFor = func(op *dataflow.Operator) *cost.Counter { return counter }
+
+		var curTime float64
+		seq := uint16(0)
+		ex.Boundary = func(e *dataflow.Edge, v dataflow.Value) {
+			m := message{time: curTime, nodeID: n, edge: e, value: v}
+			if enc, err := wire.Marshal(v); err == nil && radio.PacketPayload > 4 {
+				seq++
+				if frags, err := wire.Fragment(enc, seq, radio.PacketPayload); err == nil {
+					m.frags = frags
+					m.packets = len(frags)
+					for _, f := range frags {
+						m.air += len(f) + radio.PacketOverhead
+					}
+				}
+			}
+			if m.frags == nil {
+				// Abstract fallback for element types without generated
+				// marshalling code.
+				payload := dataflow.WireSize(v)
+				pkts, air := radio.PacketsFor(payload)
+				if pkts == 0 {
+					pkts, air = 1, payload+radio.PacketOverhead // even empty elements cost a packet
+				}
+				m.packets, m.air = pkts, air
+			}
+			msgs = append(msgs, m)
+			res.MsgsSent += m.packets
+			res.PayloadBytes += dataflow.WireSize(v)
+		}
+
+		// Merge all of this node's input events into one arrival sequence.
+		type arrival struct {
+			t   float64
+			src *dataflow.Operator
+			v   dataflow.Value
+		}
+		var arrivals []arrival
+		for _, in := range inputs {
+			rate := in.Rate * scale
+			if rate <= 0 {
+				return nil, fmt.Errorf("runtime: input with non-positive rate")
+			}
+			period := 1 / rate
+			for i := 0; ; i++ {
+				t := float64(i) * period
+				if t >= cfg.Duration {
+					break
+				}
+				ev := in.Events[i%len(in.Events)]
+				arrivals = append(arrivals, arrival{t: t, src: in.Source, v: ev})
+			}
+		}
+		sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].t < arrivals[j].t })
+
+		// Non-reentrant depth-first traversal: while an event is being
+		// processed, newly arriving events are missed (§5.2's source
+		// buffering is one element deep in the TinyOS runtime; sustained
+		// overload drops input).
+		busyUntil := 0.0
+		for _, a := range arrivals {
+			res.InputEvents++
+			if a.t < busyUntil {
+				continue // CPU still busy: input event missed
+			}
+			curTime = a.t
+			counter.Reset()
+			ex.Inject(a.src, a.v)
+			dt := cfg.Platform.Seconds(counter) * cfg.Platform.OSOverhead
+			busyUntil = a.t + dt
+			busyTotal += dt
+			res.ProcessedEvents++
+		}
+	}
+	res.NodeCPU = busyTotal / (cfg.Duration * float64(cfg.Nodes))
+
+	// --- In-network aggregation (§9) -----------------------------------
+	// Messages produced by a node-resident reduce operator are combined
+	// inside the collection tree: the root link carries one aggregate per
+	// round instead of one message per node.
+	msgs = aggregateReduceMessages(cfg, msgs, res)
+
+	// --- Channel -------------------------------------------------------
+	totalAir := 0
+	for _, m := range msgs {
+		totalAir += m.air
+	}
+	res.OfferedAirBytesPerSec = float64(totalAir) / cfg.Duration
+	ch := netsim.ChannelFor(cfg.Platform)
+	ratio := ch.DeliveryRatio(res.OfferedAirBytesPerSec)
+	res.DeliveryRatio = ratio
+
+	// --- Server side -----------------------------------------------------
+	// One executor whose stateful operators are backed by per-origin-node
+	// state tables: a single server operator instance emulates the many
+	// node replicas (§2.1.1).
+	server := dataflow.NewExecutor(cfg.Graph, -1)
+	server.Include = func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] }
+	states := make(map[int]map[int]any) // opID → nodeID → state
+	serverEmits := 0
+	server.OnEdge = func(e *dataflow.Edge, v dataflow.Value) { serverEmits++ }
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reasm := make(map[reasmKey]*wire.Reassembler)
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].time < msgs[j].time })
+	for _, m := range msgs {
+		// Packets are lost independently; the element is usable at the
+		// server only if every fragment survives. Marshalled messages
+		// actually travel as bytes and are reassembled and decoded at the
+		// basestation; the decoded value is what the server processes.
+		val := m.value
+		if m.frags != nil {
+			key := reasmKey{node: m.nodeID, edge: m.edge}
+			r := reasm[key]
+			if r == nil {
+				r = &wire.Reassembler{}
+				reasm[key] = r
+			}
+			var decoded dataflow.Value
+			complete := false
+			for _, f := range m.frags {
+				if rng.Float64() >= ratio {
+					continue // fragment lost
+				}
+				res.MsgsReceived++
+				v, done, err := r.Offer(f)
+				if err != nil {
+					return nil, fmt.Errorf("runtime: reassembly: %w", err)
+				}
+				if done {
+					decoded, complete = v, true
+				}
+			}
+			if !complete {
+				continue
+			}
+			val = decoded
+		} else {
+			delivered := true
+			for p := 0; p < m.packets; p++ {
+				if rng.Float64() < ratio {
+					res.MsgsReceived++
+				} else {
+					delivered = false
+				}
+			}
+			if !delivered {
+				continue
+			}
+		}
+		res.DeliveredBytes += dataflow.WireSize(val)
+
+		// Swap in the origin node's state for every stateful server-side
+		// operator before processing this element.
+		for _, op := range cfg.Graph.Operators() {
+			if cfg.OnNode[op.ID()] || !op.Stateful || op.NewState == nil {
+				continue
+			}
+			if op.NS == dataflow.NSNode {
+				// Relocated node operator: per-node state table.
+				tbl := states[op.ID()]
+				if tbl == nil {
+					tbl = make(map[int]any)
+					states[op.ID()] = tbl
+				}
+				st, ok := tbl[m.nodeID]
+				if !ok {
+					st = op.NewState()
+					tbl[m.nodeID] = st
+				}
+				server.SetState(op, st)
+			}
+		}
+		server.Push(m.edge.To, m.edge.ToPort, val)
+	}
+	res.ServerEmits = serverEmits
+	return res, nil
+}
+
+// aggregateReduceMessages combines, per emission round, the messages all
+// nodes produced on the cut edges of node-resident Reduce operators. The
+// k-th element a node emits on such an edge belongs to round k; the
+// aggregation tree merges each round's contributions with the operator's
+// Combine function before the root link. Sent-message accounting is
+// rebuilt: the pre-aggregation sends never hit the root channel.
+func aggregateReduceMessages(cfg Config, msgs []message, res *Result) []message {
+	type roundKey struct {
+		edge  *dataflow.Edge
+		round int
+	}
+	perNodeCount := make(map[*dataflow.Edge]map[int]int)
+	rounds := make(map[roundKey]*message)
+	var out []message
+	var order []roundKey
+	radio := cfg.Platform.Radio
+
+	for i := range msgs {
+		m := msgs[i]
+		op := m.edge.From
+		if !op.Reduce || op.Combine == nil || !cfg.OnNode[op.ID()] {
+			out = append(out, m)
+			continue
+		}
+		// Assign the message to this node's next round on this edge.
+		counts := perNodeCount[m.edge]
+		if counts == nil {
+			counts = make(map[int]int)
+			perNodeCount[m.edge] = counts
+		}
+		key := roundKey{edge: m.edge, round: counts[m.nodeID]}
+		counts[m.nodeID]++
+
+		// Undo the per-node send accounting: in-tree combining means only
+		// the aggregate crosses the root link.
+		res.MsgsSent -= m.packets
+		res.PayloadBytes -= dataflow.WireSize(m.value)
+
+		if agg, ok := rounds[key]; ok {
+			agg.value = op.Combine(agg.value, m.value)
+			if m.time > agg.time {
+				agg.time = m.time
+			}
+		} else {
+			cp := m
+			rounds[key] = &cp
+			order = append(order, key)
+		}
+	}
+	for seq, key := range order {
+		agg := rounds[key]
+		// The combined aggregate replaces the original fragments; encode
+		// it fresh (or fall back to abstract packets).
+		agg.frags, agg.packets, agg.air = nil, 0, 0
+		if enc, err := wire.Marshal(agg.value); err == nil && radio.PacketPayload > 4 {
+			if frags, err := wire.Fragment(enc, uint16(seq+1), radio.PacketPayload); err == nil {
+				agg.frags = frags
+				agg.packets = len(frags)
+				for _, f := range frags {
+					agg.air += len(f) + radio.PacketOverhead
+				}
+			}
+		}
+		payload := dataflow.WireSize(agg.value)
+		if agg.frags == nil {
+			pkts, air := radio.PacketsFor(payload)
+			if pkts == 0 {
+				pkts, air = 1, payload+radio.PacketOverhead
+			}
+			agg.packets, agg.air = pkts, air
+		}
+		res.MsgsSent += agg.packets
+		res.PayloadBytes += payload
+		out = append(out, *agg)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })
+	return out
+}
+
+// PredictedNodeCPU prices the node partition from a profile report: the
+// prediction the paper compares against measurement (11.5% vs 15% on the
+// Gumstix).
+func PredictedNodeCPU(rep *profile.Report, p *platform.Platform, onNode map[int]bool, rateScale float64) float64 {
+	costs := rep.CPUCosts(p)
+	var cpu float64
+	for id, on := range onNode {
+		if on {
+			cpu += costs[id].Mean
+		}
+	}
+	return cpu * rateScale
+}

@@ -1,0 +1,178 @@
+package runtime
+
+import (
+	"testing"
+
+	"wishbone/internal/cost"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+)
+
+// tinyApp builds src → work → sink with a tunable per-event CPU cost and
+// output size.
+func tinyApp(loops, outBytes int) (*dataflow.Graph, *dataflow.Operator) {
+	g := dataflow.New()
+	src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+	work := g.Add(&dataflow.Operator{
+		Name: "work", NS: dataflow.NSNode,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			ctx.Counter.Add(cost.FloatMul, loops)
+			emit(make([]byte, outBytes))
+		},
+	})
+	// counts is declared in the Node namespace (one logical instance per
+	// node); when the partitioner places it on the server, the runtime
+	// must emulate the replicas with a per-origin-node state table.
+	counts := g.Add(&dataflow.Operator{
+		Name: "counts", NS: dataflow.NSNode, Stateful: true,
+		NewState: func() any { return new(int) },
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			n := ctx.State.(*int)
+			*n++
+			emit(*n)
+		},
+	})
+	sink := g.Add(&dataflow.Operator{Name: "sink", NS: dataflow.NSServer, SideEffect: true,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {}})
+	g.Chain(src, work, counts, sink)
+	return g, src
+}
+
+func inputsFor(src *dataflow.Operator, rate float64, ev dataflow.Value) func(int) []profile.Input {
+	return func(nodeID int) []profile.Input {
+		return []profile.Input{{Source: src, Events: []dataflow.Value{ev}, Rate: rate}}
+	}
+}
+
+func TestCPUOverloadDropsInput(t *testing.T) {
+	g, src := tinyApp(4_000_000, 4) // 4M fmul ≈ 85s on a TMote: hopeless
+	onNode := map[int]bool{0: true, 1: true}
+	res, err := Run(Config{
+		Graph: g, OnNode: onNode, Platform: platform.TMoteSky(),
+		Nodes: 1, Duration: 10, RateScale: 1,
+		Inputs: inputsFor(src, 10, []byte{1, 2}),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentInputProcessed() > 10 {
+		t.Fatalf("input processed %.1f%%, expected heavy input loss", res.PercentInputProcessed())
+	}
+	if res.NodeCPU < 0.9 {
+		t.Fatalf("node CPU %.2f, expected saturation", res.NodeCPU)
+	}
+}
+
+func TestNetworkOverloadDropsMessages(t *testing.T) {
+	g, src := tinyApp(10, 2000) // 2 KB per event, cheap CPU
+	onNode := map[int]bool{0: true, 1: true}
+	res, err := Run(Config{
+		Graph: g, OnNode: onNode, Platform: platform.TMoteSky(),
+		Nodes: 1, Duration: 10, RateScale: 1,
+		Inputs: inputsFor(src, 20, []byte{1}), // 40 KB/s >> 1.5 KB/s radio
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentInputProcessed() < 95 {
+		t.Fatalf("input processed %.1f%%, CPU should keep up", res.PercentInputProcessed())
+	}
+	if res.PercentMsgsReceived() > 5 {
+		t.Fatalf("msgs received %.1f%%, expected congestion collapse", res.PercentMsgsReceived())
+	}
+	if res.Goodput() > 5 {
+		t.Fatalf("goodput %.1f%%, expected near-zero", res.Goodput())
+	}
+}
+
+func TestAllOnNodeTinyTraffic(t *testing.T) {
+	g, src := tinyApp(100, 4)
+	// Everything through "work" on the node; 4-byte results cross.
+	onNode := map[int]bool{0: true, 1: true}
+	res, err := Run(Config{
+		Graph: g, OnNode: onNode, Platform: platform.TMoteSky(),
+		Nodes: 1, Duration: 20, RateScale: 1,
+		Inputs: inputsFor(src, 5, []byte{1}),
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PercentInputProcessed() < 99 || res.PercentMsgsReceived() < 85 {
+		t.Fatalf("light load should flow freely: input %.1f%% msgs %.1f%%",
+			res.PercentInputProcessed(), res.PercentMsgsReceived())
+	}
+	if res.ServerEmits == 0 {
+		t.Fatal("server partition produced no output")
+	}
+}
+
+func TestServerStateTablePerNode(t *testing.T) {
+	// The stateful "counts" operator runs on the server with one state per
+	// origin node: with 2 nodes sending k events each, the count per node
+	// must reach k (not 2k).
+	g, src := tinyApp(10, 4)
+	var lastCount int
+	// Replace sink to capture the count values.
+	sinkOp := g.ByName("sink")
+	sinkOp.Work = func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+		if n, ok := v.(int); ok && n > lastCount {
+			lastCount = n
+		}
+	}
+	onNode := map[int]bool{0: true, 1: true}
+	res, err := Run(Config{
+		Graph: g, OnNode: onNode, Platform: platform.Gumstix(),
+		Nodes: 2, Duration: 10, RateScale: 1,
+		Inputs: inputsFor(src, 2, []byte{1}),
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := res.InputEvents / 2
+	if lastCount == 0 || lastCount > perNode {
+		t.Fatalf("per-node counter reached %d; want ≤ %d events (separate state per node)",
+			lastCount, perNode)
+	}
+	if lastCount < perNode-2 {
+		t.Fatalf("per-node counter reached %d of %d; too many losses on a WiFi link",
+			lastCount, perNode)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	g, src := tinyApp(100, 600)
+	onNode := map[int]bool{0: true, 1: true}
+	cfg := Config{
+		Graph: g, OnNode: onNode, Platform: platform.TMoteSky(),
+		Nodes: 3, Duration: 5, RateScale: 1,
+		Inputs: inputsFor(src, 4, []byte{1}),
+		Seed:   99,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MsgsReceived != b.MsgsReceived || a.ServerEmits != b.ServerEmits {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	g, src := tinyApp(1, 1)
+	if _, err := Run(Config{Graph: g, OnNode: map[int]bool{}, Platform: platform.TMoteSky(),
+		Nodes: 0, Duration: 1, Inputs: inputsFor(src, 1, []byte{1})}); err == nil {
+		t.Fatal("zero nodes must error")
+	}
+}

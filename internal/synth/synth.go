@@ -1,0 +1,156 @@
+// Package synth generates deterministic synthetic sensor traces standing in
+// for the paper's microphone and EEG recordings.
+//
+// Wishbone's profiling "depends on this sample data being representative of
+// the actual input the sensor will see" (§1); what matters for partitioning
+// is the data's rate and enough spectral structure that data-dependent
+// operators behave realistically, not semantic content. Both generators are
+// fully seeded so profiles are reproducible.
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Audio generates a speech-like 16-bit audio stream: alternating voiced
+// segments (a harmonic series with vibrato), unvoiced segments (shaped
+// noise) and silences, as a speaker-detection workload sees.
+type Audio struct {
+	rng        *rand.Rand
+	SampleRate float64
+
+	phase     float64
+	f0        float64
+	remaining int
+	mode      int // 0 silence, 1 voiced, 2 unvoiced
+	noiseLP   float64
+}
+
+// NewAudio returns a generator at the given sample rate (the paper's
+// deployments use 8 kHz after decimation).
+func NewAudio(seed int64, sampleRate float64) *Audio {
+	return &Audio{rng: rand.New(rand.NewSource(seed)), SampleRate: sampleRate}
+}
+
+// Frame produces the next n samples as int16 PCM.
+func (a *Audio) Frame(n int) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		if a.remaining == 0 {
+			a.mode = a.rng.Intn(3)
+			// Segments of 50–300 ms.
+			a.remaining = int(a.SampleRate * (0.05 + 0.25*a.rng.Float64()))
+			a.f0 = 90 + 160*a.rng.Float64() // fundamental 90–250 Hz
+		}
+		a.remaining--
+		var v float64
+		switch a.mode {
+		case 1: // voiced: harmonics with a little jitter
+			a.phase += 2 * math.Pi * a.f0 / a.SampleRate
+			if a.phase > 2*math.Pi {
+				a.phase -= 2 * math.Pi
+			}
+			v = 0.6*math.Sin(a.phase) + 0.25*math.Sin(2*a.phase) + 0.1*math.Sin(3*a.phase)
+			v *= 0.8 + 0.2*a.rng.Float64()
+		case 2: // unvoiced: low-passed noise
+			a.noiseLP = 0.7*a.noiseLP + 0.3*a.rng.NormFloat64()
+			v = 0.4 * a.noiseLP
+		default: // silence with sensor noise floor
+			v = 0.005 * a.rng.NormFloat64()
+		}
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		out[i] = int16(v * 32767 * 0.5)
+	}
+	return out
+}
+
+// EEG generates a multi-channel EEG-like stream: pink-ish background
+// activity with occasional sub-20 Hz oscillatory bursts on a subset of
+// channels ("when a seizure occurs, oscillatory waves below 20 Hz appear
+// in the EEG signal", §6.1).
+type EEG struct {
+	rng        *rand.Rand
+	SampleRate float64
+	Channels   int
+
+	lp       []float64 // per-channel low-pass state for background
+	burst    int       // samples of seizure burst remaining
+	quiet    int       // samples until next burst
+	burstHz  float64
+	phase    float64
+	affected []bool
+}
+
+// NewEEG returns a generator with the paper's configuration by default:
+// pass channels=22, sampleRate=256.
+func NewEEG(seed int64, channels int, sampleRate float64) *EEG {
+	e := &EEG{
+		rng:        rand.New(rand.NewSource(seed)),
+		SampleRate: sampleRate,
+		Channels:   channels,
+		lp:         make([]float64, channels),
+		affected:   make([]bool, channels),
+	}
+	e.quiet = int(sampleRate * 4)
+	return e
+}
+
+// Sample produces one multi-channel sample as 16-bit values (one per
+// channel), advancing the seizure state machine.
+func (e *EEG) Sample() []int16 {
+	if e.burst == 0 && e.quiet == 0 {
+		// Start a burst on a random subset of channels.
+		e.burst = int(e.SampleRate * (2 + 4*e.rng.Float64()))
+		e.burstHz = 3 + 15*e.rng.Float64() // oscillation below 20 Hz
+		for c := range e.affected {
+			e.affected[c] = e.rng.Float64() < 0.5
+		}
+	}
+	inBurst := e.burst > 0
+	if inBurst {
+		e.burst--
+		if e.burst == 0 {
+			e.quiet = int(e.SampleRate * (3 + 5*e.rng.Float64()))
+		}
+	} else if e.quiet > 0 {
+		e.quiet--
+	}
+	e.phase += 2 * math.Pi * e.burstHz / e.SampleRate
+
+	out := make([]int16, e.Channels)
+	for c := 0; c < e.Channels; c++ {
+		e.lp[c] = 0.95*e.lp[c] + 0.05*e.rng.NormFloat64()
+		v := 2.0 * e.lp[c] // background
+		if inBurst && e.affected[c] {
+			v += 1.5 * math.Sin(e.phase+float64(c))
+		}
+		if v > 4 {
+			v = 4
+		} else if v < -4 {
+			v = -4
+		}
+		out[c] = int16(v / 4 * 32767 * 0.5)
+	}
+	return out
+}
+
+// Window produces the next n multi-channel samples, transposed to
+// per-channel blocks: result[c] has n samples of channel c.
+func (e *EEG) Window(n int) [][]int16 {
+	out := make([][]int16, e.Channels)
+	for c := range out {
+		out[c] = make([]int16, n)
+	}
+	for i := 0; i < n; i++ {
+		s := e.Sample()
+		for c, v := range s {
+			out[c][i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAudioDeterministic(t *testing.T) {
+	a := NewAudio(7, 8000).Frame(4000)
+	b := NewAudio(7, 8000).Frame(4000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across same-seed generators", i)
+		}
+	}
+	c := NewAudio(8, 8000).Frame(4000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical audio")
+	}
+}
+
+func TestAudioInRangeAndActive(t *testing.T) {
+	gen := NewAudio(1, 8000)
+	var energy float64
+	n := 8000 * 4
+	var frames [][]int16
+	for i := 0; i < n/200; i++ {
+		frames = append(frames, gen.Frame(200))
+	}
+	for _, f := range frames {
+		for _, s := range f {
+			energy += float64(s) * float64(s)
+		}
+	}
+	rms := math.Sqrt(energy / float64(n))
+	if rms < 100 {
+		t.Fatalf("audio RMS %v: generator produced near-silence", rms)
+	}
+	if rms > 20000 {
+		t.Fatalf("audio RMS %v: generator clipping", rms)
+	}
+}
+
+func TestAudioHasSilenceAndSpeech(t *testing.T) {
+	// Per-segment energy must vary a lot (silence vs voiced segments) —
+	// that variation is what the speech detector exploits.
+	gen := NewAudio(3, 8000)
+	var rmss []float64
+	for i := 0; i < 100; i++ {
+		f := gen.Frame(800) // 100 ms
+		var e float64
+		for _, s := range f {
+			e += float64(s) * float64(s)
+		}
+		rmss = append(rmss, math.Sqrt(e/800))
+	}
+	lo, hi := rmss[0], rmss[0]
+	for _, r := range rmss {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi < 20*lo {
+		t.Fatalf("dynamic range too small: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestEEGShapeAndDeterminism(t *testing.T) {
+	e := NewEEG(5, 22, 256)
+	w := e.Window(512)
+	if len(w) != 22 || len(w[0]) != 512 {
+		t.Fatalf("window shape %d×%d", len(w), len(w[0]))
+	}
+	e2 := NewEEG(5, 22, 256)
+	w2 := e2.Window(512)
+	for c := range w {
+		for i := range w[c] {
+			if w[c][i] != w2[c][i] {
+				t.Fatal("same-seed EEG differs")
+			}
+		}
+	}
+}
+
+func TestEEGBurstsRaiseLowBandEnergy(t *testing.T) {
+	// Seizure bursts are sub-20 Hz oscillations: windows during a burst
+	// must carry more energy than quiet windows on affected channels.
+	e := NewEEG(9, 4, 256)
+	var energies []float64
+	for i := 0; i < 40; i++ { // 80 seconds: several bursts
+		w := e.Window(512)
+		var sum float64
+		for c := range w {
+			for _, s := range w[c] {
+				sum += float64(s) * float64(s)
+			}
+		}
+		energies = append(energies, sum)
+	}
+	lo, hi := energies[0], energies[0]
+	for _, v := range energies {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi < 1.5*lo {
+		t.Fatalf("no burst structure visible: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestEEGSampleAdvances(t *testing.T) {
+	e := NewEEG(2, 3, 256)
+	s1 := e.Sample()
+	if len(s1) != 3 {
+		t.Fatalf("channels=%d", len(s1))
+	}
+}

@@ -1,0 +1,102 @@
+// Package viz renders partitioned dataflow graphs as GraphViz DOT, the
+// visualization the compiler generates after profiling and partitioning
+// (§3): colorization represents profiled cost (cool to hot) and shapes
+// indicate which operators were assigned to the node partition.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+)
+
+// Options configure DOT rendering.
+type Options struct {
+	// Title is the graph label.
+	Title string
+	// CPU maps operator ID to its profiled cost, used for the heat scale;
+	// nil disables colorization.
+	CPU map[int]core.OpCost
+	// OnNode marks node-partition operators (drawn as boxes; server
+	// operators as ellipses); nil draws everything as ellipses.
+	OnNode map[int]bool
+	// Bandwidth labels edges with bytes/s; nil disables labels.
+	Bandwidth map[*dataflow.Edge]core.EdgeCost
+}
+
+// DOT renders g as a GraphViz document.
+func DOT(g *dataflow.Graph, opts Options) string {
+	var b strings.Builder
+	b.WriteString("digraph wishbone {\n")
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", opts.Title)
+	}
+
+	// Heat scale: log-spaced from the minimum to the maximum positive cost.
+	var lo, hi float64
+	if opts.CPU != nil {
+		lo, hi = math.Inf(1), 0
+		for _, c := range opts.CPU {
+			if c.Mean > 0 {
+				lo = math.Min(lo, c.Mean)
+				hi = math.Max(hi, c.Mean)
+			}
+		}
+	}
+
+	ops := append([]*dataflow.Operator(nil), g.Operators()...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].ID() < ops[j].ID() })
+	for _, op := range ops {
+		attrs := []string{fmt.Sprintf("label=%q", op.Name)}
+		if opts.OnNode != nil && opts.OnNode[op.ID()] {
+			attrs = append(attrs, "shape=box", "penwidth=2")
+		} else {
+			attrs = append(attrs, "shape=ellipse")
+		}
+		if opts.CPU != nil && hi > 0 {
+			attrs = append(attrs,
+				"style=filled",
+				fmt.Sprintf("fillcolor=%q", heatColor(opts.CPU[op.ID()].Mean, lo, hi)))
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", op.ID(), strings.Join(attrs, ", "))
+	}
+	for _, e := range g.Edges() {
+		label := ""
+		if opts.Bandwidth != nil {
+			if bw, ok := opts.Bandwidth[e]; ok {
+				label = fmt.Sprintf(" [label=%q]", fmtRate(bw.Mean))
+			}
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e.From.ID(), e.To.ID(), label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// heatColor maps cost to a cool→hot HSV hue (blue 0.66 → red 0.0) on a log
+// scale.
+func heatColor(v, lo, hi float64) string {
+	if v <= 0 || hi <= lo {
+		return "0.66 0.2 1.0" // cool, pale
+	}
+	frac := (math.Log(v) - math.Log(lo)) / math.Max(1e-12, math.Log(hi)-math.Log(lo))
+	frac = math.Max(0, math.Min(1, frac))
+	hue := 0.66 * (1 - frac)
+	return fmt.Sprintf("%.3f 0.6 1.0", hue)
+}
+
+func fmtRate(bps float64) string {
+	switch {
+	case bps >= 1e6:
+		return fmt.Sprintf("%.1f MB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1f KB/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f B/s", bps)
+	}
+}

@@ -1,0 +1,87 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+)
+
+func sample() (*dataflow.Graph, *dataflow.Edge) {
+	g := dataflow.New()
+	a := g.Add(&dataflow.Operator{Name: "mic", NS: dataflow.NSNode})
+	b := g.Add(&dataflow.Operator{Name: "fft", NS: dataflow.NSNode})
+	e := g.Connect(a, b, 0)
+	return g, e
+}
+
+func TestDOTStructure(t *testing.T) {
+	g, e := sample()
+	dot := DOT(g, Options{
+		Title:     "test graph",
+		OnNode:    map[int]bool{0: true},
+		CPU:       map[int]core.OpCost{0: {Mean: 0.01}, 1: {Mean: 0.5}},
+		Bandwidth: map[*dataflow.Edge]core.EdgeCost{e: {Mean: 16000}},
+	})
+	for _, want := range []string{
+		"digraph wishbone",
+		`label="test graph"`,
+		`label="mic"`, `label="fft"`,
+		"n0 -> n1",
+		"shape=box",     // node-partition operator
+		"shape=ellipse", // server operator
+		"16.0 KB/s",     // edge bandwidth label
+		"fillcolor=",    // heat colouring
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTWithoutOptions(t *testing.T) {
+	g, _ := sample()
+	dot := DOT(g, Options{})
+	if strings.Contains(dot, "fillcolor") || strings.Contains(dot, "shape=box") {
+		t.Error("bare options must not colorize or box nodes")
+	}
+	if !strings.Contains(dot, "n0 -> n1;") {
+		t.Error("edges must render without labels")
+	}
+}
+
+func TestHeatColorMonotone(t *testing.T) {
+	// Hotter cost → smaller hue (blue→red).
+	cold := heatColor(0.001, 0.001, 1)
+	mid := heatColor(0.03, 0.001, 1)
+	hot := heatColor(1, 0.001, 1)
+	parse := func(s string) float64 {
+		var h, sv, v float64
+		if _, err := fmt.Sscanf(s, "%f %f %f", &h, &sv, &v); err != nil {
+			t.Fatalf("bad color %q: %v", s, err)
+		}
+		return h
+	}
+	if !(parse(cold) > parse(mid) && parse(mid) > parse(hot)) {
+		t.Fatalf("hue not monotone: %s %s %s", cold, mid, hot)
+	}
+	// Zero cost gets the pale cool color, never NaN.
+	if got := heatColor(0, 1, 2); !strings.HasPrefix(got, "0.66") {
+		t.Fatalf("zero-cost color %q", got)
+	}
+}
+
+func TestFmtRate(t *testing.T) {
+	cases := map[float64]string{
+		12:      "12 B/s",
+		1600:    "1.6 KB/s",
+		2500000: "2.5 MB/s",
+	}
+	for in, want := range cases {
+		if got := fmtRate(in); got != want {
+			t.Errorf("fmtRate(%v)=%q want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package wire marshals stream elements for transmission over cut edges.
+//
+// After partitioning, the paper's code generator emits communication code
+// for every cut edge — "code to marshal and unmarshal data structures"
+// (§3) — and splits elements into small radio packets on TinyOS (§5.2).
+// This package is that layer: a compact self-describing binary encoding
+// for the value types that flow on streams, plus fragmentation into
+// fixed-size packet payloads and reassembly with loss detection.
+//
+// Encoding: one tag byte, then big-endian payload. Slices carry a uvarint
+// length. Unknown tags fail decoding loudly so node and server builds
+// cannot silently disagree about the format.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"wishbone/internal/dataflow"
+)
+
+// tag bytes for each supported element type.
+const (
+	tagNil      = 0x00
+	tagBool     = 0x01
+	tagInt16    = 0x02
+	tagInt32    = 0x03
+	tagInt64    = 0x04
+	tagFloat32  = 0x05
+	tagFloat64  = 0x06
+	tagBytes    = 0x10
+	tagInt16s   = 0x11
+	tagInt32s   = 0x12
+	tagFloat32s = 0x13
+	tagFloat64s = 0x14
+	tagString   = 0x15
+)
+
+// Marshal encodes a stream element. It supports the same concrete types as
+// dataflow.WireSize; unsupported types return an error (cut edges carrying
+// custom structs must convert to slices first, as generated marshalling
+// code would).
+func Marshal(v dataflow.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return []byte{tagNil}, nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return []byte{tagBool, b}, nil
+	case int16:
+		out := make([]byte, 3)
+		out[0] = tagInt16
+		binary.BigEndian.PutUint16(out[1:], uint16(x))
+		return out, nil
+	case int32:
+		out := make([]byte, 5)
+		out[0] = tagInt32
+		binary.BigEndian.PutUint32(out[1:], uint32(x))
+		return out, nil
+	case int:
+		out := make([]byte, 9)
+		out[0] = tagInt64
+		binary.BigEndian.PutUint64(out[1:], uint64(int64(x)))
+		return out, nil
+	case int64:
+		out := make([]byte, 9)
+		out[0] = tagInt64
+		binary.BigEndian.PutUint64(out[1:], uint64(x))
+		return out, nil
+	case float32:
+		out := make([]byte, 5)
+		out[0] = tagFloat32
+		binary.BigEndian.PutUint32(out[1:], math.Float32bits(x))
+		return out, nil
+	case float64:
+		out := make([]byte, 9)
+		out[0] = tagFloat64
+		binary.BigEndian.PutUint64(out[1:], math.Float64bits(x))
+		return out, nil
+	case []byte:
+		return appendLen(tagBytes, len(x), x), nil
+	case string:
+		return appendLen(tagString, len(x), []byte(x)), nil
+	case []int16:
+		out := lenHeader(tagInt16s, len(x), 2)
+		for _, s := range x {
+			out = binary.BigEndian.AppendUint16(out, uint16(s))
+		}
+		return out, nil
+	case []int32:
+		out := lenHeader(tagInt32s, len(x), 4)
+		for _, s := range x {
+			out = binary.BigEndian.AppendUint32(out, uint32(s))
+		}
+		return out, nil
+	case []float32:
+		out := lenHeader(tagFloat32s, len(x), 4)
+		for _, s := range x {
+			out = binary.BigEndian.AppendUint32(out, math.Float32bits(s))
+		}
+		return out, nil
+	case []float64:
+		out := lenHeader(tagFloat64s, len(x), 8)
+		for _, s := range x {
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(s))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported element type %T", v)
+	}
+}
+
+func lenHeader(tag byte, n, elemSize int) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+n*elemSize)
+	out = append(out, tag)
+	out = binary.AppendUvarint(out, uint64(n))
+	return out
+}
+
+func appendLen(tag byte, n int, data []byte) []byte {
+	out := lenHeader(tag, n, 1)
+	return append(out, data...)
+}
+
+// Unmarshal decodes one element, returning it and the number of bytes
+// consumed.
+func Unmarshal(data []byte) (dataflow.Value, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("wire: empty buffer")
+	}
+	tag := data[0]
+	rest := data[1:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("wire: truncated element (tag 0x%02x: need %d bytes, have %d)", tag, n, len(rest))
+		}
+		return nil
+	}
+	switch tag {
+	case tagNil:
+		return nil, 1, nil
+	case tagBool:
+		if err := need(1); err != nil {
+			return nil, 0, err
+		}
+		return rest[0] != 0, 2, nil
+	case tagInt16:
+		if err := need(2); err != nil {
+			return nil, 0, err
+		}
+		return int16(binary.BigEndian.Uint16(rest)), 3, nil
+	case tagInt32:
+		if err := need(4); err != nil {
+			return nil, 0, err
+		}
+		return int32(binary.BigEndian.Uint32(rest)), 5, nil
+	case tagInt64:
+		if err := need(8); err != nil {
+			return nil, 0, err
+		}
+		return int64(binary.BigEndian.Uint64(rest)), 9, nil
+	case tagFloat32:
+		if err := need(4); err != nil {
+			return nil, 0, err
+		}
+		return math.Float32frombits(binary.BigEndian.Uint32(rest)), 5, nil
+	case tagFloat64:
+		if err := need(8); err != nil {
+			return nil, 0, err
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(rest)), 9, nil
+	case tagBytes, tagString, tagInt16s, tagInt32s, tagFloat32s, tagFloat64s:
+		n, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return nil, 0, fmt.Errorf("wire: bad length varint (tag 0x%02x)", tag)
+		}
+		rest = rest[used:]
+		elemSize := map[byte]int{
+			tagBytes: 1, tagString: 1, tagInt16s: 2, tagInt32s: 4,
+			tagFloat32s: 4, tagFloat64s: 8,
+		}[tag]
+		total := int(n) * elemSize
+		if err := need(total); err != nil {
+			return nil, 0, err
+		}
+		consumed := 1 + used + total
+		switch tag {
+		case tagBytes:
+			return append([]byte(nil), rest[:total]...), consumed, nil
+		case tagString:
+			return string(rest[:total]), consumed, nil
+		case tagInt16s:
+			out := make([]int16, n)
+			for i := range out {
+				out[i] = int16(binary.BigEndian.Uint16(rest[2*i:]))
+			}
+			return out, consumed, nil
+		case tagInt32s:
+			out := make([]int32, n)
+			for i := range out {
+				out[i] = int32(binary.BigEndian.Uint32(rest[4*i:]))
+			}
+			return out, consumed, nil
+		case tagFloat32s:
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = math.Float32frombits(binary.BigEndian.Uint32(rest[4*i:]))
+			}
+			return out, consumed, nil
+		default:
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*i:]))
+			}
+			return out, consumed, nil
+		}
+	default:
+		return nil, 0, fmt.Errorf("wire: unknown tag 0x%02x", tag)
+	}
+}
+
+// Fragment splits an encoded element into packet payloads of at most
+// payloadSize bytes, each prefixed with a 4-byte fragment header
+// (sequence number, fragment index, fragment count) so the receiver can
+// reassemble and detect loss — the TinyOS packetization of §5.2.
+func Fragment(encoded []byte, seq uint16, payloadSize int) ([][]byte, error) {
+	const header = 4
+	if payloadSize <= header {
+		return nil, fmt.Errorf("wire: payload size %d too small for the %d-byte header", payloadSize, header)
+	}
+	chunk := payloadSize - header
+	count := (len(encoded) + chunk - 1) / chunk
+	if count == 0 {
+		count = 1
+	}
+	if count > 255 {
+		return nil, fmt.Errorf("wire: element needs %d fragments (max 255)", count)
+	}
+	frags := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(encoded) {
+			hi = len(encoded)
+		}
+		f := make([]byte, 0, header+hi-lo)
+		f = binary.BigEndian.AppendUint16(f, seq)
+		f = append(f, byte(i), byte(count))
+		f = append(f, encoded[lo:hi]...)
+		frags = append(frags, f)
+	}
+	return frags, nil
+}
+
+// Reassembler rebuilds elements from fragments, tolerating reordering
+// within an element and detecting gaps.
+type Reassembler struct {
+	seq     uint16
+	have    int
+	count   int
+	started bool
+	parts   [][]byte
+}
+
+// Offer feeds one received fragment. When the element completes, it
+// returns the decoded value and true. Fragments of a newer sequence
+// abandon the current partial element (its packets were lost).
+func (r *Reassembler) Offer(frag []byte) (dataflow.Value, bool, error) {
+	if len(frag) < 4 {
+		return nil, false, fmt.Errorf("wire: fragment shorter than header")
+	}
+	seq := binary.BigEndian.Uint16(frag)
+	idx, count := int(frag[2]), int(frag[3])
+	if count == 0 || idx >= count {
+		return nil, false, fmt.Errorf("wire: bad fragment index %d/%d", idx, count)
+	}
+	if !r.started || seq != r.seq {
+		r.seq = seq
+		r.count = count
+		r.have = 0
+		r.parts = make([][]byte, count)
+		r.started = true
+	}
+	if r.parts[idx] == nil {
+		r.parts[idx] = append([]byte(nil), frag[4:]...)
+		r.have++
+	}
+	if r.have < r.count {
+		return nil, false, nil
+	}
+	var buf []byte
+	for _, p := range r.parts {
+		buf = append(buf, p...)
+	}
+	r.started = false
+	v, _, err := Unmarshal(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wishbone/internal/dataflow"
+)
+
+func roundTrip(t *testing.T, v dataflow.Value) dataflow.Value {
+	t.Helper()
+	enc, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal(%T): %v", v, err)
+	}
+	out, n, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatalf("Unmarshal(%T): %v", v, err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	return out
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	for _, v := range []dataflow.Value{
+		nil, true, false,
+		int16(-12345), int32(1 << 30), int64(-1 << 60), int(42),
+		float32(3.25), float64(-2.5e-3),
+		"hello wishbone", []byte{1, 2, 3, 0, 255},
+	} {
+		got := roundTrip(t, v)
+		want := v
+		if i, ok := v.(int); ok {
+			want = int64(i) // ints travel as int64
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip of %T %v gave %T %v", v, v, got, got)
+		}
+	}
+}
+
+func TestRoundTripSlices(t *testing.T) {
+	for _, v := range []dataflow.Value{
+		[]int16{}, []int16{-1, 0, 32767, -32768},
+		[]int32{5, -9},
+		[]float32{1.5, -2.25},
+		[]float64{3.14159, -1e-9, 0},
+	} {
+		got := roundTrip(t, v)
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip of %T %v gave %v", v, v, got)
+		}
+	}
+}
+
+func TestMarshalRejectsUnknown(t *testing.T) {
+	if _, err := Marshal(struct{ X int }{}); err == nil {
+		t.Fatal("structs must be rejected")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{
+		{}, {0x7f}, {tagInt16, 0x01}, {tagFloat64s, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	} {
+		if _, _, err := Unmarshal(bad); err == nil {
+			t.Errorf("Unmarshal(% x): expected error", bad)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(samples []int16, seed int64) bool {
+		got := roundTrip(t, samples)
+		if samples == nil {
+			samples = []int16{}
+		}
+		return reflect.DeepEqual(got, samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentReassemble(t *testing.T) {
+	frame := make([]int16, 200) // a 400-byte speech frame
+	for i := range frame {
+		frame[i] = int16(i * 3)
+	}
+	enc, err := Marshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := Fragment(enc, 7, 28) // TinyOS payload size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 15 {
+		t.Fatalf("only %d fragments for a 400-byte frame in 28-byte packets", len(frags))
+	}
+	var r Reassembler
+	for i, f := range frags {
+		v, done, err := r.Offer(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != (i == len(frags)-1) {
+			t.Fatalf("fragment %d: done=%v", i, done)
+		}
+		if done && !reflect.DeepEqual(v, frame) {
+			t.Fatal("reassembled frame differs")
+		}
+	}
+}
+
+func TestReassemblerToleratesReordering(t *testing.T) {
+	enc, _ := Marshal([]float32{1, 2, 3, 4, 5, 6, 7, 8})
+	frags, err := Fragment(enc, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+	var r Reassembler
+	var got dataflow.Value
+	done := false
+	for _, f := range frags {
+		v, d, err := r.Offer(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d {
+			got, done = v, true
+		}
+	}
+	if !done || !reflect.DeepEqual(got, []float32{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("reordered reassembly failed: %v", got)
+	}
+}
+
+func TestReassemblerAbandonsLossyElement(t *testing.T) {
+	encA, _ := Marshal([]int16{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	encB, _ := Marshal([]int16{11, 12, 13, 14, 15, 16, 17, 18, 19, 20})
+	fragsA, _ := Fragment(encA, 1, 12)
+	fragsB, _ := Fragment(encB, 2, 12)
+	var r Reassembler
+	// Lose the tail of element 1; element 2 must still reassemble.
+	if _, done, _ := r.Offer(fragsA[0]); done {
+		t.Fatal("partial element reported complete")
+	}
+	var got dataflow.Value
+	for _, f := range fragsB {
+		v, done, err := r.Offer(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			got = v
+		}
+	}
+	if !reflect.DeepEqual(got, []int16{11, 12, 13, 14, 15, 16, 17, 18, 19, 20}) {
+		t.Fatalf("element after loss: %v", got)
+	}
+}
+
+func TestFragmentErrors(t *testing.T) {
+	enc, _ := Marshal([]float64{1})
+	if _, err := Fragment(enc, 0, 4); err == nil {
+		t.Fatal("payload ≤ header must error")
+	}
+	huge, _ := Marshal(make([]float64, 2000))
+	if _, err := Fragment(huge, 0, 28); err == nil {
+		t.Fatal("over-255-fragment elements must error")
+	}
+}
+
+// TestEncodedSizeTracksWireSize documents that the encoding overhead over
+// dataflow.WireSize (which the profiler uses for bandwidth accounting) is
+// a few bytes of tag+length, not a multiplicative factor.
+func TestEncodedSizeTracksWireSize(t *testing.T) {
+	frame := make([]int16, 200)
+	enc, _ := Marshal(frame)
+	ws := dataflow.WireSize(frame)
+	if len(enc) < ws || len(enc) > ws+4 {
+		t.Fatalf("encoded %dB vs wire size %dB", len(enc), ws)
+	}
+}

@@ -1,0 +1,374 @@
+package wscript
+
+import (
+	"fmt"
+
+	"wishbone/internal/cost"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/profile"
+)
+
+// Source describes a source operator declared by a wscript program.
+type Source struct {
+	Op   *dataflow.Operator
+	Name string
+	Rate float64 // events per second, from the program text
+}
+
+// Compiled is an elaborated wscript program: a dataflow graph ready for
+// profiling and partitioning.
+type Compiled struct {
+	Graph   *dataflow.Graph
+	Sources map[string]*Source
+	// Sink is the implicitly attached server-side sink consuming `main`.
+	Sink *dataflow.Operator
+	// SinkValues collects values reaching the sink (for tests and hosts
+	// that want program output); it grows without bound, so hosts running
+	// long simulations should drain it via TakeOutputs.
+	sinkValues []value
+}
+
+// TakeOutputs returns and clears the values that reached the sink, as
+// plain Go values (int64, float64, bool, string, []any).
+func (c *Compiled) TakeOutputs() []any {
+	out := make([]any, len(c.sinkValues))
+	for i, v := range c.sinkValues {
+		out[i] = toGo(v)
+	}
+	c.sinkValues = nil
+	return out
+}
+
+func toGo(v value) any {
+	switch x := v.(type) {
+	case *arrayVal:
+		out := make([]any, len(x.elems))
+		for i, e := range x.elems {
+			out[i] = toGo(e)
+		}
+		return out
+	default:
+		return x
+	}
+}
+
+// elaborator is the compile-time graph-building context.
+type elaborator struct {
+	g       *dataflow.Graph
+	inNode  bool
+	nameSeq int
+	out     *Compiled
+}
+
+// Compile parses and partially evaluates a wscript program into a dataflow
+// graph. The program must bind `main` to a stream; a server-side sink is
+// attached to it.
+func Compile(src string) (*Compiled, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := dataflow.New()
+	compiled := &Compiled{Graph: g, Sources: make(map[string]*Source)}
+	el := &elaborator{g: g, out: compiled}
+	ip := &interp{elab: el}
+	top := newEnv(nil)
+
+	// Pass 1: function declarations (order-independent, mutually
+	// recursive via the shared top environment).
+	for _, item := range prog.Items {
+		if fd, ok := item.(*FunDecl); ok {
+			top.define(fd.Name, &funcVal{decl: fd, env: top})
+		}
+	}
+	// Pass 2: bindings in order; namespace Node bindings elaborate with
+	// the node flag set (§2.1).
+	for _, item := range prog.Items {
+		switch it := item.(type) {
+		case *FunDecl:
+			// handled in pass 1
+		case *Binding:
+			v, err := ip.evalExpr(it.Expr, top)
+			if err != nil {
+				return nil, err
+			}
+			top.define(it.Name, v)
+		case *NamespaceDecl:
+			el.inNode = true
+			for _, b := range it.Bindings {
+				v, err := ip.evalExpr(b.Expr, top)
+				if err != nil {
+					return nil, err
+				}
+				top.define(b.Name, v)
+			}
+			el.inNode = false
+		default:
+			return nil, fmt.Errorf("wscript: unknown top-level item %T", item)
+		}
+	}
+
+	mainV, ok := top.lookup("main")
+	if !ok {
+		return nil, fmt.Errorf("wscript: program does not bind 'main'")
+	}
+	mainStream, ok := mainV.(*streamVal)
+	if !ok {
+		return nil, fmt.Errorf("wscript: 'main' is %s, not a stream", typeName(mainV))
+	}
+	sink := g.Add(&dataflow.Operator{
+		Name: "main-sink", NS: dataflow.NSServer, SideEffect: true,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			if wv, ok := v.(value); ok {
+				compiled.sinkValues = append(compiled.sinkValues, wv)
+			} else {
+				compiled.sinkValues = append(compiled.sinkValues, v)
+			}
+		},
+	})
+	g.Connect(mainStream.op, sink, 0)
+	compiled.Sink = sink
+
+	if len(compiled.Sources) == 0 {
+		return nil, fmt.Errorf("wscript: program declares no source()")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return compiled, nil
+}
+
+// makeSource implements source(name, rate): a node-pinned sensor operator.
+func (el *elaborator) makeSource(ex *CallExpr, args []value) (value, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("wscript:%d: source(name, rate)", ex.Line)
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("wscript:%d: source name must be a string", ex.Line)
+	}
+	var rate float64
+	switch r := args[1].(type) {
+	case int64:
+		rate = float64(r)
+	case float64:
+		rate = r
+	default:
+		return nil, fmt.Errorf("wscript:%d: source rate must be numeric", ex.Line)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("wscript:%d: source rate must be positive", ex.Line)
+	}
+	if !el.inNode {
+		return nil, fmt.Errorf("wscript:%d: source %q must be declared inside namespace Node", ex.Line, name)
+	}
+	if _, dup := el.out.Sources[name]; dup {
+		return nil, fmt.Errorf("wscript:%d: duplicate source %q", ex.Line, name)
+	}
+	op := el.g.Add(&dataflow.Operator{
+		Name: name, NS: dataflow.NSNode, SideEffect: true,
+	})
+	el.out.Sources[name] = &Source{Op: op, Name: name, Rate: rate}
+	return &streamVal{op: op}, nil
+}
+
+// iterState is the per-instance private state of an iterate operator: its
+// state-variable environment frame.
+type iterState struct {
+	vars map[string]value
+}
+
+// makeIterate elaborates `iterate x in s state { } { body }` into a new
+// operator whose work function interprets body with cost counting.
+func (el *elaborator) makeIterate(ex *IterateExpr, e *env) (value, error) {
+	ip := &interp{elab: el}
+	sv, err := ip.evalExpr(ex.Stream, e)
+	if err != nil {
+		return nil, err
+	}
+	strm, ok := sv.(*streamVal)
+	if !ok {
+		return nil, fmt.Errorf("wscript:%d: iterate over %s, not a stream", ex.Line, typeName(sv))
+	}
+
+	el.nameSeq++
+	ns := dataflow.NSServer
+	if el.inNode {
+		ns = dataflow.NSNode
+	}
+	stateDecls := ex.State
+	body := ex.Body
+	varName := ex.Var
+	defEnv := e
+
+	var newState func() any
+	if len(stateDecls) > 0 {
+		newState = func() any {
+			// State initializers run per instance at compile-rate costs
+			// (they execute once at operator construction, §2).
+			sip := &interp{}
+			frame := newEnv(defEnv)
+			for _, d := range stateDecls {
+				v, err := sip.evalExpr(d.Expr, frame)
+				if err != nil {
+					// Initializers were type-checked during elaboration
+					// below; failures here are programming errors.
+					panic(fmt.Sprintf("wscript: state init: %v", err))
+				}
+				frame.define(d.Name, v)
+			}
+			st := &iterState{vars: frame.vars}
+			return st
+		}
+		// Validate initializers once at compile time so runtime panics
+		// cannot happen for well-typed programs.
+		probe := &interp{}
+		frame := newEnv(defEnv)
+		for _, d := range stateDecls {
+			if _, err := probe.evalExpr(d.Expr, frame); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	op := el.g.Add(&dataflow.Operator{
+		Name:     fmt.Sprintf("iter%d@%d", el.nameSeq, ex.Line),
+		NS:       ns,
+		Stateful: len(stateDecls) > 0,
+		NewState: newState,
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			wip := &interp{counter: ctx.Counter}
+			frame := newEnv(defEnv)
+			if st, ok := ctx.State.(*iterState); ok && st != nil {
+				// Splice the persistent state frame between the defining
+				// environment and the per-element frame.
+				stEnv := &env{vars: st.vars, parent: defEnv}
+				frame = newEnv(stEnv)
+			}
+			frame.define(varName, fromDataflow(v))
+			wip.emit = func(out value) { emit(out) }
+			if _, err := wip.evalBlock(body, frame); err != nil {
+				panic(runtimeError{err})
+			}
+		},
+	})
+	el.g.Connect(strm.op, op, 0)
+	return &streamVal{op: op}, nil
+}
+
+// zipState buffers pending elements per input port.
+type zipState struct {
+	queues [][]value
+}
+
+// makeZip elaborates zip(s1, ..., sn): a stateful synchronizing merge that
+// emits an n-element array once every input has a pending element.
+func (el *elaborator) makeZip(ex *ZipExpr, e *env) (value, error) {
+	ip := &interp{elab: el}
+	ops := make([]*dataflow.Operator, len(ex.Streams))
+	for i, se := range ex.Streams {
+		sv, err := ip.evalExpr(se, e)
+		if err != nil {
+			return nil, err
+		}
+		strm, ok := sv.(*streamVal)
+		if !ok {
+			return nil, fmt.Errorf("wscript:%d: zip argument %d is %s, not a stream",
+				ex.Line, i+1, typeName(sv))
+		}
+		ops[i] = strm.op
+	}
+	el.nameSeq++
+	ns := dataflow.NSServer
+	if el.inNode {
+		ns = dataflow.NSNode
+	}
+	n := len(ops)
+	op := el.g.Add(&dataflow.Operator{
+		Name:     fmt.Sprintf("zip%d@%d", el.nameSeq, ex.Line),
+		NS:       ns,
+		Stateful: true,
+		NewState: func() any { return &zipState{queues: make([][]value, n)} },
+		Work: func(ctx *dataflow.Ctx, port int, v dataflow.Value, emit dataflow.Emit) {
+			st := ctx.State.(*zipState)
+			st.queues[port] = append(st.queues[port], fromDataflow(v))
+			ctx.Counter.Add(cost.Store, 1)
+			for {
+				for _, q := range st.queues {
+					if len(q) == 0 {
+						return
+					}
+				}
+				row := &arrayVal{elems: make([]value, n)}
+				for i := range st.queues {
+					row.elems[i] = st.queues[i][0]
+					st.queues[i] = st.queues[i][1:]
+				}
+				ctx.Counter.Add(cost.Load, n)
+				ctx.Counter.Add(cost.Store, n)
+				emit(row)
+			}
+		},
+	})
+	for i, src := range ops {
+		el.g.Connect(src, op, i)
+	}
+	return &streamVal{op: op}, nil
+}
+
+// fromDataflow converts a host-injected element into a wscript value.
+// Values produced by wscript operators pass through unchanged.
+func fromDataflow(v dataflow.Value) value {
+	switch x := v.(type) {
+	case *arrayVal:
+		return x
+	case int64, float64, bool, string, unitVal:
+		return x
+	case int:
+		return int64(x)
+	case int16:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case float32:
+		return float64(x)
+	case []float64:
+		arr := &arrayVal{elems: make([]value, len(x))}
+		for i, f := range x {
+			arr.elems[i] = f
+		}
+		return arr
+	case []int16:
+		arr := &arrayVal{elems: make([]value, len(x))}
+		for i, s := range x {
+			arr.elems[i] = int64(s)
+		}
+		return arr
+	case []int64:
+		arr := &arrayVal{elems: make([]value, len(x))}
+		for i, s := range x {
+			arr.elems[i] = s
+		}
+		return arr
+	default:
+		panic(fmt.Sprintf("wscript: cannot convert %T into a wscript value", v))
+	}
+}
+
+// Inputs builds profiling inputs for the compiled program: the host
+// supplies a trace generator per source name. Each generator is called
+// once per event index.
+func (c *Compiled) Inputs(events int, gen func(source string, i int) any) ([]profile.Input, error) {
+	var inputs []profile.Input
+	for name, src := range c.Sources {
+		evs := make([]dataflow.Value, events)
+		for i := range evs {
+			evs[i] = fromDataflow(gen(name, i))
+		}
+		inputs = append(inputs, profile.Input{Source: src.Op, Events: evs, Rate: src.Rate})
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("wscript: no sources to feed")
+	}
+	return inputs, nil
+}

@@ -1,0 +1,267 @@
+// Package wscript implements a small WaveScript-like stream language
+// (paper §2): programs wire dataflow operators together with first-class
+// streams, `iterate` blocks with `emit`, and a `namespace Node { }` section
+// marking the logically replicated node partition.
+//
+// The front end partially evaluates the program — function calls, loops and
+// arithmetic run at compile time — leaving a dataflow graph whose work
+// functions are interpreted closures. Because the interpreter counts every
+// arithmetic operation it executes (internal/cost), profiling a wscript
+// program needs no further instrumentation: executing the graph on sample
+// input *is* the cycle-accurate profile of §3.
+//
+// The language is deliberately small but real:
+//
+//	fun scale(k, s) {
+//	  iterate x in s { emit x * k; }
+//	}
+//	namespace Node {
+//	  src = source("mic", 100);
+//	  smoothed = scale(2, src);
+//	}
+//	main = smoothed;
+//
+// Supported: integers, floats, booleans, strings, arrays, streams;
+// let-bindings; `fun` definitions; `if`/`else`, `for i = a to b`, `while`;
+// arithmetic, comparison and logical operators; `iterate` with private
+// `state { }`; multi-input `zip`; and builtins (Array ops, math, emit).
+package wscript
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // operators and delimiters
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	default:
+		return "punctuation"
+	}
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer splits source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// twoCharOps are the multi-character operators, longest match first.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/="}
+
+// lex tokenizes the whole input, or returns a syntax error.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("wscript:%d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos+1 < len(lx.src) {
+				if lx.peekByte() == '*' && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	start := token{line: lx.line, col: lx.col}
+	if lx.pos >= len(lx.src) {
+		start.kind = tokEOF
+		return start, nil
+	}
+	c := lx.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		var b strings.Builder
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			b.WriteByte(lx.advance())
+		}
+		start.kind = tokIdent
+		start.text = b.String()
+		return start, nil
+
+	case unicode.IsDigit(rune(c)):
+		var b strings.Builder
+		isFloat := false
+		for lx.pos < len(lx.src) {
+			ch := lx.peekByte()
+			if unicode.IsDigit(rune(ch)) {
+				b.WriteByte(lx.advance())
+			} else if ch == '.' && !isFloat && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1])) {
+				isFloat = true
+				b.WriteByte(lx.advance())
+			} else if (ch == 'e' || ch == 'E') && lx.pos+1 < len(lx.src) {
+				nxt := lx.src[lx.pos+1]
+				if unicode.IsDigit(rune(nxt)) || nxt == '-' || nxt == '+' {
+					isFloat = true
+					b.WriteByte(lx.advance()) // e
+					b.WriteByte(lx.advance()) // sign or digit
+					continue
+				}
+				break
+			} else {
+				break
+			}
+		}
+		if isFloat {
+			start.kind = tokFloat
+		} else {
+			start.kind = tokInt
+		}
+		start.text = b.String()
+		return start, nil
+
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errf("unterminated string literal")
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && lx.pos < len(lx.src) {
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return token{}, lx.errf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		start.kind = tokString
+		start.text = b.String()
+		return start, nil
+
+	default:
+		for _, op := range twoCharOps {
+			if strings.HasPrefix(lx.src[lx.pos:], op) {
+				lx.advance()
+				lx.advance()
+				start.kind = tokPunct
+				start.text = op
+				return start, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%<>=!(){}[],;:.", rune(c)) {
+			lx.advance()
+			start.kind = tokPunct
+			start.text = string(c)
+			return start, nil
+		}
+		return token{}, lx.errf("unexpected character %q", c)
+	}
+}

@@ -1,0 +1,125 @@
+package wscript
+
+import (
+	"fmt"
+
+	"wishbone/internal/dataflow"
+)
+
+// value is a runtime value of the wscript evaluator. Concrete types:
+//
+//	int64, float64, bool, string — scalars
+//	*arrayVal                    — mutable arrays
+//	*streamVal                   — first-class streams (compile time only)
+//	*funcVal                     — user functions (compile time only)
+//	unitVal                      — the unit value of statements
+type value any
+
+// unitVal is the result of statements with no value.
+type unitVal struct{}
+
+// arrayVal is a mutable array. Arrays are reference values, as in
+// WaveScript.
+type arrayVal struct {
+	elems []value
+}
+
+// WireSize implements dataflow.Sized: scalar elements are priced by type;
+// nested arrays recurse.
+func (a *arrayVal) WireSize() int {
+	n := 0
+	for _, e := range a.elems {
+		n += wireSizeOf(e)
+	}
+	return n
+}
+
+func wireSizeOf(v value) int {
+	switch x := v.(type) {
+	case int64:
+		return 8
+	case float64:
+		return 8
+	case bool:
+		return 1
+	case string:
+		return len(x)
+	case *arrayVal:
+		return x.WireSize()
+	case unitVal:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// streamVal identifies a stream: the operator producing it. Streams exist
+// only during partial evaluation.
+type streamVal struct {
+	op *dataflow.Operator
+}
+
+// funcVal is a user-defined function closed over its defining environment.
+type funcVal struct {
+	decl *FunDecl
+	env  *env
+}
+
+// env is a lexical environment.
+type env struct {
+	vars   map[string]value
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: make(map[string]value), parent: parent}
+}
+
+// lookup finds a variable, walking outward.
+func (e *env) lookup(name string) (value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// set assigns to an existing variable (innermost binding) or defines it in
+// the current scope.
+func (e *env) set(name string, v value) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// define always creates the binding in the current scope.
+func (e *env) define(name string, v value) { e.vars[name] = v }
+
+// typeName describes a value for error messages.
+func typeName(v value) string {
+	switch v.(type) {
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case bool:
+		return "bool"
+	case string:
+		return "string"
+	case *arrayVal:
+		return "array"
+	case *streamVal:
+		return "stream"
+	case *funcVal:
+		return "function"
+	case unitVal:
+		return "unit"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}

@@ -1,0 +1,221 @@
+// Package wishbone is a profile-based partitioner for sensor-network
+// stream programs, reproducing "Wishbone: Profile-based Partitioning for
+// Sensornet Applications" (Newton, Toledo, Girod, Balakrishnan, Madden;
+// NSDI 2009).
+//
+// A program is a dataflow graph of operators. Operators declared in the
+// Node namespace are replicated on every embedded node; the partitioner
+// decides which of them actually execute there and which run on the
+// server, by profiling each operator's CPU cost on the target platform and
+// each stream's data rate, then solving an integer linear program that
+// minimizes α·cpu + β·net subject to hard CPU and network budgets.
+//
+// Typical use:
+//
+//	g := wishbone.NewGraph()
+//	src := g.Add(&wishbone.Operator{Name: "mic", NS: wishbone.NSNode, SideEffect: true})
+//	... build the graph, connect operators ...
+//	dep, err := wishbone.AutoPartition(g, wishbone.Permissive, inputs, wishbone.TMoteSky(), nil)
+//
+// AutoPartition profiles the program on the sample inputs, classifies
+// pinned/movable operators, and returns the optimal partition — or, when
+// the program cannot fit at full rate, the maximum sustainable rate and the
+// partition at that rate (§4.3 of the paper).
+//
+// The subsystems are available directly for finer control: see
+// internal/core (ILP formulations), internal/profile, internal/runtime
+// (deployment simulation), internal/netsim (radio model), and
+// internal/experiments (every figure of the paper's evaluation).
+package wishbone
+
+import (
+	"fmt"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/netsim"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
+	"wishbone/internal/viz"
+)
+
+// Re-exported graph-building types. The dataflow model is the paper's §2:
+// operators with work functions and optional private state, wired into a
+// DAG by streams.
+type (
+	// Graph is a dataflow graph of operators.
+	Graph = dataflow.Graph
+	// Operator is one stream operator.
+	Operator = dataflow.Operator
+	// Edge is one stream connecting two operators.
+	Edge = dataflow.Edge
+	// Ctx is the execution context passed to work functions.
+	Ctx = dataflow.Ctx
+	// Value is one stream element.
+	Value = dataflow.Value
+	// Emit sends an element downstream.
+	Emit = dataflow.Emit
+	// WorkFunc processes one input element.
+	WorkFunc = dataflow.WorkFunc
+	// Namespace is the logical partition an operator is declared in.
+	Namespace = dataflow.Namespace
+	// Mode selects conservative or permissive stateful-operator
+	// relocation (§2.1.1).
+	Mode = dataflow.Mode
+
+	// Platform describes a target device (CPU cost model + radio).
+	Platform = platform.Platform
+	// Input is a sample trace for profiling.
+	Input = profile.Input
+	// Report is a profiling result.
+	Report = profile.Report
+	// Spec is a fully specified partitioning problem.
+	Spec = core.Spec
+	// Assignment is a computed partition.
+	Assignment = core.Assignment
+	// Options tune the partitioner.
+	Options = core.Options
+)
+
+// Namespace and mode constants (see dataflow).
+const (
+	NSNode       = dataflow.NSNode
+	NSServer     = dataflow.NSServer
+	Conservative = dataflow.Conservative
+	Permissive   = dataflow.Permissive
+)
+
+// NewGraph returns an empty program graph.
+func NewGraph() *Graph { return dataflow.New() }
+
+// Platform constructors for the paper's device classes.
+var (
+	TMoteSky   = platform.TMoteSky
+	NokiaN80   = platform.NokiaN80
+	IPhone     = platform.IPhone
+	Gumstix    = platform.Gumstix
+	MerakiMini = platform.MerakiMini
+	VoxNet     = platform.VoxNet
+	Server     = platform.Server
+)
+
+// Profile executes the graph against sample traces and measures operator
+// costs and stream rates (§3).
+func Profile(g *Graph, inputs []Input) (*Report, error) {
+	return profile.Run(g, inputs)
+}
+
+// Partition solves a partitioning problem exactly (§4.2).
+func Partition(s *Spec, opts Options) (*Assignment, error) {
+	return core.Partition(s, opts)
+}
+
+// DefaultOptions returns the paper-default partitioner options
+// (restricted unidirectional formulation, preprocessing enabled).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Deployment is the outcome of AutoPartition.
+type Deployment struct {
+	// Report is the profile the decision was based on.
+	Report *Report
+	// Spec is the partitioning problem (at full rate).
+	Spec *Spec
+	// Assignment is the chosen partition.
+	Assignment *Assignment
+	// RateMultiple is the input-rate scale the assignment is valid at:
+	// 1.0 when the program fits at full rate, less when the §4.3 binary
+	// search had to shed load.
+	RateMultiple float64
+}
+
+// FitsAtFullRate reports whether the program fit without load shedding.
+func (d *Deployment) FitsAtFullRate() bool { return d.RateMultiple >= 1 }
+
+// DOT renders the deployment's partitioned graph as GraphViz DOT with
+// cost colorization (§3's visualization).
+func (d *Deployment) DOT(title string) string {
+	return viz.DOT(d.Spec.Graph, viz.Options{
+		Title:     title,
+		CPU:       d.Spec.CPU,
+		OnNode:    d.Assignment.OnNode,
+		Bandwidth: d.Spec.Bandwidth,
+	})
+}
+
+// AutoPartition runs the full Wishbone pipeline: profile the program on
+// sample inputs, classify operators (mode controls stateful relocation),
+// build the platform's partitioning problem, and solve it. When no
+// feasible partition exists at full rate it binary-searches the maximum
+// sustainable rate and returns the partition there.
+//
+// opts may be nil for the paper defaults.
+func AutoPartition(g *Graph, mode Mode, inputs []Input, plat *Platform, opts *Options) (*Deployment, error) {
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	o := core.DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	rep, err := profile.Run(g, inputs)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := dataflow.Classify(g, mode)
+	if err != nil {
+		return nil, err
+	}
+	spec := profile.BuildSpec(cls, rep, plat)
+	dep := &Deployment{Report: rep, Spec: spec}
+
+	asg, err := core.Partition(spec, o)
+	if err == nil {
+		dep.Assignment = asg
+		dep.RateMultiple = 1
+		return dep, nil
+	}
+	if _, ok := err.(*core.ErrInfeasible); !ok {
+		return nil, err
+	}
+	// Overloaded: find the maximum sustainable rate (§4.3), capped below
+	// the radio's congestion-collapse region as the deployment procedure
+	// prescribes (§7.3.1).
+	res, err := core.MaxRate(spec, 1.0, 0.005, o)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rate <= 0 || res.Assignment == nil {
+		return nil, fmt.Errorf("wishbone: no feasible partition at any rate on %s", plat.Name)
+	}
+	dep.Assignment = res.Assignment
+	dep.RateMultiple = res.Rate
+	return dep, nil
+}
+
+// Simulate deploys a partitioned program on a simulated network of the
+// platform's nodes and measures input loss, network loss, and goodput
+// (§7.3's validation methodology).
+func Simulate(d *Deployment, plat *Platform, nodes int, seconds float64,
+	inputs func(nodeID int) []Input, seed int64) (*runtime.Result, error) {
+	return runtime.Run(runtime.Config{
+		Graph:     d.Spec.Graph,
+		OnNode:    d.Assignment.OnNode,
+		Platform:  plat,
+		Nodes:     nodes,
+		Duration:  seconds,
+		RateScale: d.RateMultiple,
+		Inputs:    inputs,
+		Seed:      seed,
+	})
+}
+
+// SimResult is the deployment-simulation result type.
+type SimResult = runtime.Result
+
+// NetworkProfile sweeps the platform's shared channel and returns the
+// maximum aggregate send rate that keeps reception above target — the
+// paper's network-profiling tool (§7.3.1).
+func NetworkProfile(plat *Platform, target float64) (maxAirBytesPerSec float64, err error) {
+	return netsim.ChannelFor(plat).MaxSendRate(target)
+}
