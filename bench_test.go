@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"wishbone/internal/apps/eeg"
+	"wishbone/internal/apps/speech"
 	"wishbone/internal/baseline"
 	"wishbone/internal/core"
 	"wishbone/internal/cost"
@@ -18,6 +20,7 @@ import (
 	"wishbone/internal/experiments"
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
 )
 
 // burstySpec builds a partitioning problem with a data-dependent operator:
@@ -352,6 +355,84 @@ func BenchmarkILPScale(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Execution engines ---------------------------------------------------
+
+// BenchmarkEngine compares the reference tree-walking Executor against the
+// compiled Program/Instance engine on a 16-node deployment simulation of
+// the speech pipeline running whole on Gumstix nodes (§7.3.1's scenario at
+// network scale). The shared-trace pairs offer every node the identical
+// recording — the Figure 9/10 bench methodology — which the compiled engine
+// recognizes and simulates once, replaying the deterministic message
+// stream per node; the distinct-trace pairs force 16 full per-node
+// executions (concurrent on multi-core hosts) and so isolate the
+// per-element win of compiled dispatch alone. Parity tests in
+// internal/runtime assert both engines return byte-identical Results on
+// exactly these configurations.
+func BenchmarkEngine(b *testing.B) {
+	app := speech.New()
+	shared := app.SampleTrace(77, 2.0)
+	const nodes = 16
+	run := func(b *testing.B, engine runtime.Engine, inputs func(int) []profile.Input) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := runtime.Run(runtime.Config{
+				Graph:    app.Graph,
+				OnNode:   speechCut(app, 8),
+				Platform: platform.Gumstix(),
+				Nodes:    nodes,
+				Duration: 15,
+				Inputs:   inputs,
+				Seed:     9,
+				Engine:   engine,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ProcessedEvents == 0 {
+				b.Fatal("simulation processed nothing")
+			}
+		}
+	}
+	sharedInputs := func(nodeID int) []profile.Input { return []profile.Input{shared} }
+	distinctInputs := func(nodeID int) []profile.Input {
+		return []profile.Input{app.SampleTrace(int64(1000+nodeID), 2.0)}
+	}
+	b.Run("tree-walk-16nodes", func(b *testing.B) { run(b, runtime.EngineLegacy, sharedInputs) })
+	b.Run("compiled-16nodes", func(b *testing.B) { run(b, runtime.EngineCompiled, sharedInputs) })
+	b.Run("tree-walk-16nodes-distinct", func(b *testing.B) { run(b, runtime.EngineLegacy, distinctInputs) })
+	b.Run("compiled-16nodes-distinct", func(b *testing.B) { run(b, runtime.EngineCompiled, distinctInputs) })
+}
+
+func speechCut(app *speech.App, prefix int) map[int]bool {
+	on := make(map[int]bool, len(app.Pipeline))
+	for i, op := range app.Pipeline {
+		on[op.ID()] = i < prefix
+	}
+	return on
+}
+
+// BenchmarkProfileEngine compares the two engines on the profiler's
+// workload: pricing the full 22-channel EEG application (~1.2k operators,
+// where per-element dispatch and the per-event counter fold dominate).
+func BenchmarkProfileEngine(b *testing.B) {
+	app := eeg.New()
+	inputs := app.SampleTrace(7, 8)
+	b.Run("tree-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := profile.RunLegacy(app.Graph, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := profile.Run(app.Graph, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablations (design choices called out in DESIGN.md §5) ---------------

@@ -1,0 +1,3 @@
+module wishbone
+
+go 1.24.0

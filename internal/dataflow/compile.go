@@ -1,0 +1,165 @@
+package dataflow
+
+import "fmt"
+
+// CompileOptions selects what Compile bakes into a Program. Everything here
+// is resolved once, at compile time, instead of once per element at run
+// time — which is the point of the compiled engine.
+type CompileOptions struct {
+	// Include restricts the program to the operators for which it returns
+	// true. Unlike Executor.Include, the predicate is evaluated exactly once
+	// per operator during compilation; execution then follows precomputed
+	// fan-out tables with no per-element partition checks. A nil Include
+	// compiles the whole graph.
+	Include func(op *Operator) bool
+
+	// CountOps allocates one dense cost counter and invocation counter per
+	// operator in every Instance, accumulated per injected event (the
+	// profiler's measurement mode). When false, instances either run
+	// uncounted or share a single counter set with Instance.SetCounter.
+	CountOps bool
+
+	// MeasureEdges accumulates per-edge element and byte totals (and
+	// per-event peaks) in every Instance, replacing the profiler's OnEdge
+	// callback with dense in-engine accounting.
+	MeasureEdges bool
+}
+
+// fanout is one precomputed output edge of an operator: where the element
+// goes, which input port it lands on, the dense edge index for accounting,
+// and the target's schedule position (-1 for cut edges).
+type fanout struct {
+	op   int32 // target operator ID
+	port int32 // target input port
+	edge int32 // dense edge index (position in Graph.Edges())
+	pos  int32 // target schedule position; -1 if the target is excluded
+}
+
+// Program is an immutable compiled form of a Graph (restricted to the
+// included partition): a flat, topologically ordered operator table with
+// dense integer indexing, fan-out resolved into internal-edge and cut-edge
+// instruction streams, and preallocated layout information for per-instance
+// state slots. A Program is safe for concurrent use by any number of
+// Instances — compile the node partition once, execute one Instance per
+// simulated node.
+type Program struct {
+	g    *Graph
+	opts CompileOptions
+
+	// Dense per-operator tables, indexed by operator ID.
+	included []bool
+	work     []WorkFunc
+	newState []func() any
+	pos      []int32    // operator ID → schedule position, -1 if excluded
+	outInt   [][]fanout // fan-out to included operators, in edge order
+	outCut   [][]fanout // fan-out to excluded operators, in edge order
+
+	// schedule lists included operator IDs in topological order (the
+	// deterministic order of Graph.TopoSort).
+	schedule []int32
+
+	// statefulIDs lists included stateful operators (those that get a state
+	// slot in every Instance), in ID order.
+	statefulIDs []int32
+
+	// edges is the dense edge table: edges[i] is Graph.Edges()[i].
+	edges []*Edge
+}
+
+// Compile lowers g into an immutable Program. It validates the graph, fixes
+// the topological schedule, evaluates opts.Include once per operator, and
+// splits every operator's fan-out into internal edges (delivered to the
+// scheduler) and cut edges (delivered to Instance.Boundary).
+//
+// Ordering semantics: within one emission, cut edges fire in the graph's
+// edge insertion order, before internal deliveries are enqueued; across
+// operators, deliveries follow the topological schedule rather than the
+// Executor's depth-first recursion. The two orders coincide — per-operator
+// input sequences and boundary capture streams are identical — when fan-out
+// edge order matches operator ID order, which holds for every graph wired
+// in construction order (Chain, or Add followed by Connect, as all of this
+// repo's applications are); the parity tests pin that equivalence
+// byte-for-byte on the EEG and speech apps. Graphs that connect operators
+// against ID order may observe different (but still topologically valid)
+// interleavings than the Executor produces.
+func Compile(g *Graph, opts CompileOptions) (*Program, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dataflow: Compile on nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumOperators()
+	p := &Program{
+		g:        g,
+		opts:     opts,
+		included: make([]bool, n),
+		work:     make([]WorkFunc, n),
+		newState: make([]func() any, n),
+		pos:      make([]int32, n),
+		outInt:   make([][]fanout, n),
+		outCut:   make([][]fanout, n),
+		edges:    g.Edges(),
+	}
+	for _, op := range g.Operators() {
+		id := op.ID()
+		p.included[id] = opts.Include == nil || opts.Include(op)
+		p.work[id] = op.Work
+		if op.Stateful && op.NewState != nil {
+			p.newState[id] = op.NewState
+		}
+		p.pos[id] = -1
+	}
+	for _, op := range order {
+		id := int32(op.ID())
+		if !p.included[id] {
+			continue
+		}
+		p.pos[id] = int32(len(p.schedule))
+		p.schedule = append(p.schedule, id)
+	}
+	for ei, e := range p.edges {
+		from := e.From.ID()
+		f := fanout{
+			op:   int32(e.To.ID()),
+			port: int32(e.ToPort),
+			edge: int32(ei),
+			pos:  p.pos[e.To.ID()],
+		}
+		if p.included[f.op] {
+			p.outInt[from] = append(p.outInt[from], f)
+		} else {
+			p.outCut[from] = append(p.outCut[from], f)
+		}
+	}
+	for _, op := range g.Operators() {
+		if p.included[op.ID()] && p.newState[op.ID()] != nil {
+			p.statefulIDs = append(p.statefulIDs, int32(op.ID()))
+		}
+	}
+	return p, nil
+}
+
+// Graph returns the graph this program was compiled from.
+func (p *Program) Graph() *Graph { return p.g }
+
+// Included reports whether op is part of the compiled partition.
+func (p *Program) Included(op *Operator) bool { return p.included[op.ID()] }
+
+// NumScheduled returns the number of operators in the compiled schedule.
+func (p *Program) NumScheduled() int { return len(p.schedule) }
+
+// StatefulOps returns the IDs of included stateful operators, in ID order.
+// The runtime uses this to precompute its per-origin-node state tables
+// instead of scanning every operator per delivered message.
+func (p *Program) StatefulOps() []int {
+	out := make([]int, len(p.statefulIDs))
+	for i, id := range p.statefulIDs {
+		out[i] = int(id)
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+
+	"wishbone/internal/cost"
+)
+
+// diamondGraph builds src → (a, b) → join → tail → sink with a stateful
+// join that pairs its ports, exercising fan-out order, multi-port delivery
+// and downstream continuation.
+func diamondGraph() (*Graph, *Operator) {
+	g := New()
+	src := g.Add(&Operator{Name: "src", NS: NSNode, SideEffect: true})
+	mk := func(name string, f func(int) int) *Operator {
+		return g.Add(&Operator{Name: name, NS: NSNode,
+			Work: func(ctx *Ctx, _ int, v Value, emit Emit) {
+				ctx.Counter.Add(cost.IntOp, 1)
+				emit(f(v.(int)))
+			}})
+	}
+	a := mk("a", func(x int) int { return x * 2 })
+	b := mk("b", func(x int) int { return x + 100 })
+	join := g.Add(&Operator{Name: "join", NS: NSNode, Stateful: true,
+		NewState: func() any { return &[2][]int{} },
+		Work: func(ctx *Ctx, port int, v Value, emit Emit) {
+			q := ctx.State.(*[2][]int)
+			q[port] = append(q[port], v.(int))
+			for len(q[0]) > 0 && len(q[1]) > 0 {
+				emit([2]int{q[0][0], q[1][0]})
+				q[0], q[1] = q[0][1:], q[1][1:]
+			}
+		}})
+	tail := g.Add(&Operator{Name: "tail", NS: NSNode,
+		Work: func(ctx *Ctx, _ int, v Value, emit Emit) {
+			p := v.([2]int)
+			emit(p[0] + p[1])
+		}})
+	sink := g.Add(&Operator{Name: "sink", NS: NSServer, SideEffect: true,
+		Work: func(ctx *Ctx, _ int, v Value, emit Emit) {}})
+	g.Connect(src, a, 0)
+	g.Connect(src, b, 0)
+	g.Connect(a, join, 0)
+	g.Connect(b, join, 1)
+	g.Connect(tail, sink, 0)
+	g.Connect(join, tail, 0)
+	return g, src
+}
+
+// trace records every delivery an engine makes, for order-sensitive parity.
+type trace struct {
+	onEdge   []string
+	boundary []string
+}
+
+func runLegacyTrace(g *Graph, src *Operator, include func(*Operator) bool, events []Value) *trace {
+	tr := &trace{}
+	ex := NewExecutor(g, 0)
+	ex.Include = include
+	ex.OnEdge = func(e *Edge, v Value) { tr.onEdge = append(tr.onEdge, fmt.Sprintf("%s=%v", e, v)) }
+	ex.Boundary = func(e *Edge, v Value) { tr.boundary = append(tr.boundary, fmt.Sprintf("%s=%v", e, v)) }
+	for _, v := range events {
+		ex.Inject(src, v)
+	}
+	return tr
+}
+
+func runCompiledBoundaryTrace(t *testing.T, g *Graph, src *Operator, include func(*Operator) bool, events []Value) *trace {
+	t.Helper()
+	prog, err := Compile(g, CompileOptions{Include: include})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace{}
+	inst := prog.NewInstance(0)
+	inst.Boundary = func(e *Edge, v Value) { tr.boundary = append(tr.boundary, fmt.Sprintf("%s=%v", e, v)) }
+	for _, v := range events {
+		inst.Inject(src, v)
+	}
+	return tr
+}
+
+func TestCompiledMatchesExecutorOnDiamond(t *testing.T) {
+	g, src := diamondGraph()
+	events := []Value{1, 2, 3, 4, 5}
+	include := func(op *Operator) bool { return op.NS == NSNode }
+
+	legacy := runLegacyTrace(g, src, include, events)
+	compiled := runCompiledBoundaryTrace(t, g, src, include, events)
+	if fmt.Sprint(legacy.boundary) != fmt.Sprint(compiled.boundary) {
+		t.Fatalf("boundary streams diverge:\nlegacy:   %v\ncompiled: %v",
+			legacy.boundary, compiled.boundary)
+	}
+	if len(legacy.boundary) != len(events) {
+		t.Fatalf("expected %d boundary crossings, got %d", len(events), len(legacy.boundary))
+	}
+}
+
+func TestCompiledTraversalsMatchOnEdgeCount(t *testing.T) {
+	g, src := diamondGraph()
+	events := []Value{7, 8, 9}
+	legacy := runLegacyTrace(g, src, nil, events)
+
+	prog, err := Compile(g, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance(0)
+	for _, v := range events {
+		inst.Inject(src, v)
+	}
+	if int(inst.Traversals()) != len(legacy.onEdge) {
+		t.Fatalf("compiled traversals %d, legacy OnEdge calls %d",
+			inst.Traversals(), len(legacy.onEdge))
+	}
+}
+
+func TestCompiledCountOpsMatchesExecutorCounters(t *testing.T) {
+	g, src := diamondGraph()
+	events := []Value{1, 2, 3}
+
+	// Legacy per-op totals via CounterFor.
+	counters := make(map[int]*cost.Counter)
+	invocations := make(map[int]int)
+	ex := NewExecutor(g, 0)
+	ex.CounterFor = func(op *Operator) *cost.Counter {
+		c, ok := counters[op.ID()]
+		if !ok {
+			c = &cost.Counter{}
+			counters[op.ID()] = c
+		}
+		invocations[op.ID()]++
+		return c
+	}
+	for _, v := range events {
+		ex.Inject(src, v)
+	}
+
+	prog, err := Compile(g, CompileOptions{CountOps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance(0)
+	for _, v := range events {
+		inst.Inject(src, v)
+		inst.EndEvent()
+	}
+	for _, op := range g.Operators() {
+		id := op.ID()
+		want := counters[id]
+		got := inst.OpTotal(id)
+		if want == nil {
+			if got.Total() != 0 {
+				t.Fatalf("%s: compiled counted %v, legacy never invoked", op, got)
+			}
+			continue
+		}
+		if *got != *want {
+			t.Fatalf("%s: compiled %v, legacy %v", op, got, want)
+		}
+		if inst.Invocations(id) != invocations[id] {
+			t.Fatalf("%s: compiled invocations %d, legacy %d", op, inst.Invocations(id), invocations[id])
+		}
+	}
+}
+
+func TestCompiledStatePerInstance(t *testing.T) {
+	g := New()
+	src := g.Add(&Operator{Name: "src", NS: NSNode, SideEffect: true})
+	counter := g.Add(&Operator{Name: "count", NS: NSNode, Stateful: true,
+		NewState: func() any { return new(int) },
+		Work: func(ctx *Ctx, _ int, v Value, emit Emit) {
+			n := ctx.State.(*int)
+			*n++
+			emit(*n)
+		}})
+	g.Connect(src, counter, 0)
+	prog, err := Compile(g, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1 := prog.NewInstance(1)
+	in2 := prog.NewInstance(2)
+	in1.Inject(src, 0)
+	in1.Inject(src, 0)
+	in2.Inject(src, 0)
+	if *(in1.State(counter).(*int)) != 2 || *(in2.State(counter).(*int)) != 1 {
+		t.Fatal("instance state must be per-instance")
+	}
+}
+
+func TestCompiledPushExcludedReturnsError(t *testing.T) {
+	g, src := diamondGraph()
+	sink := g.ByName("sink")
+	prog, err := Compile(g, CompileOptions{
+		Include: func(op *Operator) bool { return op.NS == NSNode },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance(0)
+	if err := inst.Push(sink, 0, 1); err == nil {
+		t.Fatal("Push to excluded operator must error")
+	}
+	if err := inst.Push(g.ByName("a"), 0, 1); err != nil {
+		t.Fatalf("Push to included operator errored: %v", err)
+	}
+	_ = src
+}
+
+func TestExecutorPushExcludedReturnsError(t *testing.T) {
+	g, _ := diamondGraph()
+	ex := NewExecutor(g, 0)
+	ex.Include = func(op *Operator) bool { return op.NS == NSNode }
+	if err := ex.Push(g.ByName("sink"), 0, 1); err == nil {
+		t.Fatal("Push to excluded operator must error")
+	}
+	if err := ex.Push(g.ByName("a"), 0, 5); err != nil {
+		t.Fatalf("Push to included operator errored: %v", err)
+	}
+}
+
+func TestInjectBatchMatchesSequentialInjection(t *testing.T) {
+	build := func() (*Graph, *Operator) { return diamondGraph() }
+
+	g1, src1 := build()
+	var seqOut []Value
+	// Capture final pipeline output by replacing the sink's work. A Program
+	// snapshots work functions, so the swap must happen before Compile.
+	g1.ByName("sink").Work = func(ctx *Ctx, _ int, v Value, emit Emit) { seqOut = append(seqOut, v) }
+	prog1, err := Compile(g1, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := prog1.NewInstance(0)
+	events := []Value{1, 2, 3, 4}
+	for _, v := range events {
+		seq.Inject(src1, v)
+	}
+
+	g2, src2 := build()
+	var batchOut []Value
+	g2.ByName("sink").Work = func(ctx *Ctx, _ int, v Value, emit Emit) { batchOut = append(batchOut, v) }
+	prog2, err := Compile(g2, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2.NewInstance(0).InjectBatch(src2, events)
+
+	if fmt.Sprint(seqOut) != fmt.Sprint(batchOut) {
+		t.Fatalf("batch injection diverged: seq %v batch %v", seqOut, batchOut)
+	}
+	if len(seqOut) != len(events) {
+		t.Fatalf("expected %d outputs, got %d", len(events), len(seqOut))
+	}
+}
+
+func TestCompileRejectsCyclicGraph(t *testing.T) {
+	g := New()
+	a := g.Add(&Operator{Name: "a", NS: NSNode})
+	b := g.Add(&Operator{Name: "b", NS: NSNode})
+	g.Connect(a, b, 0)
+	g.Connect(b, a, 0)
+	if _, err := Compile(g, CompileOptions{}); err == nil {
+		t.Fatal("Compile must reject cyclic graphs")
+	}
+}
+
+func TestCompiledInjectOnExcludedSourceCrossesBoundary(t *testing.T) {
+	// Cutpoint 1 of the paper's sweeps: only the source is on the node, so
+	// raw events cross immediately.
+	g := New()
+	src := g.Add(&Operator{Name: "src", NS: NSNode, SideEffect: true})
+	work := g.Add(&Operator{Name: "work", NS: NSNode,
+		Work: func(ctx *Ctx, _ int, v Value, emit Emit) { emit(v) }})
+	g.Connect(src, work, 0)
+	prog, err := Compile(g, CompileOptions{
+		Include: func(op *Operator) bool { return op.Name == "src" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance(0)
+	var crossed []Value
+	inst.Boundary = func(e *Edge, v Value) { crossed = append(crossed, v) }
+	inst.Inject(src, 41)
+	if len(crossed) != 1 || crossed[0] != 41 {
+		t.Fatalf("boundary saw %v, want [41]", crossed)
+	}
+}

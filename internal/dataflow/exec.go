@@ -10,10 +10,17 @@ import (
 // using the depth-first traversal the paper's C backend generates: each
 // emit is a direct call into the downstream operator's work function (§5.1).
 //
-// The profiler uses an Executor with per-operator counters to price every
-// operator; the runtime uses one per simulated node with an Include
-// predicate restricting execution to the node partition, and a Boundary
-// hook that captures elements crossing the cut.
+// Executor is the reference tree-walking engine. Production execution goes
+// through Compile/Program/Instance, which lowers the same semantics into a
+// flat scheduled form; the Executor is retained as the independent
+// implementation that parity tests (and EngineLegacy in internal/runtime
+// and profile.RunLegacy) compare the compiled engine against, and as the
+// simplest executable definition of the dataflow semantics.
+//
+// The profiler's legacy path uses an Executor with per-operator counters to
+// price every operator; the runtime's legacy path uses one per simulated
+// node with an Include predicate restricting execution to the node
+// partition, and a Boundary hook that captures elements crossing the cut.
 type Executor struct {
 	g      *Graph
 	states map[int]any
@@ -66,11 +73,20 @@ func (ex *Executor) SetState(op *Operator, state any) { ex.states[op.ID()] = sta
 
 // Push delivers element v to input port of op and runs the depth-first
 // traversal it triggers. If op has no work function (a source), v is
-// forwarded directly to its output edges.
-func (ex *Executor) Push(op *Operator, port int, v Value) {
+// forwarded directly to its output edges. Pushing to an operator excluded
+// by Include returns an error (a bad partition map fails the caller's
+// simulation instead of crashing the process).
+func (ex *Executor) Push(op *Operator, port int, v Value) error {
 	if ex.Include != nil && !ex.Include(op) {
-		panic(fmt.Sprintf("dataflow: Push to excluded operator %s", op))
+		return fmt.Errorf("dataflow: Push to excluded operator %s", op)
 	}
+	ex.push(op, port, v)
+	return nil
+}
+
+// push runs the depth-first traversal for an operator already known to be
+// included.
+func (ex *Executor) push(op *Operator, port int, v Value) {
 	if op.Work == nil {
 		ex.fanOut(op, v)
 		return
@@ -97,6 +113,6 @@ func (ex *Executor) fanOut(from *Operator, v Value) {
 		if ex.OnEdge != nil {
 			ex.OnEdge(e, v)
 		}
-		ex.Push(e.To, e.ToPort, v)
+		ex.push(e.To, e.ToPort, v)
 	}
 }

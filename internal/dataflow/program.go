@@ -1,0 +1,373 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"wishbone/internal/cost"
+)
+
+// queued is one element waiting on an operator's input: the port it arrived
+// on and the value itself.
+type queued struct {
+	port int32
+	v    Value
+}
+
+// Instance executes batches of injected events against a compiled Program.
+// Where the reference Executor re-resolves fan-out maps, state maps, and
+// include predicates per element, an Instance walks precomputed dense
+// tables: per-operator input queues drained in schedule order, preallocated
+// contexts and emit closures, and state in flat slots indexed by operator
+// ID. Queue capacity is retained between events, so steady-state execution
+// allocates nothing in the engine itself.
+//
+// An Instance is not safe for concurrent use; run one Instance per
+// goroutine (they can share one Program).
+type Instance struct {
+	p      *Program
+	nodeID int
+
+	states []any
+	ctxs   []Ctx
+	emits  []Emit
+
+	queues  [][]queued
+	inHeap  []bool  // operator ID → queued for scheduling
+	heap    []int32 // min-heap of schedule positions with pending input
+	running bool
+
+	// Boundary receives elements leaving the compiled partition on cut
+	// edges, in the graph's edge order per emission. A nil Boundary drops
+	// them (matching Executor).
+	Boundary func(e *Edge, v Value)
+
+	// traversals counts internal edge deliveries (the Executor.OnEdge call
+	// count); the runtime's server side reads it via Traversals.
+	traversals int64
+
+	// CountOps mode (per-event, folded by EndEvent).
+	opEvent     []cost.Counter
+	opTotal     []cost.Counter
+	opPeak      []cost.Counter
+	invocations []int
+	opTouched   []int32
+	opInEvent   []bool
+
+	// MeasureEdges mode.
+	edgeBytes   []int64
+	edgeElems   []int64
+	edgePeak    []int64
+	eventBytes  []int64
+	edgeSeen    []bool // ever traversed
+	edgeTouched []int32
+}
+
+// NewInstance returns a fresh execution instance of p acting as the given
+// node ID, with new state instances in every included stateful operator's
+// slot.
+func (p *Program) NewInstance(nodeID int) *Instance {
+	n := len(p.included)
+	in := &Instance{
+		p:      p,
+		nodeID: nodeID,
+		states: make([]any, n),
+		ctxs:   make([]Ctx, n),
+		emits:  make([]Emit, n),
+		queues: make([][]queued, n),
+		inHeap: make([]bool, n),
+	}
+	for _, id := range p.statefulIDs {
+		in.states[id] = p.newState[id]()
+	}
+	for i := range in.ctxs {
+		in.ctxs[i].NodeID = nodeID
+		in.ctxs[i].State = in.states[i]
+	}
+	for i := range in.emits {
+		id := int32(i)
+		in.emits[i] = func(v Value) { in.fanOut(id, v) }
+	}
+	if p.opts.CountOps {
+		in.opEvent = make([]cost.Counter, n)
+		in.opTotal = make([]cost.Counter, n)
+		in.opPeak = make([]cost.Counter, n)
+		in.invocations = make([]int, n)
+		in.opInEvent = make([]bool, n)
+		for i := range in.ctxs {
+			in.ctxs[i].Counter = &in.opEvent[i]
+		}
+	}
+	if p.opts.MeasureEdges {
+		ne := len(p.edges)
+		in.edgeBytes = make([]int64, ne)
+		in.edgeElems = make([]int64, ne)
+		in.edgePeak = make([]int64, ne)
+		in.eventBytes = make([]int64, ne)
+		in.edgeSeen = make([]bool, ne)
+	}
+	return in
+}
+
+// NodeID returns the node identity this instance runs as.
+func (in *Instance) NodeID() int { return in.nodeID }
+
+// State returns the state slot for op (nil for stateless or excluded
+// operators).
+func (in *Instance) State(op *Operator) any { return in.states[op.ID()] }
+
+// SetState replaces the state slot for op. The runtime's server side uses
+// this to swap in per-origin-node state when emulating relocated stateful
+// operators (§2.1.1).
+func (in *Instance) SetState(op *Operator, state any) {
+	in.states[op.ID()] = state
+	in.ctxs[op.ID()].State = state
+}
+
+// SetCounter points every operator's context at one shared cost counter
+// (the runtime's per-event CPU accounting). It may not be combined with a
+// CountOps program.
+func (in *Instance) SetCounter(c *cost.Counter) {
+	if in.p.opts.CountOps {
+		panic("dataflow: SetCounter on a CountOps program")
+	}
+	for i := range in.ctxs {
+		in.ctxs[i].Counter = c
+	}
+}
+
+// Traversals returns the number of internal edge deliveries so far (what
+// the Executor would have reported through OnEdge calls).
+func (in *Instance) Traversals() int64 { return in.traversals }
+
+// Inject delivers element v as if produced by source op: v is fanned out on
+// op's output edges without invoking op's work function, and the triggered
+// dataflow is executed to quiescence.
+func (in *Instance) Inject(op *Operator, v Value) {
+	in.fanOut(int32(op.ID()), v)
+	in.run()
+}
+
+// Push delivers element v to the given input port of op and executes the
+// triggered dataflow to quiescence. Pushing to an operator outside the
+// compiled partition is an error (the reference Executor's contract, with
+// an error instead of a panic).
+func (in *Instance) Push(op *Operator, port int, v Value) error {
+	id := op.ID()
+	if !in.p.included[id] {
+		return fmt.Errorf("dataflow: Push to excluded operator %s", op)
+	}
+	if in.p.work[id] == nil {
+		in.Inject(op, v)
+		return nil
+	}
+	in.enqueue(int32(id), int32(port), v)
+	in.run()
+	return nil
+}
+
+// InjectBatch delivers a whole slice of source events in one scheduling
+// pass: all events are fanned out first, then each operator drains its
+// accumulated inputs once, in schedule order. For pipelines this produces
+// the same per-operator input sequences as element-at-a-time injection
+// while touching each operator once per batch instead of once per element.
+func (in *Instance) InjectBatch(op *Operator, events []Value) {
+	id := int32(op.ID())
+	for _, v := range events {
+		in.fanOut(id, v)
+	}
+	in.run()
+}
+
+// enqueue appends an element to an included operator's input queue and
+// registers the operator with the scheduler.
+func (in *Instance) enqueue(id, port int32, v Value) {
+	in.queues[id] = append(in.queues[id], queued{port: port, v: v})
+	if !in.inHeap[id] {
+		in.inHeap[id] = true
+		in.heapPush(in.p.pos[id])
+	}
+}
+
+// fanOut delivers one emitted element: cut edges to the Boundary hook,
+// internal edges to downstream input queues.
+func (in *Instance) fanOut(from int32, v Value) {
+	p := in.p
+	for i := range p.outCut[from] {
+		if in.Boundary != nil {
+			in.Boundary(p.edges[p.outCut[from][i].edge], v)
+		}
+	}
+	for i := range p.outInt[from] {
+		f := &p.outInt[from][i]
+		in.traversals++
+		if in.edgeBytes != nil {
+			n := int64(WireSize(v))
+			e := f.edge
+			in.edgeBytes[e] += n
+			in.edgeElems[e]++
+			if !in.edgeSeen[e] {
+				in.edgeSeen[e] = true
+			}
+			if in.eventBytes[e] == 0 {
+				in.edgeTouched = append(in.edgeTouched, e)
+			}
+			in.eventBytes[e] += n
+		}
+		in.enqueue(f.op, f.port, v)
+	}
+}
+
+// run drains pending input queues in topological schedule order until the
+// instance is quiescent. Because every internal edge points forward in the
+// schedule, each operator is visited at most once per run and sees its
+// whole input batch for this pass.
+func (in *Instance) run() {
+	if in.running {
+		// Re-entrant call from a work function's emit path: the outer run
+		// loop will drain whatever was enqueued.
+		return
+	}
+	in.running = true
+	p := in.p
+	for len(in.heap) > 0 {
+		pos := in.heapPop()
+		id := p.schedule[pos]
+		in.inHeap[id] = false
+		items := in.queues[id]
+		in.queues[id] = items[:0]
+		work := p.work[id]
+		if work == nil {
+			for k := range items {
+				in.fanOut(id, items[k].v)
+				items[k].v = nil
+			}
+			continue
+		}
+		ctx := &in.ctxs[id]
+		emit := in.emits[id]
+		count := in.invocations != nil
+		for k := range items {
+			if count {
+				in.invocations[id]++
+				if !in.opInEvent[id] {
+					in.opInEvent[id] = true
+					in.opTouched = append(in.opTouched, id)
+				}
+			}
+			work(ctx, int(items[k].port), items[k].v, emit)
+			items[k].v = nil
+		}
+	}
+	in.running = false
+}
+
+// EndEvent folds this event's measurements into running totals and peaks:
+// per-operator event counters into OpTotal/OpPeak (CountOps mode) and
+// per-event edge bytes into EdgePeak (MeasureEdges mode). The profiler
+// calls it after every injected event; uncounted instances need not call
+// it.
+func (in *Instance) EndEvent() {
+	if in.opEvent != nil {
+		for _, id := range in.opTouched {
+			c := &in.opEvent[id]
+			in.opTotal[id].AddCounter(c)
+			if c.Total() > in.opPeak[id].Total() {
+				in.opPeak[id] = cost.Counter{}
+				in.opPeak[id].AddCounter(c)
+			}
+			c.Reset()
+			in.opInEvent[id] = false
+		}
+		in.opTouched = in.opTouched[:0]
+	}
+	if in.eventBytes != nil {
+		for _, e := range in.edgeTouched {
+			if in.eventBytes[e] > in.edgePeak[e] {
+				in.edgePeak[e] = in.eventBytes[e]
+			}
+			in.eventBytes[e] = 0
+		}
+		in.edgeTouched = in.edgeTouched[:0]
+	}
+}
+
+// OpTotal returns operator id's accumulated cost counter (CountOps mode;
+// nil otherwise). The returned counter is live — callers must not modify
+// it.
+func (in *Instance) OpTotal(id int) *cost.Counter {
+	if in.opTotal == nil {
+		return nil
+	}
+	return &in.opTotal[id]
+}
+
+// OpPeak returns operator id's costliest single-event counter (CountOps
+// mode; nil otherwise).
+func (in *Instance) OpPeak(id int) *cost.Counter {
+	if in.opPeak == nil {
+		return nil
+	}
+	return &in.opPeak[id]
+}
+
+// Invocations returns how many times operator id's work function ran
+// (CountOps mode; 0 otherwise).
+func (in *Instance) Invocations(id int) int {
+	if in.invocations == nil {
+		return 0
+	}
+	return in.invocations[id]
+}
+
+// EdgeStats returns dense edge index e's accumulated traffic (MeasureEdges
+// mode): total bytes, total elements, peak bytes in one event, and whether
+// the edge was ever traversed.
+func (in *Instance) EdgeStats(e int) (bytes, elems, peak int64, seen bool) {
+	if in.edgeBytes == nil {
+		return 0, 0, 0, false
+	}
+	return in.edgeBytes[e], in.edgeElems[e], in.edgePeak[e], in.edgeSeen[e]
+}
+
+// heapPush and heapPop maintain the pending-position min-heap. The heap
+// holds schedule positions, so the scheduler always advances to the
+// earliest operator with pending input.
+func (in *Instance) heapPush(pos int32) {
+	h := append(in.heap, pos)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	in.heap = h
+}
+
+func (in *Instance) heapPop() int32 {
+	h := in.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	in.heap = h
+	return top
+}

@@ -57,12 +57,63 @@ type Report struct {
 
 // Run profiles the graph by injecting every input trace, interleaved by
 // event index (sources advance together, as synchronized sensors do).
+//
+// Profiling executes through the compiled engine (dataflow.Compile): the
+// graph is lowered once into a Program and every trace event runs against a
+// single Instance with dense per-operator counters and in-engine edge
+// accounting. RunLegacy is the reference tree-walking path; both produce
+// identical reports.
 func Run(g *dataflow.Graph, inputs []Input) (*Report, error) {
-	if err := g.Validate(); err != nil {
+	rep, maxEvents, err := newReport(g, inputs)
+	if err != nil {
 		return nil, err
 	}
+	prog, err := dataflow.Compile(g, dataflow.CompileOptions{
+		CountOps:     true,
+		MeasureEdges: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inst := prog.NewInstance(0)
+	for i := 0; i < maxEvents; i++ {
+		for _, in := range inputs {
+			if i >= len(in.Events) {
+				continue
+			}
+			inst.Inject(in.Source, in.Events[i])
+			inst.EndEvent()
+		}
+	}
+	for _, op := range g.Operators() {
+		id := op.ID()
+		rep.OpTotal[id].AddCounter(inst.OpTotal(id))
+		rep.OpPeak[id].AddCounter(inst.OpPeak(id))
+		if n := inst.Invocations(id); n > 0 {
+			rep.OpInvocations[id] = n
+		}
+	}
+	for ei, e := range g.Edges() {
+		bytes, elems, peak, seen := inst.EdgeStats(ei)
+		if seen {
+			rep.EdgeBytes[e] = bytes
+			rep.EdgeElems[e] = elems
+		}
+		if peak > 0 {
+			rep.EdgePeak[e] = peak
+		}
+	}
+	return rep, nil
+}
+
+// newReport validates the profiling inputs and returns an empty report plus
+// the longest trace length.
+func newReport(g *dataflow.Graph, inputs []Input) (*Report, int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, 0, err
+	}
 	if len(inputs) == 0 {
-		return nil, fmt.Errorf("profile: no inputs")
+		return nil, 0, fmt.Errorf("profile: no inputs")
 	}
 	rep := &Report{
 		Graph:         g,
@@ -76,10 +127,10 @@ func Run(g *dataflow.Graph, inputs []Input) (*Report, error) {
 	maxEvents := 0
 	for _, in := range inputs {
 		if in.Source == nil || g.ByID(in.Source.ID()) != in.Source {
-			return nil, fmt.Errorf("profile: input source not in graph")
+			return nil, 0, fmt.Errorf("profile: input source not in graph")
 		}
 		if in.Rate <= 0 {
-			return nil, fmt.Errorf("profile: input source %s has no rate", in.Source)
+			return nil, 0, fmt.Errorf("profile: input source %s has no rate", in.Source)
 		}
 		if sec := float64(len(in.Events)) / in.Rate; sec > rep.Seconds {
 			rep.Seconds = sec
@@ -89,14 +140,23 @@ func Run(g *dataflow.Graph, inputs []Input) (*Report, error) {
 		}
 	}
 	if rep.Seconds == 0 {
-		return nil, fmt.Errorf("profile: empty traces")
+		return nil, 0, fmt.Errorf("profile: empty traces")
 	}
-
 	for _, op := range g.Operators() {
 		rep.OpTotal[op.ID()] = &cost.Counter{}
 		rep.OpPeak[op.ID()] = &cost.Counter{}
 	}
+	return rep, maxEvents, nil
+}
 
+// RunLegacy profiles the graph through the reference tree-walking Executor.
+// It exists for differential testing of the compiled engine (and as a
+// fallback while debugging new operators); Run is the production path.
+func RunLegacy(g *dataflow.Graph, inputs []Input) (*Report, error) {
+	rep, maxEvents, err := newReport(g, inputs)
+	if err != nil {
+		return nil, err
+	}
 	ex := dataflow.NewExecutor(g, 0)
 	// Wrap work functions by measuring counter deltas around each Push:
 	// the executor exposes a per-op counter; we snapshot totals around

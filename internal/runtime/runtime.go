@@ -10,12 +10,30 @@
 // running, §5.2), the fraction of radio messages received, and their
 // product — the goodput, "the percentage of sample data that was fully
 // processed to produce output" (§7.3.1).
+//
+// # Execution engines
+//
+// The default engine compiles the node partition once
+// (dataflow.Compile) and executes one dataflow.Instance per simulated node
+// on a bounded worker pool; the server partition runs as a second compiled
+// instance with a precomputed relocated-operator table. When every node is
+// offered the identical trace (the methodology of Figures 9 and 10 when
+// driven with a shared recording), the node phase is simulated once and its
+// deterministic message stream replicated per node — node-side execution is
+// a pure function of (program, partition, platform, arrivals), so the
+// results are identical to executing each replica. Replay assumes work
+// functions do not read ctx.NodeID; set Config.NoReplay for programs that
+// do. EngineLegacy selects the reference tree-walking Executor instead;
+// both engines produce identical Results, which parity tests assert on the
+// paper's applications.
 package runtime
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"wishbone/internal/cost"
 	"wishbone/internal/dataflow"
@@ -23,6 +41,19 @@ import (
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
 	"wishbone/internal/wire"
+)
+
+// Engine selects the execution engine for a simulation.
+type Engine int
+
+const (
+	// EngineCompiled (the default) executes compiled dataflow.Programs:
+	// node replicas on a bounded worker pool, trace-identical replicas by
+	// replay.
+	EngineCompiled Engine = iota
+	// EngineLegacy executes through the reference tree-walking Executor,
+	// sequentially. It exists for differential testing.
+	EngineLegacy
 )
 
 // reasmKey identifies one node's stream on one cut edge for reassembly.
@@ -57,6 +88,21 @@ type Config struct {
 
 	// Seed drives packet-loss sampling.
 	Seed int64
+
+	// Engine selects the execution engine (default EngineCompiled).
+	Engine Engine
+
+	// Workers bounds the node worker pool for the compiled engine; 0 means
+	// GOMAXPROCS. The legacy engine always runs sequentially.
+	Workers int
+
+	// NoReplay forces the compiled engine to execute every node replica
+	// individually even when all nodes are offered the identical trace.
+	// Set it when work functions read ctx.NodeID (replay would stamp node
+	// 0's behavior onto every replica) or when server-side operators
+	// mutate delivered values in place (replayed abstract messages alias
+	// one value across replicas).
+	NoReplay bool
 }
 
 // Result reports a deployment run.
@@ -116,6 +162,23 @@ type message struct {
 	air     int
 }
 
+// arrival is one sensor event offered to a node.
+type arrival struct {
+	t   float64
+	src *dataflow.Operator
+	v   dataflow.Value
+}
+
+// nodeResult is the outcome of simulating one node.
+type nodeResult struct {
+	msgs            []message
+	inputEvents     int
+	processedEvents int
+	msgsSent        int
+	payloadBytes    int
+	busy            float64
+}
+
 // Run simulates the deployment.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Graph == nil || cfg.OnNode == nil || cfg.Platform == nil {
@@ -124,97 +187,54 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Nodes <= 0 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("runtime: need positive Nodes and Duration")
 	}
+	for _, src := range cfg.Graph.Sources() {
+		if !cfg.OnNode[src.ID()] {
+			return nil, fmt.Errorf("runtime: source %s not in the node partition (§4.2.1 pins sources to the node)", src)
+		}
+	}
 	scale := cfg.RateScale
 	if scale <= 0 {
 		scale = 1
 	}
-	res := &Result{}
-	radio := cfg.Platform.Radio
-	var msgs []message
-	var busyTotal float64
 
-	// --- Node side ---------------------------------------------------
+	// Gather every node's inputs once, and build arrival sequences.
+	inputs := make([][]profile.Input, cfg.Nodes)
+	arrivals := make([][]arrival, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
-		inputs := cfg.Inputs(n)
-		if len(inputs) == 0 {
+		inputs[n] = cfg.Inputs(n)
+		if len(inputs[n]) == 0 {
 			return nil, fmt.Errorf("runtime: node %d has no inputs", n)
 		}
-		ex := dataflow.NewExecutor(cfg.Graph, n)
-		ex.Include = func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] }
-		counter := &cost.Counter{}
-		ex.CounterFor = func(op *dataflow.Operator) *cost.Counter { return counter }
+		a, err := buildArrivals(inputs[n], scale, cfg.Duration)
+		if err != nil {
+			return nil, err
+		}
+		arrivals[n] = a
+	}
 
-		var curTime float64
-		seq := uint16(0)
-		ex.Boundary = func(e *dataflow.Edge, v dataflow.Value) {
-			m := message{time: curTime, nodeID: n, edge: e, value: v}
-			if enc, err := wire.Marshal(v); err == nil && radio.PacketPayload > 4 {
-				seq++
-				if frags, err := wire.Fragment(enc, seq, radio.PacketPayload); err == nil {
-					m.frags = frags
-					m.packets = len(frags)
-					for _, f := range frags {
-						m.air += len(f) + radio.PacketOverhead
-					}
-				}
-			}
-			if m.frags == nil {
-				// Abstract fallback for element types without generated
-				// marshalling code.
-				payload := dataflow.WireSize(v)
-				pkts, air := radio.PacketsFor(payload)
-				if pkts == 0 {
-					pkts, air = 1, payload+radio.PacketOverhead // even empty elements cost a packet
-				}
-				m.packets, m.air = pkts, air
-			}
-			msgs = append(msgs, m)
-			res.MsgsSent += m.packets
-			res.PayloadBytes += dataflow.WireSize(v)
-		}
+	// --- Node side ---------------------------------------------------
+	var nodeRes []nodeResult
+	var err error
+	if cfg.Engine == EngineLegacy {
+		nodeRes, err = runNodesLegacy(cfg, arrivals)
+	} else {
+		nodeRes, err = runNodesCompiled(cfg, inputs, arrivals)
+	}
+	if err != nil {
+		return nil, err
+	}
 
-		// Merge all of this node's input events into one arrival sequence.
-		type arrival struct {
-			t   float64
-			src *dataflow.Operator
-			v   dataflow.Value
-		}
-		var arrivals []arrival
-		for _, in := range inputs {
-			rate := in.Rate * scale
-			if rate <= 0 {
-				return nil, fmt.Errorf("runtime: input with non-positive rate")
-			}
-			period := 1 / rate
-			for i := 0; ; i++ {
-				t := float64(i) * period
-				if t >= cfg.Duration {
-					break
-				}
-				ev := in.Events[i%len(in.Events)]
-				arrivals = append(arrivals, arrival{t: t, src: in.Source, v: ev})
-			}
-		}
-		sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].t < arrivals[j].t })
-
-		// Non-reentrant depth-first traversal: while an event is being
-		// processed, newly arriving events are missed (§5.2's source
-		// buffering is one element deep in the TinyOS runtime; sustained
-		// overload drops input).
-		busyUntil := 0.0
-		for _, a := range arrivals {
-			res.InputEvents++
-			if a.t < busyUntil {
-				continue // CPU still busy: input event missed
-			}
-			curTime = a.t
-			counter.Reset()
-			ex.Inject(a.src, a.v)
-			dt := cfg.Platform.Seconds(counter) * cfg.Platform.OSOverhead
-			busyUntil = a.t + dt
-			busyTotal += dt
-			res.ProcessedEvents++
-		}
+	res := &Result{}
+	var msgs []message
+	var busyTotal float64
+	for n := range nodeRes {
+		nr := &nodeRes[n]
+		res.InputEvents += nr.inputEvents
+		res.ProcessedEvents += nr.processedEvents
+		res.MsgsSent += nr.msgsSent
+		res.PayloadBytes += nr.payloadBytes
+		busyTotal += nr.busy
+		msgs = append(msgs, nr.msgs...)
 	}
 	res.NodeCPU = busyTotal / (cfg.Duration * float64(cfg.Nodes))
 
@@ -235,19 +255,24 @@ func Run(cfg Config) (*Result, error) {
 	res.DeliveryRatio = ratio
 
 	// --- Server side -----------------------------------------------------
-	// One executor whose stateful operators are backed by per-origin-node
-	// state tables: a single server operator instance emulates the many
-	// node replicas (§2.1.1).
-	server := dataflow.NewExecutor(cfg.Graph, -1)
-	server.Include = func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] }
-	states := make(map[int]map[int]any) // opID → nodeID → state
-	serverEmits := 0
-	server.OnEdge = func(e *dataflow.Edge, v dataflow.Value) { serverEmits++ }
+	// One engine instance whose stateful operators are backed by
+	// per-origin-node state tables: a single server operator instance
+	// emulates the many node replicas (§2.1.1).
+	var server serverEngine
+	if cfg.Engine == EngineLegacy {
+		server, err = newLegacyServer(cfg)
+	} else {
+		server, err = newCompiledServer(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	reasm := make(map[reasmKey]*wire.Reassembler)
 	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].time < msgs[j].time })
-	for _, m := range msgs {
+	for i := range msgs {
+		m := &msgs[i]
 		// Packets are lost independently; the element is usable at the
 		// server only if every fragment survives. Marshalled messages
 		// actually travel as bytes and are reassembled and decoded at the
@@ -293,33 +318,323 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		res.DeliveredBytes += dataflow.WireSize(val)
-
-		// Swap in the origin node's state for every stateful server-side
-		// operator before processing this element.
-		for _, op := range cfg.Graph.Operators() {
-			if cfg.OnNode[op.ID()] || !op.Stateful || op.NewState == nil {
-				continue
-			}
-			if op.NS == dataflow.NSNode {
-				// Relocated node operator: per-node state table.
-				tbl := states[op.ID()]
-				if tbl == nil {
-					tbl = make(map[int]any)
-					states[op.ID()] = tbl
-				}
-				st, ok := tbl[m.nodeID]
-				if !ok {
-					st = op.NewState()
-					tbl[m.nodeID] = st
-				}
-				server.SetState(op, st)
-			}
+		if err := server.deliver(m, val); err != nil {
+			return nil, err
 		}
-		server.Push(m.edge.To, m.edge.ToPort, val)
 	}
-	res.ServerEmits = serverEmits
+	res.ServerEmits = server.emits()
 	return res, nil
 }
+
+// buildArrivals merges a node's input traces into one time-sorted arrival
+// sequence (ties keep input order, so synchronized sensors interleave
+// deterministically).
+func buildArrivals(inputs []profile.Input, scale, duration float64) ([]arrival, error) {
+	var arrivals []arrival
+	for _, in := range inputs {
+		rate := in.Rate * scale
+		if rate <= 0 {
+			return nil, fmt.Errorf("runtime: input with non-positive rate")
+		}
+		if len(in.Events) == 0 {
+			return nil, fmt.Errorf("runtime: input source %s has an empty trace", in.Source)
+		}
+		period := 1 / rate
+		for i := 0; ; i++ {
+			t := float64(i) * period
+			if t >= duration {
+				break
+			}
+			ev := in.Events[i%len(in.Events)]
+			arrivals = append(arrivals, arrival{t: t, src: in.Source, v: ev})
+		}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].t < arrivals[j].t })
+	return arrivals, nil
+}
+
+// sender captures one node's boundary crossings as in-flight messages with
+// the radio's framing, tallying send-side accounting.
+type sender struct {
+	cfg     *Config
+	nodeID  int
+	curTime float64
+	seq     uint16
+
+	msgs         []message
+	msgsSent     int
+	payloadBytes int
+}
+
+// capture is the Boundary hook: marshal (or abstract-package) one cut-edge
+// element at the current simulation time.
+func (s *sender) capture(e *dataflow.Edge, v dataflow.Value) {
+	radio := s.cfg.Platform.Radio
+	m := message{time: s.curTime, nodeID: s.nodeID, edge: e, value: v}
+	if enc, err := wire.Marshal(v); err == nil && radio.PacketPayload > 4 {
+		s.seq++
+		if frags, err := wire.Fragment(enc, s.seq, radio.PacketPayload); err == nil {
+			m.frags = frags
+			m.packets = len(frags)
+			for _, f := range frags {
+				m.air += len(f) + radio.PacketOverhead
+			}
+		}
+	}
+	if m.frags == nil {
+		// Abstract fallback for element types without generated
+		// marshalling code.
+		payload := dataflow.WireSize(v)
+		pkts, air := radio.PacketsFor(payload)
+		if pkts == 0 {
+			pkts, air = 1, payload+radio.PacketOverhead // even empty elements cost a packet
+		}
+		m.packets, m.air = pkts, air
+	}
+	s.msgs = append(s.msgs, m)
+	s.msgsSent += m.packets
+	s.payloadBytes += dataflow.WireSize(v)
+}
+
+// simulateNode runs one node's arrival sequence through inject, modelling
+// the non-reentrant depth-first runtime: while an event is being processed,
+// newly arriving events are missed (§5.2's source buffering is one element
+// deep in the TinyOS runtime; sustained overload drops input).
+func simulateNode(cfg *Config, s *sender, arrivals []arrival, counter *cost.Counter,
+	inject func(src *dataflow.Operator, v dataflow.Value)) nodeResult {
+	var nr nodeResult
+	busyUntil := 0.0
+	for _, a := range arrivals {
+		nr.inputEvents++
+		if a.t < busyUntil {
+			continue // CPU still busy: input event missed
+		}
+		s.curTime = a.t
+		counter.Reset()
+		inject(a.src, a.v)
+		dt := cfg.Platform.Seconds(counter) * cfg.Platform.OSOverhead
+		busyUntil = a.t + dt
+		nr.busy += dt
+		nr.processedEvents++
+	}
+	nr.msgs = s.msgs
+	nr.msgsSent = s.msgsSent
+	nr.payloadBytes = s.payloadBytes
+	return nr
+}
+
+// runNodesLegacy executes every node sequentially through the reference
+// tree-walking Executor.
+func runNodesLegacy(cfg Config, arrivals [][]arrival) ([]nodeResult, error) {
+	out := make([]nodeResult, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		ex := dataflow.NewExecutor(cfg.Graph, n)
+		ex.Include = func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] }
+		counter := &cost.Counter{}
+		ex.CounterFor = func(op *dataflow.Operator) *cost.Counter { return counter }
+		s := &sender{cfg: &cfg, nodeID: n}
+		ex.Boundary = s.capture
+		out[n] = simulateNode(&cfg, s, arrivals[n], counter, ex.Inject)
+	}
+	return out, nil
+}
+
+// runNodesCompiled compiles the node partition once and executes the
+// replicas through dataflow.Instances. Identical replicas — every node
+// offered the same trace — are simulated once and their deterministic
+// message streams replicated; distinct replicas run concurrently on a
+// bounded worker pool.
+func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival) ([]nodeResult, error) {
+	prog, err := dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
+		Include: func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] },
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]nodeResult, cfg.Nodes)
+	runOne := func(n int) {
+		inst := prog.NewInstance(n)
+		counter := &cost.Counter{}
+		inst.SetCounter(counter)
+		s := &sender{cfg: &cfg, nodeID: n}
+		inst.Boundary = s.capture
+		out[n] = simulateNode(&cfg, s, arrivals[n], counter, inst.Inject)
+	}
+
+	if !cfg.NoReplay && identicalTraces(inputs) {
+		// Node-side simulation is a deterministic function of (program,
+		// platform, arrivals): with identical traces every replica
+		// produces the same events, times and marshalled fragments, so
+		// simulate node 0 and restamp its message stream per node. This
+		// assumes work functions ignore ctx.NodeID (none of the paper's
+		// operators read it); Config.NoReplay opts out otherwise.
+		runOne(0)
+		for n := 1; n < cfg.Nodes; n++ {
+			nr := out[0]
+			nr.msgs = make([]message, len(out[0].msgs))
+			copy(nr.msgs, out[0].msgs)
+			for i := range nr.msgs {
+				nr.msgs[i].nodeID = n
+			}
+			out[n] = nr
+		}
+		return out, nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Nodes {
+		workers = cfg.Nodes
+	}
+	if workers <= 1 {
+		for n := 0; n < cfg.Nodes; n++ {
+			runOne(n)
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range next {
+				runOne(n)
+			}
+		}()
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		next <- n
+	}
+	close(next)
+	wg.Wait()
+	return out, nil
+}
+
+// identicalTraces reports whether every node was offered the very same
+// inputs (same sources, same rates, same backing event arrays). Equality is
+// by identity, not by value — only aliased traces are treated as shared.
+func identicalTraces(inputs [][]profile.Input) bool {
+	base := inputs[0]
+	for _, ins := range inputs[1:] {
+		if len(ins) != len(base) {
+			return false
+		}
+		for i := range ins {
+			a, b := &base[i], &ins[i]
+			if a.Source != b.Source || a.Rate != b.Rate || len(a.Events) != len(b.Events) {
+				return false
+			}
+			if len(a.Events) > 0 && &a.Events[0] != &b.Events[0] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// serverEngine abstracts the basestation-side executor: deliver one decoded
+// cut-edge element with the origin node's relocated state swapped in.
+type serverEngine interface {
+	deliver(m *message, val dataflow.Value) error
+	emits() int
+}
+
+// compiledServer executes the server partition as a compiled instance. The
+// relocated stateful operators (§2.1.1) are precomputed at compile time, so
+// swapping in a message's origin-node state touches only those operators
+// instead of scanning the whole graph per message.
+type compiledServer struct {
+	inst      *dataflow.Instance
+	relocated []*dataflow.Operator
+	states    map[int]map[int]any // opID → nodeID → state
+}
+
+func newCompiledServer(cfg Config) (serverEngine, error) {
+	prog, err := dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
+		Include: func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] },
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := &compiledServer{
+		inst:   prog.NewInstance(-1),
+		states: make(map[int]map[int]any),
+	}
+	for _, id := range prog.StatefulOps() {
+		op := cfg.Graph.ByID(id)
+		if op.NS == dataflow.NSNode {
+			// Relocated node operator: per-node state table.
+			srv.relocated = append(srv.relocated, op)
+			srv.states[id] = make(map[int]any)
+		}
+	}
+	return srv, nil
+}
+
+func (srv *compiledServer) deliver(m *message, val dataflow.Value) error {
+	for _, op := range srv.relocated {
+		tbl := srv.states[op.ID()]
+		st, ok := tbl[m.nodeID]
+		if !ok {
+			st = op.NewState()
+			tbl[m.nodeID] = st
+		}
+		srv.inst.SetState(op, st)
+	}
+	return srv.inst.Push(m.edge.To, m.edge.ToPort, val)
+}
+
+func (srv *compiledServer) emits() int { return int(srv.inst.Traversals()) }
+
+// legacyServer is the reference server-side path: a tree-walking Executor
+// with the original per-message scan over all operators.
+type legacyServer struct {
+	cfg        *Config
+	ex         *dataflow.Executor
+	states     map[int]map[int]any
+	emitsCount int
+}
+
+func newLegacyServer(cfg Config) (serverEngine, error) {
+	srv := &legacyServer{
+		cfg:    &cfg,
+		ex:     dataflow.NewExecutor(cfg.Graph, -1),
+		states: make(map[int]map[int]any),
+	}
+	srv.ex.Include = func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] }
+	srv.ex.OnEdge = func(e *dataflow.Edge, v dataflow.Value) { srv.emitsCount++ }
+	return srv, nil
+}
+
+func (srv *legacyServer) deliver(m *message, val dataflow.Value) error {
+	// Swap in the origin node's state for every stateful server-side
+	// operator before processing this element.
+	for _, op := range srv.cfg.Graph.Operators() {
+		if srv.cfg.OnNode[op.ID()] || !op.Stateful || op.NewState == nil {
+			continue
+		}
+		if op.NS == dataflow.NSNode {
+			// Relocated node operator: per-node state table.
+			tbl := srv.states[op.ID()]
+			if tbl == nil {
+				tbl = make(map[int]any)
+				srv.states[op.ID()] = tbl
+			}
+			st, ok := tbl[m.nodeID]
+			if !ok {
+				st = op.NewState()
+				tbl[m.nodeID] = st
+			}
+			srv.ex.SetState(op, st)
+		}
+	}
+	return srv.ex.Push(m.edge.To, m.edge.ToPort, val)
+}
+
+func (srv *legacyServer) emits() int { return srv.emitsCount }
 
 // aggregateReduceMessages combines, per emission round, the messages all
 // nodes produced on the cut edges of node-resident Reduce operators. The

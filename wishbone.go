@@ -22,6 +22,21 @@
 // the program cannot fit at full rate, the maximum sustainable rate and the
 // partition at that rate (§4.3 of the paper).
 //
+// # Execution engines
+//
+// All execution — profiling a program and simulating a deployment — goes
+// through a compile/execute split: dataflow.Compile lowers a Graph once
+// into an immutable Program (a flat, topologically scheduled operator
+// table with dense integer indexing, partition-aware fan-out resolved at
+// compile time, and preallocated state slots), and dataflow.Instance
+// executes batches of injected events against it. Profiling runs one
+// counted Instance; deployment simulation compiles the node partition
+// once and runs one Instance per simulated node on a bounded worker pool
+// (or a single replayed instance when every node is offered the identical
+// trace). The original tree-walking dataflow.Executor is retained as the
+// reference engine; parity tests assert both produce byte-identical
+// profiles and simulation results.
+//
 // The subsystems are available directly for finer control: see
 // internal/core (ILP formulations), internal/profile, internal/runtime
 // (deployment simulation), internal/netsim (radio model), and
