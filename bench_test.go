@@ -5,7 +5,9 @@
 package wishbone
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -21,6 +23,8 @@ import (
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
 	"wishbone/internal/runtime"
+	"wishbone/internal/server"
+	"wishbone/internal/wire"
 )
 
 // burstySpec builds a partitioning problem with a data-dependent operator:
@@ -560,4 +564,82 @@ func BenchmarkAblationMeanVsPeak(b *testing.B) {
 			b.ReportMetric(onNode, "opsOnNode")
 		})
 	}
+}
+
+// BenchmarkServerThroughput drives the multi-tenant partition service
+// over real HTTP: N concurrent tenants issuing profile and simulate
+// requests against M distinct graphs. After the first build of each
+// (graph, partition) key every request is served from the cached compiled
+// Programs — the reported hit-rate metric must come out positive under
+// this distinct-tenant, same-graph load, and request latency collapses to
+// execution (no compile, no re-elaboration).
+func BenchmarkServerThroughput(b *testing.B) {
+	svc := server.New(server.Config{CacheEntries: 64})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := server.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	specs := []wire.GraphSpec{
+		{App: "speech"},
+		{App: "eeg", Channels: 2},
+	}
+	trace := wire.TraceSpec{Seed: 21, Seconds: 3}
+	// One fixed cut per graph: the natural Node-namespace placement.
+	onNode := make([][]int, len(specs))
+	for i, spec := range specs {
+		info, err := client.Graph(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id, op := range info.Graph.Ops {
+			if op.NS == int(dataflow.NSNode) {
+				onNode[i] = append(onNode[i], id)
+			}
+		}
+	}
+
+	const tenants = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				g := (t + i) % len(specs)
+				if (t+i)%2 == 0 {
+					if _, err := client.Profile(ctx, wire.ProfileRequest{
+						Graph: specs[g], Trace: trace,
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				} else {
+					if _, err := client.Simulate(ctx, wire.SimulateRequest{
+						Graph: specs[g], Trace: trace, Platform: "Gumstix",
+						OnNode: onNode[g], Nodes: 2, Duration: 3, Seed: int64(g),
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errCh)
+	for err := range errCh {
+		b.Fatal(err)
+	}
+
+	snap := svc.Stats()
+	if snap.CacheHitRate <= 0 {
+		b.Fatalf("cache hit rate %v, want > 0 (hits=%d misses=%d)",
+			snap.CacheHitRate, snap.CacheHits, snap.CacheMisses)
+	}
+	b.ReportMetric(snap.CacheHitRate, "hit-rate")
+	b.ReportMetric(float64(tenants*b.N)/b.Elapsed().Seconds(), "req/s")
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|all] [-seconds N] [-fig6n N]
+//	        [-engine compiled|legacy]
 package main
 
 import (
@@ -15,13 +16,25 @@ import (
 
 	"wishbone/internal/experiments"
 	"wishbone/internal/platform"
+	"wishbone/internal/runtime"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, all)")
 	seconds := flag.Float64("seconds", 60, "simulated deployment duration for figures 9-10")
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
+	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
 	flag.Parse()
+
+	var engine runtime.Engine
+	switch *engineName {
+	case "compiled":
+		engine = runtime.EngineCompiled
+	case "legacy":
+		engine = runtime.EngineLegacy
+	default:
+		log.Fatalf("unknown engine %q (want compiled or legacy)", *engineName)
+	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	out := func(t *experiments.Table) { fmt.Println(); fmt.Print(t.String()) }
@@ -34,6 +47,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			speech.Engine = engine
 		}
 		return speech
 	}

@@ -1,0 +1,72 @@
+// Command wbserved runs the Wishbone multi-tenant partition service: an
+// HTTP/JSON API serving profile, partition, and simulate requests over
+// cached compiled Programs (see internal/server).
+//
+// Usage:
+//
+//	wbserved [-addr :9090] [-cache 256] [-jobs N] [-sim-workers N]
+//
+// Try it:
+//
+//	curl -s localhost:9090/v1/partition -d \
+//	  '{"graph":{"app":"speech"},"platform":"TMoteSky"}'
+//	curl -s localhost:9090/v1/stats
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wishbone/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	cache := flag.Int("cache", 256, "program/graph cache entries (LRU)")
+	jobs := flag.Int("jobs", 0, "max concurrent heavy jobs (0 = GOMAXPROCS)")
+	simWorkers := flag.Int("sim-workers", 0, "per-simulation node worker bound (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		CacheEntries: *cache,
+		MaxJobs:      *jobs,
+		SimWorkers:   *simWorkers,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("wbserved listening on %s (cache %d entries, %d jobs)", *addr, *cache, *jobs)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("%v: draining (up to %v)...", sig, *drain)
+		svc.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		snap := svc.Stats()
+		log.Printf("drained; served %d cache hits / %d misses (hit rate %.2f)",
+			snap.CacheHits, snap.CacheMisses, snap.CacheHitRate)
+	}
+}

@@ -7,13 +7,20 @@
 //
 //	wishbone -src prog.ws [-platform TMoteSky] [-mode permissive]
 //	         [-events 64] [-dot out.dot] [-maxrate]
+//	         [-engine compiled|legacy] [-server http://host:9090]
 //
 // Sources in the program are fed a synthetic ramp signal; real deployments
 // would substitute recorded traces (profiling only needs representative
 // rate/shape, §1).
+//
+// With -server, the program text is submitted to a running wbserved
+// instance instead of being compiled and profiled in process: the server
+// re-elaborates the graph, serves the partition from its Program cache,
+// and this command prints the same per-operator placement table.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +31,9 @@ import (
 	"wishbone/internal/dataflow"
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
+	"wishbone/internal/server"
 	"wishbone/internal/viz"
+	"wishbone/internal/wire"
 	"wishbone/internal/wscript"
 )
 
@@ -36,6 +45,8 @@ func main() {
 	window := flag.Int("window", 0, "feed each source windows of N samples instead of scalars")
 	dotPath := flag.String("dot", "", "write a GraphViz visualization here")
 	maxrate := flag.Bool("maxrate", false, "if infeasible, binary-search the max sustainable rate")
+	engineName := flag.String("engine", "compiled", "profiling engine: compiled|legacy (reference tree-walker)")
+	serverURL := flag.String("server", "", "partition-service base URL; when set, requests go to wbserved instead of running in process")
 	flag.Parse()
 
 	if *srcPath == "" {
@@ -53,6 +64,34 @@ func main() {
 	mode := dataflow.Permissive
 	if *modeName == "conservative" {
 		mode = dataflow.Conservative
+	}
+	profileRun := profile.Run
+	switch *engineName {
+	case "compiled":
+	case "legacy":
+		profileRun = profile.RunLegacy
+	default:
+		log.Fatalf("unknown engine %q (want compiled or legacy)", *engineName)
+	}
+
+	if *serverURL != "" {
+		// The remote API profiles with its own engine and scalar synthetic
+		// traces and returns no graph artifacts; refuse flags it cannot
+		// honor rather than silently producing different results.
+		if *window > 0 {
+			log.Fatal("-window is not supported with -server (the service profiles scalar traces)")
+		}
+		if *dotPath != "" {
+			log.Fatal("-dot is not supported with -server")
+		}
+		if *engineName != "compiled" {
+			log.Fatal("-engine is not supported with -server (the service always runs the compiled engine)")
+		}
+		if *maxrate {
+			fmt.Println("note: -maxrate is implied with -server (the service always falls back to the rate search)")
+		}
+		runRemote(*serverURL, string(src), *platName, *modeName, *events)
+		return
 	}
 
 	compiled, err := wscript.Compile(string(src))
@@ -77,7 +116,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := profile.Run(compiled.Graph, inputs)
+	rep, err := profileRun(compiled.Graph, inputs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,5 +168,47 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *dotPath)
+	}
+}
+
+// runRemote is the client mode: submit the program to a wbserved
+// instance and print the partition it chose.
+func runRemote(baseURL, src, platName, modeName string, events int) {
+	ctx := context.Background()
+	client := server.NewClient(baseURL, nil)
+	spec := wire.GraphSpec{App: "wscript", Source: src}
+
+	info, err := client.Graph(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server elaborated %d operators, %d edges (graph %.12s…)\n",
+		len(info.Graph.Ops), len(info.Graph.Edges), info.GraphHash)
+
+	resp, err := client.Partition(ctx, wire.PartitionRequest{
+		Graph:    spec,
+		Trace:    wire.TraceSpec{Events: events},
+		Platform: platName,
+		Mode:     modeName,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.RateMultiple < 1 {
+		fmt.Printf("full rate infeasible; max sustainable rate = %.3f×\n", resp.RateMultiple)
+	}
+	onNode := make(map[int]bool)
+	for _, id := range resp.Assignment.OnNode {
+		onNode[id] = true
+	}
+	fmt.Printf("partition on %s (rate ×%.3f, cache hit %v): node CPU %.1f%%, radio %.0f B/s, %d/%d operators on node\n",
+		platName, resp.RateMultiple, resp.CacheHit, 100*resp.Assignment.CPULoad,
+		resp.Assignment.NetLoad, len(resp.Assignment.OnNode), len(info.Graph.Ops))
+	for id, op := range info.Graph.Ops {
+		side := "server"
+		if onNode[id] {
+			side = "node"
+		}
+		fmt.Printf("  %-24s %s\n", op.Name, side)
 	}
 }

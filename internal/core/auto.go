@@ -1,0 +1,51 @@
+package core
+
+// AutoResult is the outcome of AutoPartition.
+type AutoResult struct {
+	// Assignment is the chosen partition, nil when no rate in (0, hi] is
+	// feasible.
+	Assignment *Assignment
+
+	// RateMultiple is the input-rate scale the assignment is valid at:
+	// hi when the program fits at the full probed rate, less when the
+	// §4.3 binary search had to shed load, 0 when nothing is feasible.
+	RateMultiple float64
+
+	// Probes counts Partition invocations (1 when full rate fits).
+	Probes int
+}
+
+// AutoPartition is the paper's full decision procedure as one re-entrant
+// call: solve spec at rate scale hi; if infeasible, binary-search the
+// maximum sustainable rate (§4.3) with relative precision tol and return
+// the partition there. It is a pure function of its arguments — no global
+// or package state — so any number of goroutines may run it concurrently
+// over shared Specs, which is how the partition service serves tenants.
+//
+// hi ≤ 0 defaults to 1 (the profiled full rate); tol ≤ 0 defaults to
+// 0.005. A nil error with a nil Assignment means no probed rate was
+// feasible.
+func AutoPartition(spec *Spec, hi, tol float64, opts Options) (*AutoResult, error) {
+	if hi <= 0 {
+		hi = 1
+	}
+	if tol <= 0 {
+		tol = 0.005
+	}
+	asg, err := Partition(spec.Scaled(hi), opts)
+	if err == nil {
+		return &AutoResult{Assignment: asg, RateMultiple: hi, Probes: 1}, nil
+	}
+	if _, ok := err.(*ErrInfeasible); !ok {
+		return nil, err
+	}
+	res, err := MaxRate(spec, hi, tol, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoResult{
+		Assignment:   res.Assignment,
+		RateMultiple: res.Rate,
+		Probes:       res.Probes,
+	}, nil
+}

@@ -1,6 +1,9 @@
 package dataflow
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // CompileOptions selects what Compile bakes into a Program. Everything here
 // is resolved once, at compile time, instead of once per element at run
@@ -64,6 +67,11 @@ type Program struct {
 
 	// edges is the dense edge table: edges[i] is Graph.Edges()[i].
 	edges []*Edge
+
+	// hash caches the content hash (see Hash); Programs are immutable so
+	// it is computed at most once.
+	hashOnce sync.Once
+	hash     string
 }
 
 // Compile lowers g into an immutable Program. It validates the graph, fixes
@@ -146,6 +154,9 @@ func Compile(g *Graph, opts CompileOptions) (*Program, error) {
 
 // Graph returns the graph this program was compiled from.
 func (p *Program) Graph() *Graph { return p.g }
+
+// Options returns the compile options the program was built with.
+func (p *Program) Options() CompileOptions { return p.opts }
 
 // Included reports whether op is part of the compiled partition.
 func (p *Program) Included(op *Operator) bool { return p.included[op.ID()] }

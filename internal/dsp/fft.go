@@ -33,6 +33,10 @@ func NextPow2(n int) int {
 // FFT computes the in-place radix-2 decimation-in-time FFT of x. The length
 // of x must be a power of two; FFT panics otherwise. When inverse is true
 // it computes the unscaled inverse transform (callers divide by len(x)).
+//
+// Per-stage twiddle bases come from a cached per-size plan (plan.go); the
+// counter still records the trig evaluations the embedded device would
+// perform, so profiles are unaffected.
 func FFT(c *cost.Counter, x []Complex, inverse bool) {
 	n := len(x)
 	if n&(n-1) != 0 || n == 0 {
@@ -53,13 +57,12 @@ func FFT(c *cost.Counter, x []Complex, inverse bool) {
 			c.Add(cost.Store, 2)
 		}
 	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := sign * 2 * math.Pi / float64(length)
-		wl := Complex{math.Cos(ang), math.Sin(ang)}
+	twiddles := fftStageTwiddles(n)
+	for stage, length := 0, 2; length <= n; stage, length = stage+1, length<<1 {
+		wl := twiddles[stage]
+		if inverse {
+			wl.Im = -wl.Im
+		}
 		c.Add(cost.Trig, 2)
 		half := length / 2
 		for start := 0; start < n; start += length {

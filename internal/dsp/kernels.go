@@ -23,13 +23,20 @@ func PreEmphasis(c *cost.Counter, x []float64, coef, prev float64) ([]float64, f
 	return out, prev
 }
 
-// HammingWindow returns the n-point Hamming window coefficients.
+// HammingWindow returns the n-point Hamming window coefficients. Windows
+// are cached per size and shared (a long-running service elaborates many
+// graphs that all window at the same frame length); callers must treat
+// the returned slice as read-only.
 func HammingWindow(n int) []float64 {
+	if w, ok := hammingPlans.Load(n); ok {
+		return w.([]float64)
+	}
 	w := make([]float64, n)
 	for i := range w {
 		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
 	}
-	return w
+	p, _ := hammingPlans.LoadOrStore(n, w)
+	return p.([]float64)
 }
 
 // ApplyWindow multiplies x elementwise by the window w (len(w) ≥ len(x)).
@@ -156,16 +163,21 @@ func Log10Block(c *cost.Counter, x []float64) []float64 {
 	return out
 }
 
-// DCTII computes the first nOut coefficients of the DCT-II of x, evaluating
-// the cosines at runtime (as the ported C implementation does, which is why
-// cepstral extraction dominates CPU on FPU-less platforms — Figure 8).
+// DCTII computes the first nOut coefficients of the DCT-II of x. The
+// counter charges a runtime cosine per term — the ported C implementation
+// evaluates them on every invocation, which is why cepstral extraction
+// dominates CPU on FPU-less platforms (Figure 8) — but the host reads the
+// identical values from a cached per-size cosine plan (plan.go), which is
+// where most of a simulation's math.Cos time used to go.
 func DCTII(c *cost.Counter, x []float64, nOut int) []float64 {
 	n := len(x)
+	tbl := dctCosTable(n, nOut)
 	out := make([]float64, nOut)
 	for k := 0; k < nOut; k++ {
 		sum := 0.0
+		row := tbl[k*n : (k+1)*n]
 		for i := 0; i < n; i++ {
-			sum += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+			sum += x[i] * row[i]
 			c.Add(cost.Trig, 1)
 			c.Add(cost.FloatMul, 3)
 			c.Add(cost.FloatAdd, 2)

@@ -1,0 +1,72 @@
+package dsp
+
+import (
+	"math"
+	"sync"
+)
+
+// Precomputed transform plans. FFT stage twiddles, Hamming windows, and
+// DCT-II cosine tables depend only on the transform size, yet the kernels
+// originally evaluated math.Cos/math.Sin on every invocation — ~15% of a
+// deployment simulation went into recomputing identical tables (see
+// ROADMAP). Plans are computed once per size and shared; they hold exactly
+// the values the direct evaluation produces (the same math.Cos/math.Sin
+// calls, cached), so kernel outputs are bit-identical with and without a
+// warm plan.
+//
+// Cost counters are NOT affected: the counters model the embedded device
+// executing the ported C code, which does evaluate cosines at runtime
+// (that is precisely why cepstral extraction dominates FPU-less platforms,
+// Figure 8). Plan caching is a host-side simulation speedup only.
+//
+// All plan caches are safe for concurrent use — the partition service
+// profiles and simulates many tenants' graphs in parallel against shared
+// kernels.
+
+// fftPlans caches per-size forward stage twiddles: plans[log2(length)-1]
+// is w_length = e^{-2πi/length} for length = 2, 4, …, n.
+var fftPlans sync.Map // int → []Complex
+
+// fftStageTwiddles returns the forward per-stage twiddle factors for an
+// n-point FFT (n a power of two). Inverse transforms conjugate the
+// entries; math.Cos is even and math.Sin is odd (exactly, in IEEE
+// arithmetic), so the conjugate is bit-identical to evaluating at the
+// positive angle.
+func fftStageTwiddles(n int) []Complex {
+	if p, ok := fftPlans.Load(n); ok {
+		return p.([]Complex)
+	}
+	var tw []Complex
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		tw = append(tw, Complex{math.Cos(ang), math.Sin(ang)})
+	}
+	p, _ := fftPlans.LoadOrStore(n, tw)
+	return p.([]Complex)
+}
+
+// hammingPlans caches per-size Hamming windows.
+var hammingPlans sync.Map // int → []float64
+
+// dctKey identifies one DCT-II cosine table.
+type dctKey struct{ n, nOut int }
+
+// dctPlans caches DCT-II cosine tables: tbl[k*n+i] = cos(π·k·(i+0.5)/n).
+var dctPlans sync.Map // dctKey → []float64
+
+// dctCosTable returns the cached cosine table for an n-point DCT-II
+// producing nOut coefficients.
+func dctCosTable(n, nOut int) []float64 {
+	key := dctKey{n: n, nOut: nOut}
+	if p, ok := dctPlans.Load(key); ok {
+		return p.([]float64)
+	}
+	tbl := make([]float64, nOut*n)
+	for k := 0; k < nOut; k++ {
+		for i := 0; i < n; i++ {
+			tbl[k*n+i] = math.Cos(math.Pi * float64(k) * (float64(i) + 0.5) / float64(n))
+		}
+	}
+	p, _ := dctPlans.LoadOrStore(key, tbl)
+	return p.([]float64)
+}

@@ -13,6 +13,7 @@ import (
 	"wishbone/internal/dataflow"
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
 )
 
 // SpeechEnv is a profiled speech-detection application shared by the
@@ -21,6 +22,11 @@ type SpeechEnv struct {
 	App    *speech.App
 	Report *profile.Report
 	Class  *dataflow.Classification
+
+	// Engine selects the simulation engine for the deployment
+	// experiments (Figures 9–10, §7.3.1); the zero value is the compiled
+	// default. cmd/wbbench -engine=legacy sets the reference tree-walker.
+	Engine runtime.Engine
 }
 
 // NewSpeechEnv builds and profiles the speech app on a deterministic trace.

@@ -222,7 +222,8 @@ func runCutpointSweep(e *SpeechEnv, nodes int, seconds float64) ([]Fig9Row, erro
 			Inputs: func(nodeID int) []profile.Input {
 				return []profile.Input{e.App.SampleTrace(int64(1000+nodeID), 2.0)}
 			},
-			Seed: int64(k),
+			Seed:   int64(k),
+			Engine: e.Engine,
 		})
 		if err != nil {
 			return nil, err
@@ -356,7 +357,8 @@ func TextGumstix(e *SpeechEnv, seconds float64) (*GumstixResult, error) {
 		Inputs: func(nodeID int) []profile.Input {
 			return []profile.Input{e.App.SampleTrace(55, 2.0)}
 		},
-		Seed: 7,
+		Seed:   7,
+		Engine: e.Engine,
 	})
 	if err != nil {
 		return nil, err

@@ -64,14 +64,38 @@ type Report struct {
 // accounting. RunLegacy is the reference tree-walking path; both produce
 // identical reports.
 func Run(g *dataflow.Graph, inputs []Input) (*Report, error) {
-	rep, maxEvents, err := newReport(g, inputs)
+	prog, err := CompileForProfiling(g)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := dataflow.Compile(g, dataflow.CompileOptions{
+	return RunProgram(prog, inputs)
+}
+
+// CompileForProfiling lowers g into the Program Run executes: the whole
+// graph, with dense per-operator counters and in-engine edge accounting.
+// The Program is immutable and shareable; a long-running service compiles
+// it once per graph and serves every profile request from it (one fresh
+// Instance per request).
+func CompileForProfiling(g *dataflow.Graph) (*dataflow.Program, error) {
+	return dataflow.Compile(g, dataflow.CompileOptions{
 		CountOps:     true,
 		MeasureEdges: true,
 	})
+}
+
+// RunProgram profiles through an already-compiled Program (from
+// CompileForProfiling). Run is equivalent to CompileForProfiling followed
+// by RunProgram; the reports are identical.
+func RunProgram(prog *dataflow.Program, inputs []Input) (*Report, error) {
+	opts := prog.Options()
+	if !opts.CountOps || !opts.MeasureEdges {
+		return nil, fmt.Errorf("profile: program was not compiled with CompileForProfiling")
+	}
+	g := prog.Graph()
+	if prog.NumScheduled() != g.NumOperators() {
+		return nil, fmt.Errorf("profile: program excludes operators; profiling needs the whole graph")
+	}
+	rep, maxEvents, err := newReport(g, inputs)
 	if err != nil {
 		return nil, err
 	}

@@ -103,6 +103,16 @@ type Config struct {
 	// mutate delivered values in place (replayed abstract messages alias
 	// one value across replicas).
 	NoReplay bool
+
+	// NodeProgram and ServerProgram optionally supply the two partitions
+	// precompiled (CompilePartition). The multi-tenant partition service
+	// passes cached Programs here so repeated simulations of one
+	// (graph, partition) pair skip compilation entirely; Programs are
+	// immutable, so one pair serves concurrent Runs. Both must have been
+	// compiled from Graph with an Include set matching OnNode — Run
+	// verifies and rejects mismatches. Ignored by EngineLegacy.
+	NodeProgram   *dataflow.Program
+	ServerProgram *dataflow.Program
 }
 
 // Result reports a deployment run.
@@ -445,11 +455,19 @@ func runNodesLegacy(cfg Config, arrivals [][]arrival) ([]nodeResult, error) {
 // message streams replicated; distinct replicas run concurrently on a
 // bounded worker pool.
 func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival) ([]nodeResult, error) {
-	prog, err := dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
-		Include: func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] },
-	})
-	if err != nil {
-		return nil, err
+	prog := cfg.NodeProgram
+	if prog != nil {
+		if err := checkPartitionProgram(prog, &cfg, true); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		prog, err = dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
+			Include: func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] },
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := make([]nodeResult, cfg.Nodes)
 	runOne := func(n int) {
@@ -513,6 +531,54 @@ func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival
 	return out, nil
 }
 
+// CompilePartition compiles the two sides of a partitioned deployment
+// exactly as Run would: the node Program includes operators with
+// onNode[id] true, the server Program the rest, neither with counting
+// options. The returned Programs are immutable and may be shared across
+// any number of concurrent Runs via Config.NodeProgram/ServerProgram —
+// the partition service's program cache holds exactly these.
+func CompilePartition(g *dataflow.Graph, onNode map[int]bool) (node, server *dataflow.Program, err error) {
+	node, err = dataflow.Compile(g, dataflow.CompileOptions{
+		Include: func(op *dataflow.Operator) bool { return onNode[op.ID()] },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	server, err = dataflow.Compile(g, dataflow.CompileOptions{
+		Include: func(op *dataflow.Operator) bool { return !onNode[op.ID()] },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, server, nil
+}
+
+// checkPartitionProgram verifies a caller-supplied precompiled Program
+// against the run's graph and partition: same graph, matching include
+// set, and no counting instrumentation (counting programs reject
+// SetCounter, which the node side requires, and would skew the server
+// side).
+func checkPartitionProgram(p *dataflow.Program, cfg *Config, nodeSide bool) error {
+	side := "server"
+	if nodeSide {
+		side = "node"
+	}
+	if p.Graph() != cfg.Graph {
+		return fmt.Errorf("runtime: %s program was compiled from a different graph", side)
+	}
+	opts := p.Options()
+	if opts.CountOps || opts.MeasureEdges {
+		return fmt.Errorf("runtime: %s program carries profiling instrumentation", side)
+	}
+	for _, op := range cfg.Graph.Operators() {
+		want := cfg.OnNode[op.ID()] == nodeSide
+		if p.Included(op) != want {
+			return fmt.Errorf("runtime: %s program disagrees with OnNode at %s", side, op)
+		}
+	}
+	return nil
+}
+
 // identicalTraces reports whether every node was offered the very same
 // inputs (same sources, same rates, same backing event arrays). Equality is
 // by identity, not by value — only aliased traces are treated as shared.
@@ -553,11 +619,19 @@ type compiledServer struct {
 }
 
 func newCompiledServer(cfg Config) (serverEngine, error) {
-	prog, err := dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
-		Include: func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] },
-	})
-	if err != nil {
-		return nil, err
+	prog := cfg.ServerProgram
+	if prog != nil {
+		if err := checkPartitionProgram(prog, &cfg, false); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		prog, err = dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
+			Include: func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] },
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	srv := &compiledServer{
 		inst:   prog.NewInstance(-1),

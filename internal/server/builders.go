@@ -1,0 +1,190 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wishbone/internal/apps/eeg"
+	"wishbone/internal/apps/speech"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/profile"
+	"wishbone/internal/wire"
+	"wishbone/internal/wscript"
+)
+
+// entry is one resident graph: the executable graph re-elaborated from a
+// client's GraphSpec, its canonical content key, a deterministic trace
+// builder, and lazily computed per-mode classifications. Entries are
+// immutable after build except for the serialized-execution mutex and the
+// classification memos; one entry serves every tenant that submits the
+// same spec.
+type entry struct {
+	spec  wire.GraphSpec
+	key   string // canonical (spec ‖ structural-hash) content hash
+	graph *dataflow.Graph
+
+	// id extends key with a per-instance nonce. Derived cache entries
+	// (compiled Programs, reports) capture pointers into this entry's
+	// graph, so they must die with this *instance*: if the entry is
+	// LRU-evicted and rebuilt, the rebuilt instance gets a fresh nonce
+	// and never resolves stale derived values compiled from the old
+	// graph (which would fail runtime's identity checks, or worse,
+	// silently mis-index edges). Orphaned derived entries receive no
+	// further hits and age out of the LRU.
+	id string
+
+	// traces returns the deterministic profiling/simulation inputs for a
+	// trace seed. The returned slice and its event arrays are shared —
+	// callers must not mutate them.
+	traces func(spec wire.TraceSpec) []profile.Input
+
+	// serialize marks graphs whose operators share mutable state outside
+	// Instance state slots (wscript's output sink appends to a buffer on
+	// the Compiled program); execution of such graphs takes mu. The
+	// built-in applications keep all state in Instance slots and run
+	// fully concurrently.
+	serialize bool
+	mu        sync.Mutex
+
+	clsOnce [2]sync.Once
+	cls     [2]*dataflow.Classification
+	clsErr  [2]error
+}
+
+// classify returns the entry's classification under mode, computed once.
+func (e *entry) classify(mode dataflow.Mode) (*dataflow.Classification, error) {
+	i := 0
+	if mode == dataflow.Permissive {
+		i = 1
+	}
+	e.clsOnce[i].Do(func() {
+		e.cls[i], e.clsErr[i] = dataflow.Classify(e.graph, mode)
+	})
+	return e.cls[i], e.clsErr[i]
+}
+
+// lock serializes execution for graphs that need it (no-op otherwise).
+func (e *entry) lock() func() {
+	if !e.serialize {
+		return func() {}
+	}
+	e.mu.Lock()
+	return e.mu.Unlock
+}
+
+// traceDefaults fills a TraceSpec's zero fields with the server defaults.
+func traceDefaults(t wire.TraceSpec) wire.TraceSpec {
+	if t.Seed == 0 {
+		t.Seed = 1
+	}
+	if t.Seconds <= 0 {
+		t.Seconds = 2
+	}
+	if t.Events <= 0 {
+		t.Events = 64
+	}
+	return t
+}
+
+// buildEntry elaborates an executable graph from spec. This is the
+// expensive path the graph cache guards: wscript compilation or full
+// application elaboration (the 22-channel EEG app is ~1.2k operators).
+func buildEntry(spec wire.GraphSpec) (*entry, error) {
+	e := &entry{spec: spec}
+	switch spec.App {
+	case "eeg":
+		ch := spec.Channels
+		if ch == 0 {
+			ch = eeg.Channels
+		}
+		if ch < 1 || ch > eeg.Channels {
+			return nil, fmt.Errorf("server: eeg channels must be in [1, %d], got %d", eeg.Channels, ch)
+		}
+		app := eeg.NewWithChannels(ch)
+		e.graph = app.Graph
+		e.traces = func(t wire.TraceSpec) []profile.Input {
+			return app.SampleTrace(t.Seed, t.Seconds)
+		}
+	case "speech":
+		if spec.Channels != 0 {
+			return nil, fmt.Errorf("server: the speech app has no channels parameter")
+		}
+		app := speech.New()
+		e.graph = app.Graph
+		e.traces = func(t wire.TraceSpec) []profile.Input {
+			return []profile.Input{app.SampleTrace(t.Seed, t.Seconds)}
+		}
+	case "wscript":
+		if spec.Source == "" {
+			return nil, fmt.Errorf("server: wscript spec has no source")
+		}
+		compiled, err := wscript.Compile(spec.Source)
+		if err != nil {
+			return nil, err
+		}
+		e.graph = compiled.Graph
+		e.serialize = true
+		e.traces = func(t wire.TraceSpec) []profile.Input {
+			// Synthetic sine ramp per source, matching cmd/wishbone's
+			// profiling input; seeded by phase offset so distinct seeds
+			// produce distinct traces.
+			inputs, err := compiled.Inputs(t.Events, func(name string, i int) any {
+				return math.Sin(float64(i)/8+float64(t.Seed)) * 100
+			})
+			if err != nil {
+				return nil
+			}
+			sort.Slice(inputs, func(a, b int) bool {
+				return inputs[a].Source.ID() < inputs[b].Source.ID()
+			})
+			return inputs
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown app %q (want eeg, speech, or wscript)", spec.App)
+	}
+	if err := e.graph.Validate(); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	h.Write(spec.Canonical())
+	h.Write([]byte(e.graph.StructuralHash()))
+	e.key = hex.EncodeToString(h.Sum(nil))
+	e.id = fmt.Sprintf("%s#%d", e.key, entrySeq.Add(1))
+	return e, nil
+}
+
+// entrySeq numbers entry instances (see entry.id).
+var entrySeq atomic.Int64
+
+// specHash is the cache-lookup key for a spec (the full content key needs
+// the built graph; the spec digest addresses the entry before it exists).
+func specHash(spec wire.GraphSpec) string {
+	sum := sha256.Sum256(spec.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// partitionHash canonically hashes a partition: the sorted on-node
+// operator ID list.
+func partitionHash(onNode map[int]bool) string {
+	ids := make([]int, 0, len(onNode))
+	for id, on := range onNode {
+		if on {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	h := sha256.New()
+	var buf [8]byte
+	for _, id := range ids {
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(uint64(id) >> (56 - 8*b))
+		}
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed LRU with singleflight build deduplication.
+// Keys are canonical content hashes (graph spec, partition, variant), so
+// identical requests from distinct tenants land on one entry. A miss runs
+// the caller's build function exactly once even under a thundering herd:
+// concurrent Gets for the same missing key block on the leader's build and
+// share its result — the partition service compiles each Program once, no
+// matter how many tenants ask simultaneously.
+//
+// Values are expected to be immutable (compiled dataflow.Programs, built
+// graphs); the cache hands the same value to every caller.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recent
+	entries  map[string]*list.Element
+	inflight map[string]*call
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	shared atomic.Int64 // waits that piggybacked on an in-flight build
+}
+
+// cacheEntry is one resident value.
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// call is one in-flight build.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns a cache holding at most max entries (max ≤ 0 means 256).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 256
+	}
+	return &Cache{
+		max:      max,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Get returns the value for key, building it if absent. hit reports
+// whether the value came from cache (including piggybacking on another
+// caller's in-flight build — the compile was skipped either way). Build
+// errors are returned to every waiter and not cached.
+func (c *Cache) Get(key string, build func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-cl.done
+		if cl.err != nil {
+			return nil, false, cl.err
+		}
+		c.hits.Add(1)
+		c.shared.Add(1)
+		return cl.val, true, nil
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	cl.val, cl.err = build()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil {
+		c.insert(key, cl.val)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.val, false, cl.err
+}
+
+// insert adds a value and evicts the least-recently-used overflow. Caller
+// holds c.mu.
+func (c *Cache) insert(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss/deduplicated-build counters.
+func (c *Cache) Stats() (hits, misses, shared int64) {
+	return c.hits.Load(), c.misses.Load(), c.shared.Load()
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (c *Cache) HitRate() float64 {
+	h, m, _ := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

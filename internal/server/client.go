@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"wishbone/internal/runtime"
+	"wishbone/internal/wire"
+)
+
+// Client is the Go client for the partition service. The zero value is
+// not usable; call NewClient. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at base (e.g.
+// "http://localhost:9090"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// post sends a JSON body and decodes the JSON response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er wire.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server: %s (%s)", er.Error, resp.Status)
+		}
+		return fmt.Errorf("server: %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Graph fetches a spec's elaborated structure and content hash.
+func (c *Client) Graph(ctx context.Context, spec wire.GraphSpec) (*wire.GraphResponse, error) {
+	var out wire.GraphResponse
+	if err := c.post(ctx, "/v1/graph", wire.GraphRequest{Graph: spec}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Profile profiles a graph on the server.
+func (c *Client) Profile(ctx context.Context, req wire.ProfileRequest) (*wire.ProfileResponse, error) {
+	var out wire.ProfileResponse
+	if err := c.post(ctx, "/v1/profile", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Partition runs the full AutoPartition loop on the server.
+func (c *Client) Partition(ctx context.Context, req wire.PartitionRequest) (*wire.PartitionResponse, error) {
+	var out wire.PartitionResponse
+	if err := c.post(ctx, "/v1/partition", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Simulate runs a deployment simulation on the server.
+func (c *Client) Simulate(ctx context.Context, req wire.SimulateRequest) (*wire.SimulateResponse, error) {
+	var out wire.SimulateResponse
+	if err := c.post(ctx, "/v1/simulate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SimulateResult is Simulate with the result converted to the in-process
+// runtime.Result type (byte-identical to a local runtime.Run — JSON
+// float64 round-trips are exact).
+func (c *Client) SimulateResult(ctx context.Context, req wire.SimulateRequest) (*runtime.Result, *wire.SimulateResponse, error) {
+	resp, err := c.Simulate(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wireToResult(resp.Result), resp, nil
+}
+
+// Stats fetches the server's metrics snapshot.
+func (c *Client) Stats(ctx context.Context) (*Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var out Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether /healthz answers.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

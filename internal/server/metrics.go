@@ -1,0 +1,111 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics aggregates per-endpoint counters and latencies plus cache and
+// job-pool gauges. All methods are safe for concurrent use; Snapshot is
+// what GET /v1/stats serves.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	inflight  int64
+	queued    int64
+}
+
+// endpointStats accumulates one endpoint's counters.
+type endpointStats struct {
+	Requests  int64
+	Errors    int64
+	totalime  time.Duration
+	maxTime   time.Duration
+	CacheHits int64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint string, d time.Duration, cacheHit bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.endpoints[endpoint]
+	if s == nil {
+		s = &endpointStats{}
+		m.endpoints[endpoint] = s
+	}
+	s.Requests++
+	if err != nil {
+		s.Errors++
+	}
+	if cacheHit {
+		s.CacheHits++
+	}
+	s.totalime += d
+	if d > s.maxTime {
+		s.maxTime = d
+	}
+}
+
+// JobStarted / JobFinished track the bounded pool's in-flight gauge;
+// JobQueued / JobDequeued track callers waiting for a slot.
+func (m *Metrics) JobStarted()  { m.mu.Lock(); m.inflight++; m.mu.Unlock() }
+func (m *Metrics) JobFinished() { m.mu.Lock(); m.inflight--; m.mu.Unlock() }
+func (m *Metrics) JobQueued()   { m.mu.Lock(); m.queued++; m.mu.Unlock() }
+func (m *Metrics) JobDequeued() { m.mu.Lock(); m.queued--; m.mu.Unlock() }
+
+// EndpointSnapshot is one endpoint's externally visible stats.
+type EndpointSnapshot struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	CacheHits int64   `json:"cacheHits"`
+	MeanMs    float64 `json:"meanMs"`
+	MaxMs     float64 `json:"maxMs"`
+}
+
+// Snapshot is the full stats document.
+type Snapshot struct {
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+
+	// Program/graph cache counters.
+	CacheEntries int64   `json:"cacheEntries"`
+	CacheHits    int64   `json:"cacheHits"`
+	CacheMisses  int64   `json:"cacheMisses"`
+	CacheShared  int64   `json:"cacheShared"` // builds avoided by singleflight
+	CacheHitRate float64 `json:"cacheHitRate"`
+
+	// Job pool gauges.
+	InFlightJobs int64 `json:"inFlightJobs"`
+	QueuedJobs   int64 `json:"queuedJobs"`
+}
+
+// Snapshot captures current values, folding in the cache's counters.
+func (m *Metrics) Snapshot(c *Cache) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Snapshot{Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints))}
+	for name, s := range m.endpoints {
+		es := EndpointSnapshot{
+			Requests:  s.Requests,
+			Errors:    s.Errors,
+			CacheHits: s.CacheHits,
+			MaxMs:     float64(s.maxTime) / float64(time.Millisecond),
+		}
+		if s.Requests > 0 {
+			es.MeanMs = float64(s.totalime) / float64(s.Requests) / float64(time.Millisecond)
+		}
+		out.Endpoints[name] = es
+	}
+	if c != nil {
+		out.CacheEntries = int64(c.Len())
+		out.CacheHits, out.CacheMisses, out.CacheShared = c.Stats()
+		out.CacheHitRate = c.HitRate()
+	}
+	out.InFlightJobs = m.inflight
+	out.QueuedJobs = m.queued
+	return out
+}

@@ -1,0 +1,564 @@
+// Package server is Wishbone's multi-tenant partition service: a
+// long-running HTTP/JSON API that accepts dataflow graphs by description
+// (wire.GraphSpec — a built-in application or wscript source, since work
+// functions cannot cross a process boundary), re-elaborates them once, and
+// serves profile, partition (full AutoPartition including the §4.3 rate
+// search), and simulate requests concurrently.
+//
+// The paper's toolchain is a one-shot compiler run per application; the
+// service turns the same profile→ILP→partition loop into shared
+// infrastructure, the way distributed NUM work treats resource allocation
+// as a service many clients query. Three properties make that cheap:
+//
+//   - Compiled Programs are immutable and goroutine-shareable
+//     (dataflow.Compile), so one compilation serves every tenant; each
+//     request executes its own Instance.
+//   - Everything expensive is content-addressed: graphs by the canonical
+//     (spec ‖ structural-hash) digest, Programs by (graph, partition,
+//     variant), reports by (graph, trace). An LRU bounds residency.
+//   - A singleflight layer under the cache compiles once per key even
+//     when a thundering herd of tenants misses simultaneously.
+//
+// Heavy work (profiling, ILP solves, simulations) runs under a bounded
+// job pool; simulations additionally bound their per-node worker pools
+// (the PR 1 machinery) so one tenant cannot monopolize the host.
+// Per-endpoint metrics — cache hit rate, latencies, in-flight jobs — are
+// served at GET /v1/stats.
+//
+// Endpoints (all request/response bodies in internal/wire):
+//
+//	POST /v1/graph      → structure + content hash of a spec's graph
+//	POST /v1/profile    → profile.Report (§3)
+//	POST /v1/partition  → AutoPartition assignment + sustainable rate
+//	POST /v1/simulate   → runtime.Result (§7.3), explicit or auto cut
+//	GET  /v1/stats      → metrics snapshot
+//	GET  /healthz       → liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	wbruntime "wishbone/internal/runtime"
+	"wishbone/internal/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheEntries bounds the content-addressed LRU (graphs, Programs,
+	// reports). 0 means 256.
+	CacheEntries int
+
+	// MaxJobs bounds concurrently executing heavy requests (profile,
+	// partition, simulate); excess requests queue. 0 means GOMAXPROCS.
+	MaxJobs int
+
+	// SimWorkers bounds each simulation's node worker pool. 0 lets the
+	// runtime use GOMAXPROCS.
+	SimWorkers int
+}
+
+// Server implements the partition service. Create with New, expose with
+// Handler, and stop by shutting down the owning http.Server (its Shutdown
+// drains in-flight requests, which drain the job pool).
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	jobs    chan struct{}
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+		jobs:    make(chan struct{}, cfg.MaxJobs),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/graph", s.handleGraph)
+	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close marks the server draining: new requests get 503 while the owning
+// http.Server's Shutdown finishes the in-flight ones.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Stats returns the current metrics snapshot (also served at /v1/stats).
+func (s *Server) Stats() Snapshot { return s.metrics.Snapshot(s.cache) }
+
+// httpError carries a status code through the handler helpers.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// respond writes v as JSON.
+func respond(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// fail writes the error with its status code (500 unless wrapped).
+func fail(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		code = he.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error()})
+}
+
+// decode parses the request body into v.
+func decode(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// acquireJob takes a slot in the bounded pool, waiting in the queue until
+// one frees or the request is abandoned.
+func (s *Server) acquireJob(ctx context.Context) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return &httpError{code: http.StatusServiceUnavailable, err: fmt.Errorf("server: shutting down")}
+	}
+	s.metrics.JobQueued()
+	defer s.metrics.JobDequeued()
+	select {
+	case s.jobs <- struct{}{}:
+		s.metrics.JobStarted()
+		return nil
+	case <-ctx.Done():
+		return &httpError{code: http.StatusServiceUnavailable, err: ctx.Err()}
+	}
+}
+
+func (s *Server) releaseJob() {
+	<-s.jobs
+	s.metrics.JobFinished()
+}
+
+// getEntry resolves a GraphSpec to its cached entry, building on miss.
+func (s *Server) getEntry(spec wire.GraphSpec) (*entry, bool, error) {
+	v, hit, err := s.cache.Get("graph:"+specHash(spec), func() (any, error) {
+		return buildEntry(spec)
+	})
+	if err != nil {
+		return nil, false, badRequest("%v", err)
+	}
+	return v.(*entry), hit, nil
+}
+
+// partitionPrograms is the cached compiled pair for one (graph, cut).
+type partitionPrograms struct {
+	node   *dataflow.Program
+	server *dataflow.Program
+}
+
+// profileProgram returns the entry's cached profiling Program.
+func (s *Server) profileProgram(e *entry) (*dataflow.Program, bool, error) {
+	v, hit, err := s.cache.Get("prog:"+e.id+":profile", func() (any, error) {
+		return profile.CompileForProfiling(e.graph)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*dataflow.Program), hit, nil
+}
+
+// partitionProgramsFor returns the cached node/server Program pair for a
+// cut of the entry's graph.
+func (s *Server) partitionProgramsFor(e *entry, onNode map[int]bool) (*partitionPrograms, bool, error) {
+	key := "prog:" + e.id + ":part:" + partitionHash(onNode)
+	v, hit, err := s.cache.Get(key, func() (any, error) {
+		node, srv, err := wbruntime.CompilePartition(e.graph, onNode)
+		if err != nil {
+			return nil, err
+		}
+		return &partitionPrograms{node: node, server: srv}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*partitionPrograms), hit, nil
+}
+
+// profiledReport returns the entry's cached profile for a trace spec,
+// profiling through the cached Program on miss.
+func (s *Server) profiledReport(e *entry, t wire.TraceSpec) (*profile.Report, bool, error) {
+	key := fmt.Sprintf("report:%s:%d:%g:%d", e.id, t.Seed, t.Seconds, t.Events)
+	progHit := true
+	v, hit, err := s.cache.Get(key, func() (any, error) {
+		prog, ph, err := s.profileProgram(e)
+		if err != nil {
+			return nil, err
+		}
+		progHit = ph
+		inputs := e.traces(t)
+		if len(inputs) == 0 {
+			return nil, fmt.Errorf("server: graph has no profiling inputs")
+		}
+		unlock := e.lock()
+		defer unlock()
+		return profile.RunProgram(prog, inputs)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*profile.Report), hit || progHit, nil
+}
+
+// parseMode maps the wire mode string.
+func parseMode(mode string) (dataflow.Mode, error) {
+	switch mode {
+	case "", "permissive":
+		return dataflow.Permissive, nil
+	case "conservative":
+		return dataflow.Conservative, nil
+	default:
+		return 0, badRequest("unknown mode %q (want permissive or conservative)", mode)
+	}
+}
+
+// parsePlatform resolves the platform name.
+func parsePlatform(name string) (*platform.Platform, error) {
+	if name == "" {
+		return nil, badRequest("missing platform")
+	}
+	p := platform.ByName(name)
+	if p == nil {
+		return nil, badRequest("unknown platform %q", name)
+	}
+	return p, nil
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req wire.GraphRequest
+	var err error
+	var hit bool
+	defer func() { s.metrics.Observe("graph", time.Since(start), hit, err) }()
+	if err = decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	// Elaboration is as heavy as profiling for large specs (wscript
+	// compilation, 1.2k-operator EEG graphs); it takes a job slot too.
+	if err = s.acquireJob(r.Context()); err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.releaseJob()
+	var e *entry
+	e, hit, err = s.getEntry(req.Graph)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	respond(w, wire.GraphResponse{GraphHash: e.key, Graph: wire.NewGraphWire(e.graph)})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var err error
+	var hit bool
+	defer func() { s.metrics.Observe("profile", time.Since(start), hit, err) }()
+	var req wire.ProfileRequest
+	if err = decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if err = s.acquireJob(r.Context()); err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.releaseJob()
+	e, entryHit, err2 := s.getEntry(req.Graph)
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	rep, repHit, err2 := s.profiledReport(e, traceDefaults(req.Trace))
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	hit = entryHit && repHit
+	respond(w, wire.ProfileResponse{
+		GraphHash: e.key,
+		CacheHit:  hit,
+		Report:    wire.NewReportWire(rep),
+	})
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var err error
+	var hit bool
+	defer func() { s.metrics.Observe("partition", time.Since(start), hit, err) }()
+	var req wire.PartitionRequest
+	if err = decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if err = s.acquireJob(r.Context()); err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.releaseJob()
+	resp, err2 := s.partition(&req)
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	hit = resp.CacheHit
+	respond(w, resp)
+}
+
+// partition runs the shared auto-partition path (also the simulate
+// fallback when no explicit cut is given).
+func (s *Server) partition(req *wire.PartitionRequest) (*wire.PartitionResponse, error) {
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	plat, err := parsePlatform(req.Platform)
+	if err != nil {
+		return nil, err
+	}
+	e, entryHit, err := s.getEntry(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	rep, repHit, err := s.profiledReport(e, traceDefaults(req.Trace))
+	if err != nil {
+		return nil, err
+	}
+	cls, err := e.classify(mode)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	spec := profile.BuildSpec(cls, rep, plat)
+	res, err := core.AutoPartition(spec, 1.0, 0.005, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if res.Assignment == nil {
+		return nil, &httpError{
+			code: http.StatusUnprocessableEntity,
+			err:  fmt.Errorf("no feasible partition at any rate on %s", plat.Name),
+		}
+	}
+	return &wire.PartitionResponse{
+		GraphHash:    e.key,
+		CacheHit:     entryHit && repHit,
+		RateMultiple: res.RateMultiple,
+		Probes:       res.Probes,
+		Assignment:   wire.NewAssignmentWire(e.graph, res.Assignment),
+	}, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var err error
+	var hit bool
+	defer func() { s.metrics.Observe("simulate", time.Since(start), hit, err) }()
+	var req wire.SimulateRequest
+	if err = decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if err = s.acquireJob(r.Context()); err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.releaseJob()
+	resp, err2 := s.simulate(&req)
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	hit = resp.CacheHit
+	respond(w, resp)
+}
+
+func (s *Server) simulate(req *wire.SimulateRequest) (*wire.SimulateResponse, error) {
+	plat, err := parsePlatform(req.Platform)
+	if err != nil {
+		return nil, err
+	}
+	if req.Nodes <= 0 || req.Duration <= 0 {
+		return nil, badRequest("need positive nodes and duration")
+	}
+	e, entryHit, err := s.getEntry(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the cut: explicit operator IDs, or auto-partition.
+	hit := entryHit
+	rate := req.RateScale
+	var onNode map[int]bool
+	if len(req.OnNode) > 0 {
+		onNode = make(map[int]bool, e.graph.NumOperators())
+		for _, op := range e.graph.Operators() {
+			onNode[op.ID()] = false
+		}
+		for _, id := range req.OnNode {
+			if e.graph.ByID(id) == nil {
+				return nil, badRequest("onNode lists unknown operator %d", id)
+			}
+			onNode[id] = true
+		}
+	} else {
+		presp, err := s.partition(&wire.PartitionRequest{
+			Graph:    req.Graph,
+			Trace:    req.Trace,
+			Platform: req.Platform,
+			Mode:     req.Mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hit = hit && presp.CacheHit
+		onNode = presp.Assignment.OnNodeMap(e.graph)
+		if rate <= 0 {
+			rate = presp.RateMultiple
+		}
+	}
+	if rate <= 0 {
+		rate = 1
+	}
+
+	cfg := wbruntime.Config{
+		Graph:     e.graph,
+		OnNode:    onNode,
+		Platform:  plat,
+		Nodes:     req.Nodes,
+		Duration:  req.Duration,
+		RateScale: rate,
+		Seed:      req.Seed,
+		Workers:   s.cfg.SimWorkers,
+	}
+	switch req.Engine {
+	case "", "compiled":
+		progs, progHit, err := s.partitionProgramsFor(e, onNode)
+		if err != nil {
+			return nil, err
+		}
+		hit = hit && progHit
+		cfg.NodeProgram, cfg.ServerProgram = progs.node, progs.server
+	case "legacy":
+		cfg.Engine = wbruntime.EngineLegacy
+		hit = false
+	default:
+		return nil, badRequest("unknown engine %q (want compiled or legacy)", req.Engine)
+	}
+
+	t := traceDefaults(req.Trace)
+	if req.DistinctTraces {
+		cfg.Inputs = func(nodeID int) []profile.Input {
+			tt := t
+			tt.Seed = t.Seed + int64(nodeID)
+			return e.traces(tt)
+		}
+	} else {
+		shared := e.traces(t)
+		if len(shared) == 0 {
+			return nil, badRequest("graph has no trace inputs")
+		}
+		cfg.Inputs = func(nodeID int) []profile.Input { return shared }
+	}
+
+	unlock := e.lock()
+	res, err := wbruntime.Run(cfg)
+	unlock()
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return &wire.SimulateResponse{
+		GraphHash:    e.key,
+		CacheHit:     hit,
+		RateMultiple: rate,
+		Result:       resultToWire(res),
+	}, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	respond(w, s.Stats())
+}
+
+// resultToWire and wireToResult copy between runtime.Result and its wire
+// mirror (wire cannot import runtime).
+func resultToWire(r *wbruntime.Result) *wire.ResultWire {
+	return &wire.ResultWire{
+		InputEvents:           r.InputEvents,
+		ProcessedEvents:       r.ProcessedEvents,
+		MsgsSent:              r.MsgsSent,
+		MsgsReceived:          r.MsgsReceived,
+		PayloadBytes:          r.PayloadBytes,
+		DeliveredBytes:        r.DeliveredBytes,
+		ServerEmits:           r.ServerEmits,
+		OfferedAirBytesPerSec: r.OfferedAirBytesPerSec,
+		DeliveryRatio:         r.DeliveryRatio,
+		NodeCPU:               r.NodeCPU,
+	}
+}
+
+func wireToResult(w *wire.ResultWire) *wbruntime.Result {
+	return &wbruntime.Result{
+		InputEvents:           w.InputEvents,
+		ProcessedEvents:       w.ProcessedEvents,
+		MsgsSent:              w.MsgsSent,
+		MsgsReceived:          w.MsgsReceived,
+		PayloadBytes:          w.PayloadBytes,
+		DeliveredBytes:        w.DeliveredBytes,
+		ServerEmits:           w.ServerEmits,
+		OfferedAirBytesPerSec: w.OfferedAirBytesPerSec,
+		DeliveryRatio:         w.DeliveryRatio,
+		NodeCPU:               w.NodeCPU,
+	}
+}

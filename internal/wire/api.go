@@ -1,0 +1,117 @@
+package wire
+
+// Request and response bodies of the partition service's HTTP/JSON API
+// (internal/server). Every response carries the graph's canonical content
+// hash — the cache key prefix — and whether the request was served from
+// cached compiled Programs, so clients (and the throughput benchmark) can
+// observe cache behavior end to end.
+
+// TraceSpec parameterizes the deterministic synthetic trace a request is
+// profiled or simulated against. Zero values select the server defaults
+// (seed 1; 2 seconds; 64 events per wscript source).
+type TraceSpec struct {
+	Seed    int64   `json:"seed,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	Events  int     `json:"events,omitempty"`
+}
+
+// GraphRequest asks for a graph's structure and content hash.
+type GraphRequest struct {
+	Graph GraphSpec `json:"graph"`
+}
+
+// GraphResponse returns the elaborated graph's shape.
+type GraphResponse struct {
+	GraphHash string     `json:"graphHash"`
+	Graph     *GraphWire `json:"structure"`
+}
+
+// ProfileRequest asks the server to profile a graph (§3).
+type ProfileRequest struct {
+	Graph GraphSpec `json:"graph"`
+	Trace TraceSpec `json:"trace,omitempty"`
+}
+
+// ProfileResponse carries the profile report.
+type ProfileResponse struct {
+	GraphHash string      `json:"graphHash"`
+	CacheHit  bool        `json:"cacheHit"`
+	Report    *ReportWire `json:"report"`
+}
+
+// PartitionRequest asks for a full AutoPartition: profile, classify, solve
+// at full rate, and fall back to the §4.3 rate search when infeasible.
+type PartitionRequest struct {
+	Graph    GraphSpec `json:"graph"`
+	Trace    TraceSpec `json:"trace,omitempty"`
+	Platform string    `json:"platform"`
+	// Mode is "permissive" (default) or "conservative" (§2.1.1).
+	Mode string `json:"mode,omitempty"`
+}
+
+// PartitionResponse carries the chosen assignment.
+type PartitionResponse struct {
+	GraphHash string `json:"graphHash"`
+	CacheHit  bool   `json:"cacheHit"`
+	// RateMultiple is 1 when the program fits at full rate, less when the
+	// rate search had to shed load.
+	RateMultiple float64         `json:"rateMultiple"`
+	Probes       int             `json:"probes"`
+	Assignment   *AssignmentWire `json:"assignment"`
+}
+
+// SimulateRequest asks for a deployment simulation (§7.3). OnNode lists
+// the operator IDs placed on the node; when empty the server partitions
+// first (AutoPartition) and simulates the chosen cut at its sustainable
+// rate.
+type SimulateRequest struct {
+	Graph    GraphSpec `json:"graph"`
+	Trace    TraceSpec `json:"trace,omitempty"`
+	Platform string    `json:"platform"`
+	Mode     string    `json:"mode,omitempty"`
+	OnNode   []int     `json:"onNode,omitempty"`
+
+	Nodes     int     `json:"nodes"`
+	Duration  float64 `json:"duration"`
+	RateScale float64 `json:"rateScale,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	// DistinctTraces gives every node its own trace (seed offset by node
+	// ID) instead of one shared recording.
+	DistinctTraces bool `json:"distinctTraces,omitempty"`
+	// Engine is "compiled" (default; served from the program cache) or
+	// "legacy" (reference tree-walking engine, never cached).
+	Engine string `json:"engine,omitempty"`
+}
+
+// ResultWire mirrors runtime.Result field for field (wire cannot import
+// runtime: runtime imports wire for the packet codec). The server and
+// client copy between the two; JSON float64 round-trips are exact, so a
+// decoded result is byte-identical to the in-process one.
+type ResultWire struct {
+	InputEvents     int `json:"inputEvents"`
+	ProcessedEvents int `json:"processedEvents"`
+	MsgsSent        int `json:"msgsSent"`
+	MsgsReceived    int `json:"msgsReceived"`
+	PayloadBytes    int `json:"payloadBytes"`
+	DeliveredBytes  int `json:"deliveredBytes"`
+	ServerEmits     int `json:"serverEmits"`
+
+	OfferedAirBytesPerSec float64 `json:"offeredAirBytesPerSec"`
+	DeliveryRatio         float64 `json:"deliveryRatio"`
+	NodeCPU               float64 `json:"nodeCPU"`
+}
+
+// SimulateResponse carries the simulation result.
+type SimulateResponse struct {
+	GraphHash string `json:"graphHash"`
+	CacheHit  bool   `json:"cacheHit"`
+	// RateMultiple echoes the applied rate scale (from the request, or
+	// from the auto-partition fallback).
+	RateMultiple float64     `json:"rateMultiple"`
+	Result       *ResultWire `json:"result"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -37,10 +37,32 @@
 // reference engine; parity tests assert both produce byte-identical
 // profiles and simulation results.
 //
+// # Partition service
+//
+// The profile→ILP→partition loop is also available as a long-running
+// multi-tenant service (internal/server, cmd/wbserved): clients submit
+// graphs by description over an HTTP/JSON API (a built-in application
+// name or wscript source — work functions cannot cross a process
+// boundary, so the server re-elaborates graphs the way the paper's
+// compiler re-elaborates WaveScript), and the server answers profile,
+// partition, and simulate requests concurrently. Compiled Programs are
+// cached in a content-addressed LRU keyed by the canonical
+// (graph-spec, structural-hash, partition, variant) string — Programs are
+// immutable and goroutine-shareable by design, so one cached Program
+// serves any number of tenants, each executing its own Instance. A
+// singleflight layer deduplicates compilation under thundering herds
+// (one compile, everyone waits), a bounded job pool caps concurrent
+// heavy work (simulations additionally bound their per-node worker pools),
+// and per-endpoint metrics (cache hit rate, latency, in-flight jobs) are
+// served at /v1/stats. Server-returned reports and results are
+// byte-identical to in-process profile.Run/runtime.Run, which the parity
+// tests in internal/server assert.
+//
 // The subsystems are available directly for finer control: see
 // internal/core (ILP formulations), internal/profile, internal/runtime
-// (deployment simulation), internal/netsim (radio model), and
-// internal/experiments (every figure of the paper's evaluation).
+// (deployment simulation), internal/netsim (radio model), internal/server
+// (the partition service), and internal/experiments (every figure of the
+// paper's evaluation).
 package wishbone
 
 import (
@@ -184,27 +206,18 @@ func AutoPartition(g *Graph, mode Mode, inputs []Input, plat *Platform, opts *Op
 	spec := profile.BuildSpec(cls, rep, plat)
 	dep := &Deployment{Report: rep, Spec: spec}
 
-	asg, err := core.Partition(spec, o)
-	if err == nil {
-		dep.Assignment = asg
-		dep.RateMultiple = 1
-		return dep, nil
-	}
-	if _, ok := err.(*core.ErrInfeasible); !ok {
-		return nil, err
-	}
-	// Overloaded: find the maximum sustainable rate (§4.3), capped below
-	// the radio's congestion-collapse region as the deployment procedure
-	// prescribes (§7.3.1).
-	res, err := core.MaxRate(spec, 1.0, 0.005, o)
+	// Full rate first; when overloaded, the maximum sustainable rate
+	// (§4.3) — one re-entrant core call, shared with the partition
+	// service.
+	res, err := core.AutoPartition(spec, 1.0, 0.005, o)
 	if err != nil {
 		return nil, err
 	}
-	if res.Rate <= 0 || res.Assignment == nil {
+	if res.Assignment == nil {
 		return nil, fmt.Errorf("wishbone: no feasible partition at any rate on %s", plat.Name)
 	}
 	dep.Assignment = res.Assignment
-	dep.RateMultiple = res.Rate
+	dep.RateMultiple = res.RateMultiple
 	return dep, nil
 }
 
