@@ -455,7 +455,7 @@ func BenchmarkAblationPreprocessing(b *testing.B) {
 				GapTol: 0.01, TimeLimit: 60 * time.Second}
 			var clusters int
 			for i := 0; i < b.N; i++ {
-				asg, err := core.Partition(spec, opts)
+				asg, err := core.Partition(context.Background(), spec, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -476,7 +476,7 @@ func BenchmarkAblationFormulation(b *testing.B) {
 		b.Run(f.String(), func(b *testing.B) {
 			opts := core.Options{Formulation: f, Preprocess: true}
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Partition(spec, opts); err != nil {
+				if _, err := core.Partition(context.Background(), spec, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -499,7 +499,7 @@ func BenchmarkAblationBaselines(b *testing.B) {
 		run  func() (*core.Assignment, error)
 	}
 	solvers := []solver{
-		{"ilp", func() (*core.Assignment, error) { return core.Partition(spec, core.DefaultOptions()) }},
+		{"ilp", func() (*core.Assignment, error) { return core.Partition(context.Background(), spec, core.DefaultOptions()) }},
 		{"greedy", func() (*core.Assignment, error) { return baseline.Greedy(spec) }},
 		{"chain-exhaustive", func() (*core.Assignment, error) { return baseline.ChainExhaustive(spec) }},
 	}
@@ -553,7 +553,7 @@ func BenchmarkAblationMeanVsPeak(b *testing.B) {
 			var cpu float64
 			var onNode float64
 			for i := 0; i < b.N; i++ {
-				asg, err := core.Partition(&s, core.DefaultOptions())
+				asg, err := core.Partition(context.Background(), &s, core.DefaultOptions())
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|all] [-seconds N] [-fig6n N]
-//	        [-engine compiled|legacy]
+//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|all] [-seconds N]
+//	        [-fig6n N] [-engine compiled|legacy]
+//	        [-solver exact|lagrangian|greedy|race|all]
+//
+// The solvers figure compares the pluggable solver backends (objective,
+// proven gap, latency, race wins) on the speech and EEG specs; -solver
+// restricts it to one backend (plus the exact reference).
 package main
 
 import (
@@ -20,10 +25,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, all)")
+	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, all)")
 	seconds := flag.Float64("seconds", 60, "simulated deployment duration for figures 9-10")
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
 	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
+	solverName := flag.String("solver", "all", "backend for the solvers figure: exact|lagrangian|greedy|race|all")
 	flag.Parse()
 
 	var engine runtime.Engine
@@ -137,6 +143,21 @@ func main() {
 						100*gm.PredictedCPU, 100*gm.MeasuredCPU)},
 			},
 		})
+	}
+	if want("solvers") {
+		backends := []string{"exact", "lagrangian", "greedy", "race"}
+		switch *solverName {
+		case "all":
+		case "exact":
+			backends = []string{"exact"}
+		default:
+			backends = []string{"exact", *solverName}
+		}
+		rows, err := experiments.SolverCompare(backends)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out(experiments.SolverCompareTable(rows))
 	}
 	if want("scale") {
 		env, err := experiments.NewEEGEnv(22, 8)

@@ -7,6 +7,7 @@
 //
 //	wishbone -src prog.ws [-platform TMoteSky] [-mode permissive]
 //	         [-events 64] [-dot out.dot] [-maxrate]
+//	         [-solver exact|lagrangian|greedy|race]
 //	         [-engine compiled|legacy] [-server http://host:9090]
 //
 // Sources in the program are fed a synthetic ramp signal; real deployments
@@ -32,6 +33,7 @@ import (
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
 	"wishbone/internal/server"
+	"wishbone/internal/solver"
 	"wishbone/internal/viz"
 	"wishbone/internal/wire"
 	"wishbone/internal/wscript"
@@ -45,6 +47,7 @@ func main() {
 	window := flag.Int("window", 0, "feed each source windows of N samples instead of scalars")
 	dotPath := flag.String("dot", "", "write a GraphViz visualization here")
 	maxrate := flag.Bool("maxrate", false, "if infeasible, binary-search the max sustainable rate")
+	solverName := flag.String("solver", "exact", "solver backend: exact|lagrangian|greedy|race (all raced, best feasible wins)")
 	engineName := flag.String("engine", "compiled", "profiling engine: compiled|legacy (reference tree-walker)")
 	serverURL := flag.String("server", "", "partition-service base URL; when set, requests go to wbserved instead of running in process")
 	flag.Parse()
@@ -90,7 +93,7 @@ func main() {
 		if *maxrate {
 			fmt.Println("note: -maxrate is implied with -server (the service always falls back to the rate search)")
 		}
-		runRemote(*serverURL, string(src), *platName, *modeName, *events)
+		runRemote(*serverURL, string(src), *platName, *modeName, *solverName, *events)
 		return
 	}
 
@@ -126,16 +129,21 @@ func main() {
 	}
 	spec := profile.BuildSpec(cls, rep, plat)
 
-	asg, err := core.Partition(spec, core.DefaultOptions())
+	ctx := context.Background()
+	sv, err := solver.New(*solverName, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	asg, sstats, err := sv.Solve(ctx, spec, core.Limits{})
 	rate := 1.0
 	if err != nil {
-		if _, ok := err.(*core.ErrInfeasible); !ok {
+		if !core.IsInfeasible(err) {
 			log.Fatal(err)
 		}
 		if !*maxrate {
 			log.Fatalf("no feasible partition on %s at full rate; rerun with -maxrate", plat.Name)
 		}
-		res, err := core.MaxRate(spec, 1, 0.005, core.DefaultOptions())
+		res, err := core.MaxRateWith(ctx, spec, 1, 0.005, core.Limits{}, sv)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -144,6 +152,24 @@ func main() {
 		}
 		asg, rate = res.Assignment, res.Rate
 		fmt.Printf("full rate infeasible; max sustainable rate = %.3f×\n", rate)
+	} else if *solverName != core.SolverExact {
+		// Which backend actually answered, and how tight is its bound?
+		gap := "no bound"
+		if asg.Stats.Gap >= 0 {
+			gap = fmt.Sprintf("gap ≤ %.2f%%", 100*asg.Stats.Gap)
+		}
+		fmt.Printf("solver %s answered in %.0f ms (%s)\n",
+			asg.Stats.Solver, 1000*sstats.Seconds, gap)
+		for _, sub := range sstats.Sub {
+			state := "lost"
+			if sub.Winner {
+				state = "won"
+			}
+			if sub.Err != "" {
+				state = "failed"
+			}
+			fmt.Printf("  raced %-11s %7.0f ms  %s\n", sub.Backend, 1000*sub.Seconds, state)
+		}
 	}
 
 	fmt.Printf("partition on %s (rate ×%.3f): node CPU %.1f%%, radio %.0f B/s, %d/%d operators on node\n",
@@ -173,7 +199,7 @@ func main() {
 
 // runRemote is the client mode: submit the program to a wbserved
 // instance and print the partition it chose.
-func runRemote(baseURL, src, platName, modeName string, events int) {
+func runRemote(baseURL, src, platName, modeName, solverName string, events int) {
 	ctx := context.Background()
 	client := server.NewClient(baseURL, nil)
 	spec := wire.GraphSpec{App: "wscript", Source: src}
@@ -190,6 +216,7 @@ func runRemote(baseURL, src, platName, modeName string, events int) {
 		Trace:    wire.TraceSpec{Events: events},
 		Platform: platName,
 		Mode:     modeName,
+		Solver:   solverName,
 	})
 	if err != nil {
 		log.Fatal(err)

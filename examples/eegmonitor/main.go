@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	app := eeg.New()
 	fmt.Printf("EEG application: %d operators, %d edges, %d channels\n",
 		app.Graph.NumOperators(), app.Graph.NumEdges(), eeg.Channels)
@@ -36,9 +38,9 @@ func main() {
 
 	fmt.Printf("\n%-8s %-14s %-14s %-12s\n", "rate ×", "ops on node", "node CPU %", "radio B/s")
 	for _, rate := range []float64{0.25, 0.5, 1, 2, 4, 8} {
-		asg, err := core.Partition(spec.Scaled(rate), core.DefaultOptions())
+		asg, err := core.Partition(ctx, spec.Scaled(rate), core.DefaultOptions())
 		if err != nil {
-			if _, ok := err.(*core.ErrInfeasible); ok {
+			if core.IsInfeasible(err) {
 				fmt.Printf("%-8.2f infeasible\n", rate)
 				continue
 			}
@@ -50,7 +52,7 @@ func main() {
 
 	// Where does the seizure detector itself live? Always on the server:
 	// it is stateful with serial semantics across the whole patient.
-	asg, err := core.Partition(spec, core.DefaultOptions())
+	asg, err := core.Partition(ctx, spec, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

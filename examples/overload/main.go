@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	app := speech.New()
 	rep, err := profile.Run(app.Graph, []profile.Input{app.SampleTrace(3, 3.0)})
 	if err != nil {
@@ -50,16 +52,16 @@ func main() {
 	// Step 2: partition with the profiled cap; full rate will not fit.
 	spec := profile.BuildSpec(cls, rep, tm)
 	spec.NetBudget = netsim.PerNodePayloadBudget(tm.Radio, maxAir, 1)
-	if _, err := core.Partition(spec, core.DefaultOptions()); err == nil {
+	if _, err := core.Partition(ctx, spec, core.DefaultOptions()); err == nil {
 		fmt.Println("unexpected: the full-rate program fit!")
-	} else if _, ok := err.(*core.ErrInfeasible); ok {
+	} else if core.IsInfeasible(err) {
 		fmt.Println("full-rate partitioning: infeasible (as the paper finds for TinyOS)")
 	} else {
 		log.Fatal(err)
 	}
 
 	// Step 3: binary search the maximum sustainable rate.
-	res, err := core.MaxRate(spec, 2.0, 0.002, core.DefaultOptions())
+	res, err := core.MaxRate(ctx, spec, 2.0, 0.002, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

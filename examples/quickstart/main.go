@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -100,8 +101,15 @@ func main() {
 	g, src := buildProgram()
 	inputs := sampleTrace(src)
 
+	// The Planner is the configured front door: solver backend, relocation
+	// mode, and rate search are fixed once; the defaults reproduce the
+	// paper (exact ILP, permissive relocation). Try
+	// wishbone.WithSolver("race") to hedge with the heuristic backends.
+	planner := wishbone.NewPlanner(wishbone.WithMode(wishbone.Permissive))
+	ctx := context.Background()
+
 	for _, plat := range []*wishbone.Platform{wishbone.TMoteSky(), wishbone.MerakiMini()} {
-		dep, err := wishbone.AutoPartition(g, wishbone.Permissive, inputs, plat, nil)
+		dep, err := planner.AutoPartition(ctx, g, inputs, plat)
 		if err != nil {
 			log.Fatalf("%s: %v", plat.Name, err)
 		}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestChainExhaustiveMatchesILP(t *testing.T) {
 	for _, budget := range []float64{0, 1, 2, 5, 10} {
 		s := *spec
 		s.CPUBudget = budget
-		want, errILP := core.Partition(&s, core.DefaultOptions())
+		want, errILP := core.Partition(context.Background(), &s, core.DefaultOptions())
 		got, errChain := ChainExhaustive(&s)
 		if budget == 1 {
 			// Only the zero-cost source fits... the source costs 0, so cut
@@ -87,7 +88,7 @@ func TestGreedyFeasibleAndNoBetterThanILP(t *testing.T) {
 		if err := greedy.Verify(&s); err != nil {
 			t.Fatalf("budget %v: greedy produced invalid cut: %v", budget, err)
 		}
-		ilp, err := core.Partition(&s, core.DefaultOptions())
+		ilp, err := core.Partition(context.Background(), &s, core.DefaultOptions())
 		if err != nil {
 			t.Fatalf("budget %v: %v", budget, err)
 		}

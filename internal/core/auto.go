@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // AutoResult is the outcome of AutoPartition.
 type AutoResult struct {
 	// Assignment is the chosen partition, nil when no rate in (0, hi] is
@@ -11,35 +13,49 @@ type AutoResult struct {
 	// §4.3 binary search had to shed load, 0 when nothing is feasible.
 	RateMultiple float64
 
-	// Probes counts Partition invocations (1 when full rate fits).
+	// Probes counts solver invocations (1 when full rate fits).
 	Probes int
+
+	// Solves records per-probe backend telemetry in probe order — for
+	// raced solves each entry carries the per-backend breakdown in Sub.
+	Solves []BackendStats
 }
 
 // AutoPartition is the paper's full decision procedure as one re-entrant
-// call: solve spec at rate scale hi; if infeasible, binary-search the
-// maximum sustainable rate (§4.3) with relative precision tol and return
-// the partition there. It is a pure function of its arguments — no global
-// or package state — so any number of goroutines may run it concurrently
-// over shared Specs, which is how the partition service serves tenants.
+// call: solve spec at rate scale hi with the exact backend; if infeasible,
+// binary-search the maximum sustainable rate (§4.3) with relative
+// precision tol and return the partition there. It is a pure function of
+// its arguments — no global or package state — so any number of
+// goroutines may run it concurrently over shared Specs, which is how the
+// partition service serves tenants.
 //
 // hi ≤ 0 defaults to 1 (the profiled full rate); tol ≤ 0 defaults to
 // 0.005. A nil error with a nil Assignment means no probed rate was
 // feasible.
-func AutoPartition(spec *Spec, hi, tol float64, opts Options) (*AutoResult, error) {
+func AutoPartition(ctx context.Context, spec *Spec, hi, tol float64, opts Options) (*AutoResult, error) {
+	return AutoPartitionWith(ctx, spec, hi, tol, Limits{}, Exact{Opts: opts})
+}
+
+// AutoPartitionWith is AutoPartition with an arbitrary solver backend
+// (exact, lagrangian, greedy, or a Raced combination).
+func AutoPartitionWith(ctx context.Context, spec *Spec, hi, tol float64, lim Limits, sv Solver) (*AutoResult, error) {
 	if hi <= 0 {
 		hi = 1
 	}
 	if tol <= 0 {
 		tol = 0.005
 	}
-	asg, err := Partition(spec.Scaled(hi), opts)
+	asg, st, err := sv.Solve(ctx, spec.Scaled(hi), lim)
 	if err == nil {
-		return &AutoResult{Assignment: asg, RateMultiple: hi, Probes: 1}, nil
+		return &AutoResult{Assignment: asg, RateMultiple: hi, Probes: 1, Solves: []BackendStats{st}}, nil
 	}
-	if _, ok := err.(*ErrInfeasible); !ok {
+	if !IsInfeasible(err) {
 		return nil, err
 	}
-	res, err := MaxRate(spec, hi, tol, opts)
+	// The full-rate probe above is the rate search's fast path; enter the
+	// binary search directly rather than proving infeasibility twice.
+	res, err := maxRateBelow(ctx, spec, hi, tol, lim, sv,
+		&RateSearchResult{Probes: 1, Solves: []BackendStats{st}})
 	if err != nil {
 		return nil, err
 	}
@@ -47,5 +63,6 @@ func AutoPartition(spec *Spec, hi, tol float64, opts Options) (*AutoResult, erro
 		Assignment:   res.Assignment,
 		RateMultiple: res.Rate,
 		Probes:       res.Probes,
+		Solves:       res.Solves,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -59,7 +60,7 @@ func TestFig3BudgetSweep(t *testing.T) {
 	for budget, wantBW := range want {
 		s := *spec
 		s.CPUBudget = budget
-		asg, err := Partition(&s, DefaultOptions())
+		asg, err := Partition(context.Background(), &s, DefaultOptions())
 		if err != nil {
 			t.Fatalf("budget %v: %v", budget, err)
 		}
@@ -79,8 +80,8 @@ func TestFig3FormulationsAgree(t *testing.T) {
 		s := *spec
 		s.CPUBudget = budget
 		for _, pre := range []bool{true, false} {
-			r, errR := Partition(&s, Options{Formulation: Restricted, Preprocess: pre})
-			g, errG := Partition(&s, Options{Formulation: General, Preprocess: pre})
+			r, errR := Partition(context.Background(), &s, Options{Formulation: Restricted, Preprocess: pre})
+			g, errG := Partition(context.Background(), &s, Options{Formulation: General, Preprocess: pre})
 			if (errR == nil) != (errG == nil) {
 				t.Fatalf("budget %v pre=%v: restricted err=%v, general err=%v",
 					budget, pre, errR, errG)
@@ -100,7 +101,7 @@ func TestInfeasibleWhenBudgetTiny(t *testing.T) {
 	_, spec := fig3Graph(t)
 	s := *spec
 	s.CPUBudget = 1 // sources alone need 2
-	_, err := Partition(&s, DefaultOptions())
+	_, err := Partition(context.Background(), &s, DefaultOptions())
 	if _, ok := err.(*ErrInfeasible); !ok {
 		t.Fatalf("err=%v, want ErrInfeasible", err)
 	}
@@ -111,7 +112,7 @@ func TestNetBudgetForcesDeeperCut(t *testing.T) {
 	s := *spec
 	s.CPUBudget = 100
 	s.NetBudget = 5.5 // bandwidth 8 and 6 are out; 5 (or 3) must be chosen
-	asg, err := Partition(&s, DefaultOptions())
+	asg, err := Partition(context.Background(), &s, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestMaxRateBinarySearch(t *testing.T) {
 	s.NetBudget = 5
 	// At scale 2 it does not fit: cheapest full-node cut needs cpu 8... so
 	// the max scale is where both budgets hold.
-	res, err := MaxRate(&s, 4, 0.001, DefaultOptions())
+	res, err := MaxRate(context.Background(), &s, 4, 0.001, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +136,10 @@ func TestMaxRateBinarySearch(t *testing.T) {
 		t.Fatal("expected a feasible rate")
 	}
 	// Verify the reported rate is feasible and 1.35× it is not.
-	if _, err := Partition(s.Scaled(res.Rate), DefaultOptions()); err != nil {
+	if _, err := Partition(context.Background(), s.Scaled(res.Rate), DefaultOptions()); err != nil {
 		t.Fatalf("reported rate %v infeasible: %v", res.Rate, err)
 	}
-	if _, err := Partition(s.Scaled(res.Rate*1.35), DefaultOptions()); err == nil {
+	if _, err := Partition(context.Background(), s.Scaled(res.Rate*1.35), DefaultOptions()); err == nil {
 		t.Fatalf("rate %v should be near the feasibility boundary", res.Rate)
 	}
 }
@@ -147,7 +148,7 @@ func TestMaxRateAllInfeasible(t *testing.T) {
 	_, spec := fig3Graph(t)
 	s := *spec
 	s.CPUBudget = 0.5 // sources can never fit
-	res, err := MaxRate(&s, 8, 0.01, DefaultOptions())
+	res, err := MaxRate(context.Background(), &s, 8, 0.01, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestPartitionAgainstBruteForce(t *testing.T) {
 			{Formulation: Restricted, Preprocess: true},
 			{Formulation: Restricted, Preprocess: false},
 		} {
-			asg, err := Partition(spec, opts)
+			asg, err := Partition(context.Background(), spec, opts)
 			if math.IsNaN(wantMono) {
 				if _, ok := err.(*ErrInfeasible); !ok {
 					t.Fatalf("trial %d %v: err=%v, brute force says infeasible", trial, opts, err)
@@ -358,7 +359,7 @@ func TestPartitionAgainstBruteForce(t *testing.T) {
 		// restriction, so it is not combined with General here.)
 		wantFree := bruteForceFree(spec)
 		opts := Options{Formulation: General, Preprocess: false}
-		asg, err := Partition(spec, opts)
+		asg, err := Partition(context.Background(), spec, opts)
 		if math.IsNaN(wantFree) {
 			if _, ok := err.(*ErrInfeasible); !ok {
 				t.Fatalf("trial %d %v: err=%v, brute force says infeasible", trial, opts, err)
@@ -409,7 +410,7 @@ func TestPreprocessingShrinksNeutralChains(t *testing.T) {
 	if len(red.clusters) != 2 {
 		t.Fatalf("clusters=%d, want 2 (src | a+b+sink)", len(red.clusters))
 	}
-	asg, err := Partition(spec, DefaultOptions())
+	asg, err := Partition(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

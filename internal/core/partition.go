@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,13 @@ func (e *ErrInfeasible) Error() string {
 
 // Partition solves the partitioning problem exactly and returns the optimal
 // assignment. It returns *ErrInfeasible when the budgets cannot be met.
-func Partition(s *Spec, opts Options) (*Assignment, error) {
+//
+// ctx interrupts the branch-and-bound search (alongside Options.TimeLimit
+// and MaxNodes): when the search stops early with a feasible incumbent in
+// hand, Partition returns that incumbent with its proven optimality gap
+// recorded in Stats.Gap instead of an error; cancellation before any
+// incumbent exists returns ctx's error.
+func Partition(ctx context.Context, s *Spec, opts Options) (*Assignment, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,7 +174,7 @@ func Partition(s *Spec, opts Options) (*Assignment, error) {
 		}
 	}
 
-	res, err := ilp.Solve(m, ilp.Options{
+	res, err := ilp.Solve(ctx, m, ilp.Options{
 		TimeLimit: opts.TimeLimit,
 		GapTol:    opts.GapTol,
 		MaxNodes:  opts.MaxNodes,
@@ -177,6 +184,7 @@ func Partition(s *Spec, opts Options) (*Assignment, error) {
 		return nil, err
 	}
 	stats := SolveStats{
+		Solver:         SolverExact,
 		Nodes:          res.Nodes,
 		DiscoverTime:   res.DiscoverTime.Seconds(),
 		ProveTime:      res.ProveTime.Seconds(),
@@ -186,8 +194,12 @@ func Partition(s *Spec, opts Options) (*Assignment, error) {
 		Constraints:    m.NumConstraints(),
 	}
 	switch res.Status {
-	case ilp.StatusOptimal, ilp.StatusFeasible:
-		// fall through to extraction
+	case ilp.StatusOptimal:
+		// fall through to extraction with a proved (zero) gap
+	case ilp.StatusFeasible:
+		// Interrupted by a limit or ctx deadline with an incumbent: return
+		// it and record how far from proved-optimal it may be.
+		stats.Gap = res.Gap
 	case ilp.StatusInfeasible:
 		return &Assignment{Stats: stats}, &ErrInfeasible{Spec: s}
 	default:
@@ -195,31 +207,14 @@ func Partition(s *Spec, opts Options) (*Assignment, error) {
 	}
 	stats.Feasible = true
 
-	asg := &Assignment{
-		OnNode:        make(map[int]bool, s.Graph.NumOperators()),
-		Bidirectional: opts.Formulation == General,
-		Stats:         stats,
-	}
+	onNode := make(map[int]bool, s.Graph.NumOperators())
 	for i, c := range red.clusters {
 		on := res.X[fv[i]] > 0.5
 		for _, id := range c.ops {
-			asg.OnNode[id] = on
+			onNode[id] = on
 		}
 	}
-	for _, op := range s.Graph.Operators() {
-		if asg.OnNode[op.ID()] {
-			asg.CPULoad += s.opCPU(op.ID())
-			asg.RAMLoad += s.RAM[op.ID()]
-		}
-	}
-	for _, e := range s.Graph.Edges() {
-		cut := asg.OnNode[e.From.ID()] && !asg.OnNode[e.To.ID()] ||
-			asg.Bidirectional && !asg.OnNode[e.From.ID()] && asg.OnNode[e.To.ID()]
-		if cut {
-			asg.CutEdges = append(asg.CutEdges, e)
-			asg.NetLoad += s.edgeBW(e)
-		}
-	}
-	asg.Objective = s.Alpha*asg.CPULoad + s.Beta*asg.NetLoad
+	asg := AssignmentFromOnNode(s, onNode, opts.Formulation == General)
+	asg.Stats = stats
 	return asg, nil
 }

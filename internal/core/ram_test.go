@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"wishbone/internal/dataflow"
@@ -33,7 +34,7 @@ func TestRAMBudgetConstrains(t *testing.T) {
 
 	// Without a RAM budget the reducer goes on the node.
 	noRAM := *spec
-	asg, err := Partition(&noRAM, DefaultOptions())
+	asg, err := Partition(context.Background(), &noRAM, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRAMBudgetConstrains(t *testing.T) {
 	// A TMote-class 10 KB RAM budget forces it to the server.
 	withRAM := *spec
 	withRAM.RAMBudget = 10_000
-	asg, err = Partition(&withRAM, DefaultOptions())
+	asg, err = Partition(context.Background(), &withRAM, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // RateSearchResult reports the outcome of MaxRate.
 type RateSearchResult struct {
@@ -9,21 +12,32 @@ type RateSearchResult struct {
 	Rate float64
 	// Assignment is the optimal partition at Rate (nil when Rate is 0).
 	Assignment *Assignment
-	// Probes is the number of Partition invocations performed.
+	// Probes is the number of solver invocations performed.
 	Probes int
+	// Solves records per-probe backend telemetry, in probe order.
+	Solves []BackendStats
 }
 
 // MaxRate finds the maximum input-data-rate scale factor in (0, hi] for
-// which a feasible partition exists, by binary search (§4.3). The search
-// relies on monotonicity: CPU and network load scale linearly with input
-// rate, so if scale X is feasible every Y < X is too. tol is the relative
-// precision of the returned rate (e.g. 0.01 for 1%).
+// which a feasible partition exists, by binary search (§4.3) with the
+// exact backend. tol is the relative precision of the returned rate
+// (e.g. 0.01 for 1%). See MaxRateWith for the solver-generic form and the
+// monotonicity caveat.
+func MaxRate(ctx context.Context, spec *Spec, hi, tol float64, opts Options) (*RateSearchResult, error) {
+	return MaxRateWith(ctx, spec, hi, tol, Limits{}, Exact{Opts: opts})
+}
+
+// MaxRateWith runs the §4.3 binary search with an arbitrary solver
+// backend. The search relies on monotonicity: CPU and network load scale
+// linearly with input rate, so if scale X is feasible every Y < X is too.
+// With a heuristic backend "feasible" means "this backend found a cut",
+// so the returned rate is a lower bound on the true maximum.
 //
 // The monotone assumption breaks above the radio's congestion-collapse
 // point, where offered load no longer translates into received data; the
 // caller should cap hi at the network profiler's maximum send rate
 // (§7.3.1), as the paper's deployment procedure does.
-func MaxRate(spec *Spec, hi float64, tol float64, opts Options) (*RateSearchResult, error) {
+func MaxRateWith(ctx context.Context, spec *Spec, hi, tol float64, lim Limits, sv Solver) (*RateSearchResult, error) {
 	if hi <= 0 {
 		return &RateSearchResult{}, nil
 	}
@@ -33,30 +47,41 @@ func MaxRate(spec *Spec, hi float64, tol float64, opts Options) (*RateSearchResu
 	res := &RateSearchResult{}
 
 	// Fast path: full rate already fits.
-	asg, err := Partition(spec.Scaled(hi), opts)
+	asg, st, err := sv.Solve(ctx, spec.Scaled(hi), lim)
 	res.Probes++
+	res.Solves = append(res.Solves, st)
 	if err == nil {
 		res.Rate = hi
 		res.Assignment = asg
 		return res, nil
 	}
-	if _, ok := err.(*ErrInfeasible); !ok {
+	if !IsInfeasible(err) {
 		return nil, err
 	}
+	return maxRateBelow(ctx, spec, hi, tol, lim, sv, res)
+}
 
+// maxRateBelow runs the binary-search half of MaxRateWith once hi is known
+// infeasible, accumulating probes into res. AutoPartitionWith enters here
+// directly so the expensive full-rate infeasibility proof is not repeated.
+func maxRateBelow(ctx context.Context, spec *Spec, hi, tol float64, lim Limits, sv Solver, res *RateSearchResult) (*RateSearchResult, error) {
 	lo := 0.0 // highest known-feasible scale (0 = unknown/none)
 	cur := hi
 	for cur-lo > tol*math.Max(lo, tol) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mid := (lo + cur) / 2
 		if mid <= 0 {
 			break
 		}
-		asg, err := Partition(spec.Scaled(mid), opts)
+		asg, st, err := sv.Solve(ctx, spec.Scaled(mid), lim)
 		res.Probes++
+		res.Solves = append(res.Solves, st)
 		if err == nil {
 			lo = mid
 			res.Assignment = asg
-		} else if _, ok := err.(*ErrInfeasible); !ok {
+		} else if !IsInfeasible(err) {
 			return nil, err
 		} else {
 			cur = mid

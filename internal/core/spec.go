@@ -156,8 +156,9 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// opCPU returns the selected CPU statistic for an operator.
-func (s *Spec) opCPU(id int) float64 {
+// OpCPU returns the spec's selected CPU statistic (mean or peak) for an
+// operator. Solver backends price vertices with it.
+func (s *Spec) OpCPU(id int) float64 {
 	c := s.CPU[id]
 	if s.Load == PeakLoad {
 		return c.Peak
@@ -165,14 +166,18 @@ func (s *Spec) opCPU(id int) float64 {
 	return c.Mean
 }
 
-// edgeBW returns the selected bandwidth statistic for an edge.
-func (s *Spec) edgeBW(e *dataflow.Edge) float64 {
+// EdgeBW returns the spec's selected bandwidth statistic for an edge.
+func (s *Spec) EdgeBW(e *dataflow.Edge) float64 {
 	b := s.Bandwidth[e]
 	if s.Load == PeakLoad {
 		return b.Peak
 	}
 	return b.Mean
 }
+
+// opCPU and edgeBW are the historical internal spellings.
+func (s *Spec) opCPU(id int) float64            { return s.OpCPU(id) }
+func (s *Spec) edgeBW(e *dataflow.Edge) float64 { return s.EdgeBW(e) }
 
 // Scaled returns a copy of the spec with every CPU cost and bandwidth
 // multiplied by factor, modelling a proportional change of the input data
@@ -223,6 +228,17 @@ type Assignment struct {
 
 // SolveStats carries solver telemetry (Figure 6's discover/prove split).
 type SolveStats struct {
+	// Solver names the backend that produced the assignment ("exact",
+	// "lagrangian", "greedy", "race", …).
+	Solver string
+
+	// Gap is the relative optimality gap at termination: 0 when optimality
+	// was proved, positive when a time/node limit (or ctx deadline) stopped
+	// the search with an incumbent, or when a heuristic backend bounded its
+	// answer against a dual bound. Negative means no bound is known (the
+	// greedy baseline).
+	Gap float64
+
 	Feasible       bool
 	Nodes          int
 	DiscoverTime   float64 // seconds until the final incumbent
@@ -298,4 +314,35 @@ func (a *Assignment) Verify(s *Spec) error {
 			a.CPULoad, a.NetLoad, cpu, net)
 	}
 	return nil
+}
+
+// AssignmentFromOnNode materializes a full Assignment from an on-node set:
+// cut edges in the graph's deterministic edge order, recomputed CPU /
+// network / RAM loads, and the spec's objective. Every operator gets an
+// explicit OnNode entry. It is the one extraction path shared by the exact
+// ILP and the heuristic solver backends, so differently produced
+// assignments compare byte-for-byte.
+func AssignmentFromOnNode(s *Spec, onNode map[int]bool, bidirectional bool) *Assignment {
+	asg := &Assignment{
+		OnNode:        make(map[int]bool, s.Graph.NumOperators()),
+		Bidirectional: bidirectional,
+	}
+	for _, op := range s.Graph.Operators() {
+		on := onNode[op.ID()]
+		asg.OnNode[op.ID()] = on
+		if on {
+			asg.CPULoad += s.OpCPU(op.ID())
+			asg.RAMLoad += s.RAM[op.ID()]
+		}
+	}
+	for _, e := range s.Graph.Edges() {
+		cut := asg.OnNode[e.From.ID()] && !asg.OnNode[e.To.ID()] ||
+			bidirectional && !asg.OnNode[e.From.ID()] && asg.OnNode[e.To.ID()]
+		if cut {
+			asg.CutEdges = append(asg.CutEdges, e)
+			asg.NetLoad += s.EdgeBW(e)
+		}
+	}
+	asg.Objective = s.Alpha*asg.CPULoad + s.Beta*asg.NetLoad
+	return asg
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wishbone/internal/dataflow"
@@ -110,8 +111,9 @@ func (s *TieredSpec) Validate() error {
 
 // PartitionTiered solves the three-tier placement exactly. Placement
 // constraints from the classification map as: PinNode → mote,
-// PinServer → server; movable operators may take any tier.
-func PartitionTiered(s *TieredSpec, opts Options) (*TieredAssignment, error) {
+// PinServer → server; movable operators may take any tier. ctx interrupts
+// the search the way it does core.Partition's.
+func PartitionTiered(ctx context.Context, s *TieredSpec, opts Options) (*TieredAssignment, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,7 +217,7 @@ func PartitionTiered(s *TieredSpec, opts Options) (*TieredAssignment, error) {
 		return out
 	}
 
-	res, err := ilp.Solve(m, ilp.Options{
+	res, err := ilp.Solve(ctx, m, ilp.Options{
 		TimeLimit: opts.TimeLimit, GapTol: opts.GapTol, MaxNodes: opts.MaxNodes,
 		Rounder: rounder,
 	})

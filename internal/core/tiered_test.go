@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,7 @@ func tieredChain(t *testing.T) *TieredSpec {
 
 func TestTieredPlacesWorkAcrossTiers(t *testing.T) {
 	spec := tieredChain(t)
-	asg, err := PartitionTiered(spec, DefaultOptions())
+	asg, err := PartitionTiered(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestTieredPlacesWorkAcrossTiers(t *testing.T) {
 func TestTieredMoteBudgetZeroPushesToMicro(t *testing.T) {
 	spec := tieredChain(t)
 	spec.MoteCPUBudget = 0.1 // nothing heavy fits on the mote
-	asg, err := PartitionTiered(spec, DefaultOptions())
+	asg, err := PartitionTiered(context.Background(), spec, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestTieredInfeasible(t *testing.T) {
 	spec.RadioBudget = 1 // even the deepest mote cut sends ≥ 10 B/s... the
 	// deepest cut is after b on the mote? b can't exceed mote budget with a.
 	spec.MoteCPUBudget = 0.9 // only one of a,b fits → radio ≥ 100 B/s > 1
-	_, err := PartitionTiered(spec, DefaultOptions())
+	_, err := PartitionTiered(context.Background(), spec, DefaultOptions())
 	if _, ok := err.(*ErrInfeasibleTiered); !ok {
 		t.Fatalf("err=%v, want ErrInfeasibleTiered", err)
 	}
@@ -212,7 +213,7 @@ func TestTieredAgainstBruteForce(t *testing.T) {
 		spec.Class = cls
 
 		want := bruteForceTiered(spec)
-		asg, err := PartitionTiered(spec, DefaultOptions())
+		asg, err := PartitionTiered(context.Background(), spec, DefaultOptions())
 		if math.IsNaN(want) {
 			if _, ok := err.(*ErrInfeasibleTiered); !ok {
 				t.Fatalf("trial %d: err=%v, brute force infeasible", trial, err)

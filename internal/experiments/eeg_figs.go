@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -61,9 +62,9 @@ func Fig5a(e *EEGEnv, rates []float64, platforms []*platform.Platform) ([]Fig5aR
 	for _, p := range platforms {
 		base := e.Spec(p)
 		for _, r := range rates {
-			asg, err := core.Partition(base.Scaled(r), core.DefaultOptions())
+			asg, err := core.Partition(context.Background(), base.Scaled(r), core.DefaultOptions())
 			if err != nil {
-				if _, ok := err.(*core.ErrInfeasible); ok {
+				if core.IsInfeasible(err) {
 					rows = append(rows, Fig5aRow{Platform: p.Name, RateMultiple: r, OpsOnNode: 0})
 					continue
 				}
@@ -126,9 +127,9 @@ func Fig6(e *EEGEnv, invocations int, loRate, hiRate float64, opts core.Options)
 	var pts []Fig6Point
 	for i := 0; i < invocations; i++ {
 		r := loRate + (hiRate-loRate)*float64(i)/float64(max(1, invocations-1))
-		asg, err := core.Partition(spec.Scaled(r), opts)
+		asg, err := core.Partition(context.Background(), spec.Scaled(r), opts)
 		if err != nil {
-			if _, ok := err.(*core.ErrInfeasible); !ok {
+			if !core.IsInfeasible(err) {
 				return nil, err
 			}
 			pts = append(pts, Fig6Point{RateMultiple: r, Feasible: false})
@@ -196,9 +197,9 @@ type ILPScaleResult struct {
 // problem size and solve time.
 func ILPScale(e *EEGEnv, opts core.Options) (*ILPScaleResult, error) {
 	spec := e.Spec(platform.TMoteSky())
-	asg, err := core.Partition(spec.Scaled(1.0), opts)
+	asg, err := core.Partition(context.Background(), spec.Scaled(1.0), opts)
 	if err != nil {
-		if _, ok := err.(*core.ErrInfeasible); !ok {
+		if !core.IsInfeasible(err) {
 			return nil, err
 		}
 		return &ILPScaleResult{Operators: e.App.Graph.NumOperators()}, nil
@@ -256,7 +257,7 @@ func Fig3() ([]Fig3Row, error) {
 	for _, budget := range []float64{2, 3, 4} {
 		s := *spec
 		s.CPUBudget = budget
-		asg, err := core.Partition(&s, core.DefaultOptions())
+		asg, err := core.Partition(context.Background(), &s, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}

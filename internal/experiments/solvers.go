@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wishbone/internal/core"
+	"wishbone/internal/platform"
+	"wishbone/internal/solver"
+)
+
+// SolverRow is one backend's result on one benchmark spec.
+type SolverRow struct {
+	Spec      string
+	Backend   string
+	Feasible  bool
+	Objective float64
+	// GapVsExact is the relative objective gap against the exact optimum
+	// on the same spec (0 for exact itself).
+	GapVsExact float64
+	// ProvenGap is the backend's own proven gap (-1 = no bound).
+	ProvenGap float64
+	Millis    float64
+	Verified  bool
+	// Winner marks the backend whose answer a raced solve returned.
+	Winner bool
+}
+
+// SolverCompare runs the named backends over the speech pipeline and a
+// 4-channel EEG spec (both at the TMote's scale, where the cut decision is
+// non-trivial) and reports objective, gap, and latency per backend — the
+// evaluation behind the "solver backends" section of EXPERIMENTS.md.
+// Backend "race" contributes one row per raced sub-backend plus its own.
+func SolverCompare(backends []string) ([]SolverRow, error) {
+	ctx := context.Background()
+	specs := []struct {
+		name string
+		spec *core.Spec
+	}{}
+
+	se, err := NewSpeechEnv()
+	if err != nil {
+		return nil, err
+	}
+	sp := se.Spec(platform.TMoteSky()).Scaled(0.09)
+	sp.NetBudget = 0
+	specs = append(specs, struct {
+		name string
+		spec *core.Spec
+	}{"speech×0.09", sp})
+
+	ee, err := NewEEGEnv(4, 8)
+	if err != nil {
+		return nil, err
+	}
+	ep := ee.Spec(platform.TMoteSky())
+	ep.NetBudget = 0
+	specs = append(specs, struct {
+		name string
+		spec *core.Spec
+	}{"eeg-4ch", ep})
+
+	var rows []SolverRow
+	for _, s := range specs {
+		exact, _, err := core.NewExact(core.DefaultOptions()).Solve(ctx, s.spec, core.Limits{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: exact on %s: %w", s.name, err)
+		}
+		for _, name := range backends {
+			sv, err := solver.New(name, core.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			asg, stats, err := sv.Solve(ctx, s.spec, core.Limits{})
+			ms := float64(time.Since(start)) / float64(time.Millisecond)
+			row := SolverRow{Spec: s.name, Backend: name, ProvenGap: -1, Millis: ms}
+			if err == nil && asg != nil {
+				row.Feasible = true
+				row.Objective = asg.Objective
+				row.GapVsExact = (asg.Objective - exact.Objective) / exact.Objective
+				row.ProvenGap = asg.Stats.Gap
+				row.Verified = asg.Verify(s.spec) == nil
+				row.Winner = true
+			}
+			rows = append(rows, row)
+			for _, sub := range stats.Sub {
+				rows = append(rows, SolverRow{
+					Spec: s.name, Backend: "race/" + sub.Backend,
+					Feasible: sub.Feasible, Objective: sub.Objective,
+					GapVsExact: func() float64 {
+						if !sub.Feasible {
+							return 0
+						}
+						return (sub.Objective - exact.Objective) / exact.Objective
+					}(),
+					ProvenGap: sub.Gap, Millis: 1000 * sub.Seconds,
+					Verified: sub.Feasible, Winner: sub.Winner,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// SolverCompareTable renders SolverCompare.
+func SolverCompareTable(rows []SolverRow) *Table {
+	t := &Table{
+		Title:  "Solver backends: objective, gap, latency (TMoteSky specs)",
+		Header: []string{"spec", "backend", "objective", "vs exact", "proven gap", "ms", "verified", "won"},
+	}
+	for _, r := range rows {
+		obj, vs, pg := "-", "-", "-"
+		if r.Feasible {
+			obj = fmt.Sprintf("%.1f", r.Objective)
+			vs = fmt.Sprintf("%.2f%%", 100*r.GapVsExact)
+			if r.ProvenGap >= 0 {
+				pg = fmt.Sprintf("%.2f%%", 100*r.ProvenGap)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Spec, r.Backend, obj, vs, pg,
+			fmt.Sprintf("%.1f", r.Millis),
+			fmt.Sprint(r.Verified), fmt.Sprint(r.Winner),
+		})
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"wishbone/internal/core"
@@ -282,7 +283,7 @@ type MerakiResult struct {
 // TextMeraki partitions the speech app for the Meraki Mini.
 func TextMeraki(e *SpeechEnv) (*MerakiResult, error) {
 	spec := e.Spec(platform.MerakiMini())
-	asg, err := core.Partition(spec, core.DefaultOptions())
+	asg, err := core.Partition(context.Background(), spec, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +321,7 @@ func TextRateSearch(e *SpeechEnv) (*RateSearchResult, error) {
 	}
 	spec.NetBudget = netsim.PerNodePayloadBudget(tm.Radio, maxAir, 1)
 
-	res, err := core.MaxRate(spec, 4.0, 0.002, core.DefaultOptions())
+	res, err := core.MaxRate(context.Background(), spec, 4.0, 0.002, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 )
@@ -123,8 +124,26 @@ func (h *nodeHeap) Pop() any {
 // Solve runs branch-and-bound on the model. Maximization models are
 // handled by the relaxation layer; the search logic always sees
 // minimization bounds.
-func Solve(m *Model, opts Options) (*Result, error) {
+//
+// The search is interruptible: it checks ctx between branch-and-bound
+// nodes (and folds any ctx deadline into the effective time limit). When
+// interrupted — by cancellation, deadline, TimeLimit, or MaxNodes — with a
+// feasible incumbent in hand, Solve returns StatusFeasible with the
+// incumbent and its proven gap rather than an error; only an interruption
+// before any incumbent exists surfaces ctx.Err().
+func Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return &Result{Status: StatusError}, err
+	}
+	// Fold a ctx deadline into the time limit so both interrupt the same
+	// way: incumbent-with-gap when one exists.
+	timeLimit := opts.TimeLimit
+	if deadline, ok := ctx.Deadline(); ok {
+		if d := time.Until(deadline); timeLimit == 0 || d < timeLimit {
+			timeLimit = d
+		}
+	}
 	intTol := opts.IntTol
 	if intTol == 0 {
 		intTol = 1e-6
@@ -194,8 +213,14 @@ func Solve(m *Model, opts Options) (*Result, error) {
 
 	nodes := 1
 	proved := true
+	canceled := false
 	for h.Len() > 0 {
-		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
+		if err := ctx.Err(); err != nil {
+			proved = false
+			canceled = true
+			break
+		}
+		if timeLimit > 0 && time.Since(start) > timeLimit {
 			proved = false
 			break
 		}
@@ -280,6 +305,10 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	res.BestBound = scale * best
 
 	if incumbent == nil {
+		if canceled {
+			res.Status = StatusError
+			return res, ctx.Err()
+		}
 		if !proved {
 			res.Status = StatusError
 			return res, nil

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func solveOrDie(t *testing.T, m *Model) *Result {
 	t.Helper()
-	res, err := Solve(m, Options{TimeLimit: 30 * time.Second})
+	res, err := Solve(context.Background(), m, Options{TimeLimit: 30 * time.Second})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -253,7 +254,7 @@ func TestILPAgainstBruteForce(t *testing.T) {
 		}
 
 		want := bruteForceBinary(m, minimize)
-		res, err := Solve(m, Options{TimeLimit: 20 * time.Second})
+		res, err := Solve(context.Background(), m, Options{TimeLimit: 20 * time.Second})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

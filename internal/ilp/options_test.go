@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func hardKnapsack(n int, seed int64) *Model {
 
 func TestMaxNodesLimit(t *testing.T) {
 	m := hardKnapsack(20, 5)
-	res, err := Solve(m, Options{MaxNodes: 3})
+	res, err := Solve(context.Background(), m, Options{MaxNodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func TestMaxNodesLimit(t *testing.T) {
 
 func TestGapTolStopsEarly(t *testing.T) {
 	m := hardKnapsack(16, 7)
-	exact, err := Solve(m, Options{TimeLimit: 20 * time.Second})
+	exact, err := Solve(context.Background(), m, Options{TimeLimit: 20 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
-	loose, err := Solve(m, Options{GapTol: 0.05, TimeLimit: 20 * time.Second})
+	loose, err := Solve(context.Background(), m, Options{GapTol: 0.05, TimeLimit: 20 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestGapTolStopsEarly(t *testing.T) {
 func TestTimeLimitRespected(t *testing.T) {
 	m := hardKnapsack(40, 11)
 	start := time.Now()
-	res, err := Solve(m, Options{TimeLimit: 300 * time.Millisecond})
+	res, err := Solve(context.Background(), m, Options{TimeLimit: 300 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestRounderSuppliesIncumbent(t *testing.T) {
 		}
 		return out
 	}
-	res, err := Solve(m, Options{Rounder: rounder, MaxNodes: 2})
+	res, err := Solve(context.Background(), m, Options{Rounder: rounder, MaxNodes: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestUnsoundRounderIsHarmless(t *testing.T) {
 	m.SetObjCoef(b, 2)
 	m.AddConstraint("c", []Term{{a, 1}, {b, 1}}, LE, 1)
 	bad := func(mm *Model, x []float64) []float64 { return []float64{1, 1} } // violates c
-	res, err := Solve(m, Options{Rounder: bad})
+	res, err := Solve(context.Background(), m, Options{Rounder: bad})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestBoundsTighterThanIntegrality(t *testing.T) {
 	m.SetObjCoef(x, 2)
 	m.SetObjCoef(y, 3)
 	m.AddConstraint("c", []Term{{x, 2}, {y, 3}}, LE, 11)
-	res, err := Solve(m, Options{})
+	res, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 
 	"wishbone/internal/core"
@@ -29,7 +30,7 @@ type MixedResult struct {
 // physical ones. Platforms that cannot fit at full rate fall back to the
 // maximum sustainable rate; a platform with no feasible rate at all
 // produces an error.
-func PartitionMixed(cls *dataflow.Classification, rep *Report,
+func PartitionMixed(ctx context.Context, cls *dataflow.Classification, rep *Report,
 	platforms []*platform.Platform, opts core.Options) ([]MixedResult, error) {
 	if len(platforms) == 0 {
 		return nil, fmt.Errorf("profile: no platforms given")
@@ -37,15 +38,15 @@ func PartitionMixed(cls *dataflow.Classification, rep *Report,
 	out := make([]MixedResult, 0, len(platforms))
 	for _, p := range platforms {
 		spec := BuildSpec(cls, rep, p)
-		asg, err := core.Partition(spec, opts)
+		asg, err := core.Partition(ctx, spec, opts)
 		if err == nil {
 			out = append(out, MixedResult{Platform: p, Assignment: asg, RateMultiple: 1})
 			continue
 		}
-		if _, ok := err.(*core.ErrInfeasible); !ok {
+		if !core.IsInfeasible(err) {
 			return nil, fmt.Errorf("profile: %s: %w", p.Name, err)
 		}
-		res, err := core.MaxRate(spec, 1, 0.005, opts)
+		res, err := core.MaxRate(ctx, spec, 1, 0.005, opts)
 		if err != nil {
 			return nil, fmt.Errorf("profile: %s: %w", p.Name, err)
 		}

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"testing"
 
 	"wishbone/internal/core"
@@ -26,7 +27,7 @@ func TestPartitionMixed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := PartitionMixed(cls, rep,
+	results, err := PartitionMixed(context.Background(), cls, rep,
 		[]*platform.Platform{platform.TMoteSky(), platform.Gumstix()},
 		core.DefaultOptions())
 	if err != nil {
@@ -59,7 +60,7 @@ func TestPartitionMixed(t *testing.T) {
 }
 
 func TestPartitionMixedNoPlatforms(t *testing.T) {
-	if _, err := PartitionMixed(nil, nil, nil, core.DefaultOptions()); err == nil {
+	if _, err := PartitionMixed(context.Background(), nil, nil, nil, core.DefaultOptions()); err == nil {
 		t.Fatal("empty platform list must error")
 	}
 }

@@ -13,6 +13,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -302,9 +303,9 @@ func BuildSpec(cls *dataflow.Classification, r *Report, p *platform.Platform) *c
 // MaxRateMultiple is a convenience wrapper around core.MaxRate returning
 // the highest input-rate multiple in (0, hi] that yields a feasible
 // partition on p (§4.3).
-func MaxRateMultiple(cls *dataflow.Classification, r *Report, p *platform.Platform, hi float64) (float64, *core.Assignment, error) {
+func MaxRateMultiple(ctx context.Context, cls *dataflow.Classification, r *Report, p *platform.Platform, hi float64) (float64, *core.Assignment, error) {
 	spec := BuildSpec(cls, r, p)
-	res, err := core.MaxRate(spec, hi, 0.005, core.DefaultOptions())
+	res, err := core.MaxRate(ctx, spec, hi, 0.005, core.DefaultOptions())
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"testing"
 
 	"wishbone/internal/core"
@@ -107,7 +108,7 @@ func TestBuildSpecWiresBudgets(t *testing.T) {
 	if err := spec.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.Partition(spec, core.DefaultOptions()); err != nil {
+	if _, err := core.Partition(context.Background(), spec, core.DefaultOptions()); err != nil {
 		t.Fatalf("profiled spec should partition: %v", err)
 	}
 }

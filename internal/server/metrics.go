@@ -5,14 +5,25 @@ import (
 	"time"
 )
 
-// Metrics aggregates per-endpoint counters and latencies plus cache and
-// job-pool gauges. All methods are safe for concurrent use; Snapshot is
-// what GET /v1/stats serves.
+// Metrics aggregates per-endpoint counters and latencies plus cache,
+// job-pool, and per-solver-backend gauges. All methods are safe for
+// concurrent use; Snapshot is what GET /v1/stats serves.
 type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	solvers   map[string]*solverStats
 	inflight  int64
 	queued    int64
+}
+
+// solverStats accumulates one backend's solve telemetry across requests.
+type solverStats struct {
+	Runs     int64
+	Wins     int64
+	Errors   int64
+	Feasible int64
+	total    time.Duration
+	maxTime  time.Duration
 }
 
 // endpointStats accumulates one endpoint's counters.
@@ -26,7 +37,37 @@ type endpointStats struct {
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointStats)}
+	return &Metrics{
+		endpoints: make(map[string]*endpointStats),
+		solvers:   make(map[string]*solverStats),
+	}
+}
+
+// ObserveSolver records one backend's solve: its latency, whether it
+// produced a feasible answer, whether it errored, and — for raced solves —
+// whether its answer won.
+func (m *Metrics) ObserveSolver(backend string, d time.Duration, feasible, won, errored bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.solvers[backend]
+	if s == nil {
+		s = &solverStats{}
+		m.solvers[backend] = s
+	}
+	s.Runs++
+	if feasible {
+		s.Feasible++
+	}
+	if won {
+		s.Wins++
+	}
+	if errored {
+		s.Errors++
+	}
+	s.total += d
+	if d > s.maxTime {
+		s.maxTime = d
+	}
 }
 
 // Observe records one finished request.
@@ -67,9 +108,25 @@ type EndpointSnapshot struct {
 	MaxMs     float64 `json:"maxMs"`
 }
 
+// SolverSnapshot is one solver backend's externally visible stats: how
+// often it ran, won a race, found a feasible cut, or failed, and its
+// latency profile.
+type SolverSnapshot struct {
+	Runs     int64   `json:"runs"`
+	Wins     int64   `json:"wins"`
+	Feasible int64   `json:"feasible"`
+	Errors   int64   `json:"errors"`
+	MeanMs   float64 `json:"meanMs"`
+	MaxMs    float64 `json:"maxMs"`
+}
+
 // Snapshot is the full stats document.
 type Snapshot struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+
+	// Solvers is the per-backend win/latency breakdown of every solve the
+	// partition endpoints ran (raced backends report individually).
+	Solvers map[string]SolverSnapshot `json:"solvers,omitempty"`
 
 	// Program/graph cache counters.
 	CacheEntries int64   `json:"cacheEntries"`
@@ -99,6 +156,19 @@ func (m *Metrics) Snapshot(c *Cache) Snapshot {
 			es.MeanMs = float64(s.totalime) / float64(s.Requests) / float64(time.Millisecond)
 		}
 		out.Endpoints[name] = es
+	}
+	if len(m.solvers) > 0 {
+		out.Solvers = make(map[string]SolverSnapshot, len(m.solvers))
+		for name, s := range m.solvers {
+			ss := SolverSnapshot{
+				Runs: s.Runs, Wins: s.Wins, Feasible: s.Feasible, Errors: s.Errors,
+				MaxMs: float64(s.maxTime) / float64(time.Millisecond),
+			}
+			if s.Runs > 0 {
+				ss.MeanMs = float64(s.total) / float64(s.Runs) / float64(time.Millisecond)
+			}
+			out.Solvers[name] = ss
+		}
 	}
 	if c != nil {
 		out.CacheEntries = int64(c.Len())

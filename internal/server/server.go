@@ -19,11 +19,24 @@
 //   - A singleflight layer under the cache compiles once per key even
 //     when a thundering herd of tenants misses simultaneously.
 //
-// Heavy work (profiling, ILP solves, simulations) runs under a bounded
+// Heavy work (profiling, solver runs, simulations) runs under a bounded
 // job pool; simulations additionally bound their per-node worker pools
 // (the PR 1 machinery) so one tenant cannot monopolize the host.
 // Per-endpoint metrics — cache hit rate, latencies, in-flight jobs — are
 // served at GET /v1/stats.
+//
+// # Solver selection
+//
+// Partition (and auto-partitioned simulate) requests carry an optional
+// "solver" field naming a backend from internal/solver: "exact" (default,
+// the branch-and-bound ILP), "lagrangian" (§9-style relaxation with a
+// proven dual gap), "greedy" (cut-ordering baseline), or "race" (all of
+// them concurrently under the request context; the best feasible answer
+// wins and exact wins ties). The response's assignment is stamped with
+// the producing backend's name and objective gap, and /v1/stats exposes a
+// per-backend breakdown — runs, race wins, feasible answers, errors, and
+// latency — under "solvers". Request cancellation propagates into the
+// solve: an abandoned HTTP request aborts its branch-and-bound search.
 //
 // Endpoints (all request/response bodies in internal/wire):
 //
@@ -49,6 +62,7 @@ import (
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
 	wbruntime "wishbone/internal/runtime"
+	"wishbone/internal/solver"
 	"wishbone/internal/wire"
 )
 
@@ -349,7 +363,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseJob()
-	resp, err2 := s.partition(&req)
+	resp, err2 := s.partition(r.Context(), &req)
 	if err = err2; err != nil {
 		fail(w, err)
 		return
@@ -359,8 +373,10 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 }
 
 // partition runs the shared auto-partition path (also the simulate
-// fallback when no explicit cut is given).
-func (s *Server) partition(req *wire.PartitionRequest) (*wire.PartitionResponse, error) {
+// fallback when no explicit cut is given) with the request's solver
+// backend, and feeds every backend invocation into the per-solver
+// win/latency metrics.
+func (s *Server) partition(ctx context.Context, req *wire.PartitionRequest) (*wire.PartitionResponse, error) {
 	mode, err := parseMode(req.Mode)
 	if err != nil {
 		return nil, err
@@ -368,6 +384,10 @@ func (s *Server) partition(req *wire.PartitionRequest) (*wire.PartitionResponse,
 	plat, err := parsePlatform(req.Platform)
 	if err != nil {
 		return nil, err
+	}
+	sv, err := solver.New(req.Solver, core.DefaultOptions())
+	if err != nil {
+		return nil, badRequest("%v", err)
 	}
 	e, entryHit, err := s.getEntry(req.Graph)
 	if err != nil {
@@ -382,7 +402,10 @@ func (s *Server) partition(req *wire.PartitionRequest) (*wire.PartitionResponse,
 		return nil, badRequest("%v", err)
 	}
 	spec := profile.BuildSpec(cls, rep, plat)
-	res, err := core.AutoPartition(spec, 1.0, 0.005, core.DefaultOptions())
+	res, err := core.AutoPartitionWith(ctx, spec, 1.0, 0.005, core.Limits{}, sv)
+	if res != nil {
+		s.observeSolves(res.Solves)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +424,25 @@ func (s *Server) partition(req *wire.PartitionRequest) (*wire.PartitionResponse,
 	}, nil
 }
 
+// observeSolves folds per-probe backend stats into the metrics; raced
+// probes report their per-backend breakdown individually.
+func (s *Server) observeSolves(solves []core.BackendStats) {
+	for _, st := range solves {
+		if len(st.Sub) > 0 {
+			for _, sub := range st.Sub {
+				s.metrics.ObserveSolver(sub.Backend,
+					time.Duration(sub.Seconds*float64(time.Second)),
+					sub.Feasible, sub.Winner, sub.Err != "")
+			}
+			continue
+		}
+		// A lone backend's feasible answer is trivially the winner.
+		s.metrics.ObserveSolver(st.Backend,
+			time.Duration(st.Seconds*float64(time.Second)),
+			st.Feasible, st.Feasible, st.Err != "")
+	}
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var err error
@@ -416,7 +458,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseJob()
-	resp, err2 := s.simulate(&req)
+	resp, err2 := s.simulate(r.Context(), &req)
 	if err = err2; err != nil {
 		fail(w, err)
 		return
@@ -425,7 +467,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	respond(w, resp)
 }
 
-func (s *Server) simulate(req *wire.SimulateRequest) (*wire.SimulateResponse, error) {
+func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire.SimulateResponse, error) {
 	plat, err := parsePlatform(req.Platform)
 	if err != nil {
 		return nil, err
@@ -454,11 +496,12 @@ func (s *Server) simulate(req *wire.SimulateRequest) (*wire.SimulateResponse, er
 			onNode[id] = true
 		}
 	} else {
-		presp, err := s.partition(&wire.PartitionRequest{
+		presp, err := s.partition(ctx, &wire.PartitionRequest{
 			Graph:    req.Graph,
 			Trace:    req.Trace,
 			Platform: req.Platform,
 			Mode:     req.Mode,
+			Solver:   req.Solver,
 		})
 		if err != nil {
 			return nil, err

@@ -197,7 +197,7 @@ func TestServerPartitionParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.AutoPartition(profile.BuildSpec(cls, rep, platform.TMoteSky()), 1.0, 0.005, core.DefaultOptions())
+	res, err := core.AutoPartition(context.Background(), profile.BuildSpec(cls, rep, platform.TMoteSky()), 1.0, 0.005, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -531,5 +531,84 @@ func TestServerIntegration(t *testing.T) {
 	}
 	if snap := svc.Stats(); snap.CacheHits == 0 {
 		t.Fatal("integration conversation produced no cache hits")
+	}
+}
+
+// TestServerSolverSelection exercises the partition endpoint's solver
+// field end to end: every backend answers with a verifiable cut stamped
+// with the producing backend's name, racing returns byte-identical
+// results to exact (ties go to exact), unknown names are 400s, and the
+// per-backend win/latency metrics show up in the stats snapshot.
+func TestServerSolverSelection(t *testing.T) {
+	svc, client := startServer(t, Config{})
+	ctx := context.Background()
+	spec := wire.GraphSpec{App: "speech"}
+	trace := wire.TraceSpec{Seed: 3, Seconds: 3}
+	local := localEntry(t, spec)
+
+	ask := func(solver string) *wire.PartitionResponse {
+		t.Helper()
+		resp, err := client.Partition(ctx, wire.PartitionRequest{
+			Graph: spec, Trace: trace, Platform: "TMoteSky", Solver: solver,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		asg, err := resp.Assignment.Assignment(local.graph)
+		if err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		rep, err := profile.Run(local.graph, local.traces(traceDefaults(trace)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, err := dataflow.Classify(local.graph, dataflow.Permissive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vspec := profile.BuildSpec(cls, rep, platform.TMoteSky()).Scaled(resp.RateMultiple)
+		if err := asg.Verify(vspec); err != nil {
+			t.Fatalf("%s: served assignment fails verification: %v", solver, err)
+		}
+		return resp
+	}
+
+	exact := ask("exact")
+	if exact.Assignment.Solver != "exact" {
+		t.Fatalf("solver stamp = %q, want exact", exact.Assignment.Solver)
+	}
+	for _, name := range []string{"lagrangian", "greedy"} {
+		resp := ask(name)
+		if resp.Assignment.Solver != name {
+			t.Fatalf("solver stamp = %q, want %s", resp.Assignment.Solver, name)
+		}
+	}
+	raced := ask("race")
+	if raced.Assignment.Solver != "exact" {
+		t.Fatalf("race winner stamp = %q, want exact (ties go to exact)", raced.Assignment.Solver)
+	}
+	za, zb := *exact.Assignment, *raced.Assignment
+	za.Stats.DiscoverTime, za.Stats.ProveTime = 0, 0
+	zb.Stats.DiscoverTime, zb.Stats.ProveTime = 0, 0
+	if string(wireBytes(t, za)) != string(wireBytes(t, zb)) {
+		t.Fatalf("raced assignment differs from exact:\n race %s\nexact %s",
+			wireBytes(t, zb), wireBytes(t, za))
+	}
+
+	if _, err := client.Partition(ctx, wire.PartitionRequest{
+		Graph: spec, Trace: trace, Platform: "TMoteSky", Solver: "simplex-of-doom",
+	}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+
+	stats := svc.Stats()
+	for _, name := range []string{"exact", "lagrangian", "greedy"} {
+		s, ok := stats.Solvers[name]
+		if !ok || s.Runs == 0 {
+			t.Fatalf("stats missing solver %q: %+v", name, stats.Solvers)
+		}
+	}
+	if stats.Solvers["exact"].Wins == 0 {
+		t.Fatal("exact should have recorded wins")
 	}
 }

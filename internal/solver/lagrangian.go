@@ -1,0 +1,345 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"wishbone/internal/core"
+	"wishbone/internal/dataflow"
+)
+
+// Lagrangian is the §9-style relaxation backend: instead of enforcing the
+// CPU / network / RAM budgets as hard ILP constraints, it prices them into
+// the objective with nonnegative multipliers λ and solves
+//
+//	L(λ) = min over monotone cuts of
+//	       (α+λc)·cpu + (β+λn)·net + λr·ram − λc·C − λn·N − λr·R
+//
+// For monotone (single-crossing) cuts the relaxed objective is linear over
+// ancestor-closed vertex sets — cut bandwidth telescopes into per-vertex
+// out-minus-in coefficients — so each subproblem is a minimum-closure
+// problem solved exactly by max-flow (see maxflow.go). Subgradient steps
+// on the budget violations drive λ; every iterate is repaired to a
+// feasible cut when needed (peeling maximal on-node operators until the
+// budgets hold), and the best feasible cut seen is returned.
+//
+// Because every L(λ) is a true lower bound on the optimum (weak duality),
+// the answer carries a proven optimality gap in Stats — unlike greedy.
+// It does not prove infeasibility: a no-feasible-cut error only means this
+// backend found none.
+type Lagrangian struct {
+	Opts core.Options
+
+	// MaxIter bounds subgradient iterations (default 120).
+	MaxIter int
+}
+
+// NewLagrangian returns the relaxation backend.
+func NewLagrangian(opts core.Options) *Lagrangian { return &Lagrangian{Opts: opts} }
+
+// Name returns "lagrangian".
+func (*Lagrangian) Name() string { return core.SolverLagrangian }
+
+// lagProblem is the dense working form of a spec.
+type lagProblem struct {
+	s     *core.Spec
+	ops   []*dataflow.Operator
+	index map[int]int // operator ID → dense index
+	edges [][2]int    // dense (from, to)
+	edgeW []float64
+	cpu   []float64
+	ram   []float64
+	force []int8 // +1 node-pinned, -1 server-pinned
+}
+
+func newLagProblem(s *core.Spec) *lagProblem {
+	p := &lagProblem{s: s, ops: s.Graph.Operators(), index: map[int]int{}}
+	for i, op := range p.ops {
+		p.index[op.ID()] = i
+	}
+	n := len(p.ops)
+	p.cpu = make([]float64, n)
+	p.ram = make([]float64, n)
+	p.force = make([]int8, n)
+	for i, op := range p.ops {
+		p.cpu[i] = s.OpCPU(op.ID())
+		p.ram[i] = s.RAM[op.ID()]
+		switch s.Class.Place[op.ID()] {
+		case dataflow.PinNode:
+			p.force[i] = 1
+		case dataflow.PinServer:
+			p.force[i] = -1
+		}
+	}
+	for _, e := range s.Graph.Edges() {
+		p.edges = append(p.edges, [2]int{p.index[e.From.ID()], p.index[e.To.ID()]})
+		p.edgeW = append(p.edgeW, s.EdgeBW(e))
+	}
+	return p
+}
+
+// loads computes a selection's CPU, cut-bandwidth, and RAM loads.
+func (p *lagProblem) loads(sel []bool) (cpu, net, ram float64) {
+	for i := range sel {
+		if sel[i] {
+			cpu += p.cpu[i]
+			ram += p.ram[i]
+		}
+	}
+	for k, e := range p.edges {
+		if sel[e[0]] && !sel[e[1]] {
+			net += p.edgeW[k]
+		}
+	}
+	return
+}
+
+func (p *lagProblem) feasible(cpu, net, ram float64) bool {
+	const tol = 1e-9
+	s := p.s
+	return (s.CPUBudget <= 0 || cpu <= s.CPUBudget+tol) &&
+		(s.NetBudget <= 0 || net <= s.NetBudget+tol) &&
+		(s.RAMBudget <= 0 || ram <= s.RAMBudget+tol)
+}
+
+// repair peels maximal on-node movable operators (every successor already
+// off-node, so removal keeps the cut monotone) until the budgets hold,
+// preferring the peel that most reduces the total relative violation. It
+// returns nil when no feasible cut is reachable this way.
+func (p *lagProblem) repair(sel []bool) []bool {
+	out := append([]bool(nil), sel...)
+	n := len(out)
+	succOn := make([]int, n) // on-node successors per vertex
+	for {
+		cpu, net, ram := p.loads(out)
+		if p.feasible(cpu, net, ram) {
+			return out
+		}
+		viol := func(cpu, net, ram float64) float64 {
+			v := 0.0
+			if b := p.s.CPUBudget; b > 0 && cpu > b {
+				v += (cpu - b) / b
+			}
+			if b := p.s.NetBudget; b > 0 && net > b {
+				v += (net - b) / b
+			}
+			if b := p.s.RAMBudget; b > 0 && ram > b {
+				v += (ram - b) / b
+			}
+			return v
+		}
+		cur := viol(cpu, net, ram)
+		for i := range succOn {
+			succOn[i] = 0
+		}
+		for _, e := range p.edges {
+			if out[e[0]] && out[e[1]] {
+				succOn[e[0]]++
+			}
+		}
+		best, bestScore := -1, math.Inf(1)
+		for i := range out {
+			if !out[i] || p.force[i] == 1 || succOn[i] > 0 {
+				continue
+			}
+			// Removing i: its on-node in-edges become cut, its cut
+			// out-edges heal.
+			dNet := 0.0
+			for k, e := range p.edges {
+				if e[1] == i && out[e[0]] {
+					dNet += p.edgeW[k]
+				}
+				if e[0] == i && !out[e[1]] {
+					dNet -= p.edgeW[k]
+				}
+			}
+			score := viol(cpu-p.cpu[i], net+dNet, ram-p.ram[i])
+			if score < bestScore-1e-12 {
+				bestScore, best = score, i
+			}
+		}
+		// Peel as long as the violation does not grow: the set strictly
+		// shrinks every round, so this terminates, and an equal-violation
+		// peel can unlock a violating predecessor.
+		if best == -1 || bestScore > cur+1e-12 {
+			return nil // stuck: every removable peel makes things worse
+		}
+		out[best] = false
+	}
+}
+
+// Solve runs the subgradient loop.
+func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core.Assignment, Stats, error) {
+	start := time.Now()
+	stats := Stats{Backend: core.SolverLagrangian, Gap: -1}
+	fail := func(err error) (*core.Assignment, Stats, error) {
+		stats.Seconds = time.Since(start).Seconds()
+		stats.Err = err.Error()
+		return nil, stats, err
+	}
+	if err := s.Validate(); err != nil {
+		return fail(err)
+	}
+	p := newLagProblem(s)
+	n := len(p.ops)
+
+	maxIter := l.MaxIter
+	if maxIter <= 0 {
+		maxIter = 120
+	}
+	deadline := time.Time{}
+	if lim.TimeLimit > 0 {
+		deadline = start.Add(lim.TimeLimit)
+	}
+	gapTol := lim.GapTol
+	if gapTol <= 0 {
+		gapTol = 1e-4
+	}
+
+	// Multipliers only for budgets that exist.
+	var lc, ln, lr float64
+	useCPU := s.CPUBudget > 0
+	useNet := s.NetBudget > 0
+	useRAM := s.RAMBudget > 0 && len(s.RAM) > 0
+
+	var bestSel []bool
+	bestObj := math.Inf(1)
+	bestDual := math.Inf(-1)
+	w := make([]float64, n)
+	theta := 2.0
+	sinceImprove := 0
+
+	record := func(sel []bool) {
+		cpu, net, ram := p.loads(sel)
+		if !p.feasible(cpu, net, ram) {
+			return
+		}
+		if obj := s.Alpha*cpu + s.Beta*net; obj < bestObj-1e-12 {
+			bestObj = obj
+			bestSel = append([]bool(nil), sel...)
+			lim.Incumbent.Offer(obj)
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		stats.Iterations = iter + 1
+
+		// Vertex prices: objective + priced budgets; cut bandwidth
+		// telescopes to out-minus-in per vertex over monotone cuts.
+		for i := range w {
+			w[i] = (s.Alpha+lc)*p.cpu[i] + lr*p.ram[i]
+		}
+		for k, e := range p.edges {
+			w[e[0]] += (s.Beta + ln) * p.edgeW[k]
+			w[e[1]] -= (s.Beta + ln) * p.edgeW[k]
+		}
+		sel, inner := minClosure(n, p.edges, w, p.force)
+		dual := inner - lc*s.CPUBudget - ln*s.NetBudget
+		if useRAM {
+			dual -= lr * s.RAMBudget
+		}
+		if dual > bestDual+1e-12 {
+			bestDual = dual
+			sinceImprove = 0
+		} else if sinceImprove++; sinceImprove >= 8 {
+			theta /= 2
+			sinceImprove = 0
+		}
+
+		record(sel)
+		if repaired := p.repair(sel); repaired != nil {
+			record(repaired)
+		}
+
+		// Converged? The shared incumbent can close the gap for us.
+		ub := bestObj
+		if sharedUB, ok := lim.Incumbent.Best(); ok && sharedUB < ub {
+			ub = sharedUB
+		}
+		if !math.IsInf(ub, 1) && ub-bestDual <= gapTol*math.Max(1, math.Abs(ub)) {
+			break
+		}
+
+		// Subgradient step (Polyak when an upper bound exists).
+		cpu, net, ram := p.loads(sel)
+		gc, gn, gr := 0.0, 0.0, 0.0
+		if useCPU {
+			gc = cpu - s.CPUBudget
+		}
+		if useNet {
+			gn = net - s.NetBudget
+		}
+		if useRAM {
+			gr = ram - s.RAMBudget
+		}
+		norm := gc*gc + gn*gn + gr*gr
+		if norm <= 1e-18 {
+			break // relaxed optimum satisfies the budgets exactly
+		}
+		step := 0.0
+		if !math.IsInf(ub, 1) {
+			step = theta * math.Max(1e-9, ub-dual) / norm
+		} else {
+			step = theta * (math.Abs(dual) + 1) / (norm * float64(iter+1))
+		}
+		lc = math.Max(0, lc+step*gc)
+		ln = math.Max(0, ln+step*gn)
+		lr = math.Max(0, lr+step*gr)
+	}
+
+	stats.Seconds = time.Since(start).Seconds()
+	if bestDual > math.Inf(-1) && l.Opts.Formulation != core.General {
+		stats.Bound = bestDual
+	}
+	if bestSel == nil {
+		// An interrupted search is not evidence of infeasibility.
+		if cerr := ctx.Err(); cerr != nil {
+			return fail(cerr)
+		}
+		err := fmt.Errorf("solver: lagrangian found no feasible cut in %d iterations: %w",
+			stats.Iterations, &core.ErrInfeasible{Spec: s})
+		stats.Err = err.Error()
+		return nil, stats, err
+	}
+
+	onNode := make(map[int]bool, n)
+	for i, op := range p.ops {
+		onNode[op.ID()] = bestSel[i]
+	}
+	asg := core.AssignmentFromOnNode(s, onNode, false)
+	// The dual bounds the *restricted* (single-crossing) problem; under
+	// the General formulation bidirectional cuts may beat it, so no gap
+	// can be claimed there.
+	gap := -1.0
+	if !math.IsInf(bestDual, -1) && l.Opts.Formulation != core.General {
+		gap = math.Max(0, (asg.Objective-bestDual)/math.Max(1, math.Abs(asg.Objective)))
+	}
+	asg.Stats = core.SolveStats{
+		Solver:         core.SolverLagrangian,
+		Gap:            gap,
+		Feasible:       true,
+		Nodes:          stats.Iterations,
+		ClustersBefore: n,
+		ClustersAfter:  n,
+		DiscoverTime:   stats.Seconds,
+		ProveTime:      stats.Seconds,
+	}
+	if err := asg.Verify(s); err != nil {
+		return fail(fmt.Errorf("solver: lagrangian produced an invalid cut: %w", err))
+	}
+	stats.Feasible = true
+	stats.Objective = asg.Objective
+	stats.Gap = gap
+	// Never claim Optimal: a raced optimality claim cancels the exact
+	// backend, and ties must stay exact's to win (float-exact duality
+	// closure is not a proof worth that trade).
+	return asg, stats, nil
+}

@@ -1,0 +1,175 @@
+package solver
+
+// Dinic max-flow, used to solve the Lagrangian subproblem exactly: the
+// relaxed partitioning objective is linear over monotone (ancestor-closed)
+// node sets, and minimizing a linear function over closed sets is the
+// classic minimum-closure problem, reducible to s-t min-cut (Picard 1976).
+// Graphs here are small (operators after elaboration, ≤ a few thousand),
+// so a simple slice-based Dinic is more than fast enough and — unlike a
+// general LP — exactly integral and deterministic.
+
+type flowEdge struct {
+	to, rev int // head vertex; index of the reverse edge in adj[to]
+	cap     float64
+}
+
+// flowNet is a unit max-flow network with vertices 0..n-1.
+type flowNet struct {
+	adj [][]flowEdge
+}
+
+func newFlowNet(n int) *flowNet { return &flowNet{adj: make([][]flowEdge, n)} }
+
+// addEdge adds a directed edge u→v with the given capacity (and a zero
+// capacity reverse edge).
+func (f *flowNet) addEdge(u, v int, cap_ float64) {
+	f.adj[u] = append(f.adj[u], flowEdge{to: v, rev: len(f.adj[v]), cap: cap_})
+	f.adj[v] = append(f.adj[v], flowEdge{to: u, rev: len(f.adj[u]) - 1, cap: 0})
+}
+
+// maxFlow pushes the maximum flow from s to t and returns its value. The
+// residual network is left in place for minCutSourceSide.
+func (f *flowNet) maxFlow(s, t int) float64 {
+	const eps = 1e-12
+	total := 0.0
+	n := len(f.adj)
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range f.adj[u] {
+				if e.cap > eps && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, limit float64) float64
+	dfs = func(u int, limit float64) float64 {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(f.adj[u]); iter[u]++ {
+			e := &f.adj[u][iter[u]]
+			if e.cap <= eps || level[e.to] != level[u]+1 {
+				continue
+			}
+			pushed := dfs(e.to, minf(limit, e.cap))
+			if pushed > eps {
+				e.cap -= pushed
+				f.adj[e.to][e.rev].cap += pushed
+				return pushed
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(s, inf)
+			if pushed <= eps {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+// minCutSourceSide returns, after maxFlow, which vertices sit on the
+// source side of the minimum cut (reachable in the residual network).
+func (f *flowNet) minCutSourceSide(s int) []bool {
+	side := make([]bool, len(f.adj))
+	stack := []int{s}
+	side[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range f.adj[u] {
+			if e.cap > 1e-12 && !side[e.to] {
+				side[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return side
+}
+
+const inf = 1e30
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// minClosure minimizes Σ w[v]·f[v] over ancestor-closed 0/1 vectors f on a
+// DAG given as edge pairs (from, to), with optional forced values: force[v]
+// = +1 pins f[v]=1, -1 pins f[v]=0, 0 leaves it free. Closure means an
+// edge u→v forces f[u] ≥ f[v] (placing an operator on the node drags its
+// upstream along, the restricted single-crossing rule). It returns the
+// selected set and the exact minimum value.
+func minClosure(n int, edges [][2]int, w []float64, force []int8) ([]bool, float64) {
+	// Fold pins into weights big enough to dominate any free choice.
+	big := 1.0
+	for _, x := range w {
+		if x > 0 {
+			big += x
+		} else {
+			big -= x
+		}
+	}
+	p := make([]float64, n) // maximize Σ p over closed sets
+	for v := 0; v < n; v++ {
+		p[v] = -w[v]
+		switch force[v] {
+		case 1:
+			p[v] = big
+		case -1:
+			p[v] = -big
+		}
+	}
+
+	s, t := n, n+1
+	net := newFlowNet(n + 2)
+	for v := 0; v < n; v++ {
+		if p[v] > 0 {
+			net.addEdge(s, v, p[v])
+		} else if p[v] < 0 {
+			net.addEdge(v, t, -p[v])
+		}
+	}
+	// Selecting v requires selecting its predecessor u: arc v→u with
+	// infinite capacity keeps them on the same cut side.
+	for _, e := range edges {
+		net.addEdge(e[1], e[0], inf)
+	}
+	net.maxFlow(s, t)
+	side := net.minCutSourceSide(s)
+
+	sel := make([]bool, n)
+	val := 0.0
+	for v := 0; v < n; v++ {
+		if side[v] {
+			sel[v] = true
+			val += w[v]
+		}
+	}
+	return sel, val
+}

@@ -1,0 +1,119 @@
+// Package solver is the pluggable solving layer over Wishbone's
+// partitioner. It defines the Solver contract (shared with internal/core,
+// which hosts the Race combinator) and a registry of backends:
+//
+//   - "exact"       — the branch-and-bound ILP (§4.2), optimal and the
+//     tie-breaking reference for every other backend.
+//   - "lagrangian"  — the §9-style relaxation: CPU/network/RAM budgets are
+//     priced into the objective with multipliers driven by subgradient
+//     updates; each subproblem is a minimum-closure cut solved exactly by
+//     max-flow, and infeasible iterates are repaired to a legal cut. It
+//     produces a true dual lower bound, so its answers carry a proven gap.
+//   - "greedy"      — the cut-ordering baseline: enumerate monotone cuts
+//     along a topological order and keep the best feasible one.
+//   - "race"        — all of the above raced concurrently (core.Race):
+//     first feasible answer seeds a shared incumbent bound, the exact
+//     backend wins ties, and cancellation stops the losers.
+//
+// Backends construct from core.Options so the formulation/limit knobs flow
+// through one type; register additional backends with Register.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wishbone/internal/core"
+)
+
+// Solver, Limits, and Stats are the backend contract; they live in core so
+// the Race combinator and the rate search can consume backends without an
+// import cycle, and are re-exported here as the package's canonical names.
+type (
+	// Solver is one partitioning backend.
+	Solver = core.Solver
+	// Limits bounds one Solve call.
+	Limits = core.Limits
+	// Stats is per-backend solve telemetry.
+	Stats = core.BackendStats
+)
+
+// Factory builds a backend from partitioner options.
+type Factory func(opts core.Options) Solver
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs a backend factory under name, replacing any previous
+// registration. The four built-ins register themselves at init.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = f
+}
+
+// New builds the named backend over opts. Name "" defaults to "exact".
+func New(name string, opts core.Options) (Solver, error) {
+	if name == "" {
+		name = core.SolverExact
+	}
+	regMu.RLock()
+	f := registry[name]
+	regMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("solver: unknown backend %q (have %v)", name, Names())
+	}
+	return f(opts), nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RaceBackends are the backends a "race" solve runs, in tie-breaking
+// order (exact first, so optimal answers win ties deterministically).
+var RaceBackends = []string{core.SolverExact, core.SolverLagrangian, core.SolverGreedy}
+
+// NewRace builds a racing solver over the named backends (RaceBackends
+// when none are given).
+func NewRace(opts core.Options, backends ...string) (Solver, error) {
+	if len(backends) == 0 {
+		backends = RaceBackends
+	}
+	svs := make([]Solver, 0, len(backends))
+	for _, name := range backends {
+		if name == core.SolverRace {
+			return nil, fmt.Errorf("solver: race cannot nest itself")
+		}
+		sv, err := New(name, opts)
+		if err != nil {
+			return nil, err
+		}
+		svs = append(svs, sv)
+	}
+	return core.NewRaced(svs...), nil
+}
+
+func init() {
+	Register(core.SolverExact, func(opts core.Options) Solver { return core.NewExact(opts) })
+	Register(core.SolverLagrangian, func(opts core.Options) Solver { return NewLagrangian(opts) })
+	Register(core.SolverGreedy, func(opts core.Options) Solver { return NewGreedy(opts) })
+	Register(core.SolverRace, func(opts core.Options) Solver {
+		sv, err := NewRace(opts)
+		if err != nil { // unreachable: built-ins are registered above
+			panic(err)
+		}
+		return sv
+	})
+}

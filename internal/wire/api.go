@@ -47,6 +47,11 @@ type PartitionRequest struct {
 	Platform string    `json:"platform"`
 	// Mode is "permissive" (default) or "conservative" (§2.1.1).
 	Mode string `json:"mode,omitempty"`
+	// Solver selects the backend: "exact" (default), "lagrangian",
+	// "greedy", or "race" (all backends concurrently, best feasible
+	// answer wins, exact breaking ties). Per-backend win/latency metrics
+	// are served at /v1/stats.
+	Solver string `json:"solver,omitempty"`
 }
 
 // PartitionResponse carries the chosen assignment.
@@ -69,7 +74,10 @@ type SimulateRequest struct {
 	Trace    TraceSpec `json:"trace,omitempty"`
 	Platform string    `json:"platform"`
 	Mode     string    `json:"mode,omitempty"`
-	OnNode   []int     `json:"onNode,omitempty"`
+	// Solver selects the partitioning backend for the auto-partition
+	// fallback (ignored when OnNode is explicit); see PartitionRequest.
+	Solver string `json:"solver,omitempty"`
+	OnNode []int  `json:"onNode,omitempty"`
 
 	Nodes     int     `json:"nodes"`
 	Duration  float64 `json:"duration"`

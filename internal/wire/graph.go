@@ -272,8 +272,10 @@ func counterFrom(counts [cost.NumOps]uint64) *cost.Counter {
 }
 
 // AssignmentWire is the transportable form of a core.Assignment: on-node
-// operators by ID (sorted), cut edges by dense edge index, and the loads
-// and solver stats.
+// operators by ID (sorted), cut edges by dense edge index, the loads and
+// solver stats, plus the producing backend's name and its proven
+// objective gap (0 = optimal, >0 = incumbent under a limit, <0 = no bound
+// known, e.g. the greedy baseline).
 type AssignmentWire struct {
 	OnNode        []int           `json:"onNode"`
 	CutEdges      []int           `json:"cutEdges,omitempty"`
@@ -282,6 +284,8 @@ type AssignmentWire struct {
 	NetLoad       float64         `json:"netLoad"`
 	RAMLoad       float64         `json:"ramLoad,omitempty"`
 	Objective     float64         `json:"objective"`
+	Solver        string          `json:"solver,omitempty"`
+	Gap           float64         `json:"gap,omitempty"`
 	Stats         core.SolveStats `json:"stats"`
 }
 
@@ -293,6 +297,8 @@ func NewAssignmentWire(g *dataflow.Graph, a *core.Assignment) *AssignmentWire {
 		NetLoad:       a.NetLoad,
 		RAMLoad:       a.RAMLoad,
 		Objective:     a.Objective,
+		Solver:        a.Stats.Solver,
+		Gap:           a.Stats.Gap,
 		Stats:         a.Stats,
 	}
 	for id, on := range a.OnNode {

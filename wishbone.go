@@ -7,20 +7,46 @@
 // Node namespace are replicated on every embedded node; the partitioner
 // decides which of them actually execute there and which run on the
 // server, by profiling each operator's CPU cost on the target platform and
-// each stream's data rate, then solving an integer linear program that
-// minimizes α·cpu + β·net subject to hard CPU and network budgets.
+// each stream's data rate, then solving for the cut that minimizes
+// α·cpu + β·net subject to hard CPU and network budgets.
 //
-// Typical use:
+// Typical use — build a Planner, then drive the pipeline through it:
 //
 //	g := wishbone.NewGraph()
 //	src := g.Add(&wishbone.Operator{Name: "mic", NS: wishbone.NSNode, SideEffect: true})
 //	... build the graph, connect operators ...
-//	dep, err := wishbone.AutoPartition(g, wishbone.Permissive, inputs, wishbone.TMoteSky(), nil)
+//	p := wishbone.NewPlanner()                       // paper defaults: exact ILP
+//	dep, err := p.AutoPartition(ctx, g, inputs, wishbone.TMoteSky())
 //
 // AutoPartition profiles the program on the sample inputs, classifies
 // pinned/movable operators, and returns the optimal partition — or, when
 // the program cannot fit at full rate, the maximum sustainable rate and the
-// partition at that rate (§4.3 of the paper).
+// partition at that rate (§4.3 of the paper). Every Planner method takes a
+// context; cancellation and deadlines interrupt the branch-and-bound
+// search, which then returns its best incumbent with a recorded optimality
+// gap instead of failing.
+//
+// # Solver backends and racing
+//
+// The solving layer is pluggable (internal/solver): "exact" is the
+// branch-and-bound ILP of §4.2; "lagrangian" is the §9-style relaxation
+// (budgets priced by subgradient-driven multipliers, each subproblem an
+// exact min-closure cut, answers carrying a proven dual gap);
+// "greedy" is a cut-ordering baseline. Backends can be raced:
+//
+//	p := wishbone.NewPlanner(wishbone.WithSolver("race"))
+//
+// runs every backend concurrently under one context, shares the first
+// feasible objective as an incumbent bound, cancels the losers, and
+// returns the best feasible assignment — the exact backend wins ties, so
+// an un-deadlined race is byte-identical to the exact solve. Under a
+// deadline the heuristics' fast answers stand in wherever the tree search
+// has not caught up. Deployment.Solves records per-backend win/latency
+// telemetry.
+//
+// The deprecated package-level functions (Profile, Partition,
+// AutoPartition, Simulate, NetworkProfile) remain as thin wrappers over a
+// default Planner and produce byte-identical results.
 //
 // # Execution engines
 //
@@ -39,34 +65,23 @@
 //
 // # Partition service
 //
-// The profile→ILP→partition loop is also available as a long-running
+// The profile→solve→partition loop is also available as a long-running
 // multi-tenant service (internal/server, cmd/wbserved): clients submit
-// graphs by description over an HTTP/JSON API (a built-in application
-// name or wscript source — work functions cannot cross a process
-// boundary, so the server re-elaborates graphs the way the paper's
-// compiler re-elaborates WaveScript), and the server answers profile,
-// partition, and simulate requests concurrently. Compiled Programs are
-// cached in a content-addressed LRU keyed by the canonical
-// (graph-spec, structural-hash, partition, variant) string — Programs are
-// immutable and goroutine-shareable by design, so one cached Program
-// serves any number of tenants, each executing its own Instance. A
-// singleflight layer deduplicates compilation under thundering herds
-// (one compile, everyone waits), a bounded job pool caps concurrent
-// heavy work (simulations additionally bound their per-node worker pools),
-// and per-endpoint metrics (cache hit rate, latency, in-flight jobs) are
-// served at /v1/stats. Server-returned reports and results are
-// byte-identical to in-process profile.Run/runtime.Run, which the parity
-// tests in internal/server assert.
+// graphs by description over an HTTP/JSON API and pick a solver backend
+// per request; the server serves compiled Programs from a
+// content-addressed LRU cache and reports per-backend win/latency metrics
+// at /v1/stats. See the internal/server package docs.
 //
 // The subsystems are available directly for finer control: see
-// internal/core (ILP formulations), internal/profile, internal/runtime
-// (deployment simulation), internal/netsim (radio model), internal/server
-// (the partition service), and internal/experiments (every figure of the
+// internal/core (cut formulations, solver racing), internal/solver (the
+// backend registry), internal/profile, internal/runtime (deployment
+// simulation), internal/netsim (radio model), internal/server (the
+// partition service), and internal/experiments (every figure of the
 // paper's evaluation).
 package wishbone
 
 import (
-	"fmt"
+	"context"
 
 	"wishbone/internal/core"
 	"wishbone/internal/dataflow"
@@ -113,6 +128,9 @@ type (
 	Assignment = core.Assignment
 	// Options tune the partitioner.
 	Options = core.Options
+	// SolverStats is per-backend solve telemetry (latency, objective,
+	// bound, race winner).
+	SolverStats = core.BackendStats
 )
 
 // Namespace and mode constants (see dataflow).
@@ -139,13 +157,19 @@ var (
 
 // Profile executes the graph against sample traces and measures operator
 // costs and stream rates (§3).
+//
+// Deprecated: use NewPlanner().Profile(ctx, g, inputs); this wrapper runs
+// the default Planner under context.Background().
 func Profile(g *Graph, inputs []Input) (*Report, error) {
-	return profile.Run(g, inputs)
+	return NewPlanner().Profile(context.Background(), g, inputs)
 }
 
 // Partition solves a partitioning problem exactly (§4.2).
+//
+// Deprecated: use NewPlanner(WithOptions(opts)).Partition(ctx, s), which
+// can also select heuristic or raced backends via WithSolver/WithRace.
 func Partition(s *Spec, opts Options) (*Assignment, error) {
-	return core.Partition(s, opts)
+	return NewPlanner(WithOptions(opts)).Partition(context.Background(), s)
 }
 
 // DefaultOptions returns the paper-default partitioner options
@@ -164,6 +188,9 @@ type Deployment struct {
 	// 1.0 when the program fits at full rate, less when the §4.3 binary
 	// search had to shed load.
 	RateMultiple float64
+	// Solves is per-probe solver telemetry (one entry per solver
+	// invocation; raced probes carry per-backend breakdowns in Sub).
+	Solves []SolverStats
 }
 
 // FitsAtFullRate reports whether the program fit without load shedding.
@@ -186,56 +213,28 @@ func (d *Deployment) DOT(title string) string {
 // feasible partition exists at full rate it binary-searches the maximum
 // sustainable rate and returns the partition there.
 //
-// opts may be nil for the paper defaults.
+// opts may be nil for the paper defaults. When no rate is feasible the
+// error wraps *core.ErrInfeasible.
+//
+// Deprecated: use NewPlanner(WithMode(mode), WithOptions(*opts))
+// .AutoPartition(ctx, g, inputs, plat) — byte-identical results, plus
+// cancellation and solver selection.
 func AutoPartition(g *Graph, mode Mode, inputs []Input, plat *Platform, opts *Options) (*Deployment, error) {
-	if err := plat.Validate(); err != nil {
-		return nil, err
-	}
-	o := core.DefaultOptions()
+	popts := []PlannerOption{WithMode(mode)}
 	if opts != nil {
-		o = *opts
+		popts = append(popts, WithOptions(*opts))
 	}
-	rep, err := profile.Run(g, inputs)
-	if err != nil {
-		return nil, err
-	}
-	cls, err := dataflow.Classify(g, mode)
-	if err != nil {
-		return nil, err
-	}
-	spec := profile.BuildSpec(cls, rep, plat)
-	dep := &Deployment{Report: rep, Spec: spec}
-
-	// Full rate first; when overloaded, the maximum sustainable rate
-	// (§4.3) — one re-entrant core call, shared with the partition
-	// service.
-	res, err := core.AutoPartition(spec, 1.0, 0.005, o)
-	if err != nil {
-		return nil, err
-	}
-	if res.Assignment == nil {
-		return nil, fmt.Errorf("wishbone: no feasible partition at any rate on %s", plat.Name)
-	}
-	dep.Assignment = res.Assignment
-	dep.RateMultiple = res.RateMultiple
-	return dep, nil
+	return NewPlanner(popts...).AutoPartition(context.Background(), g, inputs, plat)
 }
 
 // Simulate deploys a partitioned program on a simulated network of the
 // platform's nodes and measures input loss, network loss, and goodput
 // (§7.3's validation methodology).
+//
+// Deprecated: use NewPlanner().Simulate(ctx, d, plat, ...).
 func Simulate(d *Deployment, plat *Platform, nodes int, seconds float64,
 	inputs func(nodeID int) []Input, seed int64) (*runtime.Result, error) {
-	return runtime.Run(runtime.Config{
-		Graph:     d.Spec.Graph,
-		OnNode:    d.Assignment.OnNode,
-		Platform:  plat,
-		Nodes:     nodes,
-		Duration:  seconds,
-		RateScale: d.RateMultiple,
-		Inputs:    inputs,
-		Seed:      seed,
-	})
+	return NewPlanner().Simulate(context.Background(), d, plat, nodes, seconds, inputs, seed)
 }
 
 // SimResult is the deployment-simulation result type.
@@ -244,6 +243,8 @@ type SimResult = runtime.Result
 // NetworkProfile sweeps the platform's shared channel and returns the
 // maximum aggregate send rate that keeps reception above target — the
 // paper's network-profiling tool (§7.3.1).
+//
+// Deprecated: use NewPlanner().NetworkProfile(ctx, plat, target).
 func NetworkProfile(plat *Platform, target float64) (maxAirBytesPerSec float64, err error) {
 	return netsim.ChannelFor(plat).MaxSendRate(target)
 }
