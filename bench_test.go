@@ -8,7 +8,9 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -499,7 +501,9 @@ func BenchmarkAblationBaselines(b *testing.B) {
 		run  func() (*core.Assignment, error)
 	}
 	solvers := []solver{
-		{"ilp", func() (*core.Assignment, error) { return core.Partition(context.Background(), spec, core.DefaultOptions()) }},
+		{"ilp", func() (*core.Assignment, error) {
+			return core.Partition(context.Background(), spec, core.DefaultOptions())
+		}},
 		{"greedy", func() (*core.Assignment, error) { return baseline.Greedy(spec) }},
 		{"chain-exhaustive", func() (*core.Assignment, error) { return baseline.ChainExhaustive(spec) }},
 	}
@@ -642,4 +646,143 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	b.ReportMetric(snap.CacheHitRate, "hit-rate")
 	b.ReportMetric(float64(tenants*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// --- Sharded + streaming simulation --------------------------------------
+
+// BenchmarkShardedSimulate measures server-side scale-out: 64 Gumstix
+// nodes stream raw audio windows to the basestation (cut after the
+// source), so the run is dominated by the server-side delivery loop —
+// reassembly, per-origin state swaps (preemph/prefilt relocate with
+// per-node state tables), and the relocated pipeline's DSP. The sharded
+// variants split that loop by origin node; results are byte-identical at
+// every shard count (asserted here against the sequential run).
+func BenchmarkShardedSimulate(b *testing.B) {
+	app := speech.New()
+	const nodes = 64
+	onNode := speechCut(app, 1)
+	node, srv, err := runtime.CompilePartition(app.Graph, onNode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A basestation-class uplink that absorbs 64 raw streams without
+	// congestion collapse, so the server actually processes the load.
+	plat := platform.Gumstix()
+	plat.Radio.BytesPerSec = 4e6
+	plat.Radio.CollapseBytesPerSec = 8e6
+	traces := make([][]profile.Input, nodes)
+	for n := range traces {
+		traces[n] = []profile.Input{app.SampleTrace(int64(2000+n), 2.0)}
+	}
+	cfg := runtime.Config{
+		Graph:         app.Graph,
+		OnNode:        onNode,
+		Platform:      plat,
+		Nodes:         nodes,
+		Duration:      10,
+		Inputs:        func(nodeID int) []profile.Input { return traces[nodeID] },
+		Seed:          3,
+		NodeProgram:   node,
+		ServerProgram: srv,
+	}
+	ref, err := runtime.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ref.PercentMsgsReceived() < 90 {
+		b.Fatalf("channel collapsed (%.1f%% received); the bench must exercise the server", ref.PercentMsgsReceived())
+	}
+	run := func(b *testing.B, shards int) {
+		b.Helper()
+		c := cfg
+		c.Shards = shards
+		for i := 0; i < b.N; i++ {
+			res, err := runtime.Run(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if *res != *ref {
+				b.Fatalf("shards=%d diverges from sequential", shards)
+			}
+		}
+	}
+	b.Run("sequential-64nodes", func(b *testing.B) { run(b, 1) })
+	b.Run("shards=4-64nodes", func(b *testing.B) { run(b, 4) })
+	b.Run("shards=8-64nodes", func(b *testing.B) { run(b, 8) })
+}
+
+// BenchmarkStreamingSimulate compares batch and streaming ingestion on an
+// hour-long deployment: the batch path materializes every arrival and
+// in-flight message up front (allocations grow with the simulated span),
+// the streaming path feeds 60-second windows through persistent node
+// instances and server shards (allocations per window, working set flat
+// in the span). Run with -benchmem; the B/op gap is the point.
+func BenchmarkStreamingSimulate(b *testing.B) {
+	app := speech.New()
+	const nodes = 4
+	const duration = 3600.0
+	cfg := runtime.Config{
+		Graph:    app.Graph,
+		OnNode:   speechCut(app, 1),
+		Platform: platform.Gumstix(),
+		Nodes:    nodes,
+		Duration: duration,
+		Inputs: func(nodeID int) []profile.Input {
+			return []profile.Input{app.SampleTrace(int64(3000+nodeID), 2.0)}
+		},
+		Seed: 6,
+	}
+	// withPeakHeap samples the live heap at 20 Hz while fn runs and
+	// reports the maximum — coarse, but it separates an O(window) working
+	// set from an O(duration) one (cumulative B/op cannot: both paths
+	// allocate per event, the difference is what stays reachable).
+	withPeakHeap := func(b *testing.B, fn func()) {
+		var peak atomic.Uint64
+		done := make(chan struct{})
+		go func() {
+			var ms goruntime.MemStats
+			tick := time.NewTicker(50 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					goruntime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peak.Load() {
+						peak.Store(ms.HeapAlloc)
+					}
+				}
+			}
+		}()
+		fn()
+		close(done)
+		b.ReportMetric(float64(peak.Load())/(1<<20), "peak-heap-MB")
+	}
+	b.Run("batch-1h", func(b *testing.B) {
+		b.ReportAllocs()
+		withPeakHeap(b, func() {
+			for i := 0; i < b.N; i++ {
+				if _, err := runtime.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("stream-1h", func(b *testing.B) {
+		b.ReportAllocs()
+		c := cfg
+		c.Shards = 4
+		c.WindowSeconds = 60
+		c.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
+			return runtime.InputStream(cfg.Inputs(nodeID), 1, duration)
+		}
+		withPeakHeap(b, func() {
+			for i := 0; i < b.N; i++ {
+				if _, err := runtime.Run(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }

@@ -5,12 +5,17 @@
 // Usage:
 //
 //	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|all] [-seconds N]
-//	        [-fig6n N] [-engine compiled|legacy]
+//	        [-fig6n N] [-engine compiled|legacy] [-shards N] [-stream]
 //	        [-solver exact|lagrangian|greedy|race|all]
 //
 // The solvers figure compares the pluggable solver backends (objective,
 // proven gap, latency, race wins) on the speech and EEG specs; -solver
 // restricts it to one backend (plus the exact reference).
+//
+// -shards splits each deployment simulation's server-side delivery loop
+// by origin node (byte-identical results, more cores); -stream feeds the
+// traces through streaming ingestion in bounded windows instead of
+// materializing them (requires the compiled engine).
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
 	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
 	solverName := flag.String("solver", "all", "backend for the solvers figure: exact|lagrangian|greedy|race|all")
+	shards := flag.Int("shards", 0, "server-side delivery shards per simulation (0/1 = sequential)")
+	stream := flag.Bool("stream", false, "feed simulation traces through streaming ingestion (compiled engine only)")
 	flag.Parse()
 
 	var engine runtime.Engine
@@ -40,6 +47,9 @@ func main() {
 		engine = runtime.EngineLegacy
 	default:
 		log.Fatalf("unknown engine %q (want compiled or legacy)", *engineName)
+	}
+	if *stream && engine == runtime.EngineLegacy {
+		log.Fatal("-stream requires the compiled engine")
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -54,6 +64,8 @@ func main() {
 				log.Fatal(err)
 			}
 			speech.Engine = engine
+			speech.Shards = *shards
+			speech.Stream = *stream
 		}
 		return speech
 	}

@@ -35,6 +35,12 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent heavy jobs (0 = GOMAXPROCS)")
 	simWorkers := flag.Int("sim-workers", 0, "per-simulation node worker bound (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	// Note: http.Server.ReadTimeout is an absolute whole-body deadline —
+	// it caps every upload's total duration, progressing or stalled, so
+	// it defaults off (a legitimate /v1/simulate/stream trace can take as
+	// long as the client needs to generate it). Stall detection proper is
+	// the ROADMAP backpressure item.
+	readTimeout := flag.Duration("read-timeout", 0, "absolute per-request body deadline, killing uploads that exceed it regardless of progress (0 = none)")
 	flag.Parse()
 
 	svc := server.New(server.Config{
@@ -42,7 +48,13 @@ func main() {
 		MaxJobs:      *jobs,
 		SimWorkers:   *simWorkers,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 30 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -9,6 +9,19 @@
 //	         [-events 64] [-dot out.dot] [-maxrate]
 //	         [-solver exact|lagrangian|greedy|race]
 //	         [-engine compiled|legacy] [-server http://host:9090]
+//	         [-simulate N] [-simseconds S] [-shards K] [-stream]
+//
+// With -simulate N, the chosen partition is additionally deployed on a
+// simulated N-node network (§7.3): each node runs the node partition
+// against the synthetic trace, the shared channel loses packets under
+// load, and the server replays deliveries — printing input-processed,
+// messages-received and goodput percentages. -shards splits the
+// server-side delivery loop by origin node (byte-identical results);
+// -stream generates the trace lazily and feeds it in bounded windows
+// (constant memory in the simulated span). wscript graphs may share
+// state outside the engine (the output sink), so the simulation runs its
+// worker pools sequentially; use wbbench for multi-core scaling numbers
+// on the built-in applications.
 //
 // Sources in the program are fed a synthetic ramp signal; real deployments
 // would substitute recorded traces (profiling only needs representative
@@ -32,6 +45,7 @@ import (
 	"wishbone/internal/dataflow"
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
 	"wishbone/internal/server"
 	"wishbone/internal/solver"
 	"wishbone/internal/viz"
@@ -50,6 +64,10 @@ func main() {
 	solverName := flag.String("solver", "exact", "solver backend: exact|lagrangian|greedy|race (all raced, best feasible wins)")
 	engineName := flag.String("engine", "compiled", "profiling engine: compiled|legacy (reference tree-walker)")
 	serverURL := flag.String("server", "", "partition-service base URL; when set, requests go to wbserved instead of running in process")
+	simNodes := flag.Int("simulate", 0, "deploy the chosen partition on a simulated N-node network")
+	simSeconds := flag.Float64("simseconds", 30, "simulated deployment duration in seconds")
+	shards := flag.Int("shards", 0, "server-side delivery shards for the simulation (0/1 = sequential)")
+	stream := flag.Bool("stream", false, "feed the simulation trace through streaming ingestion (bounded windows, constant memory)")
 	flag.Parse()
 
 	if *srcPath == "" {
@@ -81,6 +99,9 @@ func main() {
 		// The remote API profiles with its own engine and scalar synthetic
 		// traces and returns no graph artifacts; refuse flags it cannot
 		// honor rather than silently producing different results.
+		if *simNodes > 0 {
+			log.Fatal("-simulate is not supported with -server (use the /v1/simulate endpoints)")
+		}
 		if *window > 0 {
 			log.Fatal("-window is not supported with -server (the service profiles scalar traces)")
 		}
@@ -194,6 +215,45 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *dotPath)
+	}
+
+	if *simNodes > 0 {
+		// wscript output sinks may share state outside the engine's state
+		// slots, so both worker pools run sequentially (Workers=1). With
+		// -shards the origin groups then run one after another: the
+		// printed Result is unchanged (per-origin counters are
+		// order-independent) but out-of-engine sink buffers may fill in
+		// shard order rather than time order — this command discards
+		// them, printing only Result-derived stats.
+		cfg := runtime.Config{
+			Graph:     compiled.Graph,
+			OnNode:    asg.OnNode,
+			Platform:  plat,
+			Nodes:     *simNodes,
+			Duration:  *simSeconds,
+			RateScale: rate,
+			Seed:      1,
+			Shards:    *shards,
+			Workers:   1,
+		}
+		if *stream {
+			cfg.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
+				return runtime.InputStream(inputs, rate, *simSeconds)
+			}
+		} else {
+			cfg.Inputs = func(nodeID int) []profile.Input { return inputs }
+		}
+		res, err := runtime.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "batch"
+		if *stream {
+			mode = "streaming"
+		}
+		fmt.Printf("simulated %d node(s) for %.0fs (%s, %d shard(s)): input %.1f%%, msgs %.1f%%, goodput %.1f%%, node CPU %.1f%%\n",
+			*simNodes, *simSeconds, mode, *shards,
+			res.PercentInputProcessed(), res.PercentMsgsReceived(), res.Goodput(), 100*res.NodeCPU)
 	}
 }
 

@@ -72,6 +72,10 @@ type Program struct {
 	// it is computed at most once.
 	hashOnce sync.Once
 	hash     string
+
+	// pool recycles Instances across shards and requests (see
+	// AcquireInstance); it never affects the Program's compiled tables.
+	pool sync.Pool
 }
 
 // Compile lowers g into an immutable Program. It validates the graph, fixes

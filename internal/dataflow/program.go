@@ -108,6 +108,103 @@ func (p *Program) NewInstance(nodeID int) *Instance {
 	return in
 }
 
+// AcquireInstance returns an Instance of p acting as nodeID, recycling a
+// previously Released one when available (Reset to pristine state) and
+// allocating otherwise. For programs with large operator tables — the
+// 1.2k-operator EEG app compiles to per-Instance slices of that length —
+// recycling avoids reallocating every dense table per simulated node, per
+// delivery shard, per request. The caller must stop using the Instance
+// once it Releases it.
+func (p *Program) AcquireInstance(nodeID int) *Instance {
+	if v := p.pool.Get(); v != nil {
+		in := v.(*Instance)
+		in.rebind(nodeID)
+		return in
+	}
+	return p.NewInstance(nodeID)
+}
+
+// ReleaseInstance returns an Instance obtained from AcquireInstance (or
+// NewInstance) to p's recycle pool. It Resets the instance immediately —
+// a pooled instance must not pin the released run's Boundary closure,
+// queued values, or state (potentially a whole simulation's message
+// stream) while it sits in the pool.
+func (p *Program) ReleaseInstance(in *Instance) {
+	if in == nil || in.p != p {
+		return
+	}
+	in.Reset(in.nodeID)
+	p.pool.Put(in)
+}
+
+// rebind points a pristine pooled instance (Reset at release time) at a
+// new node identity without re-creating its freshly-reset state.
+func (in *Instance) rebind(nodeID int) {
+	if in.nodeID == nodeID {
+		return
+	}
+	in.nodeID = nodeID
+	for i := range in.ctxs {
+		in.ctxs[i].NodeID = nodeID
+	}
+}
+
+// Reset restores the instance to the state NewInstance would produce for
+// nodeID: fresh state in every stateful slot, empty queues, zeroed
+// traversal and measurement counters, and no Boundary hook. Shared cost
+// counters installed with SetCounter are detached (CountOps instances keep
+// their per-operator counters, zeroed).
+func (in *Instance) Reset(nodeID int) {
+	p := in.p
+	in.nodeID = nodeID
+	for i := range in.queues {
+		// Zero before truncating: a panic mid-event can leave queued
+		// Values behind, and a pooled instance must not keep them
+		// reachable through the backing arrays.
+		q := in.queues[i]
+		for j := range q {
+			q[j] = queued{}
+		}
+		in.queues[i] = q[:0]
+		in.inHeap[i] = false
+		in.states[i] = nil
+	}
+	for _, id := range p.statefulIDs {
+		in.states[id] = p.newState[id]()
+	}
+	for i := range in.ctxs {
+		in.ctxs[i].NodeID = nodeID
+		in.ctxs[i].State = in.states[i]
+		if !p.opts.CountOps {
+			in.ctxs[i].Counter = nil
+		}
+	}
+	in.heap = in.heap[:0]
+	in.running = false
+	in.Boundary = nil
+	in.traversals = 0
+	if p.opts.CountOps {
+		for i := range in.opEvent {
+			in.opEvent[i] = cost.Counter{}
+			in.opTotal[i] = cost.Counter{}
+			in.opPeak[i] = cost.Counter{}
+			in.invocations[i] = 0
+			in.opInEvent[i] = false
+		}
+		in.opTouched = in.opTouched[:0]
+	}
+	if p.opts.MeasureEdges {
+		for i := range in.edgeBytes {
+			in.edgeBytes[i] = 0
+			in.edgeElems[i] = 0
+			in.edgePeak[i] = 0
+			in.eventBytes[i] = 0
+			in.edgeSeen[i] = false
+		}
+		in.edgeTouched = in.edgeTouched[:0]
+	}
+}
+
 // NodeID returns the node identity this instance runs as.
 func (in *Instance) NodeID() int { return in.nodeID }
 

@@ -27,6 +27,34 @@ type SpeechEnv struct {
 	// experiments (Figures 9–10, §7.3.1); the zero value is the compiled
 	// default. cmd/wbbench -engine=legacy sets the reference tree-walker.
 	Engine runtime.Engine
+
+	// Shards splits each simulation's server-side delivery loop by origin
+	// node (cmd/wbbench -shards); results are byte-identical at any
+	// count.
+	Shards int
+
+	// Stream runs the deployment experiments through streaming ingestion
+	// (cmd/wbbench -stream): arrivals are generated lazily and fed in
+	// bounded windows instead of materialized up front. Requires the
+	// compiled engine; each window's delivery ratio prices that window's
+	// offered load.
+	Stream bool
+}
+
+// simConfig applies the env's engine/sharding/streaming selection to one
+// deployment simulation config.
+func (e *SpeechEnv) simConfig(cfg runtime.Config) runtime.Config {
+	cfg.Engine = e.Engine
+	cfg.Shards = e.Shards
+	if e.Stream {
+		inputs := cfg.Inputs
+		scale := cfg.RateScale
+		duration := cfg.Duration
+		cfg.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
+			return runtime.InputStream(inputs(nodeID), scale, duration)
+		}
+	}
+	return cfg
 }
 
 // NewSpeechEnv builds and profiles the speech app on a deterministic trace.

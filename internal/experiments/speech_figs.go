@@ -214,7 +214,7 @@ func Fig10(e *SpeechEnv, seconds float64) (*Fig10Rows, error) {
 func runCutpointSweep(e *SpeechEnv, nodes int, seconds float64) ([]Fig9Row, error) {
 	var rows []Fig9Row
 	for k := 1; k <= NumSpeechCutpoints; k++ {
-		res, err := runtime.Run(runtime.Config{
+		res, err := runtime.Run(e.simConfig(runtime.Config{
 			Graph:    e.App.Graph,
 			OnNode:   e.CutpointOnNode(k),
 			Platform: platform.TMoteSky(),
@@ -223,9 +223,8 @@ func runCutpointSweep(e *SpeechEnv, nodes int, seconds float64) ([]Fig9Row, erro
 			Inputs: func(nodeID int) []profile.Input {
 				return []profile.Input{e.App.SampleTrace(int64(1000+nodeID), 2.0)}
 			},
-			Seed:   int64(k),
-			Engine: e.Engine,
-		})
+			Seed: int64(k),
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -352,15 +351,14 @@ type GumstixResult struct {
 func TextGumstix(e *SpeechEnv, seconds float64) (*GumstixResult, error) {
 	gum := platform.Gumstix()
 	onNode := e.CutpointOnNode(NumSpeechCutpoints) // entire app on the node
-	res, err := runtime.Run(runtime.Config{
+	res, err := runtime.Run(e.simConfig(runtime.Config{
 		Graph: e.App.Graph, OnNode: onNode, Platform: gum,
 		Nodes: 1, Duration: seconds,
 		Inputs: func(nodeID int) []profile.Input {
 			return []profile.Input{e.App.SampleTrace(55, 2.0)}
 		},
-		Seed:   7,
-		Engine: e.Engine,
-	})
+		Seed: 7,
+	}))
 	if err != nil {
 		return nil, err
 	}

@@ -26,14 +26,18 @@
 // do. EngineLegacy selects the reference tree-walking Executor instead;
 // both engines produce identical Results, which parity tests assert on the
 // paper's applications.
+//
+// The server-side delivery loop shards by origin node (Config.Shards,
+// shard.go): state tables, reassembly streams and the packet-loss RNG are
+// all per-origin, so shard counters sum to a byte-identical Result at any
+// shard count. Streaming ingestion (Config.ArrivalSource or the Session
+// push API, stream.go) simulates hours-long traces in bounded windows of
+// memory.
 package runtime
 
 import (
 	"fmt"
-	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"wishbone/internal/cost"
 	"wishbone/internal/dataflow"
@@ -113,6 +117,29 @@ type Config struct {
 	// verifies and rejects mismatches. Ignored by EngineLegacy.
 	NodeProgram   *dataflow.Program
 	ServerProgram *dataflow.Program
+
+	// Shards splits the server-side delivery loop into independent
+	// per-origin-node shards executed on the worker pool (see shard.go).
+	// 0 or 1 means sequential delivery. Results are byte-identical at any
+	// shard and worker count; sharding requires work functions that are
+	// safe to run concurrently across origins (the node-side pool already
+	// requires the same). Ignored by EngineLegacy, and by partitions with
+	// a stateful Server-namespace operator (whose single global state
+	// forces sequential delivery).
+	Shards int
+
+	// ArrivalSource switches Run to streaming ingestion: instead of
+	// materializing every node's arrival sequence (Inputs), arrivals are
+	// pulled lazily per node and fed through persistent node instances
+	// and server shards in WindowSeconds-sized windows, so a deployment
+	// hours long simulates in memory proportional to one window. Each
+	// window's delivery ratio reflects that window's offered load.
+	// Streaming requires the compiled engine. Inputs is ignored when set.
+	ArrivalSource func(nodeID int) (Stream, error)
+
+	// WindowSeconds is the streaming ingestion window in simulated
+	// seconds; 0 means 10.
+	WindowSeconds float64
 }
 
 // Result reports a deployment run.
@@ -191,16 +218,14 @@ type nodeResult struct {
 
 // Run simulates the deployment.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Graph == nil || cfg.OnNode == nil || cfg.Platform == nil {
-		return nil, fmt.Errorf("runtime: incomplete config")
+	if err := validateConfig(&cfg); err != nil {
+		return nil, err
 	}
-	if cfg.Nodes <= 0 || cfg.Duration <= 0 {
-		return nil, fmt.Errorf("runtime: need positive Nodes and Duration")
+	if cfg.ArrivalSource != nil {
+		return runStream(cfg)
 	}
-	for _, src := range cfg.Graph.Sources() {
-		if !cfg.OnNode[src.ID()] {
-			return nil, fmt.Errorf("runtime: source %s not in the node partition (§4.2.1 pins sources to the node)", src)
-		}
+	if cfg.Inputs == nil {
+		return nil, fmt.Errorf("runtime: need Inputs (or ArrivalSource for streaming)")
 	}
 	scale := cfg.RateScale
 	if scale <= 0 {
@@ -265,75 +290,40 @@ func Run(cfg Config) (*Result, error) {
 	res.DeliveryRatio = ratio
 
 	// --- Server side -----------------------------------------------------
-	// One engine instance whose stateful operators are backed by
-	// per-origin-node state tables: a single server operator instance
-	// emulates the many node replicas (§2.1.1).
-	var server serverEngine
-	if cfg.Engine == EngineLegacy {
-		server, err = newLegacyServer(cfg)
-	} else {
-		server, err = newCompiledServer(cfg)
-	}
+	// Delivery is sharded by origin node (shard.go): per-origin state
+	// tables, reassembly streams and loss RNGs are independent (§2.1.1),
+	// so the shards' summed counters are byte-identical to the sequential
+	// loop at any Shards/Workers setting.
+	plan, err := newDeliveryPlan(&cfg)
 	if err != nil {
 		return nil, err
 	}
+	// msgs is already time-sorted: aggregateReduceMessages sorts its
+	// output (each origin's subsequence stays in emission order either
+	// way, which is all delivery needs).
+	if err := plan.deliver(msgs, ratio); err != nil {
+		plan.close()
+		return nil, err
+	}
+	plan.collect(res)
+	return res, nil
+}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	reasm := make(map[reasmKey]*wire.Reassembler)
-	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].time < msgs[j].time })
-	for i := range msgs {
-		m := &msgs[i]
-		// Packets are lost independently; the element is usable at the
-		// server only if every fragment survives. Marshalled messages
-		// actually travel as bytes and are reassembled and decoded at the
-		// basestation; the decoded value is what the server processes.
-		val := m.value
-		if m.frags != nil {
-			key := reasmKey{node: m.nodeID, edge: m.edge}
-			r := reasm[key]
-			if r == nil {
-				r = &wire.Reassembler{}
-				reasm[key] = r
-			}
-			var decoded dataflow.Value
-			complete := false
-			for _, f := range m.frags {
-				if rng.Float64() >= ratio {
-					continue // fragment lost
-				}
-				res.MsgsReceived++
-				v, done, err := r.Offer(f)
-				if err != nil {
-					return nil, fmt.Errorf("runtime: reassembly: %w", err)
-				}
-				if done {
-					decoded, complete = v, true
-				}
-			}
-			if !complete {
-				continue
-			}
-			val = decoded
-		} else {
-			delivered := true
-			for p := 0; p < m.packets; p++ {
-				if rng.Float64() < ratio {
-					res.MsgsReceived++
-				} else {
-					delivered = false
-				}
-			}
-			if !delivered {
-				continue
-			}
-		}
-		res.DeliveredBytes += dataflow.WireSize(val)
-		if err := server.deliver(m, val); err != nil {
-			return nil, err
+// validateConfig checks the fields shared by the batch and streaming
+// paths.
+func validateConfig(cfg *Config) error {
+	if cfg.Graph == nil || cfg.OnNode == nil || cfg.Platform == nil {
+		return fmt.Errorf("runtime: incomplete config")
+	}
+	if cfg.Nodes <= 0 || cfg.Duration <= 0 {
+		return fmt.Errorf("runtime: need positive Nodes and Duration")
+	}
+	for _, src := range cfg.Graph.Sources() {
+		if !cfg.OnNode[src.ID()] {
+			return fmt.Errorf("runtime: source %s not in the node partition (§4.2.1 pins sources to the node)", src)
 		}
 	}
-	res.ServerEmits = server.emits()
-	return res, nil
+	return nil
 }
 
 // buildArrivals merges a node's input traces into one time-sorted arrival
@@ -369,7 +359,22 @@ type sender struct {
 	cfg     *Config
 	nodeID  int
 	curTime float64
-	seq     uint16
+
+	// seqs numbers this node's cut-edge elements for fragmentation, one
+	// contiguous counter per edge — the receiver reassembles (and
+	// dedupes by sequence) per (node, edge) stream, and a counter shared
+	// across edges would leave per-edge gaps whose 16-bit wrap can alias
+	// a stale partial with a fresh same-count element (the same bug
+	// class aggregate.go fixes for aggregates). Each counter still wraps
+	// after 65535 elements on its own edge — reached within the first
+	// hour of a 20 events/s stream, so long exactly the traces streaming
+	// ingestion enables — but with contiguous numbering a stale partial
+	// survives only until the edge's very next element, so aliasing
+	// additionally needs 65535 consecutive total losses; the Reassembler
+	// also discards a stale partial whose fragment count disagrees (see
+	// wire.Reassembler.Offer). The long-trace regression test drives a
+	// stream through several wraps.
+	seqs map[*dataflow.Edge]uint16
 
 	msgs         []message
 	msgsSent     int
@@ -382,8 +387,11 @@ func (s *sender) capture(e *dataflow.Edge, v dataflow.Value) {
 	radio := s.cfg.Platform.Radio
 	m := message{time: s.curTime, nodeID: s.nodeID, edge: e, value: v}
 	if enc, err := wire.Marshal(v); err == nil && radio.PacketPayload > 4 {
-		s.seq++
-		if frags, err := wire.Fragment(enc, s.seq, radio.PacketPayload); err == nil {
+		if s.seqs == nil {
+			s.seqs = make(map[*dataflow.Edge]uint16)
+		}
+		s.seqs[e]++
+		if frags, err := wire.Fragment(enc, s.seqs[e], radio.PacketPayload); err == nil {
 			m.frags = frags
 			m.packets = len(frags)
 			for _, f := range frags {
@@ -406,31 +414,53 @@ func (s *sender) capture(e *dataflow.Edge, v dataflow.Value) {
 	s.payloadBytes += dataflow.WireSize(v)
 }
 
-// simulateNode runs one node's arrival sequence through inject, modelling
-// the non-reentrant depth-first runtime: while an event is being processed,
-// newly arriving events are missed (§5.2's source buffering is one element
-// deep in the TinyOS runtime; sustained overload drops input).
-func simulateNode(cfg *Config, s *sender, arrivals []arrival, counter *cost.Counter,
-	inject func(src *dataflow.Operator, v dataflow.Value)) nodeResult {
-	var nr nodeResult
-	busyUntil := 0.0
+// nodeSim models one node's non-reentrant depth-first runtime: while an
+// event is being processed, newly arriving events are missed (§5.2's
+// source buffering is one element deep in the TinyOS runtime; sustained
+// overload drops input). The busy horizon and accounting persist across
+// feed calls, so the streaming Session carries one nodeSim per node
+// across ingestion windows; the batch path feeds a whole trace once.
+type nodeSim struct {
+	counter   *cost.Counter
+	s         *sender
+	inject    func(src *dataflow.Operator, v dataflow.Value)
+	busyUntil float64
+
+	inputEvents     int
+	processedEvents int
+	busy            float64
+}
+
+// feed offers one batch of time-ordered arrivals.
+func (ns *nodeSim) feed(cfg *Config, arrivals []arrival) {
 	for _, a := range arrivals {
-		nr.inputEvents++
-		if a.t < busyUntil {
+		ns.inputEvents++
+		if a.t < ns.busyUntil {
 			continue // CPU still busy: input event missed
 		}
-		s.curTime = a.t
-		counter.Reset()
-		inject(a.src, a.v)
-		dt := cfg.Platform.Seconds(counter) * cfg.Platform.OSOverhead
-		busyUntil = a.t + dt
-		nr.busy += dt
-		nr.processedEvents++
+		ns.s.curTime = a.t
+		ns.counter.Reset()
+		ns.inject(a.src, a.v)
+		dt := cfg.Platform.Seconds(ns.counter) * cfg.Platform.OSOverhead
+		ns.busyUntil = a.t + dt
+		ns.busy += dt
+		ns.processedEvents++
 	}
-	nr.msgs = s.msgs
-	nr.msgsSent = s.msgsSent
-	nr.payloadBytes = s.payloadBytes
-	return nr
+}
+
+// simulateNode runs one node's whole arrival sequence (the batch path).
+func simulateNode(cfg *Config, s *sender, arrivals []arrival, counter *cost.Counter,
+	inject func(src *dataflow.Operator, v dataflow.Value)) nodeResult {
+	ns := nodeSim{counter: counter, s: s, inject: inject}
+	ns.feed(cfg, arrivals)
+	return nodeResult{
+		msgs:            s.msgs,
+		inputEvents:     ns.inputEvents,
+		processedEvents: ns.processedEvents,
+		msgsSent:        s.msgsSent,
+		payloadBytes:    s.payloadBytes,
+		busy:            ns.busy,
+	}
 }
 
 // runNodesLegacy executes every node sequentially through the reference
@@ -455,28 +485,19 @@ func runNodesLegacy(cfg Config, arrivals [][]arrival) ([]nodeResult, error) {
 // message streams replicated; distinct replicas run concurrently on a
 // bounded worker pool.
 func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival) ([]nodeResult, error) {
-	prog := cfg.NodeProgram
-	if prog != nil {
-		if err := checkPartitionProgram(prog, &cfg, true); err != nil {
-			return nil, err
-		}
-	} else {
-		var err error
-		prog, err = dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
-			Include: func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] },
-		})
-		if err != nil {
-			return nil, err
-		}
+	prog, err := resolveNodeProgram(&cfg)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]nodeResult, cfg.Nodes)
 	runOne := func(n int) {
-		inst := prog.NewInstance(n)
+		inst := prog.AcquireInstance(n)
 		counter := &cost.Counter{}
 		inst.SetCounter(counter)
 		s := &sender{cfg: &cfg, nodeID: n}
 		inst.Boundary = s.capture
 		out[n] = simulateNode(&cfg, s, arrivals[n], counter, inst.Inject)
+		prog.ReleaseInstance(inst)
 	}
 
 	if !cfg.NoReplay && identicalTraces(inputs) {
@@ -499,35 +520,7 @@ func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival
 		return out, nil
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Nodes {
-		workers = cfg.Nodes
-	}
-	if workers <= 1 {
-		for n := 0; n < cfg.Nodes; n++ {
-			runOne(n)
-		}
-		return out, nil
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for n := range next {
-				runOne(n)
-			}
-		}()
-	}
-	for n := 0; n < cfg.Nodes; n++ {
-		next <- n
-	}
-	close(next)
-	wg.Wait()
+	runPool(poolWorkers(&cfg, cfg.Nodes), cfg.Nodes, runOne)
 	return out, nil
 }
 
@@ -606,35 +599,26 @@ func identicalTraces(inputs [][]profile.Input) bool {
 type serverEngine interface {
 	deliver(m *message, val dataflow.Value) error
 	emits() int
+	close()
 }
 
 // compiledServer executes the server partition as a compiled instance. The
 // relocated stateful operators (§2.1.1) are precomputed at compile time, so
 // swapping in a message's origin-node state touches only those operators
-// instead of scanning the whole graph per message.
+// instead of scanning the whole graph per message. One compiled Program
+// serves every shard; each shard gets its own Instance (recycled through
+// the Program's pool).
 type compiledServer struct {
+	prog      *dataflow.Program
 	inst      *dataflow.Instance
 	relocated []*dataflow.Operator
 	states    map[int]map[int]any // opID → nodeID → state
 }
 
-func newCompiledServer(cfg Config) (serverEngine, error) {
-	prog := cfg.ServerProgram
-	if prog != nil {
-		if err := checkPartitionProgram(prog, &cfg, false); err != nil {
-			return nil, err
-		}
-	} else {
-		var err error
-		prog, err = dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
-			Include: func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] },
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
+func newCompiledServer(cfg *Config, prog *dataflow.Program) serverEngine {
 	srv := &compiledServer{
-		inst:   prog.NewInstance(-1),
+		prog:   prog,
+		inst:   prog.AcquireInstance(AggregateOrigin),
 		states: make(map[int]map[int]any),
 	}
 	for _, id := range prog.StatefulOps() {
@@ -645,7 +629,7 @@ func newCompiledServer(cfg Config) (serverEngine, error) {
 			srv.states[id] = make(map[int]any)
 		}
 	}
-	return srv, nil
+	return srv
 }
 
 func (srv *compiledServer) deliver(m *message, val dataflow.Value) error {
@@ -663,6 +647,11 @@ func (srv *compiledServer) deliver(m *message, val dataflow.Value) error {
 
 func (srv *compiledServer) emits() int { return int(srv.inst.Traversals()) }
 
+func (srv *compiledServer) close() {
+	srv.prog.ReleaseInstance(srv.inst)
+	srv.inst = nil
+}
+
 // legacyServer is the reference server-side path: a tree-walking Executor
 // with the original per-message scan over all operators.
 type legacyServer struct {
@@ -672,15 +661,15 @@ type legacyServer struct {
 	emitsCount int
 }
 
-func newLegacyServer(cfg Config) (serverEngine, error) {
+func newLegacyServer(cfg *Config) serverEngine {
 	srv := &legacyServer{
-		cfg:    &cfg,
+		cfg:    cfg,
 		ex:     dataflow.NewExecutor(cfg.Graph, -1),
 		states: make(map[int]map[int]any),
 	}
 	srv.ex.Include = func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] }
 	srv.ex.OnEdge = func(e *dataflow.Edge, v dataflow.Value) { srv.emitsCount++ }
-	return srv, nil
+	return srv
 }
 
 func (srv *legacyServer) deliver(m *message, val dataflow.Value) error {
@@ -710,84 +699,7 @@ func (srv *legacyServer) deliver(m *message, val dataflow.Value) error {
 
 func (srv *legacyServer) emits() int { return srv.emitsCount }
 
-// aggregateReduceMessages combines, per emission round, the messages all
-// nodes produced on the cut edges of node-resident Reduce operators. The
-// k-th element a node emits on such an edge belongs to round k; the
-// aggregation tree merges each round's contributions with the operator's
-// Combine function before the root link. Sent-message accounting is
-// rebuilt: the pre-aggregation sends never hit the root channel.
-func aggregateReduceMessages(cfg Config, msgs []message, res *Result) []message {
-	type roundKey struct {
-		edge  *dataflow.Edge
-		round int
-	}
-	perNodeCount := make(map[*dataflow.Edge]map[int]int)
-	rounds := make(map[roundKey]*message)
-	var out []message
-	var order []roundKey
-	radio := cfg.Platform.Radio
-
-	for i := range msgs {
-		m := msgs[i]
-		op := m.edge.From
-		if !op.Reduce || op.Combine == nil || !cfg.OnNode[op.ID()] {
-			out = append(out, m)
-			continue
-		}
-		// Assign the message to this node's next round on this edge.
-		counts := perNodeCount[m.edge]
-		if counts == nil {
-			counts = make(map[int]int)
-			perNodeCount[m.edge] = counts
-		}
-		key := roundKey{edge: m.edge, round: counts[m.nodeID]}
-		counts[m.nodeID]++
-
-		// Undo the per-node send accounting: in-tree combining means only
-		// the aggregate crosses the root link.
-		res.MsgsSent -= m.packets
-		res.PayloadBytes -= dataflow.WireSize(m.value)
-
-		if agg, ok := rounds[key]; ok {
-			agg.value = op.Combine(agg.value, m.value)
-			if m.time > agg.time {
-				agg.time = m.time
-			}
-		} else {
-			cp := m
-			rounds[key] = &cp
-			order = append(order, key)
-		}
-	}
-	for seq, key := range order {
-		agg := rounds[key]
-		// The combined aggregate replaces the original fragments; encode
-		// it fresh (or fall back to abstract packets).
-		agg.frags, agg.packets, agg.air = nil, 0, 0
-		if enc, err := wire.Marshal(agg.value); err == nil && radio.PacketPayload > 4 {
-			if frags, err := wire.Fragment(enc, uint16(seq+1), radio.PacketPayload); err == nil {
-				agg.frags = frags
-				agg.packets = len(frags)
-				for _, f := range frags {
-					agg.air += len(f) + radio.PacketOverhead
-				}
-			}
-		}
-		payload := dataflow.WireSize(agg.value)
-		if agg.frags == nil {
-			pkts, air := radio.PacketsFor(payload)
-			if pkts == 0 {
-				pkts, air = 1, payload+radio.PacketOverhead
-			}
-			agg.packets, agg.air = pkts, air
-		}
-		res.MsgsSent += agg.packets
-		res.PayloadBytes += payload
-		out = append(out, *agg)
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })
-	return out
-}
+func (srv *legacyServer) close() {}
 
 // PredictedNodeCPU prices the node partition from a profile report: the
 // prediction the paper compares against measurement (11.5% vs 15% on the

@@ -1,0 +1,303 @@
+package runtime
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wishbone/internal/dataflow"
+	"wishbone/internal/netsim"
+	"wishbone/internal/wire"
+)
+
+// The server-side delivery loop is sharded by origin node. Everything the
+// loop touches is keyed by the message's origin: the relocated-operator
+// state tables (§2.1.1), the per-(node, edge) reassembly streams, and —
+// with netsim.NodeSeed — the packet-loss RNG. One origin's messages
+// therefore produce the same receptions, decodes and server-side dataflow
+// no matter how the other origins' messages interleave, so partitioning
+// origins across shards and summing the per-shard counters is
+// byte-identical to the sequential loop at any shard count and worker
+// count (the ShardedDelivery parity tests pin this against the sequential
+// and legacy paths).
+//
+// The one thing that breaks per-origin independence is a stateful operator
+// declared in the Server namespace: its single state instance is fed by
+// every node, so delivery order across origins matters. newDeliveryPlan
+// detects that and falls back to one shard; results are unchanged either
+// way, only the parallelism is lost.
+
+// shardState is one delivery shard: a server engine plus the per-origin
+// reassembly and loss-sampling state for the origins assigned to it. All
+// counters that the delivery loop accumulates land in the shard's partial
+// Result and are summed by deliveryPlan.collect.
+type shardState struct {
+	seed   int64
+	engine serverEngine
+	reasm  map[reasmKey]*wire.Reassembler
+	rng    map[int]*netsim.LossSampler
+	res    Result
+}
+
+// sampler returns the loss sampler for one origin's stream, derived
+// deterministically from (run seed, nodeID).
+func (sh *shardState) sampler(nodeID int) *netsim.LossSampler {
+	s := sh.rng[nodeID]
+	if s == nil {
+		s = netsim.NewLossSampler(netsim.NodeSeed(sh.seed, nodeID))
+		sh.rng[nodeID] = s
+	}
+	return s
+}
+
+// deliver replays one batch of messages (each origin's subsequence in time
+// order) against the shard's engine at the given delivery ratio. Packets
+// are lost independently; an element is usable at the server only if every
+// fragment survives. Marshalled messages actually travel as bytes and are
+// reassembled and decoded at the basestation; the decoded value is what
+// the server processes.
+func (sh *shardState) deliver(msgs []message, ratio float64) (err error) {
+	// Server-side work functions can run on pool goroutines against
+	// client-supplied stream data; a panic there (wrong element type,
+	// typically — e.g. a cut directly after the source delivers the raw
+	// client value) must surface as an error, not kill the process, and
+	// is classified as a bad arrival for the streaming endpoint.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runtime: server work function panicked (likely a mistyped arrival value): %v: %w",
+				r, ErrBadArrival)
+		}
+	}()
+	for i := range msgs {
+		m := &msgs[i]
+		sam := sh.sampler(m.nodeID)
+		val := m.value
+		if m.frags != nil {
+			key := reasmKey{node: m.nodeID, edge: m.edge}
+			r := sh.reasm[key]
+			if r == nil {
+				r = &wire.Reassembler{}
+				sh.reasm[key] = r
+			}
+			var decoded dataflow.Value
+			complete := false
+			draws := sam.Draws(len(m.frags))
+			for fi, f := range m.frags {
+				if draws[fi] >= ratio {
+					continue // fragment lost
+				}
+				sh.res.MsgsReceived++
+				v, done, err := r.Offer(f)
+				if err != nil {
+					return fmt.Errorf("runtime: reassembly: %w", err)
+				}
+				if done {
+					decoded, complete = v, true
+				}
+			}
+			if !complete {
+				continue
+			}
+			val = decoded
+		} else {
+			delivered := true
+			draws := sam.Draws(m.packets)
+			for p := 0; p < m.packets; p++ {
+				if draws[p] < ratio {
+					sh.res.MsgsReceived++
+				} else {
+					delivered = false
+				}
+			}
+			if !delivered {
+				continue
+			}
+		}
+		sh.res.DeliveredBytes += dataflow.WireSize(val)
+		if err := sh.engine.deliver(m, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliveryPlan is the server side of one run: the resolved shard set and
+// the worker budget for driving it.
+type deliveryPlan struct {
+	cfg     *Config
+	shards  []*shardState
+	workers int
+}
+
+// shardable reports whether the server partition's delivery may be split
+// by origin node: true unless a stateful Server-namespace operator (one
+// global state fed by every node) is placed on the server.
+func shardable(cfg *Config) bool {
+	for _, op := range cfg.Graph.Operators() {
+		if !cfg.OnNode[op.ID()] && op.Stateful && op.NewState != nil && op.NS == dataflow.NSServer {
+			return false
+		}
+	}
+	return true
+}
+
+// newDeliveryPlan resolves the shard count and builds one server engine
+// per shard. The legacy engine always runs one sequential shard (it is the
+// reference path); the compiled engine honors cfg.Shards when the
+// partition is shardable, capped at one shard per possible origin
+// (cfg.Nodes real nodes plus the aggregate origin).
+func newDeliveryPlan(cfg *Config) (*deliveryPlan, error) {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if cfg.Engine == EngineLegacy || !shardable(cfg) {
+		n = 1
+	}
+	if n > cfg.Nodes+1 {
+		n = cfg.Nodes + 1
+	}
+	d := &deliveryPlan{cfg: cfg, workers: poolWorkers(cfg, n)}
+	var prog *dataflow.Program
+	if cfg.Engine != EngineLegacy {
+		var err error
+		prog, err = resolveServerProgram(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		var engine serverEngine
+		if cfg.Engine == EngineLegacy {
+			engine = newLegacyServer(cfg)
+		} else {
+			engine = newCompiledServer(cfg, prog)
+		}
+		d.shards = append(d.shards, &shardState{
+			seed:   cfg.Seed,
+			engine: engine,
+			reasm:  make(map[reasmKey]*wire.Reassembler),
+			rng:    make(map[int]*netsim.LossSampler),
+		})
+	}
+	return d, nil
+}
+
+// shardFor maps an origin (including AggregateOrigin −1) to its shard.
+func (d *deliveryPlan) shardFor(nodeID int) int {
+	n := len(d.shards)
+	return ((nodeID % n) + n) % n
+}
+
+// deliver fans one time-sorted message batch out to the shards and runs
+// them on the worker pool. Partial counters stay in the shards until
+// collect.
+func (d *deliveryPlan) deliver(msgs []message, ratio float64) error {
+	if len(d.shards) == 1 {
+		return d.shards[0].deliver(msgs, ratio)
+	}
+	parts := make([][]message, len(d.shards))
+	for i := range msgs {
+		s := d.shardFor(msgs[i].nodeID)
+		parts[s] = append(parts[s], msgs[i])
+	}
+	errs := make([]error, len(d.shards))
+	runPool(d.workers, len(d.shards), func(i int) {
+		errs[i] = d.shards[i].deliver(parts[i], ratio)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collect folds the per-shard counters into the run result and releases
+// the shard engines. The plan is unusable afterwards.
+func (d *deliveryPlan) collect(res *Result) {
+	for _, sh := range d.shards {
+		res.MsgsReceived += sh.res.MsgsReceived
+		res.DeliveredBytes += sh.res.DeliveredBytes
+		res.ServerEmits += sh.engine.emits()
+		sh.engine.close()
+	}
+	d.shards = nil
+}
+
+// close releases the shard engines without collecting (error paths).
+func (d *deliveryPlan) close() {
+	for _, sh := range d.shards {
+		sh.engine.close()
+	}
+	d.shards = nil
+}
+
+// resolveNodeProgram and resolveServerProgram return one partition's
+// Program: the caller's precompiled one (verified against the run's graph
+// and cut) or a fresh compilation.
+func resolveNodeProgram(cfg *Config) (*dataflow.Program, error) {
+	if cfg.NodeProgram != nil {
+		if err := checkPartitionProgram(cfg.NodeProgram, cfg, true); err != nil {
+			return nil, err
+		}
+		return cfg.NodeProgram, nil
+	}
+	return dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
+		Include: func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] },
+	})
+}
+
+func resolveServerProgram(cfg *Config) (*dataflow.Program, error) {
+	if cfg.ServerProgram != nil {
+		if err := checkPartitionProgram(cfg.ServerProgram, cfg, false); err != nil {
+			return nil, err
+		}
+		return cfg.ServerProgram, nil
+	}
+	return dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
+		Include: func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] },
+	})
+}
+
+// poolWorkers resolves the worker budget for an n-way fan-out.
+func poolWorkers(cfg *Config, n int) int {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// runPool runs f(0..n-1) on up to workers goroutines; with one worker it
+// degenerates to a sequential loop on the caller's goroutine.
+func runPool(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,436 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wishbone/internal/cost"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/netsim"
+	"wishbone/internal/profile"
+)
+
+// Streaming ingestion: instead of materializing every node's arrival
+// sequence and the full in-flight message slice (O(duration) memory), a
+// Session feeds arrivals through persistent per-node Instances and into
+// the sharded server delivery in bounded windows of simulated time. An
+// hour-long deployment simulates in the memory of one window.
+//
+// Each window's messages see the delivery ratio of that window's offered
+// load (the batch path prices the whole run's mean load); for a
+// steady-rate trace whose period divides the window the two are exactly
+// equal, which the streaming/batch parity test exploits.
+
+// ErrBadArrival marks Offer failures caused by the offered arrival itself
+// — wrong node, a non-source operator, time disorder. The partition
+// service maps these to 400s; any other Session error is an engine
+// failure.
+var ErrBadArrival = errors.New("bad arrival")
+
+// Arrival is one sensor event offered to a node at an absolute simulated
+// time.
+type Arrival struct {
+	Time   float64
+	Source *dataflow.Operator
+	Value  dataflow.Value
+}
+
+// Stream yields one node's arrivals in nondecreasing Time order.
+type Stream interface {
+	Next() (Arrival, bool)
+}
+
+// InputStream adapts periodic trace inputs (the same shape Config.Inputs
+// supplies) into a Stream producing exactly the arrival sequence the
+// batch path would materialize — lazily, one element at a time.
+func InputStream(inputs []profile.Input, scale, duration float64) (Stream, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	s := &inputStream{inputs: inputs, duration: duration}
+	for _, in := range inputs {
+		rate := in.Rate * scale
+		if rate <= 0 {
+			return nil, fmt.Errorf("runtime: input with non-positive rate")
+		}
+		if len(in.Events) == 0 {
+			return nil, fmt.Errorf("runtime: input source %s has an empty trace", in.Source)
+		}
+		s.periods = append(s.periods, 1/rate)
+	}
+	s.next = make([]int, len(inputs))
+	return s, nil
+}
+
+type inputStream struct {
+	inputs   []profile.Input
+	periods  []float64
+	next     []int
+	duration float64
+}
+
+func (s *inputStream) Next() (Arrival, bool) {
+	best, bt := -1, 0.0
+	for i := range s.inputs {
+		t := float64(s.next[i]) * s.periods[i]
+		if t >= s.duration {
+			continue
+		}
+		// Strict < keeps the earliest input on ties, matching
+		// buildArrivals' stable sort.
+		if best < 0 || t < bt {
+			best, bt = i, t
+		}
+	}
+	if best < 0 {
+		return Arrival{}, false
+	}
+	in := &s.inputs[best]
+	ev := in.Events[s.next[best]%len(in.Events)]
+	s.next[best]++
+	return Arrival{Time: bt, Source: in.Source, Value: ev}, true
+}
+
+// Session is the incremental simulation API behind streaming ingestion:
+// Offer arrivals in nondecreasing time order (any node interleaving),
+// Close to flush the tail and read the Result. The partition service's
+// /v1/simulate/stream endpoint drives a Session straight from the
+// request body; Run drives one from Config.ArrivalSource.
+//
+// A Session requires the compiled engine and accepts the same
+// Config.Shards/Workers knobs as the batch path.
+type Session struct {
+	cfg     Config
+	ch      netsim.Channel
+	plan    *deliveryPlan
+	agg     *reduceAggregator
+	prog    *dataflow.Program
+	insts   []*dataflow.Instance
+	nodes   []*nodeSim
+	buf     [][]arrival
+	sources map[*dataflow.Operator]bool
+	window  float64
+
+	windowStart  float64
+	lastSpan     float64
+	lastTime     float64
+	buffered     int
+	peakBuffered int
+	totalAir     int
+	ratioFirst   float64
+	ratioAir     float64
+	ratioUniform bool
+	sawWindow    bool
+	res          Result
+	closed       bool
+}
+
+// NewSession validates cfg and builds the persistent node and server
+// state. cfg.Inputs, Duration-derived arrival building and the replay
+// fast path do not apply; arrivals come from Offer.
+func NewSession(cfg Config) (*Session, error) {
+	if err := validateConfig(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == EngineLegacy {
+		return nil, fmt.Errorf("runtime: streaming ingestion requires the compiled engine")
+	}
+	if math.IsNaN(cfg.WindowSeconds) || math.IsInf(cfg.WindowSeconds, 0) || cfg.WindowSeconds < 0 {
+		return nil, fmt.Errorf("runtime: bad WindowSeconds %g", cfg.WindowSeconds)
+	}
+	prog, err := resolveNodeProgram(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:          cfg,
+		ch:           netsim.ChannelFor(cfg.Platform),
+		agg:          newReduceAggregator(cfg.Nodes),
+		prog:         prog,
+		buf:          make([][]arrival, cfg.Nodes),
+		window:       cfg.WindowSeconds,
+		ratioUniform: true,
+	}
+	if s.window <= 0 {
+		s.window = 10
+	}
+	if s.window > cfg.Duration {
+		s.window = cfg.Duration
+	}
+	plan, err := newDeliveryPlan(&s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.plan = plan
+	s.lastSpan = s.window
+	s.sources = make(map[*dataflow.Operator]bool)
+	for _, src := range cfg.Graph.Sources() {
+		s.sources[src] = true
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		inst := prog.AcquireInstance(n)
+		counter := &cost.Counter{}
+		inst.SetCounter(counter)
+		snd := &sender{cfg: &s.cfg, nodeID: n}
+		inst.Boundary = snd.capture
+		s.insts = append(s.insts, inst)
+		s.nodes = append(s.nodes, &nodeSim{counter: counter, s: snd, inject: inst.Inject})
+	}
+	return s, nil
+}
+
+// Offer feeds one arrival. Arrivals must be globally nondecreasing in
+// time across nodes (per-node interleaving is free); crossing a window
+// boundary flushes the completed window through the node instances and
+// server shards. Arrivals at or beyond cfg.Duration are ignored, like the
+// batch path's arrival builder.
+func (s *Session) Offer(nodeID int, a Arrival) error {
+	if s.closed {
+		return fmt.Errorf("runtime: Offer on a closed Session")
+	}
+	if nodeID < 0 || nodeID >= s.cfg.Nodes {
+		return fmt.Errorf("runtime: arrival for node %d outside [0,%d): %w", nodeID, s.cfg.Nodes, ErrBadArrival)
+	}
+	if !s.sources[a.Source] {
+		// Arrivals inject only at the graph's sources (all of which
+		// validateConfig pins to the node partition, §4.2.1) — an
+		// injection at a mid-graph or server-side operator would bypass
+		// upstream processing and silently skew the Result.
+		return fmt.Errorf("runtime: arrival source %v is not a source of the graph: %w", a.Source, ErrBadArrival)
+	}
+	if a.Time < s.lastTime {
+		return fmt.Errorf("runtime: arrivals out of order (%.6f after %.6f): %w", a.Time, s.lastTime, ErrBadArrival)
+	}
+	s.lastTime = a.Time
+	if a.Time >= s.cfg.Duration {
+		return nil
+	}
+	for a.Time >= s.windowStart+s.window {
+		if s.windowStart+s.window <= s.windowStart {
+			return fmt.Errorf("runtime: WindowSeconds %g cannot advance the window clock at t=%g",
+				s.window, s.windowStart)
+		}
+		if s.buffered == 0 {
+			// Nothing pending: jump the window clock over the rest of the
+			// arrival gap in one step rather than one (empty) flush per
+			// window — windows can be arbitrarily small relative to the
+			// gap, and the gap can follow a flushed window.
+			if steps := math.Floor((a.Time - s.windowStart) / s.window); steps > 1 {
+				s.windowStart += (steps - 1) * s.window
+				continue
+			}
+		}
+		if err := s.flushWindow(); err != nil {
+			return err
+		}
+	}
+	if s.buffered >= maxWindowArrivals {
+		// The buffer is the streaming path's entire working set; a window
+		// dense enough to blow past this cap (arrival density × window
+		// size is caller-controlled) must fail rather than grow without
+		// bound — shrink WindowSeconds or thin the trace.
+		return fmt.Errorf("runtime: window [%g,%g) exceeds %d buffered arrivals: %w",
+			s.windowStart, s.windowStart+s.window, maxWindowArrivals, ErrBadArrival)
+	}
+	s.buf[nodeID] = append(s.buf[nodeID], arrival{t: a.Time, src: a.Source, v: a.Value})
+	s.buffered++
+	if s.buffered > s.peakBuffered {
+		s.peakBuffered = s.buffered
+	}
+	return nil
+}
+
+// maxWindowArrivals caps one ingestion window's buffered arrivals — far
+// above any sane window (64 nodes × 40 ev/s × 60 s ≈ 150k) but a hard
+// stop for a hostile or misconfigured stream that never crosses a window
+// boundary.
+const maxWindowArrivals = 1 << 20
+
+// flushWindow runs the buffered arrivals through the node instances (on
+// the worker pool), folds reduce rounds that completed, prices the
+// window's offered load, and delivers through the server shards.
+func (s *Session) flushWindow() error {
+	cfg := &s.cfg
+	// The window's span is WindowSeconds except for a final partial
+	// window (Duration not a multiple of the window): its messages
+	// occupy only the remaining simulated time, and pricing them over a
+	// full window would understate the offered load.
+	span := s.window
+	if rest := cfg.Duration - s.windowStart; rest < span {
+		span = rest
+	}
+	s.windowStart += s.window
+	if s.buffered == 0 {
+		// Nothing arrived this window: no node work, no new reduce
+		// rounds, nothing to deliver — just advance the window clock
+		// (arrival gaps must not spin up the worker pool per window).
+		return nil
+	}
+	s.lastSpan = span
+	// A work-function panic on client-supplied input (a value of the
+	// wrong element type, typically) surfaces as an error instead of
+	// crashing the worker goroutine — Sessions feed on external data, so
+	// it is classified as a bad arrival, not an engine failure.
+	feedErrs := make([]error, cfg.Nodes)
+	runPool(poolWorkers(cfg, cfg.Nodes), cfg.Nodes, func(n int) {
+		defer func() {
+			if r := recover(); r != nil {
+				feedErrs[n] = fmt.Errorf("runtime: node %d work function panicked (likely a mistyped arrival value): %v: %w",
+					n, r, ErrBadArrival)
+			}
+		}()
+		if len(s.buf[n]) == 0 {
+			return
+		}
+		s.nodes[n].feed(cfg, s.buf[n])
+	})
+	for _, err := range feedErrs {
+		if err != nil {
+			return err
+		}
+	}
+	var msgs []message
+	for n, ns := range s.nodes {
+		msgs = append(msgs, ns.s.msgs...)
+		s.res.MsgsSent += ns.s.msgsSent
+		s.res.PayloadBytes += ns.s.payloadBytes
+		ns.s.msgs, ns.s.msgsSent, ns.s.payloadBytes = nil, 0, 0
+		s.buf[n] = s.buf[n][:0]
+	}
+	s.buffered = 0
+	out := s.agg.add(cfg, msgs, &s.res, make([]message, 0, len(msgs)))
+	out = s.agg.flushComplete(cfg, &s.res, out)
+	out = s.agg.flushExcess(cfg, &s.res, out)
+	return s.deliverWindow(out, span)
+}
+
+// deliverWindow prices and delivers one window's message batch.
+func (s *Session) deliverWindow(out []message, span float64) error {
+	if len(out) == 0 {
+		return nil
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })
+	air := 0
+	for i := range out {
+		air += out[i].air
+	}
+	s.totalAir += air
+	ratio := s.ch.DeliveryRatio(float64(air) / span)
+	if !s.sawWindow {
+		s.ratioFirst, s.sawWindow = ratio, true
+	} else if ratio != s.ratioFirst {
+		s.ratioUniform = false
+	}
+	s.ratioAir += ratio * float64(air)
+	return s.plan.deliver(out, ratio)
+}
+
+// PeakBuffered reports the most arrivals ever buffered at once — the
+// streaming path's working-set bound, a function of the window and the
+// arrival rate but not of the trace duration.
+func (s *Session) PeakBuffered() int { return s.peakBuffered }
+
+// Close flushes the final window and any reduce rounds still pending,
+// releases the pooled instances, and returns the accumulated Result.
+func (s *Session) Close() (*Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("runtime: Close on a closed Session")
+	}
+	s.closed = true
+	defer func() {
+		for _, inst := range s.insts {
+			s.prog.ReleaseInstance(inst)
+		}
+		s.insts, s.nodes = nil, nil
+		s.plan.close()
+	}()
+	cfg := &s.cfg
+	if s.buffered > 0 {
+		if err := s.flushWindow(); err != nil {
+			return nil, err
+		}
+	}
+	// Rounds still pending (some node never emitted past them) flush as
+	// one last batch, priced over the final window's actual span — no
+	// additional simulated time exists to spread them over.
+	tail := s.agg.flushAll(cfg, &s.res, nil)
+	if err := s.deliverWindow(tail, s.lastSpan); err != nil {
+		return nil, err
+	}
+	for _, ns := range s.nodes {
+		s.res.InputEvents += ns.inputEvents
+		s.res.ProcessedEvents += ns.processedEvents
+		s.res.NodeCPU += ns.busy
+	}
+	s.res.NodeCPU /= cfg.Duration * float64(cfg.Nodes)
+	s.res.OfferedAirBytesPerSec = float64(s.totalAir) / cfg.Duration
+	switch {
+	case !s.sawWindow:
+		s.res.DeliveryRatio = s.ch.DeliveryRatio(0)
+	case s.ratioUniform:
+		// Every window priced identically — report that exact ratio (the
+		// steady-rate case, byte-identical to the batch path's).
+		s.res.DeliveryRatio = s.ratioFirst
+	default:
+		s.res.DeliveryRatio = s.ratioAir / float64(s.totalAir)
+	}
+	s.plan.collect(&s.res)
+	res := s.res
+	return &res, nil
+}
+
+// runStream is Run's streaming path: pull every node's arrival stream,
+// merge by time, and push through a Session.
+func runStream(cfg Config) (*Result, error) {
+	sess, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// On any error the session still closes, returning the pooled node
+	// and shard instances to their Program.
+	abort := func(err error) (*Result, error) {
+		sess.Close()
+		return nil, err
+	}
+	streams := make([]Stream, cfg.Nodes)
+	heads := make([]Arrival, cfg.Nodes)
+	live := make([]bool, cfg.Nodes)
+	for n := range streams {
+		st, err := cfg.ArrivalSource(n)
+		if err != nil {
+			return abort(err)
+		}
+		if st == nil {
+			return abort(fmt.Errorf("runtime: node %d has no arrival stream", n))
+		}
+		streams[n] = st
+		heads[n], live[n] = st.Next()
+	}
+	for {
+		best := -1
+		for n := range heads {
+			// A head at or past Duration ends its stream: times are
+			// nondecreasing, so nothing useful follows — without this an
+			// endless generator-style Stream would hang Run.
+			if live[n] && heads[n].Time >= cfg.Duration {
+				live[n] = false
+			}
+			if !live[n] {
+				continue
+			}
+			if best < 0 || heads[n].Time < heads[best].Time {
+				best = n
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := sess.Offer(best, heads[best]); err != nil {
+			return abort(err)
+		}
+		heads[best], live[best] = streams[best].Next()
+	}
+	return sess.Close()
+}

@@ -102,6 +102,58 @@ func (c *Client) SimulateResult(ctx context.Context, req wire.SimulateRequest) (
 	return wireToResult(resp.Result), resp, nil
 }
 
+// SimulateStream runs a streaming-ingestion simulation: the header is
+// sent first, then next is called repeatedly for arrival batches (return
+// false when the trace is exhausted), each encoded as one chunk of the
+// chunked request body — the whole trace never resides in client or
+// server memory. Arrivals must be globally nondecreasing in time.
+func (c *Client) SimulateStream(ctx context.Context, req wire.SimulateStreamRequest,
+	next func() ([]wire.ArrivalWire, bool)) (*wire.SimulateResponse, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		if err := enc.Encode(req); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		for {
+			batch, ok := next()
+			if !ok {
+				break
+			}
+			if err := enc.Encode(wire.StreamChunk{Arrivals: batch}); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/simulate/stream", pr)
+	if err != nil {
+		pr.CloseWithError(err) // unblock the encoder goroutine
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er wire.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("server: %s (%s)", er.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var out wire.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats fetches the server's metrics snapshot.
 func (c *Client) Stats(ctx context.Context) (*Snapshot, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)

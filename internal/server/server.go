@@ -49,9 +49,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -111,6 +114,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/simulate/stream", s.handleSimulateStream)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -263,6 +267,21 @@ func (s *Server) profiledReport(e *entry, t wire.TraceSpec) (*profile.Report, bo
 		return nil, false, err
 	}
 	return v.(*profile.Report), hit || progHit, nil
+}
+
+// maxSimNodes bounds client-requested deployment sizes: a simulation
+// allocates per-node instances (O(#operators) tables each) up front, so
+// an unbounded nodes field is an OOM vector, not a capacity question.
+const maxSimNodes = 4096
+
+func checkSimSize(nodes int, duration float64) error {
+	if nodes <= 0 || duration <= 0 {
+		return badRequest("need positive nodes and duration")
+	}
+	if nodes > maxSimNodes {
+		return badRequest("nodes %d exceeds the per-simulation cap %d", nodes, maxSimNodes)
+	}
+	return nil
 }
 
 // parseMode maps the wire mode string.
@@ -472,49 +491,18 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 	if err != nil {
 		return nil, err
 	}
-	if req.Nodes <= 0 || req.Duration <= 0 {
-		return nil, badRequest("need positive nodes and duration")
+	if err := checkSimSize(req.Nodes, req.Duration); err != nil {
+		return nil, err
 	}
 	e, entryHit, err := s.getEntry(req.Graph)
 	if err != nil {
 		return nil, err
 	}
-
-	// Resolve the cut: explicit operator IDs, or auto-partition.
-	hit := entryHit
-	rate := req.RateScale
-	var onNode map[int]bool
-	if len(req.OnNode) > 0 {
-		onNode = make(map[int]bool, e.graph.NumOperators())
-		for _, op := range e.graph.Operators() {
-			onNode[op.ID()] = false
-		}
-		for _, id := range req.OnNode {
-			if e.graph.ByID(id) == nil {
-				return nil, badRequest("onNode lists unknown operator %d", id)
-			}
-			onNode[id] = true
-		}
-	} else {
-		presp, err := s.partition(ctx, &wire.PartitionRequest{
-			Graph:    req.Graph,
-			Trace:    req.Trace,
-			Platform: req.Platform,
-			Mode:     req.Mode,
-			Solver:   req.Solver,
-		})
-		if err != nil {
-			return nil, err
-		}
-		hit = hit && presp.CacheHit
-		onNode = presp.Assignment.OnNodeMap(e.graph)
-		if rate <= 0 {
-			rate = presp.RateMultiple
-		}
+	onNode, rate, cutHit, err := s.resolveCut(ctx, e, req)
+	if err != nil {
+		return nil, err
 	}
-	if rate <= 0 {
-		rate = 1
-	}
+	hit := entryHit && cutHit
 
 	cfg := wbruntime.Config{
 		Graph:     e.graph,
@@ -525,6 +513,13 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 		RateScale: rate,
 		Seed:      req.Seed,
 		Workers:   s.cfg.SimWorkers,
+		Shards:    req.Shards,
+	}
+	if e.serialize {
+		// Serialized graphs share mutable state outside Instance slots;
+		// their node replicas and delivery shards must not run
+		// concurrently (the entry lock only serializes across requests).
+		cfg.Workers, cfg.Shards = 1, 0
 	}
 	switch req.Engine {
 	case "", "compiled":
@@ -568,6 +563,232 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 		RateMultiple: rate,
 		Result:       resultToWire(res),
 	}, nil
+}
+
+// resolveCut resolves a simulate request's partition: explicit operator
+// IDs, or the shared auto-partition path. It returns the on-node map, the
+// applied rate scale, and whether everything came from cache.
+func (s *Server) resolveCut(ctx context.Context, e *entry, req *wire.SimulateRequest) (map[int]bool, float64, bool, error) {
+	hit := true
+	rate := req.RateScale
+	var onNode map[int]bool
+	if len(req.OnNode) > 0 {
+		onNode = make(map[int]bool, e.graph.NumOperators())
+		for _, op := range e.graph.Operators() {
+			onNode[op.ID()] = false
+		}
+		for _, id := range req.OnNode {
+			if e.graph.ByID(id) == nil {
+				return nil, 0, false, badRequest("onNode lists unknown operator %d", id)
+			}
+			onNode[id] = true
+		}
+	} else {
+		presp, err := s.partition(ctx, &wire.PartitionRequest{
+			Graph:    req.Graph,
+			Trace:    req.Trace,
+			Platform: req.Platform,
+			Mode:     req.Mode,
+			Solver:   req.Solver,
+		})
+		if err != nil {
+			return nil, 0, false, err
+		}
+		hit = presp.CacheHit
+		onNode = presp.Assignment.OnNodeMap(e.graph)
+		if rate <= 0 {
+			rate = presp.RateMultiple
+		}
+	}
+	if rate <= 0 {
+		rate = 1
+	}
+	return onNode, rate, hit, nil
+}
+
+// handleSimulateStream is the streaming-ingestion endpoint: the body is a
+// SimulateStreamRequest header followed by StreamChunk objects until EOF
+// (chunked JSON). Arrivals feed straight into a runtime.Session, so the
+// trace is never materialized server-side.
+func (s *Server) handleSimulateStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var err error
+	var hit bool
+	defer func() { s.metrics.Observe("simulate_stream", time.Since(start), hit, err) }()
+	dec := json.NewDecoder(r.Body)
+	var req wire.SimulateStreamRequest
+	if err2 := dec.Decode(&req); err2 != nil {
+		err = badRequest("bad request header: %v", err2)
+		fail(w, err)
+		return
+	}
+	if err = s.acquireJob(r.Context()); err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.releaseJob()
+	resp, err2 := s.simulateStream(r.Context(), &req, dec)
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	hit = resp.CacheHit
+	respond(w, resp)
+}
+
+func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamRequest, dec *json.Decoder) (*wire.SimulateResponse, error) {
+	plat, err := parsePlatform(req.Platform)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSimSize(req.Nodes, req.Duration); err != nil {
+		return nil, err
+	}
+	e, entryHit, err := s.getEntry(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if e.serialize {
+		// A serialized graph's work functions share mutable state outside
+		// Instance slots (wscript's output sink), which is incompatible
+		// with a long-lived session running node feeds and shard engines
+		// concurrently — and holding the entry lock across a client-paced
+		// body would starve every other tenant of the graph. The built-in
+		// applications stream fine.
+		return nil, badRequest("streaming simulation is not supported for wscript graphs (shared out-of-engine state); use POST /v1/simulate")
+	}
+	onNode, rate, cutHit, err := s.resolveCut(ctx, e, &wire.SimulateRequest{
+		Graph:    req.Graph,
+		Trace:    req.Trace,
+		Platform: req.Platform,
+		Mode:     req.Mode,
+		Solver:   req.Solver,
+		OnNode:   req.OnNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	progs, progHit, err := s.partitionProgramsFor(e, onNode)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := wbruntime.NewSession(wbruntime.Config{
+		Graph:         e.graph,
+		OnNode:        onNode,
+		Platform:      plat,
+		Nodes:         req.Nodes,
+		Duration:      req.Duration,
+		Seed:          req.Seed,
+		Workers:       s.cfg.SimWorkers,
+		Shards:        req.Shards,
+		WindowSeconds: req.WindowSeconds,
+		NodeProgram:   progs.node,
+		ServerProgram: progs.server,
+	})
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	for {
+		var chunk wire.StreamChunk
+		if err := dec.Decode(&chunk); err == io.EOF {
+			break
+		} else if err != nil {
+			sess.Close()
+			return nil, badRequest("bad stream chunk: %v", err)
+		}
+		for _, a := range chunk.Arrivals {
+			src := e.graph.ByID(a.Source)
+			if src == nil {
+				sess.Close()
+				return nil, badRequest("arrival names unknown source operator %d", a.Source)
+			}
+			v, err := decodeArrivalValue(a.Type, a.Value)
+			if err != nil {
+				sess.Close()
+				return nil, badRequest("%v", err)
+			}
+			if err := sess.Offer(a.Node, wbruntime.Arrival{Time: a.Time, Source: src, Value: v}); err != nil {
+				sess.Close()
+				if errors.Is(err, wbruntime.ErrBadArrival) {
+					return nil, badRequest("%v", err)
+				}
+				// Engine failures mid-stream (node feed, shard delivery)
+				// are not client faults → 500.
+				return nil, err
+			}
+		}
+	}
+	res, err := sess.Close()
+	if err != nil {
+		// Close failures are engine invariants, not client faults → 500.
+		return nil, err
+	}
+	return &wire.SimulateResponse{
+		GraphHash:    e.key,
+		CacheHit:     entryHit && cutHit && progHit,
+		RateMultiple: rate,
+		Result:       resultToWire(res),
+	}, nil
+}
+
+// decodeArrivalValue maps a JSON arrival value onto the element types
+// sensor traces carry. With no type hint a number becomes float64 and an
+// array []float64; the hint selects the other supported trace types.
+func decodeArrivalValue(typ string, raw json.RawMessage) (dataflow.Value, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("arrival with empty value")
+	}
+	into := func(v any) (dataflow.Value, error) {
+		if err := json.Unmarshal(trimmed, v); err != nil {
+			return nil, fmt.Errorf("bad arrival value (type %q): %v", typ, err)
+		}
+		return reflectElem(v), nil
+	}
+	switch typ {
+	case "":
+		if trimmed[0] == '[' {
+			return into(&[]float64{})
+		}
+		return into(new(float64))
+	case "f64":
+		return into(new(float64))
+	case "i64":
+		return into(new(int64))
+	case "f64s":
+		return into(&[]float64{})
+	case "f32s":
+		return into(&[]float32{})
+	case "i32s":
+		return into(&[]int32{})
+	case "i16s":
+		return into(&[]int16{})
+	case "bytes":
+		return into(&[]byte{})
+	default:
+		return nil, fmt.Errorf("unknown arrival value type %q", typ)
+	}
+}
+
+// reflectElem unwraps the pointer decodeArrivalValue unmarshalled into.
+func reflectElem(v any) dataflow.Value {
+	switch p := v.(type) {
+	case *float64:
+		return *p
+	case *int64:
+		return *p
+	case *[]float64:
+		return *p
+	case *[]float32:
+		return *p
+	case *[]int32:
+		return *p
+	case *[]int16:
+		return *p
+	case *[]byte:
+		return *p
+	}
+	return v
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

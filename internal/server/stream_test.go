@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
+	"wishbone/internal/wire"
+)
+
+// TestServerSimulateStreamParity streams a client-supplied speech trace
+// through POST /v1/simulate/stream and asserts the result is
+// byte-identical to an in-process streaming run of the same arrivals —
+// the JSON float64 round trip is exact, and the server's re-elaborated
+// graph is structurally identical to a local one.
+func TestServerSimulateStreamParity(t *testing.T) {
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+	trace := e.traces(wire.TraceSpec{Seed: 42, Seconds: 2})
+	src := trace[0].Source
+
+	// Cut after the sixth pipeline stage, by operator ID (IDs are stable
+	// across elaborations of the same spec).
+	var onNodeIDs []int
+	onNode := make(map[int]bool)
+	for _, op := range e.graph.Operators() {
+		onNode[op.ID()] = false
+	}
+	count := 0
+	for _, op := range e.graph.Operators() {
+		if count >= 6 {
+			break
+		}
+		onNodeIDs = append(onNodeIDs, op.ID())
+		onNode[op.ID()] = true
+		count++
+	}
+
+	const (
+		nodes    = 3
+		duration = 8.0
+		seed     = int64(5)
+		window   = 2.0
+		shards   = 2
+	)
+
+	// In-process streaming reference over the same graph and arrivals.
+	local, err := runtime.Run(runtime.Config{
+		Graph:         e.graph,
+		OnNode:        onNode,
+		Platform:      platform.Gumstix(),
+		Nodes:         nodes,
+		Duration:      duration,
+		Seed:          seed,
+		Shards:        shards,
+		WindowSeconds: window,
+		ArrivalSource: func(nodeID int) (runtime.Stream, error) {
+			return runtime.InputStream([]profile.Input{trace[0]}, 1, duration)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote: stream the same arrivals as chunked JSON, one time step per
+	// batch (all nodes' arrivals at that step, in node order).
+	_, client := startServer(t, Config{})
+	frame := 0
+	period := 1 / trace[0].Rate
+	next := func() ([]wire.ArrivalWire, bool) {
+		tArr := float64(frame) * period
+		if tArr >= duration {
+			return nil, false
+		}
+		v := wireBytes(t, trace[0].Events[frame%len(trace[0].Events)])
+		batch := make([]wire.ArrivalWire, 0, nodes)
+		for n := 0; n < nodes; n++ {
+			batch = append(batch, wire.ArrivalWire{Node: n, Time: tArr, Source: src.ID(), Type: "i16s", Value: v})
+		}
+		frame++
+		return batch, true
+	}
+	resp, err := client.SimulateStream(context.Background(), wire.SimulateStreamRequest{
+		Graph:         spec,
+		Platform:      "Gumstix",
+		OnNode:        onNodeIDs,
+		Nodes:         nodes,
+		Duration:      duration,
+		Seed:          seed,
+		Shards:        shards,
+		WindowSeconds: window,
+	}, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := wireToResult(resp.Result)
+	if *remote != *local {
+		t.Fatalf("streamed result diverges from in-process streaming run:\nlocal:  %+v\nremote: %+v",
+			*local, *remote)
+	}
+	if remote.MsgsSent == 0 || remote.ServerEmits == 0 {
+		t.Fatalf("degenerate streamed run: %+v", *remote)
+	}
+
+	// A second identical request rides entirely on cached Programs.
+	frame = 0
+	resp2, err := client.SimulateStream(context.Background(), wire.SimulateStreamRequest{
+		Graph:         spec,
+		Platform:      "Gumstix",
+		OnNode:        onNodeIDs,
+		Nodes:         nodes,
+		Duration:      duration,
+		Seed:          seed,
+		Shards:        shards,
+		WindowSeconds: window,
+	}, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.CacheHit {
+		t.Fatal("second identical stream request missed the program cache")
+	}
+	if *wireToResult(resp2.Result) != *local {
+		t.Fatal("cached-program streamed run diverges")
+	}
+}
+
+// TestServerSimulateStreamRejectsBadArrivals pins the endpoint's input
+// validation: unknown source operators and time-disordered arrivals are
+// 4xx errors, not crashes.
+func TestServerSimulateStreamRejectsBadArrivals(t *testing.T) {
+	_, client := startServer(t, Config{})
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+	src := e.traces(wire.TraceSpec{Seed: 1, Seconds: 1})[0].Source
+	var onNodeIDs []int
+	for i, op := range e.graph.Operators() {
+		if i >= 6 {
+			break
+		}
+		onNodeIDs = append(onNodeIDs, op.ID())
+	}
+	req := wire.SimulateStreamRequest{
+		Graph: spec, Platform: "TMoteSky", OnNode: onNodeIDs,
+		Nodes: 1, Duration: 2,
+	}
+
+	sent := false
+	badOp := func() ([]wire.ArrivalWire, bool) {
+		if sent {
+			return nil, false
+		}
+		sent = true
+		return []wire.ArrivalWire{{Node: 0, Time: 0, Source: 9999, Value: wireBytes(t, 1.0)}}, true
+	}
+	if _, err := client.SimulateStream(context.Background(), req, badOp); err == nil {
+		t.Fatal("unknown source operator must fail the stream")
+	}
+
+	midOp := onNodeIDs[2] // mid-pipeline, not a source
+	sentMid := false
+	midGraph := func() ([]wire.ArrivalWire, bool) {
+		if sentMid {
+			return nil, false
+		}
+		sentMid = true
+		return []wire.ArrivalWire{{Node: 0, Time: 0, Source: midOp, Value: wireBytes(t, []float64{1})}}, true
+	}
+	if _, err := client.SimulateStream(context.Background(), req, midGraph); err == nil {
+		t.Fatal("injection at a non-source operator must fail the stream")
+	}
+
+	times := []float64{0.5, 0.1}
+	i := 0
+	disordered := func() ([]wire.ArrivalWire, bool) {
+		if i >= len(times) {
+			return nil, false
+		}
+		a := wire.ArrivalWire{Node: 0, Time: times[i], Source: src.ID(), Value: wireBytes(t, []float64{1})}
+		i++
+		return []wire.ArrivalWire{a}, true
+	}
+	if _, err := client.SimulateStream(context.Background(), req, disordered); err == nil {
+		t.Fatal("time-disordered arrivals must fail the stream")
+	}
+}

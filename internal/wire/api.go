@@ -1,5 +1,7 @@
 package wire
 
+import "encoding/json"
+
 // Request and response bodies of the partition service's HTTP/JSON API
 // (internal/server). Every response carries the graph's canonical content
 // hash — the cache key prefix — and whether the request was served from
@@ -83,12 +85,63 @@ type SimulateRequest struct {
 	Duration  float64 `json:"duration"`
 	RateScale float64 `json:"rateScale,omitempty"`
 	Seed      int64   `json:"seed,omitempty"`
+	// Shards splits the simulation's server-side delivery loop by origin
+	// node (byte-identical results at any count; 0 = sequential).
+	Shards int `json:"shards,omitempty"`
 	// DistinctTraces gives every node its own trace (seed offset by node
 	// ID) instead of one shared recording.
 	DistinctTraces bool `json:"distinctTraces,omitempty"`
 	// Engine is "compiled" (default; served from the program cache) or
 	// "legacy" (reference tree-walking engine, never cached).
 	Engine string `json:"engine,omitempty"`
+}
+
+// SimulateStreamRequest is the header object of a POST /v1/simulate/stream
+// body. The body is a stream of JSON values: this header first, then any
+// number of StreamChunk objects until EOF (chunked transfer encoding keeps
+// the connection open while the client generates the trace). The server
+// feeds each chunk's arrivals straight into a streaming runtime Session,
+// so a trace of hours simulates in the memory of one ingestion window —
+// the trace itself is client-supplied, never materialized server-side.
+//
+// OnNode lists the operator IDs placed on the node; when empty the server
+// auto-partitions first (profiling against the synthetic Trace) and
+// simulates the chosen cut.
+type SimulateStreamRequest struct {
+	Graph    GraphSpec `json:"graph"`
+	Trace    TraceSpec `json:"trace,omitempty"`
+	Platform string    `json:"platform"`
+	Mode     string    `json:"mode,omitempty"`
+	Solver   string    `json:"solver,omitempty"`
+	OnNode   []int     `json:"onNode,omitempty"`
+
+	Nodes    int     `json:"nodes"`
+	Duration float64 `json:"duration"`
+	Seed     int64   `json:"seed,omitempty"`
+	// Shards splits the server-side delivery loop by origin node;
+	// WindowSeconds sizes the ingestion window (0 = runtime default).
+	Shards        int     `json:"shards,omitempty"`
+	WindowSeconds float64 `json:"windowSeconds,omitempty"`
+}
+
+// ArrivalWire is one client-supplied sensor event: which node it arrives
+// at, when, at which source operator (by graph operator ID), and the
+// value. Without a Type the value decodes as a JSON number (float64) or
+// array of numbers ([]float64); Type selects another element type sensor
+// traces carry: "f64", "i64", "f64s", "f32s", "i32s", "i16s" (e.g. audio
+// frames), or "bytes".
+type ArrivalWire struct {
+	Node   int             `json:"node"`
+	Time   float64         `json:"t"`
+	Source int             `json:"source"`
+	Type   string          `json:"type,omitempty"`
+	Value  json.RawMessage `json:"v"`
+}
+
+// StreamChunk is one batch of arrivals in a simulate-stream body.
+// Arrivals must be globally nondecreasing in time across chunks.
+type StreamChunk struct {
+	Arrivals []ArrivalWire `json:"arrivals"`
 }
 
 // ResultWire mirrors runtime.Result field for field (wire cannot import

@@ -278,7 +278,14 @@ func (r *Reassembler) Offer(frag []byte) (dataflow.Value, bool, error) {
 	if count == 0 || idx >= count {
 		return nil, false, fmt.Errorf("wire: bad fragment index %d/%d", idx, count)
 	}
-	if !r.started || seq != r.seq {
+	// The 16-bit sequence wraps after 65535 elements — an hour-long
+	// high-rate stream crosses it several times. The seq != r.seq check
+	// stays sound as long as at most one element is partially assembled
+	// per stream, but a stale partial whose sender seq has since wrapped
+	// could alias a fresh element carrying the same seq; a differing
+	// fragment count exposes that case, and the stale partial (its
+	// remaining packets were lost long ago) is discarded.
+	if !r.started || seq != r.seq || count != r.count {
 		r.seq = seq
 		r.count = count
 		r.have = 0
