@@ -655,8 +655,18 @@ func BenchmarkServerThroughput(b *testing.B) {
 // source), so the run is dominated by the server-side delivery loop —
 // reassembly, per-origin state swaps (preemph/prefilt relocate with
 // per-node state tables), and the relocated pipeline's DSP. The sharded
-// variants split that loop by origin node; results are byte-identical at
-// every shard count (asserted here against the sequential run).
+// variants split both the node phase and that loop by origin node;
+// results are byte-identical at every shard count (asserted here against
+// the sequential run). The pipelined variants feed the same steady-rate
+// trace through streaming ingestion (1 s windows divide the 25 ms frame
+// period, so streaming == batch byte-for-byte) with delivery of window w
+// overlapping simulation of window w+1 on multi-core hosts.
+//
+// Run with -benchmem: the fragment arenas, reassembly scratch and pooled
+// samplers make allocs/op the tracked regression metric. Per-stage wall
+// (node-ms, deliver-ms) and their overlap (overlap-ms, pipelined only)
+// are reported as custom metrics; see EXPERIMENTS.md for the multi-core
+// scaling table.
 func BenchmarkShardedSimulate(b *testing.B) {
 	app := speech.New()
 	const nodes = 64
@@ -692,23 +702,42 @@ func BenchmarkShardedSimulate(b *testing.B) {
 	if ref.PercentMsgsReceived() < 90 {
 		b.Fatalf("channel collapsed (%.1f%% received); the bench must exercise the server", ref.PercentMsgsReceived())
 	}
-	run := func(b *testing.B, shards int) {
+	run := func(b *testing.B, shards int, pipelined bool) {
 		b.Helper()
+		b.ReportAllocs()
 		c := cfg
 		c.Shards = shards
+		if pipelined {
+			c.Inputs = nil
+			c.WindowSeconds = 1
+			c.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
+				return runtime.InputStream(traces[nodeID], 1, cfg.Duration)
+			}
+		}
+		timings := &runtime.StageTimings{}
+		c.Timings = timings
 		for i := 0; i < b.N; i++ {
 			res, err := runtime.Run(c)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if *res != *ref {
-				b.Fatalf("shards=%d diverges from sequential", shards)
+				b.Fatalf("shards=%d pipelined=%v diverges from sequential", shards, pipelined)
 			}
 		}
+		n := float64(b.N)
+		b.ReportMetric(1e3*timings.NodeSeconds()/n, "node-ms")
+		b.ReportMetric(1e3*timings.DeliverySeconds()/n, "deliver-ms")
+		if pipelined {
+			b.ReportMetric(1e3*timings.OverlapSeconds()/n, "overlap-ms")
+		}
 	}
-	b.Run("sequential-64nodes", func(b *testing.B) { run(b, 1) })
-	b.Run("shards=4-64nodes", func(b *testing.B) { run(b, 4) })
-	b.Run("shards=8-64nodes", func(b *testing.B) { run(b, 8) })
+	b.Run("sequential-64nodes", func(b *testing.B) { run(b, 1, false) })
+	b.Run("shards=2-64nodes", func(b *testing.B) { run(b, 2, false) })
+	b.Run("shards=4-64nodes", func(b *testing.B) { run(b, 4, false) })
+	b.Run("shards=8-64nodes", func(b *testing.B) { run(b, 8, false) })
+	b.Run("pipelined=4shards-64nodes", func(b *testing.B) { run(b, 4, true) })
+	b.Run("pipelined=8shards-64nodes", func(b *testing.B) { run(b, 8, true) })
 }
 
 // BenchmarkStreamingSimulate compares batch and streaming ingestion on an
@@ -769,14 +798,18 @@ func BenchmarkStreamingSimulate(b *testing.B) {
 			}
 		})
 	})
-	b.Run("stream-1h", func(b *testing.B) {
+	stream := func(b *testing.B, phased bool) {
+		b.Helper()
 		b.ReportAllocs()
 		c := cfg
 		c.Shards = 4
 		c.WindowSeconds = 60
+		c.NoPipeline = phased
 		c.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
 			return runtime.InputStream(cfg.Inputs(nodeID), 1, duration)
 		}
+		timings := &runtime.StageTimings{}
+		c.Timings = timings
 		withPeakHeap(b, func() {
 			for i := 0; i < b.N; i++ {
 				if _, err := runtime.Run(c); err != nil {
@@ -784,5 +817,11 @@ func BenchmarkStreamingSimulate(b *testing.B) {
 				}
 			}
 		})
-	})
+		n := float64(b.N)
+		b.ReportMetric(1e3*timings.NodeSeconds()/n, "node-ms")
+		b.ReportMetric(1e3*timings.DeliverySeconds()/n, "deliver-ms")
+		b.ReportMetric(1e3*timings.OverlapSeconds()/n, "overlap-ms")
+	}
+	b.Run("stream-1h", func(b *testing.B) { stream(b, false) })
+	b.Run("stream-1h-phased", func(b *testing.B) { stream(b, true) })
 }

@@ -6,16 +6,18 @@
 //
 //	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|all] [-seconds N]
 //	        [-fig6n N] [-engine compiled|legacy] [-shards N] [-stream]
-//	        [-solver exact|lagrangian|greedy|race|all]
+//	        [-workers N] [-solver exact|lagrangian|greedy|race|all]
 //
 // The solvers figure compares the pluggable solver backends (objective,
 // proven gap, latency, race wins) on the speech and EEG specs; -solver
 // restricts it to one backend (plus the exact reference).
 //
-// -shards splits each deployment simulation's server-side delivery loop
-// by origin node (byte-identical results, more cores); -stream feeds the
-// traces through streaming ingestion in bounded windows instead of
-// materializing them (requires the compiled engine).
+// -shards splits each deployment simulation — the node phase by origin
+// and the server-side delivery loop — by origin node (byte-identical
+// results, more cores); -stream feeds the traces through streaming
+// ingestion in bounded windows instead of materializing them (requires
+// the compiled engine). With both and -workers > 1, the simulation
+// pipelines: delivery of window w overlaps simulation of window w+1.
 package main
 
 import (
@@ -35,8 +37,9 @@ func main() {
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
 	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
 	solverName := flag.String("solver", "all", "backend for the solvers figure: exact|lagrangian|greedy|race|all")
-	shards := flag.Int("shards", 0, "server-side delivery shards per simulation (0/1 = sequential)")
+	shards := flag.Int("shards", 0, "origin shards per simulation, node phase and delivery (0/1 = sequential)")
 	stream := flag.Bool("stream", false, "feed simulation traces through streaming ingestion (compiled engine only)")
+	workers := flag.Int("workers", 0, "simulation worker bound; with -stream, >1 pipelines node compute against delivery (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var engine runtime.Engine
@@ -66,6 +69,7 @@ func main() {
 			speech.Engine = engine
 			speech.Shards = *shards
 			speech.Stream = *stream
+			speech.Workers = *workers
 		}
 		return speech
 	}

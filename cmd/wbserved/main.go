@@ -34,19 +34,22 @@ func main() {
 	cache := flag.Int("cache", 256, "program/graph cache entries (LRU)")
 	jobs := flag.Int("jobs", 0, "max concurrent heavy jobs (0 = GOMAXPROCS)")
 	simWorkers := flag.Int("sim-workers", 0, "per-simulation node worker bound (0 = GOMAXPROCS)")
+	streamBuffer := flag.Int("stream-buffer", 0, "per-session window-buffer bound for /v1/simulate/stream; exceeding it returns 429 code=backpressure (0 = default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	// Note: http.Server.ReadTimeout is an absolute whole-body deadline —
 	// it caps every upload's total duration, progressing or stalled, so
 	// it defaults off (a legitimate /v1/simulate/stream trace can take as
-	// long as the client needs to generate it). Stall detection proper is
-	// the ROADMAP backpressure item.
+	// long as the client needs to generate it). A firehose that outpaces
+	// its simulated-time progress is shed by the window-buffer bound
+	// (-stream-buffer) with a typed 429 instead.
 	readTimeout := flag.Duration("read-timeout", 0, "absolute per-request body deadline, killing uploads that exceed it regardless of progress (0 = none)")
 	flag.Parse()
 
 	svc := server.New(server.Config{
-		CacheEntries: *cache,
-		MaxJobs:      *jobs,
-		SimWorkers:   *simWorkers,
+		CacheEntries:      *cache,
+		MaxJobs:           *jobs,
+		SimWorkers:        *simWorkers,
+		StreamMaxBuffered: *streamBuffer,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -225,6 +225,7 @@ func main() {
 		// order-independent) but out-of-engine sink buffers may fill in
 		// shard order rather than time order — this command discards
 		// them, printing only Result-derived stats.
+		timings := &runtime.StageTimings{}
 		cfg := runtime.Config{
 			Graph:     compiled.Graph,
 			OnNode:    asg.OnNode,
@@ -235,6 +236,7 @@ func main() {
 			Seed:      1,
 			Shards:    *shards,
 			Workers:   1,
+			Timings:   timings,
 		}
 		if *stream {
 			cfg.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
@@ -254,6 +256,8 @@ func main() {
 		fmt.Printf("simulated %d node(s) for %.0fs (%s, %d shard(s)): input %.1f%%, msgs %.1f%%, goodput %.1f%%, node CPU %.1f%%\n",
 			*simNodes, *simSeconds, mode, *shards,
 			res.PercentInputProcessed(), res.PercentMsgsReceived(), res.Goodput(), 100*res.NodeCPU)
+		fmt.Printf("stages: node %.0fms, delivery %.0fms, wall %.0fms\n",
+			1e3*timings.NodeSeconds(), 1e3*timings.DeliverySeconds(), 1e3*timings.WallSeconds())
 	}
 }
 

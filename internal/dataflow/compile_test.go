@@ -289,3 +289,43 @@ func TestCompiledInjectOnExcludedSourceCrossesBoundary(t *testing.T) {
 		t.Fatalf("boundary saw %v, want [41]", crossed)
 	}
 }
+
+// TestInstanceRecycle pins the shard-affinity contract: Recycle restores
+// pristine per-node state and identity like Release/Acquire would, but
+// keeps a shared cost counter installed — the runtime's origin-sharded
+// node phase relies on both halves.
+func TestInstanceRecycle(t *testing.T) {
+	g, src := diamondGraph()
+	prog, err := Compile(g, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := prog.NewInstance(7)
+	refCounter := &cost.Counter{}
+	ref.SetCounter(refCounter)
+	ref.Inject(src, 1)
+	wantTrav := ref.Traversals()
+	wantCost := refCounter.Total()
+
+	in := prog.NewInstance(3)
+	counter := &cost.Counter{}
+	in.SetCounter(counter)
+	in.Inject(src, 5)
+	in.Inject(src, 9) // dirty the stateful join across two events
+
+	in.Recycle(7)
+	if in.NodeID() != 7 {
+		t.Fatalf("NodeID %d after Recycle(7)", in.NodeID())
+	}
+	if in.Traversals() != 0 {
+		t.Fatalf("Traversals %d after Recycle, want 0", in.Traversals())
+	}
+	counter.Reset()
+	in.Inject(src, 1)
+	if in.Traversals() != wantTrav {
+		t.Fatalf("recycled instance traversed %d, fresh %d — stale state survived", in.Traversals(), wantTrav)
+	}
+	if counter.Total() != wantCost {
+		t.Fatalf("recycled instance charged %v, fresh %v — counter detached by Recycle", counter.Total(), wantCost)
+	}
+}

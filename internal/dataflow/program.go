@@ -137,6 +137,26 @@ func (p *Program) ReleaseInstance(in *Instance) {
 	p.pool.Put(in)
 }
 
+// Recycle re-prepares the instance for a fresh run as nodeID without a
+// pool round-trip: Release/Acquire semantics (pristine state, empty
+// queues, detached Boundary) minus the shared sync.Pool — except that a
+// shared cost counter installed with SetCounter stays installed, saving
+// the O(operators) re-attach pass per run. Shard-affine callers — the
+// runtime's origin-sharded node phase pins one instance per shard and
+// recycles it across that shard's nodes — keep the instance's dense
+// tables (and counter wiring) with one goroutine instead of migrating
+// them through the pool on every node.
+func (in *Instance) Recycle(nodeID int) {
+	var c *cost.Counter
+	if !in.p.opts.CountOps && len(in.ctxs) > 0 {
+		c = in.ctxs[0].Counter
+	}
+	in.Reset(nodeID)
+	if c != nil {
+		in.SetCounter(c)
+	}
+}
+
 // rebind points a pristine pooled instance (Reset at release time) at a
 // new node identity without re-creating its freshly-reset state.
 func (in *Instance) rebind(nodeID int) {

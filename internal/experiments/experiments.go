@@ -39,6 +39,12 @@ type SpeechEnv struct {
 	// compiled engine; each window's delivery ratio prices that window's
 	// offered load.
 	Stream bool
+
+	// Workers bounds each simulation's worker pool (cmd/wbbench
+	// -workers); with Stream set and Workers > 1 the runtime pipelines
+	// the session — delivery of window w overlaps simulation of window
+	// w+1 — still byte-identical to the phased run.
+	Workers int
 }
 
 // simConfig applies the env's engine/sharding/streaming selection to one
@@ -46,6 +52,7 @@ type SpeechEnv struct {
 func (e *SpeechEnv) simConfig(cfg runtime.Config) runtime.Config {
 	cfg.Engine = e.Engine
 	cfg.Shards = e.Shards
+	cfg.Workers = e.Workers
 	if e.Stream {
 		inputs := cfg.Inputs
 		scale := cfg.RateScale

@@ -30,6 +30,7 @@ func NodeSeed(seed int64, nodeID int) int64 {
 // buffer so steady-state sampling allocates nothing. The draw sequence is
 // exactly the per-fragment sequence, so batching does not change results.
 type LossSampler struct {
+	src rand.Source
 	rng *rand.Rand
 	buf []float64
 }
@@ -37,7 +38,17 @@ type LossSampler struct {
 // NewLossSampler returns the sampler for one node's stream; seed it with
 // NodeSeed(runSeed, nodeID).
 func NewLossSampler(seed int64) *LossSampler {
-	return &LossSampler{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &LossSampler{src: src, rng: rand.New(src)}
+}
+
+// Reseed restarts the sampler's draw sequence exactly as if it had been
+// freshly constructed with seed, keeping the grown draw buffer. The
+// runtime pools samplers across simulation runs: a recycled sampler must
+// produce the byte-identical sequence a new one would (Float64 draws
+// stream straight from the source, so reseeding the source suffices).
+func (s *LossSampler) Reseed(seed int64) {
+	s.src.Seed(seed)
 }
 
 // Draws returns n uniform draws in [0,1). The returned slice aliases the

@@ -123,3 +123,18 @@ func TestPerNodePayloadBudget(t *testing.T) {
 		t.Fatal("zero nodes → zero budget")
 	}
 }
+
+func TestLossSamplerReseed(t *testing.T) {
+	fresh := NewLossSampler(NodeSeed(7, 3))
+	want := append([]float64(nil), fresh.Draws(32)...)
+
+	recycled := NewLossSampler(12345)
+	recycled.Draws(8) // advance, then reseed as the pool does
+	recycled.Reseed(NodeSeed(7, 3))
+	got := recycled.Draws(32)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d: reseeded %v, fresh %v — pooled samplers would change results", i, got[i], want[i])
+		}
+	}
+}

@@ -47,6 +47,14 @@ type reduceAggregator struct {
 	// gaps and can collide after the uint16 wraps. Like sender.seq it
 	// wraps at 65535 rounds; see the wrap note there.
 	seq map[*dataflow.Edge]uint16
+
+	// arena supplies finalize's fragment storage (nil: allocate per
+	// aggregate). The batch path attaches one arena for the whole run;
+	// the pipelined streaming session swaps in the current window's — an
+	// aggregate's fragments are encoded in the window that flushes it, so
+	// they share that window's lifetime. enc is the marshal scratch.
+	arena *fragArena
+	enc   []byte
 }
 
 func newReduceAggregator(nodes int) *reduceAggregator {
@@ -111,6 +119,11 @@ func (a *reduceAggregator) add(cfg *Config, msgs []message, res *Result, out []m
 		} else {
 			cp := m
 			cp.nodeID = AggregateOrigin
+			// A pending round may wait across ingestion windows, and
+			// finalize re-encodes from the combined value anyway — drop
+			// the contributor's fragments so the pending table never pins
+			// (possibly recycled) sender arena storage.
+			cp.frags = nil
 			pend[idx] = &cp
 		}
 		a.pending[m.edge] = pend
@@ -188,8 +201,9 @@ func (a *reduceAggregator) finalize(cfg *Config, e *dataflow.Edge, agg *message,
 	radio := cfg.Platform.Radio
 	agg.frags, agg.packets, agg.air = nil, 0, 0
 	a.seq[e]++
-	if enc, err := wire.Marshal(agg.value); err == nil && radio.PacketPayload > 4 {
-		if frags, err := wire.Fragment(enc, a.seq[e], radio.PacketPayload); err == nil {
+	if enc, err := wire.AppendMarshal(a.enc[:0], agg.value); err == nil && radio.PacketPayload > 4 {
+		a.enc = enc
+		if frags, err := fragment(a.arena, enc, a.seq[e], radio.PacketPayload); err == nil {
 			agg.frags = frags
 			agg.packets = len(frags)
 			for _, f := range frags {
@@ -211,8 +225,11 @@ func (a *reduceAggregator) finalize(cfg *Config, e *dataflow.Edge, agg *message,
 
 // aggregateReduceMessages is the batch path: feed every message, flush
 // every round, and return the time-sorted stream the channel carries.
-func aggregateReduceMessages(cfg Config, msgs []message, res *Result) []message {
+// arena (optional) supplies the aggregates' fragment storage and must
+// outlive delivery.
+func aggregateReduceMessages(cfg Config, msgs []message, res *Result, arena *fragArena) []message {
 	a := newReduceAggregator(cfg.Nodes)
+	a.arena = arena
 	out := a.add(&cfg, msgs, res, make([]message, 0, len(msgs)))
 	out = a.flushAll(&cfg, res, out)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })

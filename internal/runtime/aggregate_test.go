@@ -73,7 +73,7 @@ func TestAggregateFragmentSeqPerEdge(t *testing.T) {
 	}
 	cfg := Config{Graph: g, OnNode: onNode, Platform: platform.Gumstix(), Nodes: 3, Duration: 10}
 	res := &Result{}
-	out := aggregateReduceMessages(cfg, contributions(ea, eb, 3, 4), res)
+	out := aggregateReduceMessages(cfg, contributions(ea, eb, 3, 4), res, nil)
 
 	seqs := map[*dataflow.Edge][]uint16{}
 	for i := range out {
@@ -106,7 +106,7 @@ func TestAggregateDedicatedOrigin(t *testing.T) {
 	g, onNode, ea, eb := twoReduceApp()
 	cfg := Config{Graph: g, OnNode: onNode, Platform: platform.Gumstix(), Nodes: 2, Duration: 10}
 	res := &Result{}
-	out := aggregateReduceMessages(cfg, contributions(ea, eb, 2, 3), res)
+	out := aggregateReduceMessages(cfg, contributions(ea, eb, 2, 3), res, nil)
 	if len(out) == 0 {
 		t.Fatal("no aggregates produced")
 	}

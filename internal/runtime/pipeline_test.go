@@ -1,0 +1,292 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"wishbone/internal/apps/eeg"
+	"wishbone/internal/apps/speech"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+)
+
+// The pipelined parity suite pins the tentpole invariant: a streaming
+// session that overlaps delivery of window w with simulation of window
+// w+1 (pipeline.go) produces a Result byte-identical to the phased
+// session and — for steady-rate, window-divisible traces — to the batch
+// path, at every Shards/Workers combination. CI runs these under -race:
+// the pipeline's node shards, delivery shards and coordinator all touch
+// the session concurrently.
+
+// pipelineVariant is one Shards/Workers/pipelining combination.
+type pipelineVariant struct {
+	name     string
+	shards   int
+	workers  int
+	phased   bool // force NoPipeline
+	wantPipe bool // the variant must actually engage the pipeline
+}
+
+func pipelineVariants() []pipelineVariant {
+	return []pipelineVariant{
+		{name: "phased/workers=1", workers: 1},
+		{name: "phased/shards=4/workers=4", shards: 4, workers: 4, phased: true},
+		{name: "pipelined/shards=0/workers=4", shards: 0, workers: 4, wantPipe: true},
+		{name: "pipelined/shards=2/workers=2", shards: 2, workers: 2, wantPipe: true},
+		{name: "pipelined/shards=4/workers=4", shards: 4, workers: 4, wantPipe: true},
+		{name: "pipelined/shards=8/workers=8", shards: 8, workers: 8, wantPipe: true},
+	}
+}
+
+// runPipelineVariants drives cfg's arrival streams through a Session per
+// variant (asserting the pipeline engages exactly when expected) and
+// requires byte-identical Results across all of them and against ref.
+func runPipelineVariants(t *testing.T, cfg Config, ref *Result, refName string) {
+	t.Helper()
+	for _, v := range pipelineVariants() {
+		c := cfg
+		c.Shards = v.shards
+		c.Workers = v.workers
+		c.NoPipeline = v.phased
+		sess, err := NewSession(c)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if (sess.pipe != nil) != v.wantPipe {
+			t.Fatalf("%s: pipeline engaged=%v, want %v", v.name, sess.pipe != nil, v.wantPipe)
+		}
+		res, err := feedStreams(sess, &c)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if *res != *ref {
+			t.Fatalf("%s diverges from %s:\nref: %+v\ngot: %+v", v.name, refName, *ref, *res)
+		}
+	}
+}
+
+// feedStreams merges cfg.ArrivalSource's per-node streams by time and
+// pushes them through sess — the runStream loop, but against a Session
+// built by the caller.
+func feedStreams(sess *Session, cfg *Config) (*Result, error) {
+	streams := make([]Stream, cfg.Nodes)
+	heads := make([]Arrival, cfg.Nodes)
+	live := make([]bool, cfg.Nodes)
+	for n := range streams {
+		st, err := cfg.ArrivalSource(n)
+		if err != nil {
+			sess.Close()
+			return nil, err
+		}
+		streams[n] = st
+		heads[n], live[n] = st.Next()
+	}
+	for {
+		best := -1
+		for n := range heads {
+			if live[n] && heads[n].Time >= cfg.Duration {
+				live[n] = false
+			}
+			if !live[n] {
+				continue
+			}
+			if best < 0 || heads[n].Time < heads[best].Time {
+				best = n
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := sess.Offer(best, heads[best]); err != nil {
+			sess.Close()
+			return nil, err
+		}
+		heads[best], live[best] = streams[best].Next()
+	}
+	return sess.Close()
+}
+
+// TestPipelinedParitySpeech sweeps a server-heavy and a node-heavy speech
+// cut on a multi-node network with per-node traces. The prefix-1 cut
+// relocates the stateful preemph/prefilt operators, exercising per-origin
+// state tables across concurrently delivering shards; the trace is steady
+// rate (40 ev/s, period 1/40 s) and the window (2 s) divides the duration
+// (12 s), so the streaming Results must also be byte-identical to batch.
+func TestPipelinedParitySpeech(t *testing.T) {
+	app := speech.New()
+	for _, prefix := range []int{1, 5} {
+		onNode := make(map[int]bool, len(app.Pipeline))
+		for i, op := range app.Pipeline {
+			onNode[op.ID()] = i < prefix
+		}
+		traces := make([][]profile.Input, 6)
+		for n := range traces {
+			traces[n] = []profile.Input{app.SampleTrace(int64(300+n), 2.0)}
+		}
+		cfg := Config{
+			Graph:    app.Graph,
+			OnNode:   onNode,
+			Platform: platform.Gumstix(),
+			Nodes:    6,
+			Duration: 12,
+			Seed:     int64(40 + prefix),
+			Inputs:   func(nodeID int) []profile.Input { return traces[nodeID] },
+		}
+		batch, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.MsgsSent == 0 || batch.ServerEmits == 0 {
+			t.Fatalf("cut %d: degenerate run %+v", prefix, *batch)
+		}
+		stream := cfg
+		stream.Inputs = nil
+		stream.WindowSeconds = 2
+		stream.ArrivalSource = func(nodeID int) (Stream, error) {
+			return InputStream(traces[nodeID], 1, cfg.Duration)
+		}
+		runPipelineVariants(t, stream, batch, "batch")
+	}
+}
+
+// TestPipelinedParityEEG covers the sequential-delivery fallback under
+// pipelining: the EEG app's `detect` operator is stateful in the Server
+// namespace, so the delivery plan quietly collapses to one shard — the
+// pipeline still overlaps that single delivery worker with the sharded
+// node phase, and the Result must stay byte-identical to phased and
+// batch (window 4 s divides the 2 s trace period and the 12 s duration).
+func TestPipelinedParityEEG(t *testing.T) {
+	app := eeg.NewWithChannels(4)
+	onNode := make(map[int]bool)
+	for _, op := range app.Graph.Operators() {
+		onNode[op.ID()] = op.NS == dataflow.NSNode
+	}
+	inputs := app.SampleTrace(3, 12)
+	cfg := Config{
+		Graph:    app.Graph,
+		OnNode:   onNode,
+		Platform: platform.Gumstix(),
+		Nodes:    3,
+		Duration: 12,
+		Seed:     17,
+		NoReplay: true,
+		Inputs:   func(nodeID int) []profile.Input { return inputs },
+	}
+	if shardable(&cfg) {
+		t.Fatal("EEG app must exercise the sequential-delivery fallback")
+	}
+	batch, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.InputEvents == 0 {
+		t.Fatal("no input offered")
+	}
+	stream := cfg
+	stream.Inputs = nil
+	stream.WindowSeconds = 4
+	stream.ArrivalSource = func(nodeID int) (Stream, error) {
+		return InputStream(inputs, 1, cfg.Duration)
+	}
+	runPipelineVariants(t, stream, batch, "batch")
+}
+
+// TestPipelinedReduceParity runs the reduce-aggregation stream app
+// pipelined: aggregates are finalized by the coordinator between the
+// stages and delivered on the AggregateOrigin shard, and must match the
+// phased and batch paths exactly.
+func TestPipelinedReduceParity(t *testing.T) {
+	g, src, onNode := streamApp()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inputs := streamInputs(src, 4)
+	cfg := Config{
+		Graph: g, OnNode: onNode, Platform: platform.TMoteSky(),
+		Nodes: 4, Duration: 64, Seed: 11,
+		Inputs: func(nodeID int) []profile.Input { return inputs },
+	}
+	batch, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := cfg
+	stream.Inputs = nil
+	stream.WindowSeconds = 16
+	stream.ArrivalSource = func(nodeID int) (Stream, error) {
+		return InputStream(inputs, 1, cfg.Duration)
+	}
+	runPipelineVariants(t, stream, batch, "batch")
+}
+
+// TestSessionBackpressure pins the typed backpressure bound: a stream
+// that pours arrivals into one window past Config.MaxBufferedArrivals
+// must fail the Offer with ErrBackpressure (the partition service maps
+// this to 429), not grow without bound and not report a client fault.
+func TestSessionBackpressure(t *testing.T) {
+	g, src, onNode := streamApp()
+	sess, err := NewSession(Config{
+		Graph: g, OnNode: onNode, Platform: losslessPlatform(),
+		Nodes: 1, Duration: 1000, WindowSeconds: 1000,
+		MaxBufferedArrivals: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	for i := 0; i < 9; i++ {
+		if got = sess.Offer(0, Arrival{Time: 0, Source: src, Value: []float64{1, 2}}); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, ErrBackpressure) {
+		t.Fatalf("overflowing the window buffer returned %v, want ErrBackpressure", got)
+	}
+	if errors.Is(got, ErrBadArrival) {
+		t.Fatalf("backpressure must not be classified as a bad arrival: %v", got)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedBatchShardedNodePhase pins the batch path's origin-sharded
+// node phase: Shards also partitions node simulation (pinned instances),
+// and the Result must match the unsharded run exactly.
+func TestPipelinedBatchShardedNodePhase(t *testing.T) {
+	app := speech.New()
+	onNode := make(map[int]bool, len(app.Pipeline))
+	for i, op := range app.Pipeline {
+		onNode[op.ID()] = i < 5
+	}
+	traces := make([][]profile.Input, 8)
+	for n := range traces {
+		traces[n] = []profile.Input{app.SampleTrace(int64(700+n), 1.0)}
+	}
+	cfg := Config{
+		Graph:    app.Graph,
+		OnNode:   onNode,
+		Platform: platform.TMoteSky(),
+		Nodes:    8,
+		Duration: 10,
+		Seed:     23,
+		Inputs:   func(nodeID int) []profile.Input { return traces[nodeID] },
+	}
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []struct{ shards, workers int }{{3, 1}, {3, 4}, {8, 8}} {
+		c := cfg
+		c.Shards = v.shards
+		c.Workers = v.workers
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *res != *ref {
+			t.Fatalf("shards=%d/workers=%d diverges:\nref: %+v\ngot: %+v", v.shards, v.workers, *ref, *res)
+		}
+	}
+}

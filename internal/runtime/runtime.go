@@ -38,6 +38,7 @@ package runtime
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"wishbone/internal/cost"
 	"wishbone/internal/dataflow"
@@ -140,6 +141,26 @@ type Config struct {
 	// WindowSeconds is the streaming ingestion window in simulated
 	// seconds; 0 means 10.
 	WindowSeconds float64
+
+	// NoPipeline forces a streaming Session to run its stages strictly in
+	// phase: node compute, then delivery, window by window. By default a
+	// session with a multi-worker budget pipelines the two (see
+	// pipeline.go) — shard s delivers window w while window w+1
+	// simulates — which is byte-identical to the phased run at any
+	// Shards/Workers setting (the Pipelined parity tests pin this).
+	NoPipeline bool
+
+	// MaxBufferedArrivals bounds how many arrivals a streaming Session
+	// may hold for the window in progress; 0 means the built-in cap.
+	// Exceeding it fails the Offer with ErrBackpressure — the partition
+	// service maps that to 429 so one tenant's firehose cannot occupy a
+	// job slot with an ever-growing window buffer.
+	MaxBufferedArrivals int
+
+	// Timings, when non-nil, accumulates per-stage wall-clock for the run
+	// (node compute vs server delivery) — the instrumentation behind the
+	// pipelining benchmarks. It does not influence the Result.
+	Timings *StageTimings
 }
 
 // Result reports a deployment run.
@@ -227,6 +248,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Inputs == nil {
 		return nil, fmt.Errorf("runtime: need Inputs (or ArrivalSource for streaming)")
 	}
+	runStart := time.Now()
 	scale := cfg.RateScale
 	if scale <= 0 {
 		scale = 1
@@ -248,19 +270,32 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// --- Node side ---------------------------------------------------
+	// Fragment storage carved by the senders lives until delivery ends;
+	// the arenas recycle into the process-wide pool when the run's
+	// messages are dead.
+	var arenas []*fragArena
+	defer func() {
+		for _, a := range arenas {
+			releaseArena(a)
+		}
+	}()
 	var nodeRes []nodeResult
 	var err error
 	if cfg.Engine == EngineLegacy {
 		nodeRes, err = runNodesLegacy(cfg, arrivals)
 	} else {
-		nodeRes, err = runNodesCompiled(cfg, inputs, arrivals)
+		nodeRes, arenas, err = runNodesCompiled(cfg, inputs, arrivals)
 	}
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{}
-	var msgs []message
+	total := 0
+	for n := range nodeRes {
+		total += len(nodeRes[n].msgs)
+	}
+	msgs := make([]message, 0, total)
 	var busyTotal float64
 	for n := range nodeRes {
 		nr := &nodeRes[n]
@@ -277,7 +312,12 @@ func Run(cfg Config) (*Result, error) {
 	// Messages produced by a node-resident reduce operator are combined
 	// inside the collection tree: the root link carries one aggregate per
 	// round instead of one message per node.
-	msgs = aggregateReduceMessages(cfg, msgs, res)
+	var aggArena *fragArena
+	if cfg.Engine != EngineLegacy {
+		aggArena = acquireArena()
+		arenas = append(arenas, aggArena)
+	}
+	msgs = aggregateReduceMessages(cfg, msgs, res, aggArena)
 
 	// --- Channel -------------------------------------------------------
 	totalAir := 0
@@ -288,6 +328,9 @@ func Run(cfg Config) (*Result, error) {
 	ch := netsim.ChannelFor(cfg.Platform)
 	ratio := ch.DeliveryRatio(res.OfferedAirBytesPerSec)
 	res.DeliveryRatio = ratio
+	if cfg.Timings != nil {
+		cfg.Timings.addNode(time.Since(runStart))
+	}
 
 	// --- Server side -----------------------------------------------------
 	// Delivery is sharded by origin node (shard.go): per-origin state
@@ -298,6 +341,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	deliverStart := time.Now()
 	// msgs is already time-sorted: aggregateReduceMessages sorts its
 	// output (each origin's subsequence stays in emission order either
 	// way, which is all delivery needs).
@@ -306,6 +350,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	plan.collect(res)
+	if cfg.Timings != nil {
+		cfg.Timings.addDelivery(time.Since(deliverStart))
+		cfg.Timings.addWall(time.Since(runStart))
+	}
 	return res, nil
 }
 
@@ -330,7 +378,16 @@ func validateConfig(cfg *Config) error {
 // sequence (ties keep input order, so synchronized sensors interleave
 // deterministically).
 func buildArrivals(inputs []profile.Input, scale, duration float64) ([]arrival, error) {
-	var arrivals []arrival
+	// Size the sequence up front (one allocation instead of append
+	// growth): each input contributes one event per period below the
+	// duration — an estimate only, the loop below remains authoritative.
+	est := 0
+	for _, in := range inputs {
+		if r := in.Rate * scale; r > 0 {
+			est += int(duration*r) + 1
+		}
+	}
+	arrivals := make([]arrival, 0, est)
 	for _, in := range inputs {
 		rate := in.Rate * scale
 		if rate <= 0 {
@@ -376,6 +433,13 @@ type sender struct {
 	// stream through several wraps.
 	seqs map[*dataflow.Edge]uint16
 
+	// arena supplies fragment storage (see fragArena); nil senders — the
+	// legacy reference engine — allocate per message. enc is the marshal
+	// scratch buffer, reused across captures (fragmentation copies out of
+	// it either way).
+	arena *fragArena
+	enc   []byte
+
 	msgs         []message
 	msgsSent     int
 	payloadBytes int
@@ -386,12 +450,13 @@ type sender struct {
 func (s *sender) capture(e *dataflow.Edge, v dataflow.Value) {
 	radio := s.cfg.Platform.Radio
 	m := message{time: s.curTime, nodeID: s.nodeID, edge: e, value: v}
-	if enc, err := wire.Marshal(v); err == nil && radio.PacketPayload > 4 {
+	if enc, err := wire.AppendMarshal(s.enc[:0], v); err == nil && radio.PacketPayload > 4 {
+		s.enc = enc
 		if s.seqs == nil {
 			s.seqs = make(map[*dataflow.Edge]uint16)
 		}
 		s.seqs[e]++
-		if frags, err := wire.Fragment(enc, s.seqs[e], radio.PacketPayload); err == nil {
+		if frags, err := fragment(s.arena, enc, s.seqs[e], radio.PacketPayload); err == nil {
 			m.frags = frags
 			m.packets = len(frags)
 			for _, f := range frags {
@@ -412,6 +477,20 @@ func (s *sender) capture(e *dataflow.Edge, v dataflow.Value) {
 	s.msgs = append(s.msgs, m)
 	s.msgsSent += m.packets
 	s.payloadBytes += dataflow.WireSize(v)
+}
+
+// fragment packetizes one encoded element, carving the fragment storage
+// from the arena when one is attached (the compiled engine's hot path)
+// and allocating per message otherwise.
+func fragment(arena *fragArena, enc []byte, seq uint16, payloadSize int) ([][]byte, error) {
+	if arena == nil {
+		return wire.Fragment(enc, seq, payloadSize)
+	}
+	count, total, err := wire.FragmentSpan(len(enc), payloadSize)
+	if err != nil {
+		return nil, err
+	}
+	return wire.FragmentTo(enc, seq, payloadSize, arena.bytes(total), arena.frags(count))
 }
 
 // nodeSim models one node's non-reentrant depth-first runtime: while an
@@ -482,32 +561,36 @@ func runNodesLegacy(cfg Config, arrivals [][]arrival) ([]nodeResult, error) {
 // runNodesCompiled compiles the node partition once and executes the
 // replicas through dataflow.Instances. Identical replicas — every node
 // offered the same trace — are simulated once and their deterministic
-// message streams replicated; distinct replicas run concurrently on a
-// bounded worker pool.
-func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival) ([]nodeResult, error) {
+// message streams replicated; distinct replicas run sharded by origin on
+// a bounded worker pool: shard s owns nodes n ≡ s (mod shards) — the same
+// origin partition the delivery loop uses — and recycles one pinned
+// Instance and one fragment arena across them instead of round-tripping
+// the Program pool per node. The returned arenas hold the senders'
+// fragment storage; the caller releases them once delivery is done.
+func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival) ([]nodeResult, []*fragArena, error) {
 	prog, err := resolveNodeProgram(&cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]nodeResult, cfg.Nodes)
-	runOne := func(n int) {
-		inst := prog.AcquireInstance(n)
-		counter := &cost.Counter{}
-		inst.SetCounter(counter)
-		s := &sender{cfg: &cfg, nodeID: n}
-		inst.Boundary = s.capture
-		out[n] = simulateNode(&cfg, s, arrivals[n], counter, inst.Inject)
-		prog.ReleaseInstance(inst)
-	}
 
 	if !cfg.NoReplay && identicalTraces(inputs) {
 		// Node-side simulation is a deterministic function of (program,
 		// platform, arrivals): with identical traces every replica
 		// produces the same events, times and marshalled fragments, so
-		// simulate node 0 and restamp its message stream per node. This
-		// assumes work functions ignore ctx.NodeID (none of the paper's
-		// operators read it); Config.NoReplay opts out otherwise.
-		runOne(0)
+		// simulate node 0 and restamp its message stream per node (the
+		// replicas alias node 0's fragment storage, which delivery only
+		// reads). This assumes work functions ignore ctx.NodeID (none of
+		// the paper's operators read it); Config.NoReplay opts out
+		// otherwise.
+		arena := acquireArena()
+		inst := prog.AcquireInstance(0)
+		counter := &cost.Counter{}
+		inst.SetCounter(counter)
+		s := &sender{cfg: &cfg, nodeID: 0, arena: arena}
+		inst.Boundary = s.capture
+		out[0] = simulateNode(&cfg, s, arrivals[0], counter, inst.Inject)
+		prog.ReleaseInstance(inst)
 		for n := 1; n < cfg.Nodes; n++ {
 			nr := out[0]
 			nr.msgs = make([]message, len(out[0].msgs))
@@ -517,11 +600,32 @@ func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival
 			}
 			out[n] = nr
 		}
-		return out, nil
+		return out, []*fragArena{arena}, nil
 	}
 
-	runPool(poolWorkers(&cfg, cfg.Nodes), cfg.Nodes, runOne)
-	return out, nil
+	shards := cfg.Nodes
+	if cfg.Shards > 1 && cfg.Shards < shards {
+		shards = cfg.Shards
+	}
+	arenas := make([]*fragArena, shards)
+	runPool(poolWorkers(&cfg, shards), shards, func(s int) {
+		arena := acquireArena()
+		arenas[s] = arena
+		inst := prog.AcquireInstance(s)
+		defer prog.ReleaseInstance(inst)
+		counter := &cost.Counter{}
+		inst.SetCounter(counter)
+		snd := &sender{cfg: &cfg, arena: arena}
+		for n := s; n < cfg.Nodes; n += shards {
+			inst.Recycle(n) // pristine per-node state, counter kept, no pool round-trip
+			snd.nodeID = n
+			snd.seqs = nil
+			snd.msgs, snd.msgsSent, snd.payloadBytes = nil, 0, 0
+			inst.Boundary = snd.capture
+			out[n] = simulateNode(&cfg, snd, arrivals[n], counter, inst.Inject)
+		}
+	})
+	return out, arenas[:], nil
 }
 
 // CompilePartition compiles the two sides of a partitioned deployment

@@ -39,15 +39,29 @@ type shardState struct {
 	res    Result
 }
 
+// samplerPool recycles LossSamplers (and their grown draw buffers) across
+// runs and sessions; a recycled sampler is Reseeded, which restarts its
+// draw sequence exactly as construction would.
+var samplerPool = sync.Pool{New: func() any { return netsim.NewLossSampler(0) }}
+
 // sampler returns the loss sampler for one origin's stream, derived
 // deterministically from (run seed, nodeID).
 func (sh *shardState) sampler(nodeID int) *netsim.LossSampler {
 	s := sh.rng[nodeID]
 	if s == nil {
-		s = netsim.NewLossSampler(netsim.NodeSeed(sh.seed, nodeID))
+		s = samplerPool.Get().(*netsim.LossSampler)
+		s.Reseed(netsim.NodeSeed(sh.seed, nodeID))
 		sh.rng[nodeID] = s
 	}
 	return s
+}
+
+// releaseSamplers returns the shard's samplers to the pool (end of run).
+func (sh *shardState) releaseSamplers() {
+	for id, s := range sh.rng {
+		samplerPool.Put(s)
+		delete(sh.rng, id)
+	}
 }
 
 // deliver replays one batch of messages (each origin's subsequence in time
@@ -214,13 +228,14 @@ func (d *deliveryPlan) deliver(msgs []message, ratio float64) error {
 }
 
 // collect folds the per-shard counters into the run result and releases
-// the shard engines. The plan is unusable afterwards.
+// the shard engines and samplers. The plan is unusable afterwards.
 func (d *deliveryPlan) collect(res *Result) {
 	for _, sh := range d.shards {
 		res.MsgsReceived += sh.res.MsgsReceived
 		res.DeliveredBytes += sh.res.DeliveredBytes
 		res.ServerEmits += sh.engine.emits()
 		sh.engine.close()
+		sh.releaseSamplers()
 	}
 	d.shards = nil
 }
@@ -229,6 +244,7 @@ func (d *deliveryPlan) collect(res *Result) {
 func (d *deliveryPlan) close() {
 	for _, sh := range d.shards {
 		sh.engine.close()
+		sh.releaseSamplers()
 	}
 	d.shards = nil
 }

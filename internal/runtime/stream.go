@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"wishbone/internal/cost"
 	"wishbone/internal/dataflow"
@@ -28,6 +29,15 @@ import (
 // service maps these to 400s; any other Session error is an engine
 // failure.
 var ErrBadArrival = errors.New("bad arrival")
+
+// ErrBackpressure marks Offer failures where the session's window buffer
+// hit its bound (Config.MaxBufferedArrivals): the stream is arriving
+// faster — or with less simulated-time progress — than the session is
+// willing to buffer. The partition service maps these to 429 so one
+// tenant's firehose sheds load instead of occupying a job slot with an
+// ever-growing buffer; callers that own the stream should shrink
+// WindowSeconds or thin the trace.
+var ErrBackpressure = errors.New("stream backpressure")
 
 // Arrival is one sensor event offered to a node at an absolute simulated
 // time.
@@ -113,6 +123,23 @@ type Session struct {
 	sources map[*dataflow.Operator]bool
 	window  float64
 
+	// pipe is non-nil when the session pipelines its stages (delivery of
+	// window w overlapping simulation of window w+1 — see pipeline.go);
+	// nil sessions run the stages in phase on the caller's goroutine.
+	pipe *pipe
+
+	// Phased-mode window storage, reused across windows: per-node sender
+	// arenas plus one aggregator arena (reset after each window's
+	// synchronous delivery), the merged and post-aggregation message
+	// slices, and the per-node feed error slots.
+	arenas   []*fragArena
+	winMsgs  []message
+	winOut   []message
+	feedErrs []error
+
+	maxBuffered  int
+	started      time.Time
+	stageStart   time.Time
 	windowStart  float64
 	lastSpan     float64
 	lastTime     float64
@@ -152,6 +179,11 @@ func NewSession(cfg Config) (*Session, error) {
 		buf:          make([][]arrival, cfg.Nodes),
 		window:       cfg.WindowSeconds,
 		ratioUniform: true,
+		maxBuffered:  cfg.MaxBufferedArrivals,
+		started:      time.Now(),
+	}
+	if s.maxBuffered <= 0 || s.maxBuffered > maxWindowArrivals {
+		s.maxBuffered = maxWindowArrivals
 	}
 	if s.window <= 0 {
 		s.window = 10
@@ -177,6 +209,24 @@ func NewSession(cfg Config) (*Session, error) {
 		inst.Boundary = snd.capture
 		s.insts = append(s.insts, inst)
 		s.nodes = append(s.nodes, &nodeSim{counter: counter, s: snd, inject: inst.Inject})
+	}
+	if !cfg.NoPipeline && poolWorkers(&s.cfg, 2) > 1 {
+		// Pipelined by default whenever the worker budget allows true
+		// concurrency (an explicit Workers=1, or a single-core host with
+		// Workers unset, runs phased). Byte-identity between the two
+		// modes is pinned by the Pipelined parity tests, so the choice is
+		// purely about overlap.
+		s.pipe = newPipe(s)
+	} else {
+		s.arenas = make([]*fragArena, cfg.Nodes+1)
+		for i := range s.arenas {
+			s.arenas[i] = acquireArena()
+		}
+		for n, ns := range s.nodes {
+			ns.s.arena = s.arenas[n]
+		}
+		s.agg.arena = s.arenas[cfg.Nodes]
+		s.feedErrs = make([]error, cfg.Nodes)
 	}
 	return s, nil
 }
@@ -226,13 +276,14 @@ func (s *Session) Offer(nodeID int, a Arrival) error {
 			return err
 		}
 	}
-	if s.buffered >= maxWindowArrivals {
+	if s.buffered >= s.maxBuffered {
 		// The buffer is the streaming path's entire working set; a window
 		// dense enough to blow past this cap (arrival density × window
 		// size is caller-controlled) must fail rather than grow without
-		// bound — shrink WindowSeconds or thin the trace.
+		// bound — shrink WindowSeconds or thin the trace. Typed as
+		// backpressure so servers can shed the tenant with a 429.
 		return fmt.Errorf("runtime: window [%g,%g) exceeds %d buffered arrivals: %w",
-			s.windowStart, s.windowStart+s.window, maxWindowArrivals, ErrBadArrival)
+			s.windowStart, s.windowStart+s.window, s.maxBuffered, ErrBackpressure)
 	}
 	s.buf[nodeID] = append(s.buf[nodeID], arrival{t: a.Time, src: a.Source, v: a.Value})
 	s.buffered++
@@ -248,9 +299,11 @@ func (s *Session) Offer(nodeID int, a Arrival) error {
 // boundary.
 const maxWindowArrivals = 1 << 20
 
-// flushWindow runs the buffered arrivals through the node instances (on
-// the worker pool), folds reduce rounds that completed, prices the
-// window's offered load, and delivers through the server shards.
+// flushWindow runs the buffered arrivals through the node instances,
+// folds reduce rounds that completed, prices the window's offered load,
+// and delivers through the server shards — pipelined (delivery of this
+// window overlapping the next window's simulation) when the session has
+// a pipe, phased otherwise.
 func (s *Session) flushWindow() error {
 	cfg := &s.cfg
 	// The window's span is WindowSeconds except for a final partial
@@ -269,11 +322,20 @@ func (s *Session) flushWindow() error {
 		return nil
 	}
 	s.lastSpan = span
+	if cfg.Timings != nil {
+		s.stageStart = time.Now()
+	}
+	if s.pipe != nil {
+		return s.pipe.flush(span)
+	}
 	// A work-function panic on client-supplied input (a value of the
 	// wrong element type, typically) surfaces as an error instead of
 	// crashing the worker goroutine — Sessions feed on external data, so
 	// it is classified as a bad arrival, not an engine failure.
-	feedErrs := make([]error, cfg.Nodes)
+	feedErrs := s.feedErrs
+	for n := range feedErrs {
+		feedErrs[n] = nil
+	}
 	runPool(poolWorkers(cfg, cfg.Nodes), cfg.Nodes, func(n int) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -291,24 +353,58 @@ func (s *Session) flushWindow() error {
 			return err
 		}
 	}
-	var msgs []message
+	msgs := s.winMsgs[:0]
 	for n, ns := range s.nodes {
 		msgs = append(msgs, ns.s.msgs...)
 		s.res.MsgsSent += ns.s.msgsSent
 		s.res.PayloadBytes += ns.s.payloadBytes
-		ns.s.msgs, ns.s.msgsSent, ns.s.payloadBytes = nil, 0, 0
+		ns.s.msgs = ns.s.msgs[:0]
+		ns.s.msgsSent, ns.s.payloadBytes = 0, 0
 		s.buf[n] = s.buf[n][:0]
 	}
+	s.winMsgs = msgs
 	s.buffered = 0
-	out := s.agg.add(cfg, msgs, &s.res, make([]message, 0, len(msgs)))
+	out := s.agg.add(cfg, msgs, &s.res, s.winOut[:0])
 	out = s.agg.flushComplete(cfg, &s.res, out)
 	out = s.agg.flushExcess(cfg, &s.res, out)
-	return s.deliverWindow(out, span)
+	s.winOut = out
+	if err := s.deliverWindow(out, span, nil); err != nil {
+		return err
+	}
+	s.resetWindowStorage()
+	return nil
 }
 
-// deliverWindow prices and delivers one window's message batch.
-func (s *Session) deliverWindow(out []message, span float64) error {
+// resetWindowStorage rewinds the phased path's per-window storage once
+// the window's synchronous delivery is done: the delivered messages are
+// dead, so the arenas and slices can be reused without ever re-entering
+// the allocator.
+func (s *Session) resetWindowStorage() {
+	for _, a := range s.arenas {
+		a.reset()
+	}
+	clearMessages(s.winMsgs)
+	s.winMsgs = s.winMsgs[:0]
+	clearMessages(s.winOut)
+	s.winOut = s.winOut[:0]
+}
+
+// deliverWindow prices one window's message batch (always on the
+// coordinator, in window order — the ratio is a global function of every
+// shard's offered load) and delivers it: dispatched to the pipeline's
+// shard workers when win is non-nil, synchronously otherwise.
+func (s *Session) deliverWindow(out []message, span float64, win *windowBufs) error {
+	// The node stage ends here even when the window has nothing to
+	// deliver (all messages folded into pending reduce rounds) — accrue
+	// its wall before any early return so StageTimings never drops it.
+	if t := s.cfg.Timings; t != nil && !s.stageStart.IsZero() {
+		t.addNode(time.Since(s.stageStart))
+		s.stageStart = time.Time{}
+	}
 	if len(out) == 0 {
+		if win != nil {
+			s.pipe.recycle(win)
+		}
 		return nil
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })
@@ -324,7 +420,15 @@ func (s *Session) deliverWindow(out []message, span float64) error {
 		s.ratioUniform = false
 	}
 	s.ratioAir += ratio * float64(air)
-	return s.plan.deliver(out, ratio)
+	if win != nil {
+		return s.pipe.dispatch(out, ratio, win)
+	}
+	start := time.Now()
+	err := s.plan.deliver(out, ratio)
+	if t := s.cfg.Timings; t != nil {
+		t.addDelivery(time.Since(start))
+	}
+	return err
 }
 
 // PeakBuffered reports the most arrivals ever buffered at once — the
@@ -333,17 +437,31 @@ func (s *Session) deliverWindow(out []message, span float64) error {
 func (s *Session) PeakBuffered() int { return s.peakBuffered }
 
 // Close flushes the final window and any reduce rounds still pending,
-// releases the pooled instances, and returns the accumulated Result.
+// joins the pipeline, releases the pooled instances and arenas, and
+// returns the accumulated Result.
 func (s *Session) Close() (*Result, error) {
 	if s.closed {
 		return nil, fmt.Errorf("runtime: Close on a closed Session")
 	}
 	s.closed = true
+	pipeDown := false
+	stopPipe := func() error {
+		if s.pipe == nil || pipeDown {
+			return nil
+		}
+		pipeDown = true
+		return s.pipe.shutdown()
+	}
 	defer func() {
+		stopPipe()
 		for _, inst := range s.insts {
 			s.prog.ReleaseInstance(inst)
 		}
 		s.insts, s.nodes = nil, nil
+		for _, a := range s.arenas {
+			releaseArena(a)
+		}
+		s.arenas = nil
 		s.plan.close()
 	}()
 	cfg := &s.cfg
@@ -355,8 +473,26 @@ func (s *Session) Close() (*Result, error) {
 	// Rounds still pending (some node never emitted past them) flush as
 	// one last batch, priced over the final window's actual span — no
 	// additional simulated time exists to spread them over.
-	tail := s.agg.flushAll(cfg, &s.res, nil)
-	if err := s.deliverWindow(tail, s.lastSpan); err != nil {
+	if cfg.Timings != nil {
+		s.stageStart = time.Now()
+	}
+	if s.pipe != nil {
+		win := s.pipe.getWin()
+		s.agg.arena = win.arenas[len(win.arenas)-1]
+		tail := s.agg.flushAll(cfg, &s.res, win.out[:0])
+		win.out = tail
+		if err := s.deliverWindow(tail, s.lastSpan, win); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := s.agg.flushAll(cfg, &s.res, s.winOut[:0])
+		s.winOut = tail
+		if err := s.deliverWindow(tail, s.lastSpan, nil); err != nil {
+			return nil, err
+		}
+	}
+	// The pipeline must drain before the shard counters are read.
+	if err := stopPipe(); err != nil {
 		return nil, err
 	}
 	for _, ns := range s.nodes {
@@ -377,6 +513,9 @@ func (s *Session) Close() (*Result, error) {
 		s.res.DeliveryRatio = s.ratioAir / float64(s.totalAir)
 	}
 	s.plan.collect(&s.res)
+	if t := cfg.Timings; t != nil {
+		t.addWall(time.Since(s.started))
+	}
 	res := s.res
 	return &res, nil
 }

@@ -19,6 +19,39 @@ type Client struct {
 	http *http.Client
 }
 
+// APIError is a non-2xx response from the service. Code carries the
+// machine-readable class when the server set one — "backpressure" means
+// a streaming simulation was shed with 429 and may be retried with
+// smaller chunks or later.
+type APIError struct {
+	StatusCode int
+	Status     string
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("server: %s", e.Status)
+	}
+	if e.Code != "" {
+		return fmt.Sprintf("server: %s (%s, code %s)", e.Message, e.Status, e.Code)
+	}
+	return fmt.Sprintf("server: %s (%s)", e.Message, e.Status)
+}
+
+// apiError decodes a non-2xx response body into an *APIError.
+func apiError(resp *http.Response) error {
+	e := &APIError{StatusCode: resp.StatusCode, Status: resp.Status}
+	var er wire.ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &er) == nil {
+		e.Message = er.Error
+		e.Code = er.Code
+	}
+	return e
+}
+
 // NewClient returns a client for the service at base (e.g.
 // "http://localhost:9090"). httpClient may be nil for http.DefaultClient.
 func NewClient(base string, httpClient *http.Client) *Client {
@@ -45,12 +78,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var er wire.ErrorResponse
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return fmt.Errorf("server: %s (%s)", er.Error, resp.Status)
-		}
-		return fmt.Errorf("server: %s", resp.Status)
+		return apiError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
@@ -140,12 +168,7 @@ func (c *Client) SimulateStream(ctx context.Context, req wire.SimulateStreamRequ
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var er wire.ErrorResponse
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return nil, fmt.Errorf("server: %s (%s)", er.Error, resp.Status)
-		}
-		return nil, fmt.Errorf("server: %s", resp.Status)
+		return nil, apiError(resp)
 	}
 	var out wire.SimulateResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {

@@ -82,6 +82,12 @@ type Config struct {
 	// SimWorkers bounds each simulation's node worker pool. 0 lets the
 	// runtime use GOMAXPROCS.
 	SimWorkers int
+
+	// StreamMaxBuffered bounds a streaming simulation's window buffer
+	// (arrivals held for the ingestion window in progress). A tenant
+	// whose firehose exceeds it gets 429 with code "backpressure" instead
+	// of occupying a job slot while the buffer grows. 0 means 1<<18.
+	StreamMaxBuffered int
 }
 
 // Server implements the partition service. Create with New, expose with
@@ -136,9 +142,11 @@ func (s *Server) Close() {
 // Stats returns the current metrics snapshot (also served at /v1/stats).
 func (s *Server) Stats() Snapshot { return s.metrics.Snapshot(s.cache) }
 
-// httpError carries a status code through the handler helpers.
+// httpError carries a status code (and optional machine-readable error
+// code) through the handler helpers.
 type httpError struct {
 	code int
+	kind string // wire.ErrorResponse.Code, e.g. "backpressure"
 	err  error
 }
 
@@ -146,6 +154,10 @@ func (e *httpError) Error() string { return e.err.Error() }
 
 func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func overloaded(err error) error {
+	return &httpError{code: http.StatusTooManyRequests, kind: "backpressure", err: err}
 }
 
 // respond writes v as JSON.
@@ -158,12 +170,14 @@ func respond(w http.ResponseWriter, v any) {
 // fail writes the error with its status code (500 unless wrapped).
 func fail(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	kind := ""
 	if he, ok := err.(*httpError); ok {
 		code = he.code
+		kind = he.kind
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error()})
+	json.NewEncoder(w).Encode(wire.ErrorResponse{Error: err.Error(), Code: kind})
 }
 
 // decode parses the request body into v.
@@ -273,6 +287,12 @@ func (s *Server) profiledReport(e *entry, t wire.TraceSpec) (*profile.Report, bo
 // allocates per-node instances (O(#operators) tables each) up front, so
 // an unbounded nodes field is an OOM vector, not a capacity question.
 const maxSimNodes = 4096
+
+// defaultStreamMaxBuffered is the default per-session window-buffer
+// bound for /v1/simulate/stream (Config.StreamMaxBuffered): enough for
+// 64 nodes at 40 ev/s over a 60 s window with headroom, far below the
+// runtime's own hard cap.
+const defaultStreamMaxBuffered = 1 << 18
 
 func checkSimSize(nodes int, duration float64) error {
 	if nodes <= 0 || duration <= 0 {
@@ -672,18 +692,23 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 	if err != nil {
 		return nil, err
 	}
+	maxBuffered := s.cfg.StreamMaxBuffered
+	if maxBuffered <= 0 {
+		maxBuffered = defaultStreamMaxBuffered
+	}
 	sess, err := wbruntime.NewSession(wbruntime.Config{
-		Graph:         e.graph,
-		OnNode:        onNode,
-		Platform:      plat,
-		Nodes:         req.Nodes,
-		Duration:      req.Duration,
-		Seed:          req.Seed,
-		Workers:       s.cfg.SimWorkers,
-		Shards:        req.Shards,
-		WindowSeconds: req.WindowSeconds,
-		NodeProgram:   progs.node,
-		ServerProgram: progs.server,
+		Graph:               e.graph,
+		OnNode:              onNode,
+		Platform:            plat,
+		Nodes:               req.Nodes,
+		Duration:            req.Duration,
+		Seed:                req.Seed,
+		Workers:             s.cfg.SimWorkers,
+		Shards:              req.Shards,
+		WindowSeconds:       req.WindowSeconds,
+		MaxBufferedArrivals: maxBuffered,
+		NodeProgram:         progs.node,
+		ServerProgram:       progs.server,
 	})
 	if err != nil {
 		return nil, badRequest("%v", err)
@@ -709,6 +734,12 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 			}
 			if err := sess.Offer(a.Node, wbruntime.Arrival{Time: a.Time, Source: src, Value: v}); err != nil {
 				sess.Close()
+				if errors.Is(err, wbruntime.ErrBackpressure) {
+					// The tenant's window buffer hit the server bound:
+					// shed the stream with a typed 429 instead of holding
+					// the job slot while it grows.
+					return nil, overloaded(err)
+				}
 				if errors.Is(err, wbruntime.ErrBadArrival) {
 					return nil, badRequest("%v", err)
 				}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"net/http"
 	"testing"
 
 	"wishbone/internal/platform"
@@ -184,5 +186,81 @@ func TestServerSimulateStreamRejectsBadArrivals(t *testing.T) {
 	}
 	if _, err := client.SimulateStream(context.Background(), req, disordered); err == nil {
 		t.Fatal("time-disordered arrivals must fail the stream")
+	}
+}
+
+// TestServerSimulateStreamBackpressure pins the firehose bound: a tenant
+// pouring arrivals into one ingestion window past Config.StreamMaxBuffered
+// is shed with 429 and code "backpressure" (a typed *APIError), freeing
+// the job slot instead of buffering without bound.
+func TestServerSimulateStreamBackpressure(t *testing.T) {
+	_, client := startServer(t, Config{StreamMaxBuffered: 16})
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+	src := e.traces(wire.TraceSpec{Seed: 1, Seconds: 1})[0].Source
+	var onNodeIDs []int
+	for i, op := range e.graph.Operators() {
+		if i >= 6 {
+			break
+		}
+		onNodeIDs = append(onNodeIDs, op.ID())
+	}
+	req := wire.SimulateStreamRequest{
+		Graph: spec, Platform: "TMoteSky", OnNode: onNodeIDs,
+		Nodes: 1, Duration: 100, WindowSeconds: 100,
+	}
+	sent := 0
+	firehose := func() ([]wire.ArrivalWire, bool) {
+		// All arrivals land in one window (t advances microscopically),
+		// so the buffer can only grow until the server sheds the stream.
+		if sent >= 64 {
+			return nil, false
+		}
+		batch := make([]wire.ArrivalWire, 8)
+		for i := range batch {
+			batch[i] = wire.ArrivalWire{
+				Node: 0, Time: float64(sent) * 1e-6, Source: src.ID(),
+				Value: wireBytes(t, []float64{1}),
+			}
+			sent++
+		}
+		return batch, true
+	}
+	_, err := client.SimulateStream(context.Background(), req, firehose)
+	if err == nil {
+		t.Fatal("a firehose past the window-buffer bound must fail the stream")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%v)", apiErr.StatusCode, apiErr)
+	}
+	if apiErr.Code != "backpressure" {
+		t.Fatalf("error code %q, want %q (%v)", apiErr.Code, "backpressure", apiErr)
+	}
+
+	// A well-paced stream on the same server still succeeds: the same
+	// arrival count, but advancing simulated time so windows keep
+	// flushing and the buffer never nears the bound.
+	pacedReq := req
+	pacedReq.Duration = 40
+	pacedReq.WindowSeconds = 1
+	events := e.traces(wire.TraceSpec{Seed: 1, Seconds: 1})[0].Events
+	i := 0
+	paced := func() ([]wire.ArrivalWire, bool) {
+		if i >= 40 {
+			return nil, false
+		}
+		a := wire.ArrivalWire{
+			Node: 0, Time: float64(i), Source: src.ID(),
+			Type: "i16s", Value: wireBytes(t, events[i%len(events)]),
+		}
+		i++
+		return []wire.ArrivalWire{a}, true
+	}
+	if _, err := client.SimulateStream(context.Background(), pacedReq, paced); err != nil {
+		t.Fatalf("well-paced stream rejected: %v", err)
 	}
 }

@@ -172,7 +172,12 @@ type SimulateResponse struct {
 	Result       *ResultWire `json:"result"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Code, when set,
+// names the error class machine-readably; currently "backpressure" (429
+// from /v1/simulate/stream: the session's window buffer hit the server's
+// bound — re-chunk with more simulated-time progress per arrival batch,
+// or retry later).
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

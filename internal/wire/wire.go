@@ -42,88 +42,80 @@ const (
 // custom structs must convert to slices first, as generated marshalling
 // code would).
 func Marshal(v dataflow.Value) ([]byte, error) {
+	return AppendMarshal(nil, v)
+}
+
+// AppendMarshal encodes a stream element like Marshal, appending to dst
+// and returning the extended slice. Hot paths (the runtime's per-message
+// sender) reuse one scratch buffer across elements, so steady-state
+// marshalling allocates nothing once the buffer has grown to the largest
+// element size.
+func AppendMarshal(dst []byte, v dataflow.Value) ([]byte, error) {
 	switch x := v.(type) {
 	case nil:
-		return []byte{tagNil}, nil
+		return append(dst, tagNil), nil
 	case bool:
 		b := byte(0)
 		if x {
 			b = 1
 		}
-		return []byte{tagBool, b}, nil
+		return append(dst, tagBool, b), nil
 	case int16:
-		out := make([]byte, 3)
-		out[0] = tagInt16
-		binary.BigEndian.PutUint16(out[1:], uint16(x))
-		return out, nil
+		dst = append(dst, tagInt16)
+		return binary.BigEndian.AppendUint16(dst, uint16(x)), nil
 	case int32:
-		out := make([]byte, 5)
-		out[0] = tagInt32
-		binary.BigEndian.PutUint32(out[1:], uint32(x))
-		return out, nil
+		dst = append(dst, tagInt32)
+		return binary.BigEndian.AppendUint32(dst, uint32(x)), nil
 	case int:
-		out := make([]byte, 9)
-		out[0] = tagInt64
-		binary.BigEndian.PutUint64(out[1:], uint64(int64(x)))
-		return out, nil
+		dst = append(dst, tagInt64)
+		return binary.BigEndian.AppendUint64(dst, uint64(int64(x))), nil
 	case int64:
-		out := make([]byte, 9)
-		out[0] = tagInt64
-		binary.BigEndian.PutUint64(out[1:], uint64(x))
-		return out, nil
+		dst = append(dst, tagInt64)
+		return binary.BigEndian.AppendUint64(dst, uint64(x)), nil
 	case float32:
-		out := make([]byte, 5)
-		out[0] = tagFloat32
-		binary.BigEndian.PutUint32(out[1:], math.Float32bits(x))
-		return out, nil
+		dst = append(dst, tagFloat32)
+		return binary.BigEndian.AppendUint32(dst, math.Float32bits(x)), nil
 	case float64:
-		out := make([]byte, 9)
-		out[0] = tagFloat64
-		binary.BigEndian.PutUint64(out[1:], math.Float64bits(x))
-		return out, nil
+		dst = append(dst, tagFloat64)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x)), nil
 	case []byte:
-		return appendLen(tagBytes, len(x), x), nil
+		dst = lenHeader(dst, tagBytes, len(x))
+		return append(dst, x...), nil
 	case string:
-		return appendLen(tagString, len(x), []byte(x)), nil
+		dst = lenHeader(dst, tagString, len(x))
+		return append(dst, x...), nil
 	case []int16:
-		out := lenHeader(tagInt16s, len(x), 2)
+		dst = lenHeader(dst, tagInt16s, len(x))
 		for _, s := range x {
-			out = binary.BigEndian.AppendUint16(out, uint16(s))
+			dst = binary.BigEndian.AppendUint16(dst, uint16(s))
 		}
-		return out, nil
+		return dst, nil
 	case []int32:
-		out := lenHeader(tagInt32s, len(x), 4)
+		dst = lenHeader(dst, tagInt32s, len(x))
 		for _, s := range x {
-			out = binary.BigEndian.AppendUint32(out, uint32(s))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(s))
 		}
-		return out, nil
+		return dst, nil
 	case []float32:
-		out := lenHeader(tagFloat32s, len(x), 4)
+		dst = lenHeader(dst, tagFloat32s, len(x))
 		for _, s := range x {
-			out = binary.BigEndian.AppendUint32(out, math.Float32bits(s))
+			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(s))
 		}
-		return out, nil
+		return dst, nil
 	case []float64:
-		out := lenHeader(tagFloat64s, len(x), 8)
+		dst = lenHeader(dst, tagFloat64s, len(x))
 		for _, s := range x {
-			out = binary.BigEndian.AppendUint64(out, math.Float64bits(s))
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(s))
 		}
-		return out, nil
+		return dst, nil
 	default:
 		return nil, fmt.Errorf("wire: unsupported element type %T", v)
 	}
 }
 
-func lenHeader(tag byte, n, elemSize int) []byte {
-	out := make([]byte, 0, 1+binary.MaxVarintLen64+n*elemSize)
-	out = append(out, tag)
-	out = binary.AppendUvarint(out, uint64(n))
-	return out
-}
-
-func appendLen(tag byte, n int, data []byte) []byte {
-	out := lenHeader(tag, n, 1)
-	return append(out, data...)
+func lenHeader(dst []byte, tag byte, n int) []byte {
+	dst = append(dst, tag)
+	return binary.AppendUvarint(dst, uint64(n))
 }
 
 // Unmarshal decodes one element, returning it and the number of bytes
@@ -179,11 +171,7 @@ func Unmarshal(data []byte) (dataflow.Value, int, error) {
 			return nil, 0, fmt.Errorf("wire: bad length varint (tag 0x%02x)", tag)
 		}
 		rest = rest[used:]
-		elemSize := map[byte]int{
-			tagBytes: 1, tagString: 1, tagInt16s: 2, tagInt32s: 4,
-			tagFloat32s: 4, tagFloat64s: 8,
-		}[tag]
-		total := int(n) * elemSize
+		total := int(n) * sliceElemSize(tag)
 		if err := need(total); err != nil {
 			return nil, 0, err
 		}
@@ -223,47 +211,100 @@ func Unmarshal(data []byte) (dataflow.Value, int, error) {
 	}
 }
 
+// sliceElemSize is the per-element byte width of a slice-carrying tag.
+func sliceElemSize(tag byte) int {
+	switch tag {
+	case tagInt16s:
+		return 2
+	case tagInt32s, tagFloat32s:
+		return 4
+	case tagFloat64s:
+		return 8
+	default: // tagBytes, tagString
+		return 1
+	}
+}
+
+// fragHeader is the per-fragment framing: sequence number, fragment
+// index, fragment count.
+const fragHeader = 4
+
+// FragmentSpan returns the fragment count and total storage (payload plus
+// per-fragment headers) that fragmenting an encLen-byte element into
+// payloadSize-byte packets needs — the sizing contract for FragmentTo.
+func FragmentSpan(encLen, payloadSize int) (count, total int, err error) {
+	if payloadSize <= fragHeader {
+		return 0, 0, fmt.Errorf("wire: payload size %d too small for the %d-byte header", payloadSize, fragHeader)
+	}
+	chunk := payloadSize - fragHeader
+	count = (encLen + chunk - 1) / chunk
+	if count == 0 {
+		count = 1
+	}
+	if count > 255 {
+		return 0, 0, fmt.Errorf("wire: element needs %d fragments (max 255)", count)
+	}
+	return count, encLen + count*fragHeader, nil
+}
+
 // Fragment splits an encoded element into packet payloads of at most
 // payloadSize bytes, each prefixed with a 4-byte fragment header
 // (sequence number, fragment index, fragment count) so the receiver can
 // reassemble and detect loss — the TinyOS packetization of §5.2.
 func Fragment(encoded []byte, seq uint16, payloadSize int) ([][]byte, error) {
-	const header = 4
-	if payloadSize <= header {
-		return nil, fmt.Errorf("wire: payload size %d too small for the %d-byte header", payloadSize, header)
+	count, total, err := FragmentSpan(len(encoded), payloadSize)
+	if err != nil {
+		return nil, err
 	}
-	chunk := payloadSize - header
-	count := (len(encoded) + chunk - 1) / chunk
-	if count == 0 {
-		count = 1
+	return FragmentTo(encoded, seq, payloadSize, make([]byte, total), make([][]byte, 0, count))
+}
+
+// FragmentTo is Fragment with caller-supplied storage: the fragments are
+// written back-to-back into buf — which must be at least FragmentSpan
+// bytes long, and must not be recycled until every fragment is consumed —
+// and their subslices appended to frags. The runtime's sender carves buf
+// out of a per-window arena, so fragmenting a steady message stream
+// allocates nothing.
+func FragmentTo(encoded []byte, seq uint16, payloadSize int, buf []byte, frags [][]byte) ([][]byte, error) {
+	count, total, err := FragmentSpan(len(encoded), payloadSize)
+	if err != nil {
+		return nil, err
 	}
-	if count > 255 {
-		return nil, fmt.Errorf("wire: element needs %d fragments (max 255)", count)
+	if len(buf) < total {
+		return nil, fmt.Errorf("wire: fragment buffer %d bytes, need %d", len(buf), total)
 	}
-	frags := make([][]byte, 0, count)
+	chunk := payloadSize - fragHeader
+	off := 0
 	for i := 0; i < count; i++ {
 		lo := i * chunk
 		hi := lo + chunk
 		if hi > len(encoded) {
 			hi = len(encoded)
 		}
-		f := make([]byte, 0, header+hi-lo)
+		f := buf[off : off : off+fragHeader+hi-lo]
 		f = binary.BigEndian.AppendUint16(f, seq)
 		f = append(f, byte(i), byte(count))
 		f = append(f, encoded[lo:hi]...)
 		frags = append(frags, f)
+		off += len(f)
 	}
 	return frags, nil
 }
 
 // Reassembler rebuilds elements from fragments, tolerating reordering
-// within an element and detecting gaps.
+// within an element and detecting gaps. All scratch storage — per-index
+// fragment copies and the concatenation buffer — is retained across
+// elements, so a long-lived stream's reassembly allocates only while the
+// largest element size is still growing (the decoded values Unmarshal
+// returns are always fresh).
 type Reassembler struct {
 	seq     uint16
 	have    int
 	count   int
 	started bool
-	parts   [][]byte
+	parts   [][]byte // parts[i] == nil ⇒ fragment i missing; set entries alias store
+	store   [][]byte // per-index payload buffers, capacity kept across elements
+	buf     []byte   // concatenation scratch, reused across elements
 }
 
 // Offer feeds one received fragment. When the element completes, it
@@ -289,20 +330,33 @@ func (r *Reassembler) Offer(frag []byte) (dataflow.Value, bool, error) {
 		r.seq = seq
 		r.count = count
 		r.have = 0
-		r.parts = make([][]byte, count)
+		if cap(r.parts) < count {
+			r.parts = make([][]byte, count)
+		} else {
+			r.parts = r.parts[:count]
+			for i := range r.parts {
+				r.parts[i] = nil
+			}
+		}
+		for len(r.store) < count {
+			r.store = append(r.store, nil)
+		}
 		r.started = true
 	}
 	if r.parts[idx] == nil {
-		r.parts[idx] = append([]byte(nil), frag[4:]...)
+		b := append(r.store[idx][:0], frag[4:]...)
+		r.store[idx] = b
+		r.parts[idx] = b
 		r.have++
 	}
 	if r.have < r.count {
 		return nil, false, nil
 	}
-	var buf []byte
+	buf := r.buf[:0]
 	for _, p := range r.parts {
 		buf = append(buf, p...)
 	}
+	r.buf = buf
 	r.started = false
 	v, _, err := Unmarshal(buf)
 	if err != nil {

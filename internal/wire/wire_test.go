@@ -189,3 +189,127 @@ func TestEncodedSizeTracksWireSize(t *testing.T) {
 		t.Fatalf("encoded %dB vs wire size %dB", len(enc), ws)
 	}
 }
+
+// TestFragmentToMatchesFragment pins the caller-storage fragmentation
+// against the allocating reference, byte for byte, across element sizes
+// spanning 1..N fragments.
+func TestFragmentToMatchesFragment(t *testing.T) {
+	const payload = 28
+	for _, n := range []int{0, 1, 5, 23, 24, 25, 100, 1000} {
+		enc := make([]byte, n)
+		for i := range enc {
+			enc[i] = byte(i * 7)
+		}
+		want, err := Fragment(enc, uint16(n), payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		count, total, err := FragmentSpan(len(enc), payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if count != len(want) {
+			t.Fatalf("n=%d: FragmentSpan count %d, Fragment produced %d", n, count, len(want))
+		}
+		buf := make([]byte, total)
+		got, err := FragmentTo(enc, uint16(n), payload, buf, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: FragmentTo diverges from Fragment", n)
+		}
+		sum := 0
+		for _, f := range got {
+			sum += len(f)
+		}
+		if sum != total {
+			t.Fatalf("n=%d: fragments span %d bytes, FragmentSpan said %d", n, sum, total)
+		}
+	}
+	if _, err := FragmentTo(make([]byte, 100), 1, payload, make([]byte, 10), nil); err == nil {
+		t.Fatal("undersized buffer must be rejected")
+	}
+}
+
+// TestAppendMarshalReusesBuffer pins the scratch-buffer contract: the
+// encoding appended into a reused buffer is identical to a fresh Marshal.
+func TestAppendMarshalReusesBuffer(t *testing.T) {
+	vals := []dataflow.Value{
+		[]int16{1, -2, 3}, []float64{3.5, -7}, []float32{1.5}, []int32{9},
+		[]byte{1, 2, 3}, "hello", int64(-5), 3.25, float32(2.5), int16(-1),
+		true, nil, int(42),
+	}
+	var buf []byte
+	for i := 0; i < 3; i++ { // reuse across rounds
+		for _, v := range vals {
+			want, err := Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := AppendMarshal(buf[:0], v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("AppendMarshal(%T) diverges from Marshal", v)
+			}
+			buf = got
+		}
+	}
+}
+
+// TestReassemblerScratchReuse drives many elements of varying fragment
+// counts through one Reassembler (the per-(origin,edge) stream shape) and
+// checks every decode, including that decoded slice values are fresh —
+// not aliases of the recycled scratch.
+func TestReassemblerScratchReuse(t *testing.T) {
+	const payload = 12
+	var r Reassembler
+	var prev dataflow.Value
+	for seq := 1; seq <= 300; seq++ {
+		n := (seq % 17) + 1
+		val := make([]int16, n)
+		for i := range val {
+			val[i] = int16(seq*31 + i)
+		}
+		enc, err := Marshal(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags, err := Fragment(enc, uint16(seq), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got dataflow.Value
+		done := false
+		for _, f := range frags {
+			v, ok, err := r.Offer(f)
+			if err != nil {
+				t.Fatalf("seq %d: %v", seq, err)
+			}
+			if ok {
+				got, done = v, true
+			}
+		}
+		if !done {
+			t.Fatalf("seq %d: element did not complete", seq)
+		}
+		if !reflect.DeepEqual(got, val) {
+			t.Fatalf("seq %d: decoded %v, want %v", seq, got, val)
+		}
+		if prev != nil && !reflect.DeepEqual(prev, prevWant(seq-1)) {
+			t.Fatalf("seq %d: previous decode mutated by scratch reuse", seq)
+		}
+		prev = got
+	}
+}
+
+func prevWant(seq int) []int16 {
+	n := (seq % 17) + 1
+	val := make([]int16, n)
+	for i := range val {
+		val[i] = int16(seq*31 + i)
+	}
+	return val
+}
