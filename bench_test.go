@@ -6,6 +6,7 @@ package wishbone
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http/httptest"
 	goruntime "runtime"
@@ -702,11 +703,12 @@ func BenchmarkShardedSimulate(b *testing.B) {
 	if ref.PercentMsgsReceived() < 90 {
 		b.Fatalf("channel collapsed (%.1f%% received); the bench must exercise the server", ref.PercentMsgsReceived())
 	}
-	run := func(b *testing.B, shards int, pipelined bool) {
+	run := func(b *testing.B, shards int, pipelined, noBatch bool) {
 		b.Helper()
 		b.ReportAllocs()
 		c := cfg
 		c.Shards = shards
+		c.NoBatch = noBatch
 		if pipelined {
 			c.Inputs = nil
 			c.WindowSeconds = 1
@@ -732,12 +734,16 @@ func BenchmarkShardedSimulate(b *testing.B) {
 			b.ReportMetric(1e3*timings.OverlapSeconds()/n, "overlap-ms")
 		}
 	}
-	b.Run("sequential-64nodes", func(b *testing.B) { run(b, 1, false) })
-	b.Run("shards=2-64nodes", func(b *testing.B) { run(b, 2, false) })
-	b.Run("shards=4-64nodes", func(b *testing.B) { run(b, 4, false) })
-	b.Run("shards=8-64nodes", func(b *testing.B) { run(b, 8, false) })
-	b.Run("pipelined=4shards-64nodes", func(b *testing.B) { run(b, 4, true) })
-	b.Run("pipelined=8shards-64nodes", func(b *testing.B) { run(b, 8, true) })
+	b.Run("sequential-64nodes", func(b *testing.B) { run(b, 1, false, false) })
+	b.Run("shards=2-64nodes", func(b *testing.B) { run(b, 2, false, false) })
+	b.Run("shards=4-64nodes", func(b *testing.B) { run(b, 4, false, false) })
+	b.Run("shards=8-64nodes", func(b *testing.B) { run(b, 8, false, false) })
+	b.Run("pipelined=4shards-64nodes", func(b *testing.B) { run(b, 4, true, false) })
+	b.Run("pipelined=8shards-64nodes", func(b *testing.B) { run(b, 8, true, false) })
+	// Per-element (NoBatch) twins of the headline variants: the spread is
+	// the batched-dispatch win, on byte-identical Results.
+	b.Run("sequential-64nodes-perelem", func(b *testing.B) { run(b, 1, false, true) })
+	b.Run("shards=8-64nodes-perelem", func(b *testing.B) { run(b, 8, false, true) })
 }
 
 // BenchmarkStreamingSimulate compares batch and streaming ingestion on an
@@ -824,4 +830,93 @@ func BenchmarkStreamingSimulate(b *testing.B) {
 	}
 	b.Run("stream-1h", func(b *testing.B) { stream(b, false) })
 	b.Run("stream-1h-phased", func(b *testing.B) { stream(b, true) })
+	// The zero-copy ingestion path: the same hour driven through
+	// Session.OfferRaw on pre-encoded JSON frames, the way the streaming
+	// endpoint feeds it. The assertion is the satellite's point — decoding
+	// into the ingest arena must hold steady-state ingest allocations to a
+	// couple of mallocs per arrival (the interface box plus amortized slab
+	// blocks), where the decode-then-Offer path paid a fresh slice per
+	// value.
+	b.Run("stream-1h-offerraw", func(b *testing.B) {
+		b.ReportAllocs()
+		c := cfg
+		c.Inputs = nil
+		c.Shards = 4
+		c.WindowSeconds = 60
+		src := app.Pipeline[0]
+		encs := make([][][]byte, nodes)
+		for n := range encs {
+			in := app.SampleTrace(int64(3000+n), 2.0)
+			for _, ev := range in.Events {
+				raw, err := json.Marshal(ev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encs[n] = append(encs[n], raw)
+			}
+		}
+		const period = 1 / speech.FrameRate
+		frames := int(duration * speech.FrameRate)
+		// feed drives one full session; raw selects zero-copy OfferRaw or
+		// the pre-arena shape (json.Unmarshal into a fresh slice, then
+		// Offer). Returns mallocs per arrival for the whole session —
+		// the simulated pipeline's own allocations are identical across
+		// the two, so the difference is pure ingest.
+		feed := func(raw bool) float64 {
+			sess, err := runtime.NewSession(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			arrivals := int64(0)
+			var ms goruntime.MemStats
+			goruntime.ReadMemStats(&ms)
+			before := ms.Mallocs
+			for k := 0; k < frames; k++ {
+				t := float64(k) * period
+				if t >= duration {
+					break
+				}
+				for n := 0; n < nodes; n++ {
+					enc := encs[n][k%len(encs[n])]
+					if raw {
+						err = sess.OfferRaw(n, t, src, "i16s", enc)
+					} else {
+						var v []int16
+						if err := json.Unmarshal(enc, &v); err != nil {
+							b.Fatal(err)
+						}
+						err = sess.Offer(n, runtime.Arrival{Time: t, Source: src, Value: v})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					arrivals++
+				}
+			}
+			if _, err := sess.Close(); err != nil {
+				b.Fatal(err)
+			}
+			goruntime.ReadMemStats(&ms)
+			return float64(ms.Mallocs-before) / float64(arrivals)
+		}
+		perDecoded := feed(false)
+		b.ResetTimer()
+		perRaw := 0.0
+		for i := 0; i < b.N; i++ {
+			perRaw = feed(true)
+		}
+		b.StopTimer()
+		b.ReportMetric(perRaw, "ingest-allocs/arrival")
+		b.ReportMetric(perDecoded, "decoded-allocs/arrival")
+		// Decoding a 200-sample frame into a fresh slice costs several
+		// mallocs (incremental growth inside Unmarshal plus the value
+		// itself); the arena path amortizes all of that into slab blocks.
+		// Asserting a ≥2 malloc/arrival gap catches any regression that
+		// reintroduces per-value allocation without being sensitive to
+		// what the simulated pipeline itself allocates.
+		if perRaw > perDecoded-2 {
+			b.Fatalf("zero-copy ingest lost its allocation advantage: %.2f mallocs/arrival raw vs %.2f decoded",
+				perRaw, perDecoded)
+		}
+	})
 }

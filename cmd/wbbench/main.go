@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|all] [-seconds N]
+//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|batch|all] [-seconds N]
 //	        [-fig6n N] [-engine compiled|legacy] [-shards N] [-stream]
-//	        [-workers N] [-solver exact|lagrangian|greedy|race|all]
+//	        [-workers N] [-batch on|off]
+//	        [-solver exact|lagrangian|greedy|race|all]
 //
 // The solvers figure compares the pluggable solver backends (objective,
 // proven gap, latency, race wins) on the speech and EEG specs; -solver
@@ -18,6 +19,11 @@
 // ingestion in bounded windows instead of materializing them (requires
 // the compiled engine). With both and -workers > 1, the simulation
 // pipelines: delivery of window w overlaps simulation of window w+1.
+//
+// -batch=off disables batched work-function dispatch (compiled engine;
+// byte-identical results, for measuring the difference). The batch
+// figure reports each operator's batch-hit rate — the share of elements
+// dispatched through BatchWork — over the Figure 9 deployment.
 package main
 
 import (
@@ -32,7 +38,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, all)")
+	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, batch, all)")
 	seconds := flag.Float64("seconds", 60, "simulated deployment duration for figures 9-10")
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
 	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
@@ -40,7 +46,17 @@ func main() {
 	shards := flag.Int("shards", 0, "origin shards per simulation, node phase and delivery (0/1 = sequential)")
 	stream := flag.Bool("stream", false, "feed simulation traces through streaming ingestion (compiled engine only)")
 	workers := flag.Int("workers", 0, "simulation worker bound; with -stream, >1 pipelines node compute against delivery (0 = GOMAXPROCS)")
+	batch := flag.String("batch", "on", "batched work-function dispatch in simulations: on|off (results identical either way)")
 	flag.Parse()
+
+	var noBatch bool
+	switch *batch {
+	case "on":
+	case "off":
+		noBatch = true
+	default:
+		log.Fatalf("unknown -batch value %q (want on or off)", *batch)
+	}
 
 	var engine runtime.Engine
 	switch *engineName {
@@ -70,6 +86,7 @@ func main() {
 			speech.Shards = *shards
 			speech.Stream = *stream
 			speech.Workers = *workers
+			speech.NoBatch = noBatch
 		}
 		return speech
 	}
@@ -159,6 +176,16 @@ func main() {
 						100*gm.PredictedCPU, 100*gm.MeasuredCPU)},
 			},
 		})
+	}
+	if want("batch") {
+		if engine == runtime.EngineLegacy {
+			log.Fatal("the batch figure requires the compiled engine")
+		}
+		rows, err := experiments.BatchHitRates(needSpeech(), 1, *seconds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out(experiments.BatchHitTable(rows))
 	}
 	if want("solvers") {
 		backends := []string{"exact", "lagrangian", "greedy", "race"}

@@ -14,6 +14,7 @@ package eeg
 
 import (
 	"fmt"
+	"sync"
 
 	"wishbone/internal/cost"
 	"wishbone/internal/dataflow"
@@ -70,6 +71,36 @@ type featVec []float32
 // WireSize implements dataflow.Sized.
 func (f featVec) WireSize() int { return 4 * len(f) }
 
+// batchScratch holds the float64 conversion buffers a BatchWork reuses
+// across a batch's elements; emitted values are never backed by it.
+type batchScratch struct{ a, b []float64 }
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (s *batchScratch) f64a(n int) []float64 {
+	if cap(s.a) < n {
+		s.a = make([]float64, n)
+	}
+	return s.a[:n]
+}
+
+func (s *batchScratch) f64b(n int) []float64 {
+	if cap(s.b) < n {
+		s.b = make([]float64, n)
+	}
+	return s.b[:n]
+}
+
+// totalLen16 sums the lengths of a batch of []int16 values, sizing one
+// output slab for the whole batch.
+func totalLen16(vs []dataflow.Value) int {
+	total := 0
+	for _, v := range vs {
+		total += len(v.([]int16))
+	}
+	return total
+}
+
 // App is a constructed EEG application.
 type App struct {
 	Graph *dataflow.Graph
@@ -121,6 +152,19 @@ func NewWithChannels(channels int) *App {
 			}
 			countDot(ctx, len(feats))
 			emit(float32(margin))
+		},
+		BatchWork: func(ctx *dataflow.Ctx, _ int, vs []dataflow.Value, emit dataflow.EmitBatch) {
+			out := make([]dataflow.Value, len(vs))
+			for i, v := range vs {
+				feats := v.(featVec)
+				margin := -0.35 // bias
+				for j, f := range feats {
+					margin += weights[j] * float64(f)
+				}
+				countDot(ctx, len(feats))
+				out[i] = float32(margin)
+			}
+			emit(out)
 		},
 	})
 	g.Connect(zipAll, svm, 0)
@@ -185,6 +229,28 @@ func buildChannel(g *dataflow.Graph, ch int) (src, out *dataflow.Operator) {
 			}
 			emit(out)
 		},
+		BatchStateSafe: true,
+		BatchWork: func(ctx *dataflow.Ctx, _ int, vs []dataflow.Value, emit dataflow.EmitBatch) {
+			st := ctx.State.(*dcState)
+			slab := make([]int16, totalLen16(vs))
+			out := make([]dataflow.Value, len(vs))
+			n := 0
+			for i, v := range vs {
+				in := v.([]int16)
+				o := slab[:len(in)]
+				slab = slab[len(in):]
+				for j, s := range in {
+					st.mean = 0.999*st.mean + 0.001*float64(s)
+					o[j] = s - int16(st.mean)
+				}
+				n += len(in)
+				out[i] = o
+			}
+			ctx.Counter.Add(cost.FloatMul, 2*n)
+			ctx.Counter.Add(cost.FloatAdd, 2*n)
+			ctx.Counter.Add(cost.Store, n)
+			emit(out)
+		},
 	})
 	g.Connect(src, scale, 0)
 
@@ -231,6 +297,7 @@ func buildWavelet(g *dataflow.Graph, base string, in *dataflow.Operator, evenC, 
 			even, _ := splitInt16(ctx, v.([]int16))
 			emit(even)
 		},
+		BatchWork: splitBatch(0),
 	})
 	getOdd := g.Add(&dataflow.Operator{
 		Name: base + ".getOdd", NS: dataflow.NSNode,
@@ -238,6 +305,7 @@ func buildWavelet(g *dataflow.Graph, base string, in *dataflow.Operator, evenC, 
 			_, odd := splitInt16(ctx, v.([]int16))
 			emit(odd)
 		},
+		BatchWork: splitBatch(1),
 	})
 	g.Connect(in, getEven, 0)
 	g.Connect(in, getOdd, 0)
@@ -283,6 +351,36 @@ func buildWavelet(g *dataflow.Graph, base string, in *dataflow.Operator, evenC, 
 			ctx.Counter.Add(cost.Store, n)
 			emit(out)
 		},
+		BatchWork: func(ctx *dataflow.Ctx, _ int, vs []dataflow.Value, emit dataflow.EmitBatch) {
+			total := 0
+			for _, v := range vs {
+				p := v.(pairVal)
+				n := len(p.a)
+				if len(p.b) < n {
+					n = len(p.b)
+				}
+				total += n
+			}
+			slab := make([]int16, total)
+			out := make([]dataflow.Value, len(vs))
+			for i, v := range vs {
+				p := v.(pairVal)
+				n := len(p.a)
+				if len(p.b) < n {
+					n = len(p.b)
+				}
+				o := slab[:n]
+				slab = slab[n:]
+				for j := 0; j < n; j++ {
+					o[j] = p.a[j] + p.b[j]
+				}
+				out[i] = o
+			}
+			ctx.Counter.Add(cost.IntOp, total)
+			ctx.Counter.Add(cost.Load, 2*total)
+			ctx.Counter.Add(cost.Store, total)
+			emit(out)
+		},
 	})
 	g.Connect(zip2, add, 0)
 	return add
@@ -314,6 +412,34 @@ func buildFIR(g *dataflow.Graph, name string, in *dataflow.Operator, coeffs []fl
 			}
 			emit(out)
 		},
+		BatchStateSafe: true,
+		BatchWork: func(ctx *dataflow.Ctx, _ int, vs []dataflow.Value, emit dataflow.EmitBatch) {
+			st := ctx.State.(*firState)
+			sc := batchScratchPool.Get().(*batchScratch)
+			slab := make([]int16, totalLen16(vs))
+			out := make([]dataflow.Value, len(vs))
+			for i, v := range vs {
+				in := v.([]int16)
+				x := sc.f64a(len(in))
+				for j, s := range in {
+					x[j] = float64(s)
+				}
+				y := dsp.FIRBlockInto(ctx.Counter, st.fir, coeffs, x, sc.f64b(len(in)))
+				o := slab[:len(y)]
+				slab = slab[len(y):]
+				for j, s := range y {
+					if s > 32767 {
+						s = 32767
+					} else if s < -32768 {
+						s = -32768
+					}
+					o[j] = int16(s)
+				}
+				out[i] = o
+			}
+			batchScratchPool.Put(sc)
+			emit(out)
+		},
 	})
 	g.Connect(in, op, 0)
 	return op
@@ -331,6 +457,20 @@ func buildMag(g *dataflow.Graph, name string, in *dataflow.Operator, gain float6
 				x[i] = float64(s)
 			}
 			emit(float32(dsp.MagWithScale(ctx.Counter, gain, x)))
+		},
+		BatchWork: func(ctx *dataflow.Ctx, _ int, vs []dataflow.Value, emit dataflow.EmitBatch) {
+			sc := batchScratchPool.Get().(*batchScratch)
+			out := make([]dataflow.Value, len(vs))
+			for i, v := range vs {
+				in := v.([]int16)
+				x := sc.f64a(len(in))
+				for j, s := range in {
+					x[j] = float64(s)
+				}
+				out[i] = float32(dsp.MagWithScale(ctx.Counter, gain, x))
+			}
+			batchScratchPool.Put(sc)
+			emit(out)
 		},
 	})
 	g.Connect(in, op, 0)
@@ -369,6 +509,46 @@ func zipWork(ports int) dataflow.WorkFunc {
 			ctx.Counter.Add(cost.Store, len(row))
 			emit(row)
 		}
+	}
+}
+
+// splitBatch is the batched GetEven (half 0) / GetOdd (half 1) kernel:
+// each element keeps the selected polyphase half, with the same counter
+// charges as splitInt16 per element.
+func splitBatch(half int) dataflow.BatchWorkFunc {
+	return func(ctx *dataflow.Ctx, _ int, vs []dataflow.Value, emit dataflow.EmitBatch) {
+		total, loads, stores := 0, 0, 0
+		for _, v := range vs {
+			n := len(v.([]int16))
+			loads += n
+			stores += n / 2 // splitInt16 charges len/2 per element, rounded down
+			if half == 0 {
+				total += (n + 1) / 2
+			} else {
+				total += n / 2
+			}
+		}
+		slab := make([]int16, total)
+		out := make([]dataflow.Value, len(vs))
+		for i, v := range vs {
+			in := v.([]int16)
+			var m int
+			if half == 0 {
+				m = (len(in) + 1) / 2
+			} else {
+				m = len(in) / 2
+			}
+			o := slab[:m]
+			slab = slab[m:]
+			for j := 0; j < m; j++ {
+				o[j] = in[2*j+half]
+			}
+			out[i] = o
+		}
+		ctx.Counter.Add(cost.Load, loads)
+		ctx.Counter.Add(cost.Store, stores)
+		ctx.Counter.Add(cost.Branch, loads)
+		emit(out)
 	}
 }
 

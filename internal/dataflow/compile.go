@@ -3,6 +3,7 @@ package dataflow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // CompileOptions selects what Compile bakes into a Program. Everything here
@@ -26,6 +27,19 @@ type CompileOptions struct {
 	// per-event peaks) in every Instance, replacing the profiler's OnEdge
 	// callback with dense in-engine accounting.
 	MeasureEdges bool
+
+	// Batch enables the coalescing scheduler: operators that are
+	// BatchCapable under BatchMode have runs of same-port queued input
+	// dispatched through their BatchWork in one invocation, and batches
+	// forwarded whole along internal edges. Results, cost counters, and
+	// invocation counts are bit-identical to per-element dispatch (the
+	// BatchWorkFunc contract); single-element runs always take the
+	// per-element Work path.
+	Batch bool
+
+	// BatchMode is the classification mode batch capability is judged
+	// under (see BatchCapable); only meaningful when Batch is set.
+	BatchMode Mode
 }
 
 // fanout is one precomputed output edge of an operator: where the element
@@ -52,10 +66,19 @@ type Program struct {
 	// Dense per-operator tables, indexed by operator ID.
 	included []bool
 	work     []WorkFunc
+	batch    []BatchWorkFunc // non-nil only when opts.Batch; per-op nil = not batch-capable
 	newState []func() any
-	pos      []int32    // operator ID → schedule position, -1 if excluded
-	outInt   [][]fanout // fan-out to included operators, in edge order
-	outCut   [][]fanout // fan-out to excluded operators, in edge order
+
+	// Batch-hit accounting, indexed by operator ID (allocated only when
+	// opts.Batch): how many elements each operator processed in total and
+	// how many of those arrived through a BatchWork dispatch. Instances
+	// accumulate locally and fold in with atomics at Reset, so the totals
+	// aggregate across shards and pooled instances; read via BatchStats.
+	statBatched []int64
+	statTotal   []int64
+	pos         []int32    // operator ID → schedule position, -1 if excluded
+	outInt      [][]fanout // fan-out to included operators, in edge order
+	outCut      [][]fanout // fan-out to excluded operators, in edge order
 
 	// schedule lists included operator IDs in topological order (the
 	// deterministic order of Graph.TopoSort).
@@ -153,7 +176,51 @@ func Compile(g *Graph, opts CompileOptions) (*Program, error) {
 			p.statefulIDs = append(p.statefulIDs, int32(op.ID()))
 		}
 	}
+	if opts.Batch {
+		p.batch = make([]BatchWorkFunc, n)
+		p.statBatched = make([]int64, n)
+		p.statTotal = make([]int64, n)
+		for _, op := range g.Operators() {
+			if p.included[op.ID()] && BatchCapable(op, opts.BatchMode) {
+				p.batch[op.ID()] = op.BatchWork
+			}
+		}
+	}
 	return p, nil
+}
+
+// BatchStat is one operator's batch-hit accounting: how many elements it
+// processed in total and how many of those arrived through a BatchWork
+// dispatch (runs of length >= 2; single-element runs take the per-element
+// path and count only toward Total).
+type BatchStat struct {
+	Op      *Operator
+	Batched int64
+	Total   int64
+}
+
+// BatchStats snapshots the program's accumulated batch-hit counters, in
+// operator ID order, skipping operators that processed nothing. Instances
+// fold their local counters in when Reset (which ReleaseInstance and
+// Recycle both do), so a snapshot taken after a run's instances are
+// released covers the whole run.
+func (p *Program) BatchStats() []BatchStat {
+	if p.statTotal == nil {
+		return nil
+	}
+	var out []BatchStat
+	for id := range p.statTotal {
+		total := atomic.LoadInt64(&p.statTotal[id])
+		if total == 0 {
+			continue
+		}
+		out = append(out, BatchStat{
+			Op:      p.g.ByID(id),
+			Batched: atomic.LoadInt64(&p.statBatched[id]),
+			Total:   total,
+		})
+	}
+	return out
 }
 
 // Graph returns the graph this program was compiled from.

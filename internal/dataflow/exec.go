@@ -15,7 +15,11 @@ import (
 // flat scheduled form; the Executor is retained as the independent
 // implementation that parity tests (and EngineLegacy in internal/runtime
 // and profile.RunLegacy) compare the compiled engine against, and as the
-// simplest executable definition of the dataflow semantics.
+// simplest executable definition of the dataflow semantics. It always runs
+// element at a time through Operator.Work — an operator's BatchWork is a
+// compiled-engine optimization whose contract is defined as equivalence to
+// what this engine computes, so Executor output is also the reference for
+// the batched scheduler's parity suite.
 //
 // The profiler's legacy path uses an Executor with per-operator counters to
 // price every operator; the runtime's legacy path uses one per simulated

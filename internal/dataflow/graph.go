@@ -63,6 +63,23 @@ type Ctx struct {
 // call emit zero or more times.
 type WorkFunc func(ctx *Ctx, port int, v Value, emit Emit)
 
+// EmitBatch sends a run of elements downstream, in order, as one batch.
+// Ownership of vs transfers to the engine at the call: the caller must not
+// modify, reuse, or retain the slice (or its backing array) afterwards —
+// downstream operators and boundary hooks may hold references to it until
+// the scheduling pass completes.
+type EmitBatch func(vs []Value)
+
+// BatchWorkFunc is the slice-at-a-time variant of WorkFunc: it processes a
+// run of elements that arrived consecutively on one input port. It must be
+// observationally identical to folding Work over vs in order — the same
+// emitted elements in the same order, the same per-element state updates,
+// and the same cost-counter charges — so batched and per-element execution
+// produce byte-identical results. The function must not retain vs beyond
+// the call (the engine reuses the backing array), and every slice it passes
+// to emit must be freshly produced, never its input.
+type BatchWorkFunc func(ctx *Ctx, port int, vs []Value, emit EmitBatch)
+
 // Operator is one vertex of the dataflow graph.
 type Operator struct {
 	id int
@@ -92,6 +109,21 @@ type Operator struct {
 	// Work is the operator's work function. Sources may leave it nil: the
 	// runtime injects their elements directly.
 	Work WorkFunc
+
+	// BatchWork is an optional slice-at-a-time variant of Work, dispatched
+	// by batch-compiled Programs for runs of same-port input (see
+	// BatchWorkFunc for the equivalence contract). Operators without one
+	// always run element at a time.
+	BatchWork BatchWorkFunc
+
+	// BatchStateSafe opts a stateful operator into batched dispatch: the
+	// operator asserts its BatchWork applies state updates in per-element
+	// order, so a batch is indistinguishable from the same elements one at
+	// a time. Stateless operators need no opt-in; stateful ones without it
+	// are never batched. Conservative-mode programs additionally refuse to
+	// batch stateful Node-namespace operators regardless of the flag (the
+	// same caution Classify applies to relocating them).
+	BatchStateSafe bool
 
 	// Reduce marks a tree-aggregation operator (the paper's §9 extension):
 	// when placed in the node partition, its per-node outputs are combined

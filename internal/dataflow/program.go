@@ -2,15 +2,20 @@ package dataflow
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wishbone/internal/cost"
 )
 
-// queued is one element waiting on an operator's input: the port it arrived
-// on and the value itself.
+// queued is one entry waiting on an operator's input: the port it arrived
+// on and either a single value (vs nil) or a whole batch forwarded from an
+// upstream batched emission (vs non-nil; v unused). Batch entries keep a
+// forwarded run intact across a pipeline of batch-capable operators without
+// re-boxing each element.
 type queued struct {
 	port int32
 	v    Value
+	vs   []Value
 }
 
 // Instance executes batches of injected events against a compiled Program.
@@ -30,11 +35,23 @@ type Instance struct {
 	states []any
 	ctxs   []Ctx
 	emits  []Emit
+	bemits []EmitBatch // batch emit closures (Batch programs only)
 
 	queues  [][]queued
 	inHeap  []bool  // operator ID → queued for scheduling
 	heap    []int32 // min-heap of schedule positions with pending input
 	running bool
+
+	// scratch gathers a multi-entry run into one contiguous slice for a
+	// BatchWork dispatch. Drains never nest (re-entrant run calls return
+	// immediately) and a BatchWork may not retain its input, so one scratch
+	// per instance suffices.
+	scratch []Value
+
+	// Batch-hit accounting (Batch programs only), folded into the
+	// Program's shared counters at Reset.
+	batchElems []int64
+	totalElems []int64
 
 	// Boundary receives elements leaving the compiled partition on cut
 	// edges, in the graph's edge order per emission. A nil Boundary drops
@@ -86,6 +103,15 @@ func (p *Program) NewInstance(nodeID int) *Instance {
 	for i := range in.emits {
 		id := int32(i)
 		in.emits[i] = func(v Value) { in.fanOut(id, v) }
+	}
+	if p.batch != nil {
+		in.bemits = make([]EmitBatch, n)
+		for i := range in.bemits {
+			id := int32(i)
+			in.bemits[i] = func(vs []Value) { in.fanOutBatch(id, vs) }
+		}
+		in.batchElems = make([]int64, n)
+		in.totalElems = make([]int64, n)
 	}
 	if p.opts.CountOps {
 		in.opEvent = make([]cost.Counter, n)
@@ -203,6 +229,20 @@ func (in *Instance) Reset(nodeID int) {
 	in.running = false
 	in.Boundary = nil
 	in.traversals = 0
+	for i := range in.scratch {
+		in.scratch[i] = nil
+	}
+	in.scratch = in.scratch[:0]
+	if in.totalElems != nil {
+		for i := range in.totalElems {
+			if in.totalElems[i] != 0 {
+				atomic.AddInt64(&p.statTotal[i], in.totalElems[i])
+				atomic.AddInt64(&p.statBatched[i], in.batchElems[i])
+				in.totalElems[i] = 0
+				in.batchElems[i] = 0
+			}
+		}
+	}
 	if p.opts.CountOps {
 		for i := range in.opEvent {
 			in.opEvent[i] = cost.Counter{}
@@ -283,22 +323,54 @@ func (in *Instance) Push(op *Operator, port int, v Value) error {
 }
 
 // InjectBatch delivers a whole slice of source events in one scheduling
-// pass: all events are fanned out first, then each operator drains its
+// pass: the batch is fanned out whole, then each operator drains its
 // accumulated inputs once, in schedule order. For pipelines this produces
 // the same per-operator input sequences as element-at-a-time injection
 // while touching each operator once per batch instead of once per element.
+// The engine does not retain events past the call (unless called
+// re-entrantly from a work function, in which case the slice is held until
+// the outer run completes).
 func (in *Instance) InjectBatch(op *Operator, events []Value) {
-	id := int32(op.ID())
-	for _, v := range events {
-		in.fanOut(id, v)
-	}
+	in.fanOutBatch(int32(op.ID()), events)
 	in.run()
+}
+
+// PushBatch delivers a run of elements to the given input port of op and
+// executes the triggered dataflow to quiescence. It is equivalent to
+// calling Push once per element, in order, but touches the scheduler once;
+// on Batch programs the run reaches a batch-capable op's BatchWork in one
+// invocation. Like InjectBatch, vs is not retained past a non-re-entrant
+// call.
+func (in *Instance) PushBatch(op *Operator, port int, vs []Value) error {
+	id := op.ID()
+	if !in.p.included[id] {
+		return fmt.Errorf("dataflow: Push to excluded operator %s", op)
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	if in.p.work[id] == nil {
+		in.InjectBatch(op, vs)
+		return nil
+	}
+	in.enqueueBatch(int32(id), int32(port), vs)
+	in.run()
+	return nil
 }
 
 // enqueue appends an element to an included operator's input queue and
 // registers the operator with the scheduler.
 func (in *Instance) enqueue(id, port int32, v Value) {
 	in.queues[id] = append(in.queues[id], queued{port: port, v: v})
+	if !in.inHeap[id] {
+		in.inHeap[id] = true
+		in.heapPush(in.p.pos[id])
+	}
+}
+
+// enqueueBatch appends a whole forwarded batch as one queue entry.
+func (in *Instance) enqueueBatch(id, port int32, vs []Value) {
+	in.queues[id] = append(in.queues[id], queued{port: port, vs: vs})
 	if !in.inHeap[id] {
 		in.inHeap[id] = true
 		in.heapPush(in.p.pos[id])
@@ -334,6 +406,49 @@ func (in *Instance) fanOut(from int32, v Value) {
 	}
 }
 
+// fanOutBatch delivers a whole emitted batch: cut edges see the elements
+// one at a time in per-element order (element-outer, edge-inner — the
+// Boundary capture stream is byte-identical to len(vs) fanOut calls), while
+// internal edges receive the batch as a single queue entry. Traversal and
+// edge-measurement accounting matches per-element delivery exactly.
+func (in *Instance) fanOutBatch(from int32, vs []Value) {
+	switch len(vs) {
+	case 0:
+		return
+	case 1:
+		in.fanOut(from, vs[0])
+		return
+	}
+	p := in.p
+	if len(p.outCut[from]) > 0 && in.Boundary != nil {
+		for _, v := range vs {
+			for i := range p.outCut[from] {
+				in.Boundary(p.edges[p.outCut[from][i].edge], v)
+			}
+		}
+	}
+	for i := range p.outInt[from] {
+		f := &p.outInt[from][i]
+		in.traversals += int64(len(vs))
+		if in.edgeBytes != nil {
+			e := f.edge
+			for _, v := range vs {
+				n := int64(WireSize(v))
+				in.edgeBytes[e] += n
+				in.edgeElems[e]++
+				if !in.edgeSeen[e] {
+					in.edgeSeen[e] = true
+				}
+				if in.eventBytes[e] == 0 {
+					in.edgeTouched = append(in.edgeTouched, e)
+				}
+				in.eventBytes[e] += n
+			}
+		}
+		in.enqueueBatch(f.op, f.port, vs)
+	}
+}
+
 // run drains pending input queues in topological schedule order until the
 // instance is quiescent. Because every internal edge points forward in the
 // schedule, each operator is visited at most once per run and sees its
@@ -351,31 +466,143 @@ func (in *Instance) run() {
 		id := p.schedule[pos]
 		in.inHeap[id] = false
 		items := in.queues[id]
-		in.queues[id] = items[:0]
+		// Detach the queue while draining: a work function that re-enters
+		// the scheduler (Inject from inside an emit path) and reaches this
+		// operator again must append to a fresh slice, not alias items —
+		// the post-drain zeroing below would otherwise destroy the
+		// re-entrantly enqueued values.
+		in.queues[id] = nil
 		work := p.work[id]
-		if work == nil {
+		switch {
+		case work == nil:
 			for k := range items {
-				in.fanOut(id, items[k].v)
-				items[k].v = nil
-			}
-			continue
-		}
-		ctx := &in.ctxs[id]
-		emit := in.emits[id]
-		count := in.invocations != nil
-		for k := range items {
-			if count {
-				in.invocations[id]++
-				if !in.opInEvent[id] {
-					in.opInEvent[id] = true
-					in.opTouched = append(in.opTouched, id)
+				if items[k].vs != nil {
+					in.fanOutBatch(id, items[k].vs)
+				} else {
+					in.fanOut(id, items[k].v)
 				}
 			}
-			work(ctx, int(items[k].port), items[k].v, emit)
-			items[k].v = nil
+		case p.batch != nil && p.batch[id] != nil:
+			in.drainBatched(id, items, work, p.batch[id])
+		default:
+			in.drainElems(id, items, work)
+		}
+		for k := range items {
+			items[k] = queued{}
+		}
+		if in.queues[id] == nil {
+			in.queues[id] = items[:0]
 		}
 	}
 	in.running = false
+}
+
+// countInvocations records n work-function elements for op id (CountOps
+// mode): Invocations counts elements, not dispatches, so batched and
+// per-element execution report identical numbers.
+func (in *Instance) countInvocations(id int32, n int) {
+	in.invocations[id] += n
+	if !in.opInEvent[id] {
+		in.opInEvent[id] = true
+		in.opTouched = append(in.opTouched, id)
+	}
+}
+
+// drainElems runs op id's per-element Work over every queued entry,
+// unpacking forwarded batch entries in order.
+func (in *Instance) drainElems(id int32, items []queued, work WorkFunc) {
+	ctx := &in.ctxs[id]
+	emit := in.emits[id]
+	count := in.invocations != nil
+	for k := range items {
+		it := &items[k]
+		if it.vs != nil {
+			for _, v := range it.vs {
+				if count {
+					in.countInvocations(id, 1)
+				}
+				work(ctx, int(it.port), v, emit)
+			}
+			if in.totalElems != nil {
+				in.totalElems[id] += int64(len(it.vs))
+			}
+		} else {
+			if count {
+				in.countInvocations(id, 1)
+			}
+			work(ctx, int(it.port), it.v, emit)
+			if in.totalElems != nil {
+				in.totalElems[id]++
+			}
+		}
+	}
+}
+
+// drainBatched coalesces runs of consecutive same-port entries and
+// dispatches each run through bw in one invocation. Single-element runs
+// take the per-element Work path (the reference semantics; batch dispatch
+// only ever amortizes real runs). A run that is exactly one forwarded
+// batch entry is dispatched without copying; multi-entry runs are gathered
+// into the instance's scratch slice.
+func (in *Instance) drainBatched(id int32, items []queued, work WorkFunc, bw BatchWorkFunc) {
+	ctx := &in.ctxs[id]
+	count := in.invocations != nil
+	k := 0
+	for k < len(items) {
+		port := items[k].port
+		j := k
+		n := 0
+		for j < len(items) && items[j].port == port {
+			if items[j].vs != nil {
+				n += len(items[j].vs)
+			} else {
+				n++
+			}
+			j++
+		}
+		switch {
+		case n == 0:
+			// A run of empty forwarded batches: nothing to do.
+		case n == 1:
+			v := items[k].v
+			if items[k].vs != nil {
+				v = items[k].vs[0]
+			}
+			if count {
+				in.countInvocations(id, 1)
+			}
+			work(ctx, int(port), v, in.emits[id])
+			in.totalElems[id]++
+		case j == k+1:
+			// The run is exactly one forwarded batch: dispatch in place.
+			if count {
+				in.countInvocations(id, n)
+			}
+			bw(ctx, int(port), items[k].vs, in.bemits[id])
+			in.totalElems[id] += int64(n)
+			in.batchElems[id] += int64(n)
+		default:
+			vs := in.scratch[:0]
+			for i := k; i < j; i++ {
+				if items[i].vs != nil {
+					vs = append(vs, items[i].vs...)
+				} else {
+					vs = append(vs, items[i].v)
+				}
+			}
+			if count {
+				in.countInvocations(id, n)
+			}
+			bw(ctx, int(port), vs, in.bemits[id])
+			for i := range vs {
+				vs[i] = nil
+			}
+			in.scratch = vs[:0]
+			in.totalElems[id] += int64(n)
+			in.batchElems[id] += int64(n)
+		}
+		k = j
+	}
 }
 
 // EndEvent folds this event's measurements into running totals and peaks:

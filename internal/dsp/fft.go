@@ -93,20 +93,31 @@ func mulC(c *cost.Counter, a, b Complex) Complex {
 // fftLen/2 bins (bin 0 = DC). The result length is NextPow2(len(x))/2.
 func PowerSpectrum(c *cost.Counter, x []float64) []float64 {
 	n := NextPow2(len(x))
-	buf := make([]Complex, n)
+	return PowerSpectrumInto(c, x, make([]Complex, n), make([]float64, n/2))
+}
+
+// PowerSpectrumInto is PowerSpectrum using caller-supplied scratch: buf
+// must have len ≥ NextPow2(len(x)) (its contents are overwritten) and out
+// len ≥ NextPow2(len(x))/2. It returns the filled prefix of out.
+func PowerSpectrumInto(c *cost.Counter, x []float64, buf []Complex, out []float64) []float64 {
+	n := NextPow2(len(x))
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = Complex{}
+	}
 	for i, v := range x {
 		buf[i].Re = v
 	}
 	c.Add(cost.Store, len(x))
 	FFT(c, buf, false)
-	out := make([]float64, n/2)
+	out = out[:n/2]
 	for i := range out {
 		re, im := buf[i].Re, buf[i].Im
 		out[i] = re*re + im*im
-		c.Add(cost.FloatMul, 2)
-		c.Add(cost.FloatAdd, 1)
-		c.Add(cost.Store, 1)
 	}
+	c.Add(cost.FloatMul, 2*(n/2))
+	c.Add(cost.FloatAdd, n/2)
+	c.Add(cost.Store, n/2)
 	return out
 }
 

@@ -11,15 +11,23 @@ import (
 // previous frame and the updated value is returned (the operator keeps it
 // as private state).
 func PreEmphasis(c *cost.Counter, x []float64, coef, prev float64) ([]float64, float64) {
-	out := make([]float64, len(x))
+	return PreEmphasisInto(c, x, coef, prev, make([]float64, len(x)))
+}
+
+// PreEmphasisInto is PreEmphasis writing into a caller-supplied buffer
+// (len(out) ≥ len(x)); it returns the filled prefix and the updated carry.
+// Counter charges are identical to the allocating form (bulk-charged: the
+// counter is a pure count, so n adds of one equal one add of n).
+func PreEmphasisInto(c *cost.Counter, x []float64, coef, prev float64, out []float64) ([]float64, float64) {
+	out = out[:len(x)]
 	for i, v := range x {
 		out[i] = v - coef*prev
 		prev = v
-		c.Add(cost.FloatMul, 1)
-		c.Add(cost.FloatAdd, 1)
-		c.Add(cost.Load, 1)
-		c.Add(cost.Store, 1)
 	}
+	c.Add(cost.FloatMul, len(x))
+	c.Add(cost.FloatAdd, len(x))
+	c.Add(cost.Load, len(x))
+	c.Add(cost.Store, len(x))
 	return out, prev
 }
 
@@ -41,13 +49,19 @@ func HammingWindow(n int) []float64 {
 
 // ApplyWindow multiplies x elementwise by the window w (len(w) ≥ len(x)).
 func ApplyWindow(c *cost.Counter, x, w []float64) []float64 {
-	out := make([]float64, len(x))
+	return ApplyWindowInto(c, x, w, make([]float64, len(x)))
+}
+
+// ApplyWindowInto is ApplyWindow writing into a caller-supplied buffer
+// (len(out) ≥ len(x)); it returns the filled prefix.
+func ApplyWindowInto(c *cost.Counter, x, w, out []float64) []float64 {
+	out = out[:len(x)]
 	for i, v := range x {
 		out[i] = v * w[i]
-		c.Add(cost.FloatMul, 1)
-		c.Add(cost.Load, 2)
-		c.Add(cost.Store, 1)
 	}
+	c.Add(cost.FloatMul, len(x))
+	c.Add(cost.Load, 2*len(x))
+	c.Add(cost.Store, len(x))
 	return out
 }
 
@@ -88,10 +102,33 @@ func (s *FIRState) Step(c *cost.Counter, coeffs []float64, x float64) float64 {
 
 // FIRBlock filters a whole block through the delay line.
 func FIRBlock(c *cost.Counter, s *FIRState, coeffs, x []float64) []float64 {
-	out := make([]float64, len(x))
+	return FIRBlockInto(c, s, coeffs, x, make([]float64, len(x)))
+}
+
+// FIRBlockInto is FIRBlock writing into a caller-supplied buffer
+// (len(out) ≥ len(x)); it returns the filled prefix. The per-sample Step
+// charges are bulk-charged once for the block.
+func FIRBlockInto(c *cost.Counter, s *FIRState, coeffs, x, out []float64) []float64 {
+	out = out[:len(x)]
 	for i, v := range x {
-		out[i] = s.Step(c, coeffs, v)
+		s.taps[s.pos] = v
+		s.pos = (s.pos + 1) % len(s.taps)
+		sum := 0.0
+		for j, co := range coeffs {
+			idx := s.pos - 1 - j
+			if idx < 0 {
+				idx += len(s.taps)
+			}
+			sum += co * s.taps[idx]
+		}
+		out[i] = sum
 	}
+	nc := len(x) * len(coeffs)
+	c.Add(cost.FloatMul, nc)
+	c.Add(cost.FloatAdd, nc)
+	c.Add(cost.Load, 2*nc)
+	c.Add(cost.IntOp, 2*nc)
+	c.Add(cost.Store, len(x))
 	return out
 }
 
@@ -149,17 +186,23 @@ func MagWithScale(c *cost.Counter, scale float64, x []float64) float64 {
 // −Inf (the log-spectrum step that makes convolutional components
 // additive, §6.2.1).
 func Log10Block(c *cost.Counter, x []float64) []float64 {
-	out := make([]float64, len(x))
+	return Log10BlockInto(c, x, make([]float64, len(x)))
+}
+
+// Log10BlockInto is Log10Block writing into a caller-supplied buffer
+// (len(out) ≥ len(x)); it returns the filled prefix.
+func Log10BlockInto(c *cost.Counter, x, out []float64) []float64 {
+	out = out[:len(x)]
 	for i, v := range x {
 		if v < 1e-12 {
 			v = 1e-12
 		}
 		out[i] = math.Log10(v)
-		c.Add(cost.Log, 1)
-		c.Add(cost.Branch, 1)
-		c.Add(cost.Load, 1)
-		c.Add(cost.Store, 1)
 	}
+	c.Add(cost.Log, len(x))
+	c.Add(cost.Branch, len(x))
+	c.Add(cost.Load, len(x))
+	c.Add(cost.Store, len(x))
 	return out
 }
 
@@ -170,22 +213,28 @@ func Log10Block(c *cost.Counter, x []float64) []float64 {
 // identical values from a cached per-size cosine plan (plan.go), which is
 // where most of a simulation's math.Cos time used to go.
 func DCTII(c *cost.Counter, x []float64, nOut int) []float64 {
+	return DCTIIInto(c, x, nOut, make([]float64, nOut))
+}
+
+// DCTIIInto is DCTII writing into a caller-supplied buffer
+// (len(out) ≥ nOut); it returns the filled prefix.
+func DCTIIInto(c *cost.Counter, x []float64, nOut int, out []float64) []float64 {
 	n := len(x)
 	tbl := dctCosTable(n, nOut)
-	out := make([]float64, nOut)
+	out = out[:nOut]
 	for k := 0; k < nOut; k++ {
 		sum := 0.0
 		row := tbl[k*n : (k+1)*n]
 		for i := 0; i < n; i++ {
 			sum += x[i] * row[i]
-			c.Add(cost.Trig, 1)
-			c.Add(cost.FloatMul, 3)
-			c.Add(cost.FloatAdd, 2)
-			c.Add(cost.Load, 1)
 		}
 		out[k] = sum
-		c.Add(cost.Store, 1)
 	}
+	c.Add(cost.Trig, n*nOut)
+	c.Add(cost.FloatMul, 3*n*nOut)
+	c.Add(cost.FloatAdd, 2*n*nOut)
+	c.Add(cost.Load, n*nOut)
+	c.Add(cost.Store, nOut)
 	return out
 }
 
@@ -196,12 +245,24 @@ func Decimate(c *cost.Counter, x []float64, factor int) []float64 {
 	if factor <= 1 {
 		return x
 	}
-	out := make([]float64, 0, len(x)/factor+1)
+	return DecimateInto(c, x, factor, make([]float64, 0, len(x)/factor+1))
+}
+
+// DecimateInto is Decimate appending into a caller-supplied buffer (which
+// should have capacity ≥ len(x)/factor+1 to avoid growth); it returns the
+// filled slice. Unlike Decimate it copies even when factor ≤ 1, so the
+// result never aliases x.
+func DecimateInto(c *cost.Counter, x []float64, factor int, out []float64) []float64 {
+	if factor <= 1 {
+		return append(out, x...)
+	}
+	n := 0
 	for i := 0; i < len(x); i += factor {
 		out = append(out, x[i])
-		c.Add(cost.Load, 1)
-		c.Add(cost.Store, 1)
-		c.Add(cost.IntOp, 1)
+		n++
 	}
+	c.Add(cost.Load, n)
+	c.Add(cost.Store, n)
+	c.Add(cost.IntOp, n)
 	return out
 }

@@ -67,17 +67,25 @@ func (mb *MelBank) NumFilters() int { return len(mb.filters) }
 // Apply computes the filter-bank energies of a power spectrum with
 // mb.nBins bins.
 func (mb *MelBank) Apply(c *cost.Counter, spectrum []float64) []float64 {
-	out := make([]float64, len(mb.filters))
-	for f, taps := range mb.filters {
+	return mb.ApplyInto(c, spectrum, make([]float64, len(mb.filters)))
+}
+
+// ApplyInto is Apply writing into a caller-supplied buffer
+// (len(out) ≥ NumFilters()); it returns the filled prefix.
+func (mb *MelBank) ApplyInto(c *cost.Counter, spectrum, out []float64) []float64 {
+	out = out[:len(mb.filters)]
+	taps := 0
+	for f, ft := range mb.filters {
 		sum := 0.0
-		for _, t := range taps {
+		for _, t := range ft {
 			sum += spectrum[t.bin] * t.weight
 		}
-		c.Add(cost.FloatMul, len(taps))
-		c.Add(cost.FloatAdd, len(taps))
-		c.Add(cost.Load, 2*len(taps))
 		out[f] = sum
-		c.Add(cost.Store, 1)
+		taps += len(ft)
 	}
+	c.Add(cost.FloatMul, taps)
+	c.Add(cost.FloatAdd, taps)
+	c.Add(cost.Load, 2*taps)
+	c.Add(cost.Store, len(mb.filters))
 	return out
 }

@@ -45,6 +45,11 @@ type SpeechEnv struct {
 	// the session — delivery of window w overlaps simulation of window
 	// w+1 — still byte-identical to the phased run.
 	Workers int
+
+	// NoBatch disables batched work-function dispatch in the deployment
+	// experiments (cmd/wbbench -batch=off); Results are byte-identical
+	// either way, the flag exists to measure the difference.
+	NoBatch bool
 }
 
 // simConfig applies the env's engine/sharding/streaming selection to one
@@ -53,6 +58,7 @@ func (e *SpeechEnv) simConfig(cfg runtime.Config) runtime.Config {
 	cfg.Engine = e.Engine
 	cfg.Shards = e.Shards
 	cfg.Workers = e.Workers
+	cfg.NoBatch = e.NoBatch
 	if e.Stream {
 		inputs := cfg.Inputs
 		scale := cfg.RateScale

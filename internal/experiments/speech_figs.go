@@ -367,3 +367,73 @@ func TextGumstix(e *SpeechEnv, seconds float64) (*GumstixResult, error) {
 		MeasuredCPU:  res.NodeCPU,
 	}, nil
 }
+
+// BatchHitRow is one operator's batched-dispatch share over a deployment
+// simulation: how many of its elements arrived through BatchWork versus
+// per-element Work.
+type BatchHitRow struct {
+	Cutpoint int
+	Side     string // "node" or "server"
+	Op       string
+	Batched  int64
+	Total    int64
+}
+
+// BatchHitRates runs the Figure 9 deployment at every cutpoint with
+// precompiled partition programs and reports each operator's batch-hit
+// rate. With the env's NoBatch set the simulation still runs (and the
+// Result is byte-identical), but every rate collapses to the per-element
+// path — which is the point of comparing -batch=on and -batch=off.
+func BatchHitRates(e *SpeechEnv, nodes int, seconds float64) ([]BatchHitRow, error) {
+	var rows []BatchHitRow
+	for k := 1; k <= NumSpeechCutpoints; k++ {
+		onNode := e.CutpointOnNode(k)
+		node, srv, err := runtime.CompilePartition(e.App.Graph, onNode)
+		if err != nil {
+			return nil, err
+		}
+		_, err = runtime.Run(e.simConfig(runtime.Config{
+			Graph:    e.App.Graph,
+			OnNode:   onNode,
+			Platform: platform.TMoteSky(),
+			Nodes:    nodes,
+			Duration: seconds,
+			Inputs: func(nodeID int) []profile.Input {
+				return []profile.Input{e.App.SampleTrace(int64(1000+nodeID), 2.0)}
+			},
+			Seed:          int64(k),
+			NodeProgram:   node,
+			ServerProgram: srv,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range node.BatchStats() {
+			rows = append(rows, BatchHitRow{Cutpoint: k, Side: "node", Op: s.Op.Name, Batched: s.Batched, Total: s.Total})
+		}
+		for _, s := range srv.BatchStats() {
+			rows = append(rows, BatchHitRow{Cutpoint: k, Side: "server", Op: s.Op.Name, Batched: s.Batched, Total: s.Total})
+		}
+	}
+	return rows, nil
+}
+
+// BatchHitTable renders BatchHitRates, one row per (cutpoint, operator)
+// that processed any elements.
+func BatchHitTable(rows []BatchHitRow) *Table {
+	t := &Table{
+		Title:  "Batched dispatch: per-operator batch-hit rate (Figure 9 deployment)",
+		Header: []string{"cut", "side", "op", "batched", "total", "hit %"},
+	}
+	for _, r := range rows {
+		if r.Total == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.Cutpoint), r.Side, r.Op,
+			fmt.Sprint(r.Batched), fmt.Sprint(r.Total),
+			f1(100 * float64(r.Batched) / float64(r.Total)),
+		})
+	}
+	return t
+}

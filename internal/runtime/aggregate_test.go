@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"bytes"
 	"encoding/binary"
+	"fmt"
 	"testing"
 
 	"wishbone/internal/dataflow"
@@ -115,6 +117,92 @@ func TestAggregateDedicatedOrigin(t *testing.T) {
 			t.Fatalf("aggregate on %s attributed to node %d, want AggregateOrigin (%d)",
 				out[i].edge, out[i].nodeID, AggregateOrigin)
 		}
+	}
+}
+
+// TestAggregateParityBatchedUpstream pins in-network aggregation against
+// the batched node phase: a reduce operator fed by a batched upstream (the
+// passthrough fast path injects whole runs of arrivals as one batch, which
+// the work-less reduce operator forwards as a batch to its cut edge) must
+// produce aggregates with exactly the fragment bytes, timestamps, origins
+// and accounting of the per-element path.
+func TestAggregateParityBatchedUpstream(t *testing.T) {
+	build := func() (*dataflow.Graph, *dataflow.Operator, map[int]bool) {
+		g := dataflow.New()
+		src := g.Add(&dataflow.Operator{Name: "src", NS: dataflow.NSNode, SideEffect: true})
+		// Work-less reduce operator: forwards its input (batched when the
+		// input arrives batched) and combines in-network.
+		sum := g.Add(&dataflow.Operator{
+			Name: "sum", NS: dataflow.NSNode, Reduce: true,
+			Combine: func(a, b dataflow.Value) dataflow.Value {
+				return []float64{a.([]float64)[0] + b.([]float64)[0]}
+			},
+		})
+		sink := g.Add(&dataflow.Operator{Name: "sink", NS: dataflow.NSServer, SideEffect: true,
+			Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {}})
+		g.Connect(src, sum, 0)
+		g.Connect(sum, sink, 0)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return g, src, map[int]bool{src.ID(): true, sum.ID(): true}
+	}
+
+	aggregates := func(noBatch bool) []string {
+		g, src, onNode := build()
+		cfg := Config{
+			Graph: g, OnNode: onNode, Platform: platform.Gumstix(),
+			Nodes: 3, Duration: 6, Seed: 5, NoBatch: noBatch, NoReplay: true,
+		}
+		inputs := make([][]profile.Input, cfg.Nodes)
+		arrivals := make([][]arrival, cfg.Nodes)
+		for n := 0; n < cfg.Nodes; n++ {
+			events := make([]dataflow.Value, 4)
+			for i := range events {
+				events[i] = []float64{float64(10*n + i)}
+			}
+			inputs[n] = []profile.Input{{Source: src, Events: events, Rate: 2}}
+			a, err := buildArrivals(inputs[n], 1, cfg.Duration)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arrivals[n] = a
+		}
+		nodeRes, arenas, err := runNodesCompiled(cfg, inputs, arrivals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			for _, a := range arenas {
+				releaseArena(a)
+			}
+		}()
+		var msgs []message
+		for n := range nodeRes {
+			msgs = append(msgs, nodeRes[n].msgs...)
+		}
+		res := &Result{}
+		out := aggregateReduceMessages(cfg, msgs, res, nil)
+		var got []string
+		for i := range out {
+			m := &out[i]
+			var frags bytes.Buffer
+			for _, f := range m.frags {
+				frags.Write(f)
+			}
+			got = append(got, fmt.Sprintf("t=%.3f origin=%d edge=%v pkts=%d air=%d frags=%x",
+				m.time, m.nodeID, m.edge, m.packets, m.air, frags.Bytes()))
+		}
+		return got
+	}
+
+	perElem := aggregates(true)
+	batched := aggregates(false)
+	if len(perElem) == 0 {
+		t.Fatal("per-element run produced no aggregates")
+	}
+	if fmt.Sprint(batched) != fmt.Sprint(perElem) {
+		t.Errorf("aggregate fragments diverged:\nperElem: %v\nbatched: %v", perElem, batched)
 	}
 }
 

@@ -1,0 +1,263 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"wishbone/internal/dataflow"
+)
+
+// Zero-copy streaming ingestion: Session.OfferRaw decodes a raw JSON
+// arrival value straight into the session's ingest arena — typed slabs
+// carved per value — instead of allocating a fresh slice per arrival the
+// way decode-then-Offer does. Integer arrays (the dominant sensor types)
+// parse with a hand-rolled exact scanner; float arrays and byte strings
+// go through encoding/json into reused scratch and are copied into the
+// slab, so values and errors are identical to json.Unmarshal in every
+// case (the scanner falls back to encoding/json on anything but the plain
+// happy path: leading zeros, floats, exponents, overflow, garbage).
+//
+// The arena is generational, not reused in place: rotate — called once
+// per flushed window — drops the block references, so a block lives
+// exactly as long as the values carved from it (delivered elements,
+// reduce rounds pending across windows, values buffered in server-side
+// state). Memory safety never depends on window lifetime; rotation only
+// bounds how much dead trace each live block can pin.
+
+// ingestBlockElems sizes a fresh slab block, in elements. One block
+// serves ~80 512-sample windows before the next allocation.
+const ingestBlockElems = 1 << 14
+
+// ingestArena holds the current generation's typed slabs plus the decode
+// scratch (scratch is copied out of, so it survives rotation).
+type ingestArena struct {
+	i16 []int16
+	i32 []int32
+	f32 []float32
+	f64 []float64
+	by  []byte
+
+	s16  []int16
+	s32  []int32
+	sF32 []float32
+	sF64 []float64
+	sBy  []byte
+}
+
+// rotate starts a new generation: block references drop, the GC reclaims
+// each block once the last value carved from it dies.
+func (a *ingestArena) rotate() {
+	a.i16, a.i32, a.f32, a.f64, a.by = nil, nil, nil, nil, nil
+}
+
+// carve returns an n-element slice from the block, growing into a fresh
+// block when full (values carved earlier keep the old block alive).
+func carve[T any](blk *[]T, n int) []T {
+	if *blk == nil || cap(*blk)-len(*blk) < n {
+		c := ingestBlockElems
+		if n > c {
+			c = n
+		}
+		*blk = make([]T, 0, c)
+	}
+	s := *blk
+	start := len(s)
+	s = s[: start+n : start+n]
+	*blk = s
+	return s[start:]
+}
+
+// decode maps one raw JSON arrival value onto the element types sensor
+// traces carry, mirroring the decode-then-Offer path exactly: with no
+// type hint a number becomes float64 and an array []float64; the hint
+// selects the other supported trace types. When discard is true the value
+// is validated but nothing is carved (beyond-duration arrivals are
+// dropped but must still fail on bad values).
+func (a *ingestArena) decode(typ string, raw []byte, discard bool) (dataflow.Value, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("arrival with empty value")
+	}
+	bad := func(err error) error {
+		return fmt.Errorf("bad arrival value (type %q): %v", typ, err)
+	}
+	switch typ {
+	case "":
+		if trimmed[0] != '[' {
+			var v float64
+			if err := json.Unmarshal(trimmed, &v); err != nil {
+				return nil, bad(err)
+			}
+			return v, nil
+		}
+		fallthrough
+	case "f64s":
+		if jsonNull(trimmed) {
+			return []float64(nil), nil
+		}
+		a.sF64 = a.sF64[:0]
+		if err := json.Unmarshal(trimmed, &a.sF64); err != nil {
+			return nil, bad(err)
+		}
+		if discard {
+			return nil, nil
+		}
+		out := carve(&a.f64, len(a.sF64))
+		copy(out, a.sF64)
+		return out, nil
+	case "f64":
+		var v float64
+		if err := json.Unmarshal(trimmed, &v); err != nil {
+			return nil, bad(err)
+		}
+		return v, nil
+	case "i64":
+		var v int64
+		if err := json.Unmarshal(trimmed, &v); err != nil {
+			return nil, bad(err)
+		}
+		return v, nil
+	case "f32s":
+		if jsonNull(trimmed) {
+			return []float32(nil), nil
+		}
+		a.sF32 = a.sF32[:0]
+		if err := json.Unmarshal(trimmed, &a.sF32); err != nil {
+			return nil, bad(err)
+		}
+		if discard {
+			return nil, nil
+		}
+		out := carve(&a.f32, len(a.sF32))
+		copy(out, a.sF32)
+		return out, nil
+	case "i32s":
+		if jsonNull(trimmed) {
+			return []int32(nil), nil
+		}
+		s, ok := scanInts(a.s32[:0], trimmed, -1<<31, 1<<31-1)
+		if !ok {
+			s = s[:0]
+			if err := json.Unmarshal(trimmed, &s); err != nil {
+				a.s32 = s
+				return nil, bad(err)
+			}
+		}
+		a.s32 = s
+		if discard {
+			return nil, nil
+		}
+		out := carve(&a.i32, len(s))
+		copy(out, s)
+		return out, nil
+	case "i16s":
+		if jsonNull(trimmed) {
+			return []int16(nil), nil
+		}
+		s, ok := scanInts(a.s16[:0], trimmed, -1<<15, 1<<15-1)
+		if !ok {
+			s = s[:0]
+			if err := json.Unmarshal(trimmed, &s); err != nil {
+				a.s16 = s
+				return nil, bad(err)
+			}
+		}
+		a.s16 = s
+		if discard {
+			return nil, nil
+		}
+		out := carve(&a.i16, len(s))
+		copy(out, s)
+		return out, nil
+	case "bytes":
+		if jsonNull(trimmed) {
+			return []byte(nil), nil
+		}
+		a.sBy = a.sBy[:0]
+		if err := json.Unmarshal(trimmed, &a.sBy); err != nil {
+			return nil, bad(err)
+		}
+		if discard {
+			return nil, nil
+		}
+		out := carve(&a.by, len(a.sBy))
+		copy(out, a.sBy)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown arrival value type %q", typ)
+	}
+}
+
+// jsonNull reports a bare JSON null, which encoding/json maps to a nil
+// slice with no error — the one array-typed input that must not reach
+// the scanner or the scratch path (both would produce a non-nil empty).
+func jsonNull(b []byte) bool {
+	return len(b) == 4 && b[0] == 'n' && b[1] == 'u' && b[2] == 'l' && b[3] == 'l'
+}
+
+// scanInts is the hand-rolled exact parser for JSON integer arrays: it
+// accepts precisely the inputs encoding/json would accept into the target
+// integer type — in-range integers with no leading zeros — and reports
+// !ok on anything else (floats, exponents, overflow, leading zeros,
+// syntax errors), sending the caller to encoding/json for the
+// authoritative result or error.
+func scanInts[T int16 | int32](dst []T, b []byte, min, max int64) ([]T, bool) {
+	i, n := 0, len(b)
+	ws := func() {
+		for i < n && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+			i++
+		}
+	}
+	if n == 0 || b[0] != '[' {
+		return dst, false
+	}
+	i++
+	ws()
+	if i < n && b[i] == ']' {
+		i++
+		ws()
+		return dst, i == n
+	}
+	for {
+		ws()
+		neg := false
+		if i < n && b[i] == '-' {
+			neg = true
+			i++
+		}
+		start := i
+		var v int64
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			v = v*10 + int64(b[i]-'0')
+			if v > 1<<40 {
+				return dst, false // would overflow any target; let json report it
+			}
+			i++
+		}
+		if i == start || (b[start] == '0' && i-start > 1) {
+			return dst, false // no digits, or leading zero (invalid JSON)
+		}
+		if neg {
+			v = -v
+		}
+		if v < min || v > max {
+			return dst, false
+		}
+		dst = append(dst, T(v))
+		ws()
+		if i >= n {
+			return dst, false
+		}
+		switch b[i] {
+		case ',':
+			i++
+		case ']':
+			i++
+			ws()
+			return dst, i == n
+		default:
+			return dst, false // '.', 'e', or garbage: not a plain integer
+		}
+	}
+}

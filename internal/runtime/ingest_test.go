@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wishbone/internal/dataflow"
+)
+
+// refDecode is the reference the arena decode must match exactly: the
+// decode-then-Offer path's semantics, one json.Unmarshal per value.
+func refDecode(typ string, raw []byte) (dataflow.Value, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("arrival with empty value")
+	}
+	into := func(v any) (dataflow.Value, error) {
+		if err := json.Unmarshal(trimmed, v); err != nil {
+			return nil, fmt.Errorf("bad arrival value (type %q): %v", typ, err)
+		}
+		return reflect.ValueOf(v).Elem().Interface(), nil
+	}
+	switch typ {
+	case "":
+		if trimmed[0] == '[' {
+			return into(&[]float64{})
+		}
+		return into(new(float64))
+	case "f64":
+		return into(new(float64))
+	case "i64":
+		return into(new(int64))
+	case "f64s":
+		return into(&[]float64{})
+	case "f32s":
+		return into(&[]float32{})
+	case "i32s":
+		return into(&[]int32{})
+	case "i16s":
+		return into(&[]int16{})
+	case "bytes":
+		return into(&[]byte{})
+	default:
+		return nil, fmt.Errorf("unknown arrival value type %q", typ)
+	}
+}
+
+// TestIngestDecodeParity pins the zero-copy decode — including the
+// hand-rolled integer scanner and its fallback — against encoding/json on
+// every supported type and the malformed inputs a client can send: values
+// and error messages must both match.
+func TestIngestDecodeParity(t *testing.T) {
+	cases := []struct{ typ, raw string }{
+		{"", "3.5"}, {"", "-0"}, {"", "1e3"}, {"", "[1.5,2.5]"}, {"", "[]"},
+		{"", "null"}, {"", `"x"`}, {"", ""}, {"", "  "},
+		{"f64", "2.25"}, {"f64", "bad"},
+		{"i64", "123456789012"}, {"i64", "1.5"}, {"i64", "1e3"},
+		{"f64s", "[0.125, -7]"}, {"f64s", "[1,2"}, {"f64s", "null"},
+		{"f32s", "[0.5,1.5]"}, {"f32s", "{}"},
+		{"bytes", `"aGVsbG8="`}, {"bytes", `"!!!"`}, {"bytes", "[1,2]"},
+		// Integer arrays: the scanner's happy path...
+		{"i16s", "[1,2,3]"}, {"i16s", "[]"}, {"i16s", "[ -5 ,\t7 ,\n0 ]"},
+		{"i16s", "[-32768,32767]"}, {"i16s", "[-0]"},
+		{"i32s", "[2147483647,-2147483648]"}, {"i32s", "[1000000]"},
+		// ...and every shape that must fall back to encoding/json.
+		{"i16s", "[32768]"}, {"i16s", "[-32769]"}, {"i16s", "[1.5]"},
+		{"i16s", "[1e2]"}, {"i16s", "[01]"}, {"i16s", "[+1]"},
+		{"i16s", "[1,]"}, {"i16s", "[1 2]"}, {"i16s", "[1,2]x"},
+		{"i16s", "[99999999999999999999999]"}, {"i16s", "null"},
+		{"i16s", `["1"]`}, {"i16s", "[--1]"}, {"i16s", "[-]"}, {"i16s", "["},
+		{"i32s", "[2147483648]"}, {"i32s", "[1.0]"},
+		// Unknown hint.
+		{"nope", "1"},
+	}
+	a := &ingestArena{}
+	for _, tc := range cases {
+		want, wantErr := refDecode(tc.typ, []byte(tc.raw))
+		got, gotErr := a.decode(tc.typ, []byte(tc.raw), false)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Errorf("decode(%q, %q): err %v, want %v", tc.typ, tc.raw, gotErr, wantErr)
+			continue
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Errorf("decode(%q, %q): err %q, want %q", tc.typ, tc.raw, gotErr, wantErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("decode(%q, %q) = %#v, want %#v", tc.typ, tc.raw, got, want)
+		}
+		// The discard path (beyond-duration arrivals) must agree on
+		// validity.
+		if _, err := a.decode(tc.typ, []byte(tc.raw), true); (err == nil) != (wantErr == nil) {
+			t.Errorf("decode(%q, %q, discard): err %v, want %v", tc.typ, tc.raw, err, wantErr)
+		}
+	}
+}
+
+// TestIngestDecodeDoesNotAliasInput pins OfferRaw's buffer-reuse
+// contract: the decoded value must not share memory with the raw JSON
+// input, and successive decodes must not share memory with each other
+// (each value is carved from the arena, not a reused scratch).
+func TestIngestDecodeDoesNotAliasInput(t *testing.T) {
+	a := &ingestArena{}
+	raw := []byte("[1,2,3]")
+	v1, err := a.decode("i16s", raw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(raw, []byte("[9,9,9]"))
+	v2, err := a.decode("i16s", raw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v1.([]int16); !reflect.DeepEqual(got, []int16{1, 2, 3}) {
+		t.Fatalf("first value corrupted by input reuse: %v", got)
+	}
+	if got := v2.([]int16); !reflect.DeepEqual(got, []int16{9, 9, 9}) {
+		t.Fatalf("second value wrong: %v", got)
+	}
+	a.rotate()
+	v3, err := a.decode("i16s", []byte("[4,5]"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v1.([]int16); !reflect.DeepEqual(got, []int16{1, 2, 3}) {
+		t.Fatalf("pre-rotation value corrupted by post-rotation decode: %v", got)
+	}
+	if got := v3.([]int16); !reflect.DeepEqual(got, []int16{4, 5}) {
+		t.Fatalf("post-rotation value wrong: %v", got)
+	}
+}

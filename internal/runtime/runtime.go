@@ -101,6 +101,16 @@ type Config struct {
 	// GOMAXPROCS. The legacy engine always runs sequentially.
 	Workers int
 
+	// NoBatch disables batched work-function dispatch: the partitions Run
+	// compiles itself are compiled without batch tables, server delivery
+	// pushes one element at a time, and the node-phase passthrough fast
+	// path is skipped. The zero value (batching on) and NoBatch produce
+	// byte-identical Results — the knob exists for differential testing
+	// and benchmarking. Precompiled Node/ServerPrograms carry their own
+	// Batch compile option; NoBatch still disables the batched feed paths
+	// for them.
+	NoBatch bool
+
 	// NoReplay forces the compiled engine to execute every node replica
 	// individually even when all nodes are offered the identical trace.
 	// Set it when work functions read ctx.NodeID (replay would stamp node
@@ -440,6 +450,15 @@ type sender struct {
 	arena *fragArena
 	enc   []byte
 
+	// times, when non-nil, is the arrival-time schedule of an in-flight
+	// batched source injection (the passthrough fast path): element i of
+	// the batch arrived at times[i]. Fan-out delivers a batch in element
+	// order on every cut edge, so each edge advances its own cursor to
+	// recover per-element timestamps — byte-identical to injecting the
+	// elements one at a time.
+	times []float64
+	tcur  map[*dataflow.Edge]int
+
 	msgs         []message
 	msgsSent     int
 	payloadBytes int
@@ -448,6 +467,10 @@ type sender struct {
 // capture is the Boundary hook: marshal (or abstract-package) one cut-edge
 // element at the current simulation time.
 func (s *sender) capture(e *dataflow.Edge, v dataflow.Value) {
+	if s.times != nil {
+		s.curTime = s.times[s.tcur[e]]
+		s.tcur[e]++
+	}
 	radio := s.cfg.Platform.Radio
 	m := message{time: s.curTime, nodeID: s.nodeID, edge: e, value: v}
 	if enc, err := wire.AppendMarshal(s.enc[:0], v); err == nil && radio.PacketPayload > 4 {
@@ -479,6 +502,22 @@ func (s *sender) capture(e *dataflow.Edge, v dataflow.Value) {
 	s.payloadBytes += dataflow.WireSize(v)
 }
 
+// beginBatch and endBatch bracket one batched source injection: times
+// holds the batch's per-element arrival schedule and every cut edge's
+// cursor restarts at element 0.
+func (s *sender) beginBatch(times []float64) {
+	s.times = times
+	if s.tcur == nil {
+		s.tcur = make(map[*dataflow.Edge]int)
+	} else {
+		for k := range s.tcur {
+			delete(s.tcur, k)
+		}
+	}
+}
+
+func (s *sender) endBatch() { s.times = nil }
+
 // fragment packetizes one encoded element, carving the fragment storage
 // from the arena when one is attached (the compiled engine's hot path)
 // and allocating per message otherwise.
@@ -505,6 +544,16 @@ type nodeSim struct {
 	inject    func(src *dataflow.Operator, v dataflow.Value)
 	busyUntil float64
 
+	// injectBatch, when non-nil, enables the passthrough fast path: the
+	// node partition has no work functions (e.g. a cut directly after the
+	// sources), so every event costs zero node CPU, none can be missed,
+	// and whole runs of same-source arrivals inject as one batch. The
+	// sender stamps per-element times from the batch schedule, keeping
+	// the message stream byte-identical to the per-element path.
+	injectBatch func(src *dataflow.Operator, vs []dataflow.Value)
+	vals        []dataflow.Value
+	times       []float64
+
 	inputEvents     int
 	processedEvents int
 	busy            float64
@@ -512,6 +561,10 @@ type nodeSim struct {
 
 // feed offers one batch of time-ordered arrivals.
 func (ns *nodeSim) feed(cfg *Config, arrivals []arrival) {
+	if ns.injectBatch != nil {
+		ns.feedPassthrough(arrivals)
+		return
+	}
 	for _, a := range arrivals {
 		ns.inputEvents++
 		if a.t < ns.busyUntil {
@@ -527,10 +580,39 @@ func (ns *nodeSim) feed(cfg *Config, arrivals []arrival) {
 	}
 }
 
+// feedPassthrough injects runs of consecutive same-source arrivals as
+// batches. Work-free partitions charge nothing to the counter, so dt is
+// identically zero: busyUntil never advances past an arrival and every
+// event is processed.
+func (ns *nodeSim) feedPassthrough(arrivals []arrival) {
+	for start := 0; start < len(arrivals); {
+		src := arrivals[start].src
+		end := start + 1
+		for end < len(arrivals) && arrivals[end].src == src {
+			end++
+		}
+		vals, times := ns.vals[:0], ns.times[:0]
+		for _, a := range arrivals[start:end] {
+			vals = append(vals, a.v)
+			times = append(times, a.t)
+		}
+		ns.s.beginBatch(times)
+		ns.injectBatch(src, vals)
+		ns.s.endBatch()
+		clear(vals)
+		ns.vals, ns.times = vals[:0], times
+		ns.inputEvents += end - start
+		ns.processedEvents += end - start
+		start = end
+	}
+	if n := len(arrivals); n > 0 {
+		ns.s.curTime = arrivals[n-1].t
+		ns.busyUntil = arrivals[n-1].t
+	}
+}
+
 // simulateNode runs one node's whole arrival sequence (the batch path).
-func simulateNode(cfg *Config, s *sender, arrivals []arrival, counter *cost.Counter,
-	inject func(src *dataflow.Operator, v dataflow.Value)) nodeResult {
-	ns := nodeSim{counter: counter, s: s, inject: inject}
+func simulateNode(cfg *Config, s *sender, arrivals []arrival, ns *nodeSim) nodeResult {
 	ns.feed(cfg, arrivals)
 	return nodeResult{
 		msgs:            s.msgs,
@@ -553,7 +635,7 @@ func runNodesLegacy(cfg Config, arrivals [][]arrival) ([]nodeResult, error) {
 		ex.CounterFor = func(op *dataflow.Operator) *cost.Counter { return counter }
 		s := &sender{cfg: &cfg, nodeID: n}
 		ex.Boundary = s.capture
-		out[n] = simulateNode(&cfg, s, arrivals[n], counter, ex.Inject)
+		out[n] = simulateNode(&cfg, s, arrivals[n], &nodeSim{counter: counter, s: s, inject: ex.Inject})
 	}
 	return out, nil
 }
@@ -572,6 +654,7 @@ func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival
 	if err != nil {
 		return nil, nil, err
 	}
+	passthrough := !cfg.NoBatch && passthroughPartition(&cfg)
 	out := make([]nodeResult, cfg.Nodes)
 
 	if !cfg.NoReplay && identicalTraces(inputs) {
@@ -589,7 +672,11 @@ func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival
 		inst.SetCounter(counter)
 		s := &sender{cfg: &cfg, nodeID: 0, arena: arena}
 		inst.Boundary = s.capture
-		out[0] = simulateNode(&cfg, s, arrivals[0], counter, inst.Inject)
+		ns := &nodeSim{counter: counter, s: s, inject: inst.Inject}
+		if passthrough {
+			ns.injectBatch = inst.InjectBatch
+		}
+		out[0] = simulateNode(&cfg, s, arrivals[0], ns)
 		prog.ReleaseInstance(inst)
 		for n := 1; n < cfg.Nodes; n++ {
 			nr := out[0]
@@ -616,13 +703,18 @@ func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival
 		counter := &cost.Counter{}
 		inst.SetCounter(counter)
 		snd := &sender{cfg: &cfg, arena: arena}
+		ns := &nodeSim{counter: counter, s: snd, inject: inst.Inject}
+		if passthrough {
+			ns.injectBatch = inst.InjectBatch
+		}
 		for n := s; n < cfg.Nodes; n += shards {
 			inst.Recycle(n) // pristine per-node state, counter kept, no pool round-trip
 			snd.nodeID = n
 			snd.seqs = nil
 			snd.msgs, snd.msgsSent, snd.payloadBytes = nil, 0, 0
 			inst.Boundary = snd.capture
-			out[n] = simulateNode(&cfg, snd, arrivals[n], counter, inst.Inject)
+			ns.busyUntil, ns.inputEvents, ns.processedEvents, ns.busy = 0, 0, 0, 0
+			out[n] = simulateNode(&cfg, snd, arrivals[n], ns)
 		}
 	})
 	return out, arenas[:], nil
@@ -631,23 +723,42 @@ func runNodesCompiled(cfg Config, inputs [][]profile.Input, arrivals [][]arrival
 // CompilePartition compiles the two sides of a partitioned deployment
 // exactly as Run would: the node Program includes operators with
 // onNode[id] true, the server Program the rest, neither with counting
-// options. The returned Programs are immutable and may be shared across
-// any number of concurrent Runs via Config.NodeProgram/ServerProgram —
-// the partition service's program cache holds exactly these.
+// options. Both sides carry batch dispatch tables (Permissive — the
+// runtime emulates permissive relocation, so a relocated stateful node
+// operator batches on the server exactly as it would on the node); a
+// batch-capable operator still executes per element unless fed a batch.
+// The returned Programs are immutable and may be shared across any number
+// of concurrent Runs via Config.NodeProgram/ServerProgram — the partition
+// service's program cache holds exactly these.
 func CompilePartition(g *dataflow.Graph, onNode map[int]bool) (node, server *dataflow.Program, err error) {
 	node, err = dataflow.Compile(g, dataflow.CompileOptions{
 		Include: func(op *dataflow.Operator) bool { return onNode[op.ID()] },
+		Batch:   true, BatchMode: dataflow.Permissive,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	server, err = dataflow.Compile(g, dataflow.CompileOptions{
 		Include: func(op *dataflow.Operator) bool { return !onNode[op.ID()] },
+		Batch:   true, BatchMode: dataflow.Permissive,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	return node, server, nil
+}
+
+// passthroughPartition reports whether the node partition contains no work
+// functions at all — sources and forwarding operators only, as with a cut
+// directly after the sources. Such partitions charge nothing to the node
+// CPU, which is what licenses the batched node-phase fast path.
+func passthroughPartition(cfg *Config) bool {
+	for _, op := range cfg.Graph.Operators() {
+		if cfg.OnNode[op.ID()] && op.Work != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // checkPartitionProgram verifies a caller-supplied precompiled Program
@@ -699,9 +810,11 @@ func identicalTraces(inputs [][]profile.Input) bool {
 }
 
 // serverEngine abstracts the basestation-side executor: deliver one decoded
-// cut-edge element with the origin node's relocated state swapped in.
+// cut-edge element — or one origin's run of same-edge elements — with the
+// origin node's relocated state swapped in.
 type serverEngine interface {
 	deliver(m *message, val dataflow.Value) error
+	deliverBatch(nodeID int, e *dataflow.Edge, vals []dataflow.Value) error
 	emits() int
 	close()
 }
@@ -737,16 +850,30 @@ func newCompiledServer(cfg *Config, prog *dataflow.Program) serverEngine {
 }
 
 func (srv *compiledServer) deliver(m *message, val dataflow.Value) error {
+	srv.swapStates(m.nodeID)
+	return srv.inst.Push(m.edge.To, m.edge.ToPort, val)
+}
+
+// deliverBatch pushes one origin's run of same-edge elements in one
+// scheduler pass: the relocated-state swap happens once for the run and
+// batch-capable operators dispatch their BatchWork.
+func (srv *compiledServer) deliverBatch(nodeID int, e *dataflow.Edge, vals []dataflow.Value) error {
+	srv.swapStates(nodeID)
+	return srv.inst.PushBatch(e.To, e.ToPort, vals)
+}
+
+// swapStates points every relocated stateful operator at the origin
+// node's state table entry (§2.1.1).
+func (srv *compiledServer) swapStates(nodeID int) {
 	for _, op := range srv.relocated {
 		tbl := srv.states[op.ID()]
-		st, ok := tbl[m.nodeID]
+		st, ok := tbl[nodeID]
 		if !ok {
 			st = op.NewState()
-			tbl[m.nodeID] = st
+			tbl[nodeID] = st
 		}
 		srv.inst.SetState(op, st)
 	}
-	return srv.inst.Push(m.edge.To, m.edge.ToPort, val)
 }
 
 func (srv *compiledServer) emits() int { return int(srv.inst.Traversals()) }
@@ -799,6 +926,19 @@ func (srv *legacyServer) deliver(m *message, val dataflow.Value) error {
 		}
 	}
 	return srv.ex.Push(m.edge.To, m.edge.ToPort, val)
+}
+
+// deliverBatch exists only to satisfy serverEngine — the delivery loop
+// never batches on the legacy engine — and degenerates to element-at-a-time
+// delivery.
+func (srv *legacyServer) deliverBatch(nodeID int, e *dataflow.Edge, vals []dataflow.Value) error {
+	m := message{nodeID: nodeID, edge: e}
+	for _, v := range vals {
+		if err := srv.deliver(&m, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (srv *legacyServer) emits() int { return srv.emitsCount }

@@ -37,6 +37,18 @@ type shardState struct {
 	reasm  map[reasmKey]*wire.Reassembler
 	rng    map[int]*netsim.LossSampler
 	res    Result
+
+	// batch enables batched delivery: the shard's messages are regrouped
+	// by origin (per-origin time order preserved — per-origin independence
+	// is exactly what makes the partition shardable, so regrouping across
+	// origins cannot change the Result) and each origin's runs of
+	// consecutive same-edge survivors flush through engine.deliverBatch in
+	// one scheduler pass. order/groups/vals are the regrouping scratch,
+	// reused across windows.
+	batch  bool
+	order  []int
+	groups map[int][]int
+	vals   []dataflow.Value
 }
 
 // samplerPool recycles LossSamplers (and their grown draw buffers) across
@@ -82,55 +94,121 @@ func (sh *shardState) deliver(msgs []message, ratio float64) (err error) {
 				r, ErrBadArrival)
 		}
 	}()
+	if sh.batch {
+		return sh.deliverBatched(msgs, ratio)
+	}
 	for i := range msgs {
 		m := &msgs[i]
-		sam := sh.sampler(m.nodeID)
-		val := m.value
-		if m.frags != nil {
-			key := reasmKey{node: m.nodeID, edge: m.edge}
-			r := sh.reasm[key]
-			if r == nil {
-				r = &wire.Reassembler{}
-				sh.reasm[key] = r
-			}
-			var decoded dataflow.Value
-			complete := false
-			draws := sam.Draws(len(m.frags))
-			for fi, f := range m.frags {
-				if draws[fi] >= ratio {
-					continue // fragment lost
-				}
-				sh.res.MsgsReceived++
-				v, done, err := r.Offer(f)
-				if err != nil {
-					return fmt.Errorf("runtime: reassembly: %w", err)
-				}
-				if done {
-					decoded, complete = v, true
-				}
-			}
-			if !complete {
-				continue
-			}
-			val = decoded
-		} else {
-			delivered := true
-			draws := sam.Draws(m.packets)
-			for p := 0; p < m.packets; p++ {
-				if draws[p] < ratio {
-					sh.res.MsgsReceived++
-				} else {
-					delivered = false
-				}
-			}
-			if !delivered {
-				continue
-			}
+		val, ok, err := sh.receive(m, ratio)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
 		}
 		sh.res.DeliveredBytes += dataflow.WireSize(val)
 		if err := sh.engine.deliver(m, val); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// receive samples one message's packet losses and reassembles it; ok
+// reports whether the element survived intact. The loss draws and the
+// reassembly stream are both keyed by the message's origin, so receive
+// order only matters within one origin.
+func (sh *shardState) receive(m *message, ratio float64) (dataflow.Value, bool, error) {
+	sam := sh.sampler(m.nodeID)
+	if m.frags == nil {
+		delivered := true
+		draws := sam.Draws(m.packets)
+		for p := 0; p < m.packets; p++ {
+			if draws[p] < ratio {
+				sh.res.MsgsReceived++
+			} else {
+				delivered = false
+			}
+		}
+		return m.value, delivered, nil
+	}
+	key := reasmKey{node: m.nodeID, edge: m.edge}
+	r := sh.reasm[key]
+	if r == nil {
+		r = &wire.Reassembler{}
+		sh.reasm[key] = r
+	}
+	var decoded dataflow.Value
+	complete := false
+	draws := sam.Draws(len(m.frags))
+	for fi, f := range m.frags {
+		if draws[fi] >= ratio {
+			continue // fragment lost
+		}
+		sh.res.MsgsReceived++
+		v, done, err := r.Offer(f)
+		if err != nil {
+			return nil, false, fmt.Errorf("runtime: reassembly: %w", err)
+		}
+		if done {
+			decoded, complete = v, true
+		}
+	}
+	return decoded, complete, nil
+}
+
+// deliverBatched regroups the shard's messages by origin (first-appearance
+// order, per-origin time order preserved) and flushes each origin's runs
+// of consecutive same-edge survivors as one batch: one relocated-state
+// swap and one scheduler pass per run instead of per element.
+func (sh *shardState) deliverBatched(msgs []message, ratio float64) error {
+	if sh.groups == nil {
+		sh.groups = make(map[int][]int)
+	}
+	sh.order = sh.order[:0]
+	for i := range msgs {
+		g := sh.groups[msgs[i].nodeID]
+		if len(g) == 0 {
+			sh.order = append(sh.order, msgs[i].nodeID)
+		}
+		sh.groups[msgs[i].nodeID] = append(g, i)
+	}
+	for _, origin := range sh.order {
+		idxs := sh.groups[origin]
+		sh.groups[origin] = idxs[:0]
+		vals := sh.vals[:0]
+		var curEdge *dataflow.Edge
+		flush := func() error {
+			if len(vals) == 0 {
+				return nil
+			}
+			err := sh.engine.deliverBatch(origin, curEdge, vals)
+			clear(vals)
+			vals = vals[:0]
+			return err
+		}
+		for _, i := range idxs {
+			m := &msgs[i]
+			val, ok, err := sh.receive(m, ratio)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			sh.res.DeliveredBytes += dataflow.WireSize(val)
+			if m.edge != curEdge {
+				if err := flush(); err != nil {
+					return err
+				}
+				curEdge = m.edge
+			}
+			vals = append(vals, val)
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		sh.vals = vals[:0]
 	}
 	return nil
 }
@@ -180,6 +258,10 @@ func newDeliveryPlan(cfg *Config) (*deliveryPlan, error) {
 			return nil, err
 		}
 	}
+	// Batched delivery regroups messages by origin, which is sound exactly
+	// when the partition is shardable (per-origin independence); the legacy
+	// engine and NoBatch runs keep the per-element reference loop.
+	batch := cfg.Engine != EngineLegacy && !cfg.NoBatch && shardable(cfg)
 	for i := 0; i < n; i++ {
 		var engine serverEngine
 		if cfg.Engine == EngineLegacy {
@@ -192,6 +274,7 @@ func newDeliveryPlan(cfg *Config) (*deliveryPlan, error) {
 			engine: engine,
 			reasm:  make(map[reasmKey]*wire.Reassembler),
 			rng:    make(map[int]*netsim.LossSampler),
+			batch:  batch,
 		})
 	}
 	return d, nil
@@ -261,6 +344,7 @@ func resolveNodeProgram(cfg *Config) (*dataflow.Program, error) {
 	}
 	return dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
 		Include: func(op *dataflow.Operator) bool { return cfg.OnNode[op.ID()] },
+		Batch:   !cfg.NoBatch, BatchMode: dataflow.Permissive,
 	})
 }
 
@@ -273,6 +357,7 @@ func resolveServerProgram(cfg *Config) (*dataflow.Program, error) {
 	}
 	return dataflow.Compile(cfg.Graph, dataflow.CompileOptions{
 		Include: func(op *dataflow.Operator) bool { return !cfg.OnNode[op.ID()] },
+		Batch:   !cfg.NoBatch, BatchMode: dataflow.Permissive,
 	})
 }
 

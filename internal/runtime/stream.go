@@ -137,6 +137,11 @@ type Session struct {
 	winOut   []message
 	feedErrs []error
 
+	// ingest backs OfferRaw's zero-copy decode: raw JSON arrival values
+	// land in generational typed slabs instead of one allocation per
+	// arrival. Rotated once per flushed window.
+	ingest ingestArena
+
 	maxBuffered  int
 	started      time.Time
 	stageStart   time.Time
@@ -201,6 +206,7 @@ func NewSession(cfg Config) (*Session, error) {
 	for _, src := range cfg.Graph.Sources() {
 		s.sources[src] = true
 	}
+	passthrough := !cfg.NoBatch && passthroughPartition(&s.cfg)
 	for n := 0; n < cfg.Nodes; n++ {
 		inst := prog.AcquireInstance(n)
 		counter := &cost.Counter{}
@@ -208,7 +214,11 @@ func NewSession(cfg Config) (*Session, error) {
 		snd := &sender{cfg: &s.cfg, nodeID: n}
 		inst.Boundary = snd.capture
 		s.insts = append(s.insts, inst)
-		s.nodes = append(s.nodes, &nodeSim{counter: counter, s: snd, inject: inst.Inject})
+		ns := &nodeSim{counter: counter, s: snd, inject: inst.Inject}
+		if passthrough {
+			ns.injectBatch = inst.InjectBatch
+		}
+		s.nodes = append(s.nodes, ns)
 	}
 	if !cfg.NoPipeline && poolWorkers(&s.cfg, 2) > 1 {
 		// Pipelined by default whenever the worker budget allows true
@@ -237,27 +247,72 @@ func NewSession(cfg Config) (*Session, error) {
 // server shards. Arrivals at or beyond cfg.Duration are ignored, like the
 // batch path's arrival builder.
 func (s *Session) Offer(nodeID int, a Arrival) error {
+	if err := s.admit(nodeID, a.Source, a.Time); err != nil {
+		return err
+	}
+	if a.Time >= s.cfg.Duration {
+		return nil
+	}
+	if err := s.advance(a.Time); err != nil {
+		return err
+	}
+	return s.push(nodeID, arrival{t: a.Time, src: a.Source, v: a.Value})
+}
+
+// OfferRaw feeds one arrival whose value is still raw JSON, decoding it
+// into the session's ingest arena — this is the zero-copy path behind
+// /v1/simulate/stream, which would otherwise allocate a fresh value per
+// arrival. The decode runs after any window flush the arrival triggers,
+// so the carved value belongs to the window that will consume it. raw is
+// not retained; callers may reuse the buffer immediately.
+func (s *Session) OfferRaw(nodeID int, t float64, src *dataflow.Operator, typ string, raw []byte) error {
+	if err := s.admit(nodeID, src, t); err != nil {
+		return err
+	}
+	if t >= s.cfg.Duration {
+		// Dropped like the batch path's arrival builder — but the value
+		// must still validate, matching the decode-then-Offer behavior.
+		if _, err := s.ingest.decode(typ, raw, true); err != nil {
+			return fmt.Errorf("runtime: %v: %w", err, ErrBadArrival)
+		}
+		return nil
+	}
+	if err := s.advance(t); err != nil {
+		return err
+	}
+	v, err := s.ingest.decode(typ, raw, false)
+	if err != nil {
+		return fmt.Errorf("runtime: %v: %w", err, ErrBadArrival)
+	}
+	return s.push(nodeID, arrival{t: t, src: src, v: v})
+}
+
+// admit applies the per-arrival validity checks shared by Offer and
+// OfferRaw and advances the time-order watermark.
+func (s *Session) admit(nodeID int, src *dataflow.Operator, t float64) error {
 	if s.closed {
 		return fmt.Errorf("runtime: Offer on a closed Session")
 	}
 	if nodeID < 0 || nodeID >= s.cfg.Nodes {
 		return fmt.Errorf("runtime: arrival for node %d outside [0,%d): %w", nodeID, s.cfg.Nodes, ErrBadArrival)
 	}
-	if !s.sources[a.Source] {
+	if !s.sources[src] {
 		// Arrivals inject only at the graph's sources (all of which
 		// validateConfig pins to the node partition, §4.2.1) — an
 		// injection at a mid-graph or server-side operator would bypass
 		// upstream processing and silently skew the Result.
-		return fmt.Errorf("runtime: arrival source %v is not a source of the graph: %w", a.Source, ErrBadArrival)
+		return fmt.Errorf("runtime: arrival source %v is not a source of the graph: %w", src, ErrBadArrival)
 	}
-	if a.Time < s.lastTime {
-		return fmt.Errorf("runtime: arrivals out of order (%.6f after %.6f): %w", a.Time, s.lastTime, ErrBadArrival)
+	if t < s.lastTime {
+		return fmt.Errorf("runtime: arrivals out of order (%.6f after %.6f): %w", t, s.lastTime, ErrBadArrival)
 	}
-	s.lastTime = a.Time
-	if a.Time >= s.cfg.Duration {
-		return nil
-	}
-	for a.Time >= s.windowStart+s.window {
+	s.lastTime = t
+	return nil
+}
+
+// advance flushes every window boundary the arrival time crosses.
+func (s *Session) advance(t float64) error {
+	for t >= s.windowStart+s.window {
 		if s.windowStart+s.window <= s.windowStart {
 			return fmt.Errorf("runtime: WindowSeconds %g cannot advance the window clock at t=%g",
 				s.window, s.windowStart)
@@ -267,7 +322,7 @@ func (s *Session) Offer(nodeID int, a Arrival) error {
 			// arrival gap in one step rather than one (empty) flush per
 			// window — windows can be arbitrarily small relative to the
 			// gap, and the gap can follow a flushed window.
-			if steps := math.Floor((a.Time - s.windowStart) / s.window); steps > 1 {
+			if steps := math.Floor((t - s.windowStart) / s.window); steps > 1 {
 				s.windowStart += (steps - 1) * s.window
 				continue
 			}
@@ -276,6 +331,11 @@ func (s *Session) Offer(nodeID int, a Arrival) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// push buffers one validated, in-window arrival.
+func (s *Session) push(nodeID int, a arrival) error {
 	if s.buffered >= s.maxBuffered {
 		// The buffer is the streaming path's entire working set; a window
 		// dense enough to blow past this cap (arrival density × window
@@ -285,7 +345,7 @@ func (s *Session) Offer(nodeID int, a Arrival) error {
 		return fmt.Errorf("runtime: window [%g,%g) exceeds %d buffered arrivals: %w",
 			s.windowStart, s.windowStart+s.window, s.maxBuffered, ErrBackpressure)
 	}
-	s.buf[nodeID] = append(s.buf[nodeID], arrival{t: a.Time, src: a.Source, v: a.Value})
+	s.buf[nodeID] = append(s.buf[nodeID], a)
 	s.buffered++
 	if s.buffered > s.peakBuffered {
 		s.peakBuffered = s.buffered
@@ -326,7 +386,14 @@ func (s *Session) flushWindow() error {
 		s.stageStart = time.Now()
 	}
 	if s.pipe != nil {
-		return s.pipe.flush(span)
+		if err := s.pipe.flush(span); err != nil {
+			return err
+		}
+		// Safe to rotate here even though delivery may still be running:
+		// rotation only drops block references; the GC keeps each block
+		// alive while any in-flight value still points into it.
+		s.ingest.rotate()
+		return nil
 	}
 	// A work-function panic on client-supplied input (a value of the
 	// wrong element type, typically) surfaces as an error instead of
@@ -372,6 +439,7 @@ func (s *Session) flushWindow() error {
 		return err
 	}
 	s.resetWindowStorage()
+	s.ingest.rotate()
 	return nil
 }
 

@@ -1,0 +1,156 @@
+package runtime_test
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"wishbone/internal/apps/speech"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
+)
+
+// rawStreamConfig is the shared fixture: a speech pipeline cut after the
+// source, several windows, sharded delivery — the configuration the
+// streaming endpoint runs.
+func rawStreamConfig(app *speech.App) runtime.Config {
+	return runtime.Config{
+		Graph:         app.Graph,
+		OnNode:        speechCutOnNode(app, 1),
+		Platform:      platform.TMoteSky(),
+		Nodes:         3,
+		Duration:      30,
+		Shards:        2,
+		Workers:       2,
+		WindowSeconds: 10,
+		Seed:          11,
+	}
+}
+
+// mergedArrivals materializes the globally time-ordered arrival sequence
+// runStream would feed: per-node trace streams merged by time, lowest
+// node first on ties.
+func mergedArrivals(t *testing.T, app *speech.App, cfg runtime.Config) (nodes []int, arrs []runtime.Arrival) {
+	streams := make([]runtime.Stream, cfg.Nodes)
+	heads := make([]runtime.Arrival, cfg.Nodes)
+	live := make([]bool, cfg.Nodes)
+	for n := range streams {
+		st, err := runtime.InputStream(
+			[]profile.Input{app.SampleTrace(int64(4000+n), 2.0)}, 1, cfg.Duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[n] = st
+		heads[n], live[n] = st.Next()
+	}
+	for {
+		best := -1
+		for n := range heads {
+			if live[n] && heads[n].Time >= cfg.Duration {
+				live[n] = false
+			}
+			if !live[n] {
+				continue
+			}
+			if best < 0 || heads[n].Time < heads[best].Time {
+				best = n
+			}
+		}
+		if best < 0 {
+			return nodes, arrs
+		}
+		nodes = append(nodes, best)
+		arrs = append(arrs, heads[best])
+		heads[best], live[best] = streams[best].Next()
+	}
+}
+
+// TestOfferRawParity pins the zero-copy ingestion path end to end: a
+// session fed raw JSON through OfferRaw must produce a Result
+// byte-identical to one fed the same arrivals as materialized values
+// through Offer.
+func TestOfferRawParity(t *testing.T) {
+	app := speech.New()
+	cfg := rawStreamConfig(app)
+	nodes, arrs := mergedArrivals(t, app, cfg)
+	if len(arrs) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+
+	sessA, err := runtime.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arrs {
+		if err := sessA.Offer(nodes[i], a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := sessA.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MsgsSent == 0 {
+		t.Fatalf("degenerate reference run %+v", *want)
+	}
+
+	sessB, err := runtime.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arrs {
+		raw, err := json.Marshal(a.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sessB.OfferRaw(nodes[i], a.Time, a.Source, "i16s", raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sessB.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("OfferRaw diverged from Offer:\nwant: %+v\ngot:  %+v", *want, *got)
+	}
+}
+
+// TestOfferRawErrors pins OfferRaw's error classification: arrival faults
+// (bad node, non-source operator, malformed value — even one beyond the
+// simulated duration) are ErrBadArrival; in-range well-formed arrivals
+// beyond the duration are silently dropped.
+func TestOfferRawErrors(t *testing.T) {
+	app := speech.New()
+	cfg := rawStreamConfig(app)
+	sess, err := runtime.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	src := app.Pipeline[0]
+	good := []byte("[1,2,3]")
+
+	if err := sess.OfferRaw(99, 0, src, "i16s", good); !errors.Is(err, runtime.ErrBadArrival) {
+		t.Errorf("bad node: got %v, want ErrBadArrival", err)
+	}
+	if err := sess.OfferRaw(0, 0, app.Pipeline[2], "i16s", good); !errors.Is(err, runtime.ErrBadArrival) {
+		t.Errorf("non-source operator: got %v, want ErrBadArrival", err)
+	}
+	if err := sess.OfferRaw(0, 1, src, "i16s", []byte("[1.5]")); !errors.Is(err, runtime.ErrBadArrival) {
+		t.Errorf("malformed value: got %v, want ErrBadArrival", err)
+	}
+	if err := sess.OfferRaw(0, 1, src, "huh", good); !errors.Is(err, runtime.ErrBadArrival) {
+		t.Errorf("unknown type hint: got %v, want ErrBadArrival", err)
+	}
+	if err := sess.OfferRaw(0, cfg.Duration+1, src, "i16s", []byte("[bad")); !errors.Is(err, runtime.ErrBadArrival) {
+		t.Errorf("beyond-duration malformed value: got %v, want ErrBadArrival", err)
+	}
+	if err := sess.OfferRaw(0, cfg.Duration+2, src, "i16s", good); err != nil {
+		t.Errorf("beyond-duration good value: got %v, want drop", err)
+	}
+	if err := sess.OfferRaw(0, 1, src, "i16s", good); !errors.Is(err, runtime.ErrBadArrival) {
+		t.Errorf("out-of-order after watermark advance: got %v, want ErrBadArrival", err)
+	}
+}

@@ -49,7 +49,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -713,41 +712,9 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	for {
-		var chunk wire.StreamChunk
-		if err := dec.Decode(&chunk); err == io.EOF {
-			break
-		} else if err != nil {
-			sess.Close()
-			return nil, badRequest("bad stream chunk: %v", err)
-		}
-		for _, a := range chunk.Arrivals {
-			src := e.graph.ByID(a.Source)
-			if src == nil {
-				sess.Close()
-				return nil, badRequest("arrival names unknown source operator %d", a.Source)
-			}
-			v, err := decodeArrivalValue(a.Type, a.Value)
-			if err != nil {
-				sess.Close()
-				return nil, badRequest("%v", err)
-			}
-			if err := sess.Offer(a.Node, wbruntime.Arrival{Time: a.Time, Source: src, Value: v}); err != nil {
-				sess.Close()
-				if errors.Is(err, wbruntime.ErrBackpressure) {
-					// The tenant's window buffer hit the server bound:
-					// shed the stream with a typed 429 instead of holding
-					// the job slot while it grows.
-					return nil, overloaded(err)
-				}
-				if errors.Is(err, wbruntime.ErrBadArrival) {
-					return nil, badRequest("%v", err)
-				}
-				// Engine failures mid-stream (node feed, shard delivery)
-				// are not client faults → 500.
-				return nil, err
-			}
-		}
+	if err := s.ingestStream(dec, e, sess); err != nil {
+		sess.Close()
+		return nil, err
 	}
 	res, err := sess.Close()
 	if err != nil {
@@ -762,64 +729,94 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 	}, nil
 }
 
-// decodeArrivalValue maps a JSON arrival value onto the element types
-// sensor traces carry. With no type hint a number becomes float64 and an
-// array []float64; the hint selects the other supported trace types.
-func decodeArrivalValue(typ string, raw json.RawMessage) (dataflow.Value, error) {
-	trimmed := bytes.TrimSpace(raw)
-	if len(trimmed) == 0 {
-		return nil, fmt.Errorf("arrival with empty value")
-	}
-	into := func(v any) (dataflow.Value, error) {
-		if err := json.Unmarshal(trimmed, v); err != nil {
-			return nil, fmt.Errorf("bad arrival value (type %q): %v", typ, err)
+// ingestStream walks the request body's StreamChunk sequence at the
+// token level — `{"arrivals":[{...},...]}` until EOF — decoding each
+// arrival object into ONE reused ArrivalWire and handing its still-raw
+// JSON value to Session.OfferRaw, which decodes it into the session's
+// ingest arena. Nothing per-chunk or per-arrival is materialized: no
+// []ArrivalWire slice, no RawMessage copy (the wire's Value buffer is
+// reused — OfferRaw does not retain it), no per-value allocation.
+func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Session) error {
+	var aw wire.ArrivalWire
+	offer := func() error {
+		src := e.graph.ByID(aw.Source)
+		if src == nil {
+			return badRequest("arrival names unknown source operator %d", aw.Source)
 		}
-		return reflectElem(v), nil
-	}
-	switch typ {
-	case "":
-		if trimmed[0] == '[' {
-			return into(&[]float64{})
+		if err := sess.OfferRaw(aw.Node, aw.Time, src, aw.Type, aw.Value); err != nil {
+			if errors.Is(err, wbruntime.ErrBackpressure) {
+				// The tenant's window buffer hit the server bound: shed
+				// the stream with a typed 429 instead of holding the job
+				// slot while it grows.
+				return overloaded(err)
+			}
+			if errors.Is(err, wbruntime.ErrBadArrival) {
+				return badRequest("%v", err)
+			}
+			// Engine failures mid-stream (node feed, shard delivery) are
+			// not client faults → 500.
+			return err
 		}
-		return into(new(float64))
-	case "f64":
-		return into(new(float64))
-	case "i64":
-		return into(new(int64))
-	case "f64s":
-		return into(&[]float64{})
-	case "f32s":
-		return into(&[]float32{})
-	case "i32s":
-		return into(&[]int32{})
-	case "i16s":
-		return into(&[]int16{})
-	case "bytes":
-		return into(&[]byte{})
-	default:
-		return nil, fmt.Errorf("unknown arrival value type %q", typ)
+		return nil
 	}
-}
-
-// reflectElem unwraps the pointer decodeArrivalValue unmarshalled into.
-func reflectElem(v any) dataflow.Value {
-	switch p := v.(type) {
-	case *float64:
-		return *p
-	case *int64:
-		return *p
-	case *[]float64:
-		return *p
-	case *[]float32:
-		return *p
-	case *[]int32:
-		return *p
-	case *[]int16:
-		return *p
-	case *[]byte:
-		return *p
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil
+		} else if err != nil {
+			return badRequest("bad stream chunk: %v", err)
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			return badRequest("bad stream chunk: expected object, got %v", tok)
+		}
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				return badRequest("bad stream chunk: %v", err)
+			}
+			if d, ok := tok.(json.Delim); ok && d == '}' {
+				break
+			}
+			key, ok := tok.(string)
+			if !ok {
+				return badRequest("bad stream chunk: expected field name, got %v", tok)
+			}
+			if key != "arrivals" {
+				// Unknown chunk fields are skipped whole, like the
+				// Decode-based loop would.
+				aw.Value = aw.Value[:0]
+				if err := dec.Decode(&aw.Value); err != nil {
+					return badRequest("bad stream chunk: %v", err)
+				}
+				continue
+			}
+			tok, err = dec.Token()
+			if err != nil {
+				return badRequest("bad stream chunk: %v", err)
+			}
+			if tok == nil {
+				continue // "arrivals": null — an empty chunk
+			}
+			if d, ok := tok.(json.Delim); !ok || d != '[' {
+				return badRequest("bad stream chunk: arrivals must be an array")
+			}
+			for dec.More() {
+				// Reset per element: Decode merges into the struct, so an
+				// absent field would otherwise keep the previous
+				// arrival's value.
+				aw = wire.ArrivalWire{Value: aw.Value[:0]}
+				if err := dec.Decode(&aw); err != nil {
+					return badRequest("bad stream chunk: %v", err)
+				}
+				if err := offer(); err != nil {
+					return err
+				}
+			}
+			if _, err := dec.Token(); err != nil { // closing ']'
+				return badRequest("bad stream chunk: %v", err)
+			}
+		}
 	}
-	return v
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
