@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|batch|all] [-seconds N]
-//	        [-fig6n N] [-engine compiled|legacy] [-shards N] [-stream]
-//	        [-workers N] [-batch on|off]
+//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|batch|dist|all]
+//	        [-seconds N] [-fig6n N] [-engine compiled|legacy] [-shards N]
+//	        [-stream] [-workers N] [-batch on|off]
 //	        [-solver exact|lagrangian|greedy|race|all]
+//	        [-dist-nodes N] [-dist-seconds N] [-dist-hosts 1,2,4,8]
 //
 // The solvers figure compares the pluggable solver backends (objective,
 // proven gap, latency, race wins) on the speech and EEG specs; -solver
@@ -24,6 +25,15 @@
 // byte-identical results, for measuring the difference). The batch
 // figure reports each operator's batch-hit rate — the share of elements
 // dispatched through BatchWork — over the Figure 9 deployment.
+//
+// The dist figure runs one large speech deployment (-dist-nodes motes,
+// -dist-seconds simulated seconds) once per host count in -dist-hosts,
+// splitting the origin nodes across that many in-process shard hosts
+// behind the coordinator's per-window barrier (internal/runtime
+// DistSession — the same code path wbserved peers run behind /v1/shard,
+// minus HTTP). Every placement must be byte-identical to the
+// single-host run. It is not part of -fig all: the default 640-mote
+// deployment is deliberately 10× the largest single-host benchmark.
 package main
 
 import (
@@ -31,6 +41,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"wishbone/internal/experiments"
 	"wishbone/internal/platform"
@@ -38,7 +50,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, batch, all)")
+	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, batch, dist, all; dist only runs when named)")
 	seconds := flag.Float64("seconds", 60, "simulated deployment duration for figures 9-10")
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
 	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
@@ -47,6 +59,9 @@ func main() {
 	stream := flag.Bool("stream", false, "feed simulation traces through streaming ingestion (compiled engine only)")
 	workers := flag.Int("workers", 0, "simulation worker bound; with -stream, >1 pipelines node compute against delivery (0 = GOMAXPROCS)")
 	batch := flag.String("batch", "on", "batched work-function dispatch in simulations: on|off (results identical either way)")
+	distNodes := flag.Int("dist-nodes", 640, "motes in the dist figure's deployment")
+	distSeconds := flag.Float64("dist-seconds", 10, "simulated duration for the dist figure")
+	distHosts := flag.String("dist-hosts", "1,2,4,8", "comma-separated host counts for the dist figure")
 	flag.Parse()
 
 	var noBatch bool
@@ -186,6 +201,24 @@ func main() {
 			log.Fatal(err)
 		}
 		out(experiments.BatchHitTable(rows))
+	}
+	if *fig == "dist" {
+		if engine == runtime.EngineLegacy {
+			log.Fatal("the dist figure requires the compiled engine")
+		}
+		var hostCounts []int
+		for _, part := range strings.Split(*distHosts, ",") {
+			h, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || h < 1 {
+				log.Fatalf("bad -dist-hosts entry %q", part)
+			}
+			hostCounts = append(hostCounts, h)
+		}
+		rows, err := experiments.DistScaling(needSpeech(), *distNodes, *distSeconds, hostCounts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out(experiments.DistScalingTable(*distNodes, *distSeconds, rows))
 	}
 	if want("solvers") {
 		backends := []string{"exact", "lagrangian", "greedy", "race"}

@@ -1,10 +1,15 @@
 // Command wbserved runs the Wishbone multi-tenant partition service: an
 // HTTP/JSON API serving profile, partition, and simulate requests over
-// cached compiled Programs (see internal/server).
+// cached compiled Programs (see internal/server). It also serves the
+// /v1/shard endpoints, so an instance can act as one shard host of a
+// distributed simulation — a coordinator (internal/dist, or
+// `wishbone -simulate -hosts ...`) opens a session for an origin subset
+// and drives it window by window.
 //
 // Usage:
 //
 //	wbserved [-addr :9090] [-cache 256] [-jobs N] [-sim-workers N]
+//	         [-shard-sessions N]
 //
 // Try it:
 //
@@ -12,7 +17,8 @@
 //	  '{"graph":{"app":"speech"},"platform":"TMoteSky"}'
 //	curl -s localhost:9090/v1/stats
 //
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// SIGINT/SIGTERM drain in-flight requests before exiting (open shard
+// sessions are aborted).
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent heavy jobs (0 = GOMAXPROCS)")
 	simWorkers := flag.Int("sim-workers", 0, "per-simulation node worker bound (0 = GOMAXPROCS)")
 	streamBuffer := flag.Int("stream-buffer", 0, "per-session window-buffer bound for /v1/simulate/stream; exceeding it returns 429 code=backpressure (0 = default)")
+	shardSessions := flag.Int("shard-sessions", 0, "max concurrently open /v1/shard sessions (0 = default 256)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	// Note: http.Server.ReadTimeout is an absolute whole-body deadline —
 	// it caps every upload's total duration, progressing or stalled, so
@@ -50,6 +57,7 @@ func main() {
 		MaxJobs:           *jobs,
 		SimWorkers:        *simWorkers,
 		StreamMaxBuffered: *streamBuffer,
+		MaxShardSessions:  *shardSessions,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -10,6 +10,7 @@
 //	         [-solver exact|lagrangian|greedy|race]
 //	         [-engine compiled|legacy] [-server http://host:9090]
 //	         [-simulate N] [-simseconds S] [-shards K] [-stream]
+//	         [-batch on|off] [-hosts url1,url2,...]
 //
 // With -simulate N, the chosen partition is additionally deployed on a
 // simulated N-node network (§7.3): each node runs the node partition
@@ -18,7 +19,12 @@
 // messages-received and goodput percentages. -shards splits the
 // server-side delivery loop by origin node (byte-identical results);
 // -stream generates the trace lazily and feeds it in bounded windows
-// (constant memory in the simulated span). wscript graphs may share
+// (constant memory in the simulated span). -batch=off disables batched
+// work-function dispatch (byte-identical results; for differential
+// runs). -hosts places the simulation's origin shards across running
+// wbserved instances via the /v1/shard protocol (internal/dist),
+// falling back to local execution when the cut has global server state
+// the origin split cannot express. wscript graphs may share
 // state outside the engine (the output sink), so the simulation runs its
 // worker pools sequentially; use wbbench for multi-core scaling numbers
 // on the built-in applications.
@@ -40,9 +46,11 @@ import (
 	"log"
 	"math"
 	"os"
+	"strings"
 
 	"wishbone/internal/core"
 	"wishbone/internal/dataflow"
+	"wishbone/internal/dist"
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
 	"wishbone/internal/runtime"
@@ -68,7 +76,18 @@ func main() {
 	simSeconds := flag.Float64("simseconds", 30, "simulated deployment duration in seconds")
 	shards := flag.Int("shards", 0, "server-side delivery shards for the simulation (0/1 = sequential)")
 	stream := flag.Bool("stream", false, "feed the simulation trace through streaming ingestion (bounded windows, constant memory)")
+	batch := flag.String("batch", "on", "batched work-function dispatch for the simulation: on|off (byte-identical results)")
+	hosts := flag.String("hosts", "", "comma-separated wbserved base URLs; the simulation's origin shards are placed across them")
 	flag.Parse()
+
+	noBatch := false
+	switch *batch {
+	case "on":
+	case "off":
+		noBatch = true
+	default:
+		log.Fatalf("unknown -batch %q (want on or off)", *batch)
+	}
 
 	if *srcPath == "" {
 		flag.Usage()
@@ -236,6 +255,7 @@ func main() {
 			Seed:      1,
 			Shards:    *shards,
 			Workers:   1,
+			NoBatch:   noBatch,
 			Timings:   timings,
 		}
 		if *stream {
@@ -245,19 +265,42 @@ func main() {
 		} else {
 			cfg.Inputs = func(nodeID int) []profile.Input { return inputs }
 		}
-		res, err := runtime.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
 		mode := "batch"
 		if *stream {
 			mode = "streaming"
 		}
+		var res *runtime.Result
+		distributed := false
+		if *hosts != "" {
+			var peers []string
+			for _, u := range strings.Split(*hosts, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					peers = append(peers, u)
+				}
+			}
+			coord := dist.New(peers, nil)
+			res, distributed, err = coord.Run(ctx, wire.GraphSpec{App: "wscript", Source: string(src)}, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if distributed {
+				mode = fmt.Sprintf("distributed across %d host(s)", len(peers))
+			} else {
+				fmt.Println("note: partition not distributable (global server state) or no usable peers; ran locally")
+			}
+		} else {
+			res, err = runtime.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		fmt.Printf("simulated %d node(s) for %.0fs (%s, %d shard(s)): input %.1f%%, msgs %.1f%%, goodput %.1f%%, node CPU %.1f%%\n",
 			*simNodes, *simSeconds, mode, *shards,
 			res.PercentInputProcessed(), res.PercentMsgsReceived(), res.Goodput(), 100*res.NodeCPU)
-		fmt.Printf("stages: node %.0fms, delivery %.0fms, wall %.0fms\n",
-			1e3*timings.NodeSeconds(), 1e3*timings.DeliverySeconds(), 1e3*timings.WallSeconds())
+		if !distributed {
+			fmt.Printf("stages: node %.0fms, delivery %.0fms, wall %.0fms\n",
+				1e3*timings.NodeSeconds(), 1e3*timings.DeliverySeconds(), 1e3*timings.WallSeconds())
+		}
 	}
 }
 

@@ -192,6 +192,7 @@ func NewWithChannels(channels int) *App {
 	})
 	g.Connect(detect, sink, 0)
 	app.SVM, app.Detect = svm, detect
+	attachSnapshotCodecs(g)
 	return app
 }
 

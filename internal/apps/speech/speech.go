@@ -303,6 +303,7 @@ func New() *App {
 		source, preemph, hammingOp, prefilt, fft, filtBank, logs, cepstrals, sink,
 	}
 	g.Chain(pipeline...)
+	attachSnapshotCodecs(g)
 	return &App{Graph: g, Pipeline: pipeline, Sink: sink}
 }
 

@@ -137,6 +137,17 @@ type Operator struct {
 	// be associative and commutative (aggregation-tree order is not
 	// deterministic).
 	Combine func(a, b Value) Value
+
+	// SaveState and LoadState serialize one private state instance — the
+	// snapshot analogue of the marshal/unmarshal code the paper's compiler
+	// generates for cut edges (§3), applied to operator state instead of
+	// stream elements. Both are optional; a stateful operator without them
+	// simply cannot be captured by a session snapshot (Snapshot reports
+	// which operator blocked it). LoadState must return a state that makes
+	// the operator's future output byte-identical to continuing with the
+	// saved instance.
+	SaveState func(st any) ([]byte, error)
+	LoadState func(data []byte) (any, error)
 }
 
 // ID returns the operator's graph-assigned identifier.

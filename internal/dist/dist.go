@@ -1,0 +1,248 @@
+// Package dist places one simulation's shard set across hosts: a
+// Coordinator partitions the origin nodes over a set of wbserved peers
+// (speaking the /v1/shard protocol, internal/server), drives the
+// per-window barrier through a runtime.DistSession, and assembles the
+// global Result. Results are byte-identical to a single-host run at
+// every host count and origin placement — per-origin independence makes
+// the split exact, and the coordinator keeps the only globally coupled
+// pieces (delivery-ratio pricing, in-network reduce aggregation).
+//
+// A Coordinator with no peers, or a run the origin split cannot express
+// (legacy engine, global server state), falls back to local execution.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"wishbone/internal/runtime"
+	"wishbone/internal/server"
+	"wishbone/internal/wire"
+)
+
+// Coordinator runs simulations, distributed across its peers when the
+// run allows it. The zero value is not usable; call New. A Coordinator
+// is safe for concurrent use — each Run builds its own sessions.
+type Coordinator struct {
+	peers []*server.Client
+	urls  []string
+}
+
+// New returns a coordinator over the given peer base URLs (wbserved
+// instances). httpClient may be nil for http.DefaultClient. An empty
+// peer list is valid: every Run executes locally.
+func New(peers []string, httpClient *http.Client) *Coordinator {
+	c := &Coordinator{urls: append([]string(nil), peers...)}
+	for _, u := range peers {
+		c.peers = append(c.peers, server.NewClient(u, httpClient))
+	}
+	return c
+}
+
+// Peers returns the configured peer URLs.
+func (c *Coordinator) Peers() []string { return append([]string(nil), c.urls...) }
+
+// Run simulates cfg, splitting the origin nodes across the peers when
+// the run is distributable; spec must elaborate to cfg.Graph's structure
+// (the hosts rebuild the graph from it and verify the structural hash).
+// distributed reports which path ran: false means the local runtime
+// executed the whole simulation (no peers, or the partition has global
+// server state the origin split cannot express).
+//
+// Arrivals come from cfg.ArrivalSource when set, else from cfg.Inputs
+// (scaled by cfg.RateScale), fed in exactly the order the single-host
+// streaming path uses — the Result is byte-identical either way.
+func (c *Coordinator) Run(ctx context.Context, spec wire.GraphSpec, cfg runtime.Config) (res *runtime.Result, distributed bool, err error) {
+	if len(c.peers) == 0 || !runtime.Distributable(cfg) {
+		res, err = runtime.Run(cfg)
+		return res, false, err
+	}
+	source, err := arrivalSource(&cfg)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// One shard-host session per peer, each owning a round-robin slice of
+	// the origins. PartitionOrigins drops surplus peers when there are
+	// more hosts than nodes.
+	parts := runtime.PartitionOrigins(cfg.Nodes, len(c.peers))
+	hash := cfg.Graph.StructuralHash()
+	var onNode []int
+	for _, op := range cfg.Graph.Operators() {
+		if cfg.OnNode[op.ID()] {
+			onNode = append(onNode, op.ID())
+		}
+	}
+	hosts := make([]runtime.HostBinding, 0, len(parts))
+	abortHosts := func() {
+		for _, b := range hosts {
+			b.Driver.Abort()
+		}
+	}
+	for hi, origins := range parts {
+		open, err := c.peers[hi].ShardOpen(ctx, wire.ShardOpenRequest{
+			Graph:     spec,
+			GraphHash: hash,
+			Platform:  cfg.Platform.Name,
+			OnNode:    onNode,
+			Nodes:     cfg.Nodes,
+			Duration:  cfg.Duration,
+			Seed:      cfg.Seed,
+			Shards:    cfg.Shards,
+			Origins:   origins,
+		})
+		if err != nil {
+			abortHosts()
+			return nil, false, fmt.Errorf("dist: open shard on %s: %w", c.urls[hi], err)
+		}
+		hosts = append(hosts, runtime.HostBinding{
+			Driver:  &httpHost{ctx: ctx, client: c.peers[hi], url: c.urls[hi], session: open.Session},
+			Origins: origins,
+		})
+	}
+	ds, err := runtime.NewDistSession(cfg, hosts)
+	if err != nil {
+		abortHosts()
+		return nil, false, err
+	}
+	if err := feed(ds, &cfg, source); err != nil {
+		ds.Abort()
+		return nil, true, err
+	}
+	res, err = ds.Close()
+	if err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}
+
+// arrivalSource resolves where the run's arrivals come from: the
+// config's explicit streaming source, or its periodic trace inputs
+// adapted per node (the same adaptation the single-host streaming path
+// performs).
+func arrivalSource(cfg *runtime.Config) (func(nodeID int) (runtime.Stream, error), error) {
+	if cfg.ArrivalSource != nil {
+		return cfg.ArrivalSource, nil
+	}
+	if cfg.Inputs == nil {
+		return nil, fmt.Errorf("dist: need Inputs or ArrivalSource")
+	}
+	inputs, scale, duration := cfg.Inputs, cfg.RateScale, cfg.Duration
+	return func(nodeID int) (runtime.Stream, error) {
+		ins := inputs(nodeID)
+		if len(ins) == 0 {
+			return nil, fmt.Errorf("dist: node %d has no inputs", nodeID)
+		}
+		return runtime.InputStream(ins, scale, duration)
+	}, nil
+}
+
+// feed merges every node's arrival stream by time and offers the merged
+// sequence to the session — the exact merge the single-host streaming
+// path runs (strictly-earliest head wins, lowest node index on ties),
+// which is what makes the distributed Result byte-identical to it.
+func feed(ds *runtime.DistSession, cfg *runtime.Config, source func(nodeID int) (runtime.Stream, error)) error {
+	streams := make([]runtime.Stream, cfg.Nodes)
+	heads := make([]runtime.Arrival, cfg.Nodes)
+	live := make([]bool, cfg.Nodes)
+	for n := range streams {
+		st, err := source(n)
+		if err != nil {
+			return err
+		}
+		if st == nil {
+			return fmt.Errorf("dist: node %d has no arrival stream", n)
+		}
+		streams[n] = st
+		heads[n], live[n] = st.Next()
+	}
+	for {
+		best := -1
+		for n := range heads {
+			if live[n] && heads[n].Time >= cfg.Duration {
+				live[n] = false
+			}
+			if !live[n] {
+				continue
+			}
+			if best < 0 || heads[n].Time < heads[best].Time {
+				best = n
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		if err := ds.Offer(best, heads[best]); err != nil {
+			return err
+		}
+		heads[best], live[best] = streams[best].Next()
+	}
+}
+
+// httpHost drives one remote shard session over the /v1/shard protocol.
+// Arrival values and reduce contributions travel wire-marshaled (binary,
+// base64 in the JSON envelope), so every element round-trips bit-exactly;
+// the plain float64 fields (times, ratio, busy seconds) are exact under
+// JSON's shortest-round-trip encoding.
+type httpHost struct {
+	ctx     context.Context
+	client  *server.Client
+	url     string
+	session string
+}
+
+func (h *httpHost) ComputeWindow(span float64, arrivals []runtime.HostArrival) (*runtime.WindowReport, error) {
+	req := wire.ShardComputeRequest{Session: h.session, Span: span}
+	req.Arrivals = make([]wire.ShardArrivalWire, len(arrivals))
+	for i, a := range arrivals {
+		data, err := wire.Marshal(a.Value)
+		if err != nil {
+			return nil, fmt.Errorf("dist: arrival value for node %d does not marshal: %w", a.Node, err)
+		}
+		req.Arrivals[i] = wire.ShardArrivalWire{Node: a.Node, Time: a.Time, Source: a.Source, Value: data}
+	}
+	resp, err := h.client.ShardCompute(h.ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: compute on %s: %w", h.url, err)
+	}
+	rep := &runtime.WindowReport{Held: resp.Held, Air: resp.Air}
+	for _, rm := range resp.Reduce {
+		rep.Reduce = append(rep.Reduce, runtime.ReduceMsg{
+			Node: rm.Node, Edge: rm.Edge, Time: rm.Time, Packets: rm.Packets, Data: rm.Data,
+		})
+	}
+	return rep, nil
+}
+
+func (h *httpHost) DeliverWindow(ratio float64) error {
+	if err := h.client.ShardDeliver(h.ctx, h.session, ratio); err != nil {
+		return fmt.Errorf("dist: deliver on %s: %w", h.url, err)
+	}
+	return nil
+}
+
+func (h *httpHost) Close() (*runtime.HostResult, error) {
+	resp, err := h.client.ShardClose(h.ctx, h.session)
+	if err != nil {
+		return nil, fmt.Errorf("dist: close on %s: %w", h.url, err)
+	}
+	hr := &runtime.HostResult{
+		InputEvents:     resp.InputEvents,
+		ProcessedEvents: resp.ProcessedEvents,
+		MsgsSent:        resp.MsgsSent,
+		MsgsReceived:    resp.MsgsReceived,
+		PayloadBytes:    resp.PayloadBytes,
+		DeliveredBytes:  resp.DeliveredBytes,
+		ServerEmits:     resp.ServerEmits,
+	}
+	for _, nb := range resp.NodeBusy {
+		hr.NodeBusy = append(hr.NodeBusy, runtime.NodeBusy{Node: nb.Node, Busy: nb.Busy})
+	}
+	return hr, nil
+}
+
+func (h *httpHost) Abort() {
+	// Best effort: the server also reaps sessions at drain.
+	_ = h.client.ShardAbort(h.ctx, h.session)
+}

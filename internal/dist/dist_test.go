@@ -1,0 +1,161 @@
+package dist_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"wishbone/internal/apps/eeg"
+	"wishbone/internal/apps/speech"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/dist"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
+	"wishbone/internal/server"
+	"wishbone/internal/wire"
+)
+
+// startPeers runs n independent partition-service instances (each its own
+// Server, cache, and shard-session registry) and returns their base URLs.
+func startPeers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		svc := server.New(server.Config{})
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(svc.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// speechConfig builds the distributable speech run the parity tests
+// share: the cut after the sixth operator, per-node traces, streaming
+// arrivals. The coordinator-side graph is a separate elaboration from
+// the one each peer rebuilds from the spec — structural hashes and
+// operator IDs agree across elaborations, which shardOpen verifies.
+func speechConfig(t *testing.T) (wire.GraphSpec, runtime.Config) {
+	t.Helper()
+	app := speech.New()
+	onNode := make(map[int]bool)
+	for i, op := range app.Graph.Operators() {
+		onNode[op.ID()] = i < 6
+	}
+	const duration = 8.0
+	cfg := runtime.Config{
+		Graph:         app.Graph,
+		OnNode:        onNode,
+		Platform:      platform.Gumstix(),
+		Nodes:         6,
+		Duration:      duration,
+		Seed:          7,
+		Shards:        2,
+		WindowSeconds: 2,
+		ArrivalSource: func(nodeID int) (runtime.Stream, error) {
+			return runtime.InputStream(
+				[]profile.Input{app.SampleTrace(int64(500+nodeID), 2.0)}, 1, duration)
+		},
+	}
+	return wire.GraphSpec{App: "speech"}, cfg
+}
+
+// TestCoordinatorParitySpeech places one speech simulation's origins on
+// 1, 2, 3, and N HTTP shard hosts and requires the byte-identical Result
+// of the single-host streaming run at every placement — 1×N, 2×N/2, and
+// N×1 included.
+func TestCoordinatorParitySpeech(t *testing.T) {
+	spec, cfg := speechConfig(t)
+	ref, err := runtime.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.MsgsSent == 0 || ref.ServerEmits == 0 {
+		t.Fatalf("degenerate reference run: %+v", *ref)
+	}
+	ctx := context.Background()
+	for _, hosts := range []int{1, 2, 3, cfg.Nodes} {
+		coord := dist.New(startPeers(t, hosts), nil)
+		got, distributed, err := coord.Run(ctx, spec, cfg)
+		if err != nil {
+			t.Fatalf("%d hosts: %v", hosts, err)
+		}
+		if !distributed {
+			t.Fatalf("%d hosts: run fell back to local execution", hosts)
+		}
+		if *got != *ref {
+			t.Fatalf("%d hosts: distributed result diverges:\nref: %+v\ngot: %+v", hosts, *ref, *got)
+		}
+	}
+}
+
+// TestCoordinatorFallback pins the local path: no peers, and a partition
+// with global server state (EEG's detect operator), both execute locally
+// with the exact Result of runtime.Run.
+func TestCoordinatorFallback(t *testing.T) {
+	ctx := context.Background()
+
+	// No peers: always local, even for a distributable run.
+	spec, cfg := speechConfig(t)
+	ref, err := runtime.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, distributed, err := dist.New(nil, nil).Run(ctx, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distributed {
+		t.Fatal("peerless coordinator claims it distributed")
+	}
+	if *res != *ref {
+		t.Fatalf("peerless run diverges:\nref: %+v\ngot: %+v", *ref, *res)
+	}
+
+	// Peers configured, but the EEG cut has a stateful Server-namespace
+	// operator: the origin split cannot express it, so the coordinator
+	// must fall back rather than fail.
+	app := eeg.NewWithChannels(2)
+	onNode := make(map[int]bool)
+	for _, op := range app.Graph.Operators() {
+		onNode[op.ID()] = op.NS == dataflow.NSNode
+	}
+	eegCfg := runtime.Config{
+		Graph:    app.Graph,
+		OnNode:   onNode,
+		Platform: platform.Gumstix(),
+		Nodes:    2,
+		Duration: 4,
+		Seed:     1,
+		NoReplay: true,
+		Inputs:   func(int) []profile.Input { return app.SampleTrace(3, 4) },
+	}
+	eegRef, err := runtime.Run(eegCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.New(startPeers(t, 2), nil)
+	res, distributed, err = coord.Run(ctx, wire.GraphSpec{App: "eeg", Channels: 2}, eegCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distributed {
+		t.Fatal("EEG run with global server state was distributed")
+	}
+	if *res != *eegRef {
+		t.Fatalf("EEG fallback diverges:\nref: %+v\ngot: %+v", *eegRef, *res)
+	}
+}
+
+// TestCoordinatorGraphHashMismatch pins the identity check: a spec that
+// elaborates to a different graph than the coordinator simulates locally
+// must be rejected at open, not produce a silently different simulation.
+func TestCoordinatorGraphHashMismatch(t *testing.T) {
+	_, cfg := speechConfig(t)
+	coord := dist.New(startPeers(t, 1), nil)
+	badSpec := wire.GraphSpec{App: "eeg", Channels: 1}
+	if _, _, err := coord.Run(context.Background(), badSpec, cfg); err == nil {
+		t.Fatal("structural-hash mismatch between coordinator and host was accepted")
+	}
+}

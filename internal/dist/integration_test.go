@@ -1,0 +1,89 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wishbone/internal/dist"
+	"wishbone/internal/runtime"
+	"wishbone/internal/server"
+)
+
+// freePort reserves an ephemeral port and releases it for the child
+// process to bind (a small race, but the kernel does not reuse the port
+// immediately and the test retries nothing else on it).
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// TestDistMultiProcess is the end-to-end distributed deployment: build
+// the real wbserved binary, run two instances as separate OS processes,
+// and place a 2×(N/2) speech simulation across them — the Result must be
+// byte-identical to the local single-process run.
+func TestDistMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "wbserved")
+	build := exec.Command("go", "build", "-o", bin, "wishbone/cmd/wbserved")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building wbserved: %v\n%s", err, out)
+	}
+
+	ctx := context.Background()
+	urls := make([]string, 2)
+	for i := range urls {
+		port := freePort(t)
+		proc := exec.Command(bin, "-addr", fmt.Sprintf("127.0.0.1:%d", port))
+		if err := proc.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			proc.Process.Kill()
+			proc.Wait()
+		})
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", port)
+	}
+	for _, u := range urls {
+		c := server.NewClient(u, nil)
+		deadline := time.Now().Add(15 * time.Second)
+		for !c.Healthy(ctx) {
+			if time.Now().After(deadline) {
+				t.Fatalf("wbserved at %s never became healthy", u)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	spec, cfg := speechConfig(t)
+	ref, err := runtime.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := dist.New(urls, nil)
+	res, distributed, err := coord.Run(ctx, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distributed {
+		t.Fatal("multi-process run fell back to local execution")
+	}
+	if *res != *ref {
+		t.Fatalf("multi-process result diverges from local run:\nref: %+v\ngot: %+v", *ref, *res)
+	}
+	if res.MsgsSent == 0 || res.ServerEmits == 0 {
+		t.Fatalf("degenerate run: %+v", *res)
+	}
+}

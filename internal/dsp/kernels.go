@@ -80,6 +80,17 @@ func (s *FIRState) Clone() *FIRState {
 	return &FIRState{taps: append([]float64(nil), s.taps...), pos: s.pos}
 }
 
+// Snapshot returns a copy of the delay line and the write cursor — the
+// complete logical state, for serialization.
+func (s *FIRState) Snapshot() (taps []float64, pos int) {
+	return append([]float64(nil), s.taps...), s.pos
+}
+
+// RestoreFIRState rebuilds a delay line from Snapshot output.
+func RestoreFIRState(taps []float64, pos int) *FIRState {
+	return &FIRState{taps: append([]float64(nil), taps...), pos: pos}
+}
+
 // Step pushes sample x into the delay line and returns Σ coeffs[i]·x[n−i].
 func (s *FIRState) Step(c *cost.Counter, coeffs []float64, x float64) float64 {
 	s.taps[s.pos] = x

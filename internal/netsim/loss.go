@@ -30,9 +30,10 @@ func NodeSeed(seed int64, nodeID int) int64 {
 // buffer so steady-state sampling allocates nothing. The draw sequence is
 // exactly the per-fragment sequence, so batching does not change results.
 type LossSampler struct {
-	src rand.Source
-	rng *rand.Rand
-	buf []float64
+	src   rand.Source
+	rng   *rand.Rand
+	buf   []float64
+	count uint64
 }
 
 // NewLossSampler returns the sampler for one node's stream; seed it with
@@ -49,6 +50,30 @@ func NewLossSampler(seed int64) *LossSampler {
 // stream straight from the source, so reseeding the source suffices).
 func (s *LossSampler) Reseed(seed int64) {
 	s.src.Seed(seed)
+	s.count = 0
+}
+
+// DrawCount reports how many uniforms the sampler has produced since its
+// last (re)seed. Together with the seed it pins the sampler's exact
+// position in its deterministic draw stream, which is all a snapshot needs
+// to persist: SeekTo reproduces the position by replay.
+func (s *LossSampler) DrawCount() uint64 { return s.count }
+
+// SeekTo reseeds the sampler and discards n draws, leaving it in exactly
+// the state of a fresh sampler that has already produced n uniforms —
+// the restore half of DrawCount. Replay runs in buffer-sized chunks so
+// seeking never allocates beyond the sampler's draw buffer.
+func (s *LossSampler) SeekTo(seed int64, n uint64) {
+	s.Reseed(seed)
+	const chunk = 4096
+	for n > 0 {
+		step := n
+		if step > chunk {
+			step = chunk
+		}
+		s.Draws(int(step))
+		n -= step
+	}
 }
 
 // Draws returns n uniform draws in [0,1). The returned slice aliases the
@@ -61,5 +86,6 @@ func (s *LossSampler) Draws(n int) []float64 {
 	for i := range s.buf {
 		s.buf[i] = s.rng.Float64()
 	}
+	s.count += uint64(n)
 	return s.buf
 }

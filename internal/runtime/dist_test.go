@@ -1,0 +1,179 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"wishbone/internal/apps/eeg"
+	"wishbone/internal/apps/speech"
+	"wishbone/internal/dataflow"
+	"wishbone/internal/platform"
+	"wishbone/internal/profile"
+	"wishbone/internal/runtime"
+)
+
+// runDist replays feed through a DistSession over in-process shard hosts
+// with the given origin placement.
+func runDist(t *testing.T, cfg runtime.Config, feed []feedItem, parts [][]int) *runtime.Result {
+	t.Helper()
+	hosts := make([]runtime.HostBinding, len(parts))
+	for i, origins := range parts {
+		h, err := runtime.NewShardHost(cfg, origins)
+		if err != nil {
+			t.Fatalf("host %d: %v", i, err)
+		}
+		hosts[i] = runtime.HostBinding{Driver: runtime.LocalHost{H: h}, Origins: origins}
+	}
+	ds, err := runtime.NewDistSession(cfg, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range feed {
+		if err := ds.Offer(f.node, f.a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ds.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// placements sweeps the ISSUE's required host layouts: everything on one
+// host (1×N), an even two-way split (2×N/2), one origin per host (N×1),
+// and the round-robin layout the coordinator uses by default.
+func placements(nodes int) [][][]int {
+	var all []int
+	for n := 0; n < nodes; n++ {
+		all = append(all, n)
+	}
+	single := [][]int{all}
+	half := [][]int{all[:nodes/2], all[nodes/2:]}
+	perNode := make([][]int, nodes)
+	for n := 0; n < nodes; n++ {
+		perNode[n] = []int{n}
+	}
+	return [][][]int{single, half, perNode, runtime.PartitionOrigins(nodes, 3)}
+}
+
+// checkDistParity runs the single-host streaming reference and requires
+// byte-identical Results from every distributed placement.
+func checkDistParity(t *testing.T, base runtime.Config, feed []feedItem) *runtime.Result {
+	t.Helper()
+	ref := runChained(t, []runtime.Config{base}, feed, nil)
+	for pi, parts := range placements(base.Nodes) {
+		for _, shards := range []int{0, 2} {
+			cfg := base
+			cfg.Shards = shards
+			if got := runDist(t, cfg, feed, parts); *got != *ref {
+				t.Fatalf("placement %d (%d hosts, shards=%d) diverges:\nref: %+v\ngot: %+v",
+					pi, len(parts), shards, *ref, *got)
+			}
+		}
+	}
+	return ref
+}
+
+// TestDistributedParitySpeech pins distributed byte-identity on the
+// speech app: the prefix-1 cut relocates the stateful preemph/prefilt
+// operators, so each host's per-origin state tables, loss RNG streams and
+// reassembly must behave exactly as their slice of the single-host run.
+func TestDistributedParitySpeech(t *testing.T) {
+	app := speech.New()
+	for _, prefix := range []int{1, 5} {
+		base := runtime.Config{
+			Graph:         app.Graph,
+			OnNode:        speechCutOnNode(app, prefix),
+			Platform:      platform.Gumstix(),
+			Nodes:         6,
+			Duration:      10,
+			Seed:          int64(80 + prefix),
+			WindowSeconds: 2,
+		}
+		feed := mergedFeed(t, base.Nodes, base.Duration, func(n int) []profile.Input {
+			return []profile.Input{app.SampleTrace(int64(500+n), 2.0)}
+		})
+		ref := checkDistParity(t, base, feed)
+		if ref.MsgsSent == 0 || ref.ServerEmits == 0 {
+			t.Fatalf("cut %d: degenerate run %+v", prefix, *ref)
+		}
+	}
+}
+
+// TestDistributedParityReduce covers in-network aggregation: reduce
+// rounds combine contributions across origins owned by different hosts,
+// so every contribution crosses the barrier to the coordinator and the
+// aggregates deliver through the coordinator's own plan.
+func TestDistributedParityReduce(t *testing.T) {
+	g, src, onNode := snapshotReduceApp()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.Config{
+		Graph: g, OnNode: onNode, Platform: platform.TMoteSky(),
+		Nodes: 5, Duration: 24, Seed: 21, WindowSeconds: 4,
+	}
+	feed := mergedFeed(t, base.Nodes, base.Duration, func(n int) []profile.Input {
+		return []profile.Input{{Source: src,
+			Events: []dataflow.Value{[]float64{float64(n + 2), 7}}, Rate: 4}}
+	})
+	ref := checkDistParity(t, base, feed)
+	if ref.MsgsSent == 0 || ref.ServerEmits == 0 {
+		t.Fatalf("degenerate run %+v", *ref)
+	}
+}
+
+// TestDistributedSnapshotInterplay chains both tentpole pieces: the
+// single-host reference, a distributed run, and a run that streams
+// through a Session, snapshots mid-stream, and resumes — all three must
+// agree byte-for-byte.
+func TestDistributedSnapshotInterplay(t *testing.T) {
+	app := speech.New()
+	base := runtime.Config{
+		Graph:         app.Graph,
+		OnNode:        speechCutOnNode(app, 1),
+		Platform:      platform.Gumstix(),
+		Nodes:         4,
+		Duration:      8,
+		Seed:          33,
+		WindowSeconds: 2,
+	}
+	feed := mergedFeed(t, base.Nodes, base.Duration, func(n int) []profile.Input {
+		return []profile.Input{app.SampleTrace(int64(900+n), 2.0)}
+	})
+	ref := runChained(t, []runtime.Config{base}, feed, nil)
+	dist := runDist(t, base, feed, runtime.PartitionOrigins(base.Nodes, 2))
+	snap := runChained(t, []runtime.Config{base}, feed, []int{len(feed) / 2})
+	if *dist != *ref || *snap != *ref {
+		t.Fatalf("paths diverge:\nref:  %+v\ndist: %+v\nsnap: %+v", *ref, *dist, *snap)
+	}
+}
+
+// TestDistributableFallback pins the local-fallback predicate: the EEG
+// app's global `detect` state cannot be split by origin, and host
+// construction refuses it too.
+func TestDistributableFallback(t *testing.T) {
+	app := eeg.NewWithChannels(2)
+	onNode := make(map[int]bool)
+	for _, op := range app.Graph.Operators() {
+		onNode[op.ID()] = op.NS == dataflow.NSNode
+	}
+	cfg := runtime.Config{
+		Graph: app.Graph, OnNode: onNode, Platform: platform.Gumstix(),
+		Nodes: 2, Duration: 4, Seed: 1, WindowSeconds: 2,
+	}
+	if runtime.Distributable(cfg) {
+		t.Fatal("EEG partition reported distributable despite global server state")
+	}
+	if _, err := runtime.NewShardHost(cfg, []int{0}); err == nil {
+		t.Fatal("NewShardHost accepted a partition with global server state")
+	}
+	sp := speech.New()
+	good := runtime.Config{
+		Graph: sp.Graph, OnNode: speechCutOnNode(sp, 1), Platform: platform.Gumstix(),
+		Nodes: 2, Duration: 4, Seed: 1, WindowSeconds: 2,
+	}
+	if !runtime.Distributable(good) {
+		t.Fatal("speech partition reported not distributable")
+	}
+}

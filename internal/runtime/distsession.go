@@ -1,0 +1,509 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"wishbone/internal/dataflow"
+	"wishbone/internal/netsim"
+	"wishbone/internal/wire"
+)
+
+// HostDriver is the coordinator's view of one shard host — a local
+// ShardHost or an HTTP peer speaking the /v1/shard protocol. Calls arrive
+// strictly phased per host: ComputeWindow, then (if the window held
+// messages) DeliverWindow, repeating; finally Close or Abort.
+type HostDriver interface {
+	ComputeWindow(span float64, arrivals []HostArrival) (*WindowReport, error)
+	DeliverWindow(ratio float64) error
+	Close() (*HostResult, error)
+	Abort()
+}
+
+// HostBinding assigns one driver its origin subset.
+type HostBinding struct {
+	Driver  HostDriver
+	Origins []int
+}
+
+// DistSession is the coordinator of a distributed run. It exposes the
+// same Offer/Close surface as Session, but the node phase and per-origin
+// delivery run on the bound shard hosts; the coordinator keeps exactly
+// the global pieces: the window clock, the in-network reduce aggregation
+// (rounds combine across all nodes), the delivery-ratio pricing (a
+// function of every host's offered air), and the aggregate-origin
+// delivery (AggregateOrigin's RNG, reassembly and relocated state live
+// in the coordinator's own one-shard plan).
+//
+// Results are byte-identical to the single-host Session at every host
+// count and origin placement: integer counters sum order-free across
+// hosts, reduce contributions re-merge in global node order, the ratio
+// bookkeeping stays on one goroutine in window order, and per-node CPU
+// seconds are summed in global node order at Close.
+type DistSession struct {
+	cfg     Config
+	ch      netsim.Channel
+	agg     *reduceAggregator
+	aggPlan *deliveryPlan
+	hosts   []HostBinding
+	ownerOf []int // node -> index into hosts
+	sources map[*dataflow.Operator]bool
+	edges   []*dataflow.Edge
+	window  float64
+
+	// Per-window scratch: arrivals grouped per host, and the per-host
+	// window reports.
+	hostArr [][]HostArrival
+	reports []*WindowReport
+	errs    []error
+
+	buf          [][]arrival
+	maxBuffered  int
+	windowStart  float64
+	lastSpan     float64
+	lastTime     float64
+	buffered     int
+	peakBuffered int
+	totalAir     int
+	ratioFirst   float64
+	ratioAir     float64
+	ratioUniform bool
+	sawWindow    bool
+	res          Result
+	closed       bool
+}
+
+// Distributable reports whether cfg's simulation can be split across
+// shard hosts: streaming-capable (compiled engine) and free of global
+// server state. Callers with peers configured fall back to a local
+// Session when this is false.
+func Distributable(cfg Config) bool {
+	return cfg.Engine != EngineLegacy && validateConfig(&cfg) == nil && shardable(&cfg)
+}
+
+// NewDistSession validates the placement and binds the hosts. Every node
+// in [0, cfg.Nodes) must be owned by exactly one host. The caller builds
+// the drivers (and their remote sessions) first; on error the caller
+// aborts them.
+func NewDistSession(cfg Config, hosts []HostBinding) (*DistSession, error) {
+	if err := validateConfig(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == EngineLegacy {
+		return nil, fmt.Errorf("runtime: distributed execution requires the compiled engine")
+	}
+	if !shardable(&cfg) {
+		return nil, fmt.Errorf("runtime: partition has global server state; it cannot be distributed by origin")
+	}
+	if math.IsNaN(cfg.WindowSeconds) || math.IsInf(cfg.WindowSeconds, 0) || cfg.WindowSeconds < 0 {
+		return nil, fmt.Errorf("runtime: bad WindowSeconds %g", cfg.WindowSeconds)
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("runtime: distributed run needs at least one host")
+	}
+	s := &DistSession{
+		cfg:          cfg,
+		ch:           netsim.ChannelFor(cfg.Platform),
+		agg:          newReduceAggregator(cfg.Nodes),
+		hosts:        hosts,
+		ownerOf:      make([]int, cfg.Nodes),
+		edges:        cfg.Graph.Edges(),
+		window:       cfg.WindowSeconds,
+		hostArr:      make([][]HostArrival, len(hosts)),
+		reports:      make([]*WindowReport, len(hosts)),
+		errs:         make([]error, len(hosts)),
+		buf:          make([][]arrival, cfg.Nodes),
+		maxBuffered:  cfg.MaxBufferedArrivals,
+		ratioUniform: true,
+	}
+	if s.maxBuffered <= 0 || s.maxBuffered > maxWindowArrivals {
+		s.maxBuffered = maxWindowArrivals
+	}
+	if s.window <= 0 {
+		s.window = 10
+	}
+	if s.window > cfg.Duration {
+		s.window = cfg.Duration
+	}
+	for i := range s.ownerOf {
+		s.ownerOf[i] = -1
+	}
+	for hi, b := range hosts {
+		if b.Driver == nil || len(b.Origins) == 0 {
+			return nil, fmt.Errorf("runtime: host %d has no driver or no origins", hi)
+		}
+		for _, n := range b.Origins {
+			if n < 0 || n >= cfg.Nodes {
+				return nil, fmt.Errorf("runtime: origin %d outside [0,%d)", n, cfg.Nodes)
+			}
+			if s.ownerOf[n] != -1 {
+				return nil, fmt.Errorf("runtime: origin %d assigned to hosts %d and %d", n, s.ownerOf[n], hi)
+			}
+			s.ownerOf[n] = hi
+		}
+	}
+	for n, hi := range s.ownerOf {
+		if hi == -1 {
+			return nil, fmt.Errorf("runtime: origin %d owned by no host", n)
+		}
+	}
+	// The coordinator's own plan delivers only AggregateOrigin's messages;
+	// one shard suffices and keeps the relocated-state table, reassembly
+	// streams and RNG of the aggregate origin in one place.
+	aggCfg := s.cfg
+	aggCfg.Shards = 1
+	plan, err := newDeliveryPlan(&aggCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.aggPlan = plan
+	s.lastSpan = s.window
+	s.sources = make(map[*dataflow.Operator]bool)
+	for _, src := range cfg.Graph.Sources() {
+		s.sources[src] = true
+	}
+	return s, nil
+}
+
+// Offer feeds one arrival, exactly like Session.Offer: globally
+// nondecreasing time, window-boundary crossings flush through the hosts.
+func (s *DistSession) Offer(nodeID int, a Arrival) error {
+	if s.closed {
+		return fmt.Errorf("runtime: Offer on a closed DistSession")
+	}
+	if nodeID < 0 || nodeID >= s.cfg.Nodes {
+		return fmt.Errorf("runtime: arrival for node %d outside [0,%d): %w", nodeID, s.cfg.Nodes, ErrBadArrival)
+	}
+	if !s.sources[a.Source] {
+		return fmt.Errorf("runtime: arrival source %v is not a source of the graph: %w", a.Source, ErrBadArrival)
+	}
+	if a.Time < s.lastTime {
+		return fmt.Errorf("runtime: arrivals out of order (%.6f after %.6f): %w", a.Time, s.lastTime, ErrBadArrival)
+	}
+	s.lastTime = a.Time
+	if a.Time >= s.cfg.Duration {
+		return nil
+	}
+	if err := s.advance(a.Time); err != nil {
+		return err
+	}
+	if s.buffered >= s.maxBuffered {
+		return fmt.Errorf("runtime: window [%g,%g) exceeds %d buffered arrivals: %w",
+			s.windowStart, s.windowStart+s.window, s.maxBuffered, ErrBackpressure)
+	}
+	s.buf[nodeID] = append(s.buf[nodeID], arrival{t: a.Time, src: a.Source, v: a.Value})
+	s.buffered++
+	if s.buffered > s.peakBuffered {
+		s.peakBuffered = s.buffered
+	}
+	return nil
+}
+
+// advance mirrors Session.advance: flush every crossed window boundary,
+// jumping the clock over empty gaps in one step.
+func (s *DistSession) advance(t float64) error {
+	for t >= s.windowStart+s.window {
+		if s.windowStart+s.window <= s.windowStart {
+			return fmt.Errorf("runtime: WindowSeconds %g cannot advance the window clock at t=%g",
+				s.window, s.windowStart)
+		}
+		if s.buffered == 0 {
+			if steps := math.Floor((t - s.windowStart) / s.window); steps > 1 {
+				s.windowStart += (steps - 1) * s.window
+				continue
+			}
+		}
+		if err := s.flushWindow(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushWindow drives one distributed window barrier:
+//
+//  1. ship each host its origins' buffered arrivals; hosts simulate the
+//     node phase and answer with offered air + reduce contributions,
+//  2. fold the contributions into the global aggregation rounds in node
+//     order (byte-identical to the single-host merge),
+//  3. price the delivery ratio from the global offered air,
+//  4. broadcast the ratio — hosts deliver their held messages — and
+//     deliver the flushed aggregates through the coordinator's plan.
+func (s *DistSession) flushWindow() error {
+	cfg := &s.cfg
+	span := s.window
+	if rest := cfg.Duration - s.windowStart; rest < span {
+		span = rest
+	}
+	s.windowStart += s.window
+	if s.buffered == 0 {
+		return nil
+	}
+	s.lastSpan = span
+
+	for hi := range s.hostArr {
+		s.hostArr[hi] = s.hostArr[hi][:0]
+	}
+	// Nodes ascending: each host receives its origins' arrivals in the
+	// same per-node order the single-host path feeds them.
+	for n := 0; n < cfg.Nodes; n++ {
+		buf := s.buf[n]
+		if len(buf) == 0 {
+			continue
+		}
+		hi := s.ownerOf[n]
+		for _, a := range buf {
+			s.hostArr[hi] = append(s.hostArr[hi], HostArrival{
+				Node: n, Time: a.t, Source: a.src.ID(), Value: a.v,
+			})
+		}
+		s.buf[n] = s.buf[n][:0]
+	}
+	s.buffered = 0
+
+	active := s.activeHosts(func(hi int) bool { return len(s.hostArr[hi]) > 0 })
+	s.eachHost(active, func(hi int) error {
+		rep, err := s.hosts[hi].Driver.ComputeWindow(span, s.hostArr[hi])
+		s.reports[hi] = rep
+		return err
+	})
+	for _, hi := range active {
+		if err := s.errs[hi]; err != nil {
+			return err
+		}
+	}
+
+	// Merge the reduce contributions in global node order (stable within
+	// a node), rebuild runtime messages, and run them through the same
+	// aggregator the single-host session uses.
+	var reduce []ReduceMsg
+	for _, hi := range active {
+		reduce = append(reduce, s.reports[hi].Reduce...)
+	}
+	sort.SliceStable(reduce, func(i, j int) bool { return reduce[i].Node < reduce[j].Node })
+	msgs := make([]message, 0, len(reduce))
+	for _, rm := range reduce {
+		if rm.Edge < 0 || rm.Edge >= len(s.edges) {
+			return fmt.Errorf("runtime: reduce contribution on edge %d of %d", rm.Edge, len(s.edges))
+		}
+		v, _, err := wire.Unmarshal(rm.Data)
+		if err != nil {
+			return fmt.Errorf("runtime: reduce contribution does not decode: %w", err)
+		}
+		msgs = append(msgs, message{
+			time: rm.Time, nodeID: rm.Node, edge: s.edges[rm.Edge],
+			value: v, packets: rm.Packets,
+		})
+	}
+	out := s.agg.add(cfg, msgs, &s.res, nil)
+	out = s.agg.flushComplete(cfg, &s.res, out)
+	out = s.agg.flushExcess(cfg, &s.res, out)
+	for i := range out {
+		if out[i].nodeID != AggregateOrigin {
+			// A non-reduce message can only reach the coordinator's out
+			// queue if a host misclassified it; fail loudly rather than
+			// deliver it against the wrong plan.
+			return fmt.Errorf("runtime: non-aggregate message from origin %d in the coordinator's window", out[i].nodeID)
+		}
+	}
+	return s.deliverWindow(out, span, active)
+}
+
+// deliverWindow prices one window's global offered load and fans the
+// ratio out: the hosts deliver their held messages, the coordinator its
+// aggregates.
+func (s *DistSession) deliverWindow(out []message, span float64, active []int) error {
+	air, held := 0, 0
+	for _, hi := range active {
+		air += s.reports[hi].Air
+		held += s.reports[hi].Held
+	}
+	for i := range out {
+		air += out[i].air
+	}
+	if held+len(out) == 0 {
+		return nil
+	}
+	s.totalAir += air
+	ratio := s.ch.DeliveryRatio(float64(air) / span)
+	if !s.sawWindow {
+		s.ratioFirst, s.sawWindow = ratio, true
+	} else if ratio != s.ratioFirst {
+		s.ratioUniform = false
+	}
+	s.ratioAir += ratio * float64(air)
+
+	deliverers := make([]int, 0, len(active))
+	for _, hi := range active {
+		if s.reports[hi].Held > 0 {
+			deliverers = append(deliverers, hi)
+		}
+	}
+	s.eachHost(deliverers, func(hi int) error {
+		return s.hosts[hi].Driver.DeliverWindow(ratio)
+	})
+	for _, hi := range deliverers {
+		if err := s.errs[hi]; err != nil {
+			return err
+		}
+	}
+	if len(out) > 0 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })
+		return s.aggPlan.deliver(out, ratio)
+	}
+	return nil
+}
+
+// activeHosts filters host indices by keep.
+func (s *DistSession) activeHosts(keep func(int) bool) []int {
+	active := make([]int, 0, len(s.hosts))
+	for hi := range s.hosts {
+		if keep(hi) {
+			active = append(active, hi)
+		}
+	}
+	return active
+}
+
+// eachHost runs f concurrently across the given hosts (the whole point of
+// distribution: the per-window barrier costs one round-trip, not one per
+// host), parking each error in s.errs.
+func (s *DistSession) eachHost(hosts []int, f func(hi int) error) {
+	for _, hi := range hosts {
+		s.errs[hi] = nil
+	}
+	if len(hosts) == 1 {
+		s.errs[hosts[0]] = f(hosts[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, hi := range hosts {
+		wg.Add(1)
+		go func(hi int) {
+			defer wg.Done()
+			s.errs[hi] = f(hi)
+		}(hi)
+	}
+	wg.Wait()
+}
+
+// Close flushes the tail window and the still-pending reduce rounds,
+// closes every host, and assembles the global Result.
+func (s *DistSession) Close() (*Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("runtime: Close on a closed DistSession")
+	}
+	s.closed = true
+	aborted := false
+	abort := func(err error) (*Result, error) {
+		aborted = true
+		for _, b := range s.hosts {
+			b.Driver.Abort()
+		}
+		s.aggPlan.close()
+		return nil, err
+	}
+	cfg := &s.cfg
+	if s.buffered > 0 {
+		if err := s.flushWindow(); err != nil {
+			return abort(err)
+		}
+	}
+	tail := s.agg.flushAll(cfg, &s.res, nil)
+	if err := s.deliverWindow(tail, s.lastSpan, nil); err != nil {
+		return abort(err)
+	}
+
+	busy := make([]float64, cfg.Nodes)
+	results := make([]*HostResult, len(s.hosts))
+	all := s.activeHosts(func(int) bool { return true })
+	s.eachHost(all, func(hi int) error {
+		hr, err := s.hosts[hi].Driver.Close()
+		results[hi] = hr
+		return err
+	})
+	for hi := range s.hosts {
+		if err := s.errs[hi]; err != nil {
+			if !aborted {
+				// Close already tore the hosts down; only the coordinator's
+				// plan is left.
+				s.aggPlan.close()
+				aborted = true
+			}
+			return nil, err
+		}
+		hr := results[hi]
+		s.res.InputEvents += hr.InputEvents
+		s.res.ProcessedEvents += hr.ProcessedEvents
+		s.res.MsgsSent += hr.MsgsSent
+		s.res.MsgsReceived += hr.MsgsReceived
+		s.res.PayloadBytes += hr.PayloadBytes
+		s.res.DeliveredBytes += hr.DeliveredBytes
+		s.res.ServerEmits += hr.ServerEmits
+		for _, nb := range hr.NodeBusy {
+			if nb.Node < 0 || nb.Node >= cfg.Nodes {
+				return nil, fmt.Errorf("runtime: host %d reports busy for node %d", hi, nb.Node)
+			}
+			busy[nb.Node] = nb.Busy
+		}
+	}
+	// Global node order — float64 addition order is part of byte-identity.
+	for _, b := range busy {
+		s.res.NodeCPU += b
+	}
+	s.res.NodeCPU /= cfg.Duration * float64(cfg.Nodes)
+	s.res.OfferedAirBytesPerSec = float64(s.totalAir) / cfg.Duration
+	switch {
+	case !s.sawWindow:
+		s.res.DeliveryRatio = s.ch.DeliveryRatio(0)
+	case s.ratioUniform:
+		s.res.DeliveryRatio = s.ratioFirst
+	default:
+		s.res.DeliveryRatio = s.ratioAir / float64(s.totalAir)
+	}
+	s.aggPlan.collect(&s.res)
+	res := s.res
+	return &res, nil
+}
+
+// Abort tears the coordinator and every host down (error paths).
+func (s *DistSession) Abort() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, b := range s.hosts {
+		b.Driver.Abort()
+	}
+	s.aggPlan.close()
+}
+
+// PeakBuffered mirrors Session.PeakBuffered.
+func (s *DistSession) PeakBuffered() int { return s.peakBuffered }
+
+// LocalHost adapts an in-process ShardHost to HostDriver — the degenerate
+// single-machine placement, and the reference the HTTP driver must match.
+type LocalHost struct{ H *ShardHost }
+
+func (l LocalHost) ComputeWindow(span float64, arrivals []HostArrival) (*WindowReport, error) {
+	return l.H.ComputeWindow(span, arrivals)
+}
+func (l LocalHost) DeliverWindow(ratio float64) error { return l.H.DeliverWindow(ratio) }
+func (l LocalHost) Close() (*HostResult, error)       { return l.H.Close() }
+func (l LocalHost) Abort()                            { l.H.Abort() }
+
+// PartitionOrigins splits nodes 0..n-1 across h hosts round-robin —
+// placement does not affect Results (per-origin independence), only
+// balance, and round-robin balances any node-indexed rate skew.
+func PartitionOrigins(n, h int) [][]int {
+	if h > n {
+		h = n
+	}
+	parts := make([][]int, h)
+	for i := 0; i < n; i++ {
+		parts[i%h] = append(parts[i%h], i)
+	}
+	return parts
+}

@@ -1,0 +1,701 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"wishbone/internal/dataflow"
+	"wishbone/internal/netsim"
+	"wishbone/internal/wire"
+)
+
+// Serializable simulation state. A streaming Session (and a distributed
+// ShardHost, which reuses the same pieces) can be frozen at a window
+// boundary into a versioned byte snapshot and restored in a fresh process
+// — same or different host — with byte-identical continuation: the
+// snapshot pins every accumulator that feeds the Result (including
+// floating-point ones, saved bit-exact), every piece of cross-window
+// state (operator states via the dataflow.Operator SaveState hooks,
+// reassembler partials, loss-RNG positions, pending reduce rounds), and
+// the buffered arrivals of the window in progress.
+//
+// The layout is placement-independent: per-origin server state is keyed
+// by origin node, not by shard, so a snapshot taken at Shards=1 restores
+// into a Shards=8 session (or a different host of a distributed run) and
+// still produces the byte-identical Result — the same per-origin
+// independence argument that makes sharded delivery exact in the first
+// place (see shard.go).
+
+// ShardState is the serializable server-side delivery state of a shard
+// set: the per-origin reassembly streams, loss-sampler positions and
+// relocated-operator states for every origin the set has seen, plus the
+// carried delivery counters and — for unshardable partitions — the
+// stateful Server-namespace operator states of the single shard engine.
+type ShardState struct {
+	MsgsReceived   int
+	DeliveredBytes int
+	ServerEmits    int
+	Origins        []OriginState
+	Server         []OpState
+}
+
+// OriginState is one origin's server-side state (origin AggregateOrigin
+// carries the in-network aggregates' streams).
+type OriginState struct {
+	Origin  int
+	Draws   uint64       // loss-sampler position in the origin's RNG stream
+	Streams []EdgeStream // in-flight reassembler partials, by dense edge index
+	Ops     []OpState    // relocated node-operator states (§2.1.1)
+}
+
+// EdgeStream is one (origin, edge) reassembly stream's partial element.
+type EdgeStream struct {
+	Edge int
+	Data []byte
+}
+
+// OpState is one operator's serialized private state.
+type OpState struct {
+	Op   int
+	Data []byte
+}
+
+func (st *ShardState) save(w *wire.SnapshotWriter) {
+	w.Int(int64(st.MsgsReceived))
+	w.Int(int64(st.DeliveredBytes))
+	w.Int(int64(st.ServerEmits))
+	w.Uvarint(uint64(len(st.Origins)))
+	for i := range st.Origins {
+		o := &st.Origins[i]
+		w.Int(int64(o.Origin))
+		w.Uvarint(o.Draws)
+		w.Uvarint(uint64(len(o.Streams)))
+		for _, es := range o.Streams {
+			w.Uvarint(uint64(es.Edge))
+			w.Blob(es.Data)
+		}
+		saveOpStates(w, o.Ops)
+	}
+	saveOpStates(w, st.Server)
+}
+
+func loadShardState(r *wire.SnapshotReader) *ShardState {
+	st := &ShardState{
+		MsgsReceived:   int(r.Int()),
+		DeliveredBytes: int(r.Int()),
+		ServerEmits:    int(r.Int()),
+	}
+	st.Origins = make([]OriginState, r.Uvarint())
+	for i := range st.Origins {
+		o := &st.Origins[i]
+		o.Origin = int(r.Int())
+		o.Draws = r.Uvarint()
+		o.Streams = make([]EdgeStream, r.Uvarint())
+		for j := range o.Streams {
+			o.Streams[j].Edge = int(r.Uvarint())
+			o.Streams[j].Data = append([]byte(nil), r.Blob()...)
+		}
+		o.Ops = loadOpStates(r)
+	}
+	st.Server = loadOpStates(r)
+	return st
+}
+
+func saveOpStates(w *wire.SnapshotWriter, ops []OpState) {
+	w.Uvarint(uint64(len(ops)))
+	for _, os := range ops {
+		w.Uvarint(uint64(os.Op))
+		w.Blob(os.Data)
+	}
+}
+
+func loadOpStates(r *wire.SnapshotReader) []OpState {
+	ops := make([]OpState, r.Uvarint())
+	for i := range ops {
+		ops[i].Op = int(r.Uvarint())
+		ops[i].Data = append([]byte(nil), r.Blob()...)
+	}
+	return ops
+}
+
+// checkSnapshotable verifies every stateful operator in the graph carries
+// snapshot hooks, so Snapshot and ResumeSession fail deterministically on
+// the first call rather than only once some state happens to exist.
+func checkSnapshotable(cfg *Config) error {
+	for _, op := range cfg.Graph.Operators() {
+		if op.Stateful && op.NewState != nil && (op.SaveState == nil || op.LoadState == nil) {
+			return fmt.Errorf("runtime: operator %s is stateful but has no snapshot hooks (SaveState/LoadState); its graph cannot be snapshotted", op)
+		}
+	}
+	return nil
+}
+
+// saveOperatorState runs one operator's SaveState hook, failing with the
+// operator's name when the hook is missing — the caller's graph simply
+// does not support snapshots until it grows one.
+func saveOperatorState(op *dataflow.Operator, st any) ([]byte, error) {
+	if op.SaveState == nil {
+		return nil, fmt.Errorf("runtime: operator %s is stateful but has no SaveState hook; its graph cannot be snapshotted", op)
+	}
+	return op.SaveState(st)
+}
+
+func loadOperatorState(op *dataflow.Operator, data []byte) (any, error) {
+	if op.LoadState == nil {
+		return nil, fmt.Errorf("runtime: operator %s has no LoadState hook", op)
+	}
+	return op.LoadState(data)
+}
+
+// snapshotState extracts the plan's serializable state. The plan must be
+// quiescent (no delivery in flight) and compiled-engine.
+func (d *deliveryPlan) snapshotState(cfg *Config) (*ShardState, error) {
+	st := &ShardState{}
+	origins := make(map[int]*OriginState)
+	originOf := func(id int) *OriginState {
+		o := origins[id]
+		if o == nil {
+			o = &OriginState{Origin: id}
+			origins[id] = o
+		}
+		return o
+	}
+	eidx, err := edgeIndexes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range d.shards {
+		srv, ok := sh.engine.(*compiledServer)
+		if !ok {
+			return nil, fmt.Errorf("runtime: snapshot requires the compiled engine")
+		}
+		st.MsgsReceived += sh.res.MsgsReceived
+		st.DeliveredBytes += sh.res.DeliveredBytes
+		st.ServerEmits += sh.engine.emits()
+		for id, sam := range sh.rng {
+			originOf(id).Draws = sam.DrawCount()
+		}
+		for key, re := range sh.reasm {
+			w := wire.NewSnapshotWriter()
+			re.SaveSnapshot(w)
+			originOf(key.node).Streams = append(originOf(key.node).Streams,
+				EdgeStream{Edge: eidx[key.edge], Data: w.Bytes()})
+		}
+		for opID, tbl := range srv.states {
+			op := cfg.Graph.ByID(opID)
+			for nodeID, state := range tbl {
+				data, err := saveOperatorState(op, state)
+				if err != nil {
+					return nil, err
+				}
+				originOf(nodeID).Ops = append(originOf(nodeID).Ops, OpState{Op: opID, Data: data})
+			}
+		}
+		// Stateful Server-namespace operators (unshardable partitions run
+		// exactly one shard, so this captures the single global state set).
+		for _, op := range cfg.Graph.Operators() {
+			if cfg.OnNode[op.ID()] || !op.Stateful || op.NewState == nil || op.NS != dataflow.NSServer {
+				continue
+			}
+			data, err := saveOperatorState(op, srv.inst.State(op))
+			if err != nil {
+				return nil, err
+			}
+			st.Server = append(st.Server, OpState{Op: op.ID(), Data: data})
+		}
+	}
+	for _, o := range origins {
+		sort.Slice(o.Streams, func(i, j int) bool { return o.Streams[i].Edge < o.Streams[j].Edge })
+		sort.Slice(o.Ops, func(i, j int) bool { return o.Ops[i].Op < o.Ops[j].Op })
+		st.Origins = append(st.Origins, *o)
+	}
+	sort.Slice(st.Origins, func(i, j int) bool { return st.Origins[i].Origin < st.Origins[j].Origin })
+	sort.Slice(st.Server, func(i, j int) bool { return st.Server[i].Op < st.Server[j].Op })
+	return st, nil
+}
+
+// restoreState rebuilds a fresh plan's per-origin state from a snapshot.
+// The carried counters (MsgsReceived, DeliveredBytes, ServerEmits) are NOT
+// folded into the shards — exactly one caller must add them to its partial
+// Result, since a snapshot may be split across several restoring plans
+// (distributed placement) but its counters must be counted once.
+func (d *deliveryPlan) restoreState(cfg *Config, st *ShardState) error {
+	edges := cfg.Graph.Edges()
+	for i := range st.Origins {
+		o := &st.Origins[i]
+		sh := d.shards[d.shardFor(o.Origin)]
+		if o.Draws > 0 {
+			sh.sampler(o.Origin).SeekTo(netsim.NodeSeed(cfg.Seed, o.Origin), o.Draws)
+		}
+		for _, es := range o.Streams {
+			if es.Edge < 0 || es.Edge >= len(edges) {
+				return fmt.Errorf("runtime: snapshot reassembly stream on edge %d of %d", es.Edge, len(edges))
+			}
+			r, err := wire.NewSnapshotReader(es.Data)
+			if err != nil {
+				return err
+			}
+			re := &wire.Reassembler{}
+			if err := re.LoadSnapshot(r); err != nil {
+				return err
+			}
+			sh.reasm[reasmKey{node: o.Origin, edge: edges[es.Edge]}] = re
+		}
+		if len(o.Ops) > 0 {
+			srv, ok := sh.engine.(*compiledServer)
+			if !ok {
+				return fmt.Errorf("runtime: restore requires the compiled engine")
+			}
+			for _, os := range o.Ops {
+				op := cfg.Graph.ByID(os.Op)
+				if op == nil {
+					return fmt.Errorf("runtime: snapshot references operator %d", os.Op)
+				}
+				state, err := loadOperatorState(op, os.Data)
+				if err != nil {
+					return err
+				}
+				tbl := srv.states[os.Op]
+				if tbl == nil {
+					return fmt.Errorf("runtime: snapshot state for %s, which is not relocated in this partition", op)
+				}
+				tbl[o.Origin] = state
+			}
+		}
+	}
+	if len(st.Server) > 0 {
+		if len(d.shards) != 1 {
+			return fmt.Errorf("runtime: snapshot carries global server state but the plan has %d shards", len(d.shards))
+		}
+		srv, ok := d.shards[0].engine.(*compiledServer)
+		if !ok {
+			return fmt.Errorf("runtime: restore requires the compiled engine")
+		}
+		for _, os := range st.Server {
+			op := cfg.Graph.ByID(os.Op)
+			if op == nil {
+				return fmt.Errorf("runtime: snapshot references operator %d", os.Op)
+			}
+			state, err := loadOperatorState(op, os.Data)
+			if err != nil {
+				return err
+			}
+			srv.inst.SetState(op, state)
+		}
+	}
+	return nil
+}
+
+// edgeIndexes maps edge pointers to their dense index in Graph.Edges() —
+// the portable edge naming every serialized frame uses.
+func edgeIndexes(cfg *Config) (map[*dataflow.Edge]int, error) {
+	edges := cfg.Graph.Edges()
+	m := make(map[*dataflow.Edge]int, len(edges))
+	for i, e := range edges {
+		m[e] = i
+	}
+	return m, nil
+}
+
+// saveNodeSide serializes one node's simulator, sender sequence counters
+// and stateful operator states.
+func saveNodeSide(w *wire.SnapshotWriter, cfg *Config, prog *dataflow.Program,
+	eidx map[*dataflow.Edge]int, ns *nodeSim, inst *dataflow.Instance) error {
+	w.F64(ns.busyUntil)
+	w.F64(ns.busy)
+	w.Int(int64(ns.inputEvents))
+	w.Int(int64(ns.processedEvents))
+	type seqEntry struct {
+		edge int
+		seq  uint16
+	}
+	var seqs []seqEntry
+	for e, q := range ns.s.seqs {
+		seqs = append(seqs, seqEntry{edge: eidx[e], seq: q})
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i].edge < seqs[j].edge })
+	w.Uvarint(uint64(len(seqs)))
+	for _, se := range seqs {
+		w.Uvarint(uint64(se.edge))
+		w.U16(se.seq)
+	}
+	ids := prog.StatefulOps()
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		op := cfg.Graph.ByID(id)
+		data, err := saveOperatorState(op, inst.State(op))
+		if err != nil {
+			return err
+		}
+		w.Uvarint(uint64(id))
+		w.Blob(data)
+	}
+	return nil
+}
+
+func loadNodeSide(r *wire.SnapshotReader, cfg *Config, prog *dataflow.Program,
+	ns *nodeSim, inst *dataflow.Instance) error {
+	edges := cfg.Graph.Edges()
+	ns.busyUntil = r.F64()
+	ns.busy = r.F64()
+	ns.inputEvents = int(r.Int())
+	ns.processedEvents = int(r.Int())
+	nseq := int(r.Uvarint())
+	if nseq > 0 {
+		ns.s.seqs = make(map[*dataflow.Edge]uint16, nseq)
+		for i := 0; i < nseq; i++ {
+			ei := int(r.Uvarint())
+			q := r.U16()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if ei < 0 || ei >= len(edges) {
+				return fmt.Errorf("runtime: snapshot sender sequence on edge %d of %d", ei, len(edges))
+			}
+			ns.s.seqs[edges[ei]] = q
+		}
+	}
+	nops := int(r.Uvarint())
+	for i := 0; i < nops; i++ {
+		id := int(r.Uvarint())
+		data := r.Blob()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		op := cfg.Graph.ByID(id)
+		if op == nil || !prog.Included(op) {
+			return fmt.Errorf("runtime: snapshot node state for operator %d outside the node partition", id)
+		}
+		state, err := loadOperatorState(op, data)
+		if err != nil {
+			return err
+		}
+		inst.SetState(op, state)
+	}
+	return r.Err()
+}
+
+// saveAggregator serializes the cross-window reduce-aggregation state:
+// per edge (in deterministic first-seen order) the per-node round counts,
+// the flush watermark, the fragmentation sequence, and every pending
+// round's combined value.
+func saveAggregator(w *wire.SnapshotWriter, a *reduceAggregator, eidx map[*dataflow.Edge]int) error {
+	w.Uvarint(uint64(len(a.edgeOrder)))
+	for _, e := range a.edgeOrder {
+		w.Uvarint(uint64(eidx[e]))
+		counts := a.counts[e]
+		w.Uvarint(uint64(len(counts)))
+		for _, c := range counts {
+			w.Int(int64(c))
+		}
+		w.Int(int64(a.flushed[e]))
+		w.U16(a.seq[e])
+		pend := a.pending[e]
+		w.Uvarint(uint64(len(pend)))
+		for _, m := range pend {
+			if m == nil {
+				w.Bool(false)
+				continue
+			}
+			w.Bool(true)
+			w.F64(m.time)
+			enc, err := wire.Marshal(m.value)
+			if err != nil {
+				return fmt.Errorf("runtime: pending aggregate on %s→%s does not marshal: %w",
+					m.edge.From, m.edge.To, err)
+			}
+			w.Blob(enc)
+		}
+	}
+	return nil
+}
+
+func loadAggregator(r *wire.SnapshotReader, cfg *Config, a *reduceAggregator) error {
+	edges := cfg.Graph.Edges()
+	nEdges := int(r.Uvarint())
+	for i := 0; i < nEdges; i++ {
+		ei := int(r.Uvarint())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if ei < 0 || ei >= len(edges) {
+			return fmt.Errorf("runtime: snapshot aggregator edge %d of %d", ei, len(edges))
+		}
+		e := edges[ei]
+		a.edgeOrder = append(a.edgeOrder, e)
+		counts := make([]int, r.Uvarint())
+		for j := range counts {
+			counts[j] = int(r.Int())
+		}
+		a.counts[e] = counts
+		a.flushed[e] = int(r.Int())
+		a.seq[e] = r.U16()
+		npend := int(r.Uvarint())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		pend := make([]*message, 0, npend)
+		for j := 0; j < npend; j++ {
+			if !r.Bool() {
+				pend = append(pend, nil)
+				continue
+			}
+			t := r.F64()
+			blob := r.Blob()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			v, _, err := wire.Unmarshal(blob)
+			if err != nil {
+				return err
+			}
+			pend = append(pend, &message{time: t, nodeID: AggregateOrigin, edge: e, value: v})
+		}
+		a.pending[e] = pend
+	}
+	return r.Err()
+}
+
+// Snapshot freezes the session at its current window boundary and returns
+// the versioned byte encoding. The call is terminal: the pipeline joins,
+// pooled instances and arenas are released, and the session is closed —
+// continuing the run means ResumeSession in this or any other process.
+// Arrivals buffered for the window in progress are part of the snapshot,
+// so callers may snapshot at any point between Offers; internally the
+// persistent state is always window-aligned.
+//
+// The resumed run's Results are byte-identical to the uninterrupted one
+// at any Shards/Workers/pipelining setting on either side.
+func (s *Session) Snapshot() ([]byte, error) {
+	if s.closed {
+		return nil, fmt.Errorf("runtime: Snapshot on a closed Session")
+	}
+	// Fail before committing to teardown: a hook-less graph leaves the
+	// session usable (the caller can still Close normally).
+	if err := checkSnapshotable(&s.cfg); err != nil {
+		return nil, err
+	}
+	s.closed = true
+	defer func() {
+		for _, inst := range s.insts {
+			s.prog.ReleaseInstance(inst)
+		}
+		s.insts, s.nodes = nil, nil
+		for _, a := range s.arenas {
+			releaseArena(a)
+		}
+		s.arenas = nil
+		s.plan.close()
+	}()
+	if s.pipe != nil {
+		// Joining the pipeline drains every in-flight delivery; afterwards
+		// all state is at the last flushed window boundary.
+		if err := s.pipe.shutdown(); err != nil {
+			return nil, err
+		}
+	}
+	cfg := &s.cfg
+	eidx, err := edgeIndexes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewSnapshotWriter()
+	saveSessionHeader(w, cfg, s.window)
+
+	w.F64(s.lastTime)
+	w.F64(s.windowStart)
+	w.F64(s.lastSpan)
+	w.Int(int64(s.peakBuffered))
+	w.Int(int64(s.totalAir))
+	w.F64(s.ratioFirst)
+	w.F64(s.ratioAir)
+	w.Bool(s.ratioUniform)
+	w.Bool(s.sawWindow)
+
+	w.Int(int64(s.res.InputEvents))
+	w.Int(int64(s.res.ProcessedEvents))
+	w.Int(int64(s.res.MsgsSent))
+	w.Int(int64(s.res.MsgsReceived))
+	w.Int(int64(s.res.PayloadBytes))
+	w.Int(int64(s.res.DeliveredBytes))
+	w.Int(int64(s.res.ServerEmits))
+
+	for n := 0; n < cfg.Nodes; n++ {
+		if err := saveNodeSide(w, cfg, s.prog, eidx, s.nodes[n], s.insts[n]); err != nil {
+			return nil, err
+		}
+		buf := s.buf[n]
+		w.Uvarint(uint64(len(buf)))
+		for _, a := range buf {
+			w.F64(a.t)
+			w.Uvarint(uint64(a.src.ID()))
+			enc, err := wire.Marshal(a.v)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: buffered arrival at node %d does not marshal: %w", n, err)
+			}
+			w.Blob(enc)
+		}
+	}
+
+	if err := saveAggregator(w, s.agg, eidx); err != nil {
+		return nil, err
+	}
+	st, err := s.plan.snapshotState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.save(w)
+	return w.Bytes(), nil
+}
+
+// saveSessionHeader pins the run identity a snapshot is only valid for:
+// the graph's structural hash, the cut, the platform, and the simulation
+// parameters that shape every downstream byte.
+func saveSessionHeader(w *wire.SnapshotWriter, cfg *Config, window float64) {
+	w.String(cfg.Graph.StructuralHash())
+	var onNode []int
+	for _, op := range cfg.Graph.Operators() {
+		if cfg.OnNode[op.ID()] {
+			onNode = append(onNode, op.ID())
+		}
+	}
+	sort.Ints(onNode)
+	w.Uvarint(uint64(len(onNode)))
+	for _, id := range onNode {
+		w.Uvarint(uint64(id))
+	}
+	w.String(cfg.Platform.Name)
+	w.Int(int64(cfg.Nodes))
+	w.F64(cfg.Duration)
+	w.Int(cfg.Seed)
+	w.F64(window)
+}
+
+func checkSessionHeader(r *wire.SnapshotReader, cfg *Config, window float64) error {
+	if h := r.String(); h != cfg.Graph.StructuralHash() {
+		return fmt.Errorf("runtime: snapshot is of a different graph (structural hash mismatch)")
+	}
+	n := int(r.Uvarint())
+	saved := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		saved[int(r.Uvarint())] = true
+	}
+	for _, op := range cfg.Graph.Operators() {
+		if cfg.OnNode[op.ID()] != saved[op.ID()] {
+			return fmt.Errorf("runtime: snapshot is of a different cut (operator %s changed sides)", op)
+		}
+	}
+	if p := r.String(); p != cfg.Platform.Name {
+		return fmt.Errorf("runtime: snapshot platform %q, config platform %q", p, cfg.Platform.Name)
+	}
+	if v := int(r.Int()); v != cfg.Nodes {
+		return fmt.Errorf("runtime: snapshot has %d nodes, config %d", v, cfg.Nodes)
+	}
+	if v := r.F64(); v != cfg.Duration {
+		return fmt.Errorf("runtime: snapshot duration %g, config %g", v, cfg.Duration)
+	}
+	if v := r.Int(); v != cfg.Seed {
+		return fmt.Errorf("runtime: snapshot seed %d, config %d", v, cfg.Seed)
+	}
+	if v := r.F64(); v != window {
+		return fmt.Errorf("runtime: snapshot window %g, config %g", v, window)
+	}
+	return r.Err()
+}
+
+// ResumeSession rebuilds a Session from a Snapshot. cfg must describe the
+// same run (graph structure, cut, platform, nodes, duration, seed,
+// window); the placement knobs — Shards, Workers, NoPipeline — are free,
+// because the snapshot's layout is placement-independent.
+func ResumeSession(cfg Config, data []byte) (*Session, error) {
+	if err := checkSnapshotable(&cfg); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restore(data); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Session) restore(data []byte) error {
+	cfg := &s.cfg
+	r, err := wire.NewSnapshotReader(data)
+	if err != nil {
+		return err
+	}
+	if err := checkSessionHeader(r, cfg, s.window); err != nil {
+		return err
+	}
+
+	s.lastTime = r.F64()
+	s.windowStart = r.F64()
+	s.lastSpan = r.F64()
+	s.peakBuffered = int(r.Int())
+	s.totalAir = int(r.Int())
+	s.ratioFirst = r.F64()
+	s.ratioAir = r.F64()
+	s.ratioUniform = r.Bool()
+	s.sawWindow = r.Bool()
+
+	s.res.InputEvents = int(r.Int())
+	s.res.ProcessedEvents = int(r.Int())
+	s.res.MsgsSent = int(r.Int())
+	s.res.MsgsReceived = int(r.Int())
+	s.res.PayloadBytes = int(r.Int())
+	s.res.DeliveredBytes = int(r.Int())
+	s.res.ServerEmits = int(r.Int())
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	for n := 0; n < cfg.Nodes; n++ {
+		if err := loadNodeSide(r, cfg, s.prog, s.nodes[n], s.insts[n]); err != nil {
+			return err
+		}
+		nbuf := int(r.Uvarint())
+		for i := 0; i < nbuf; i++ {
+			t := r.F64()
+			srcID := int(r.Uvarint())
+			blob := r.Blob()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			src := cfg.Graph.ByID(srcID)
+			if src == nil || !s.sources[src] {
+				return fmt.Errorf("runtime: snapshot buffered arrival at non-source operator %d", srcID)
+			}
+			v, _, err := wire.Unmarshal(blob)
+			if err != nil {
+				return err
+			}
+			s.buf[n] = append(s.buf[n], arrival{t: t, src: src, v: v})
+			s.buffered++
+		}
+	}
+	if s.buffered > s.peakBuffered {
+		s.peakBuffered = s.buffered
+	}
+
+	if err := loadAggregator(r, cfg, s.agg); err != nil {
+		return err
+	}
+	st := loadShardState(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if !r.Done() {
+		return fmt.Errorf("runtime: trailing bytes after session snapshot")
+	}
+	// The snapshot's carried delivery counters fold into the session's
+	// partial Result now; plan.collect adds only post-resume deltas.
+	s.res.MsgsReceived += st.MsgsReceived
+	s.res.DeliveredBytes += st.DeliveredBytes
+	s.res.ServerEmits += st.ServerEmits
+	st.MsgsReceived, st.DeliveredBytes, st.ServerEmits = 0, 0, 0
+	return s.plan.restoreState(cfg, st)
+}

@@ -109,6 +109,17 @@ func (c *Cache) insert(key string, val any) {
 	}
 }
 
+// Each calls f with every resident value, most recent first. The stats
+// endpoint uses it to aggregate per-Program counters; f must not call
+// back into the cache.
+func (c *Cache) Each(f func(val any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		f(el.Value.(*cacheEntry).val)
+	}
+}
+
 // Len returns the number of resident entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -177,6 +177,100 @@ func (c *Client) SimulateStream(ctx context.Context, req wire.SimulateStreamRequ
 	return &out, nil
 }
 
+// SimulateStreamSnapshot is SimulateStream ending in a snapshot instead
+// of a result: after the trace generator is exhausted it sends a
+// snapshot chunk, so the server freezes the session and returns its
+// state instead of simulating to Duration. Feed the returned bytes to a
+// later request's Resume field (on this or any other host) to continue.
+func (c *Client) SimulateStreamSnapshot(ctx context.Context, req wire.SimulateStreamRequest,
+	next func() ([]wire.ArrivalWire, bool)) ([]byte, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		if err := enc.Encode(req); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		for {
+			batch, ok := next()
+			if !ok {
+				break
+			}
+			if err := enc.Encode(wire.StreamChunk{Arrivals: batch}); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		if err := enc.Encode(wire.StreamChunk{Snapshot: true}); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		pw.Close()
+	}()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/simulate/stream", pr)
+	if err != nil {
+		pr.CloseWithError(err)
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out wire.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Snapshot) == 0 {
+		return nil, fmt.Errorf("server returned no snapshot")
+	}
+	return out.Snapshot, nil
+}
+
+// ShardOpen opens a shard-host session for an origin subset of one
+// simulation (see internal/dist for the coordinator that drives these).
+func (c *Client) ShardOpen(ctx context.Context, req wire.ShardOpenRequest) (*wire.ShardOpenResponse, error) {
+	var out wire.ShardOpenResponse
+	if err := c.post(ctx, "/v1/shard/open", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShardCompute runs one window's node phase on an open shard session.
+func (c *Client) ShardCompute(ctx context.Context, req wire.ShardComputeRequest) (*wire.ShardComputeResponse, error) {
+	var out wire.ShardComputeResponse
+	if err := c.post(ctx, "/v1/shard/compute", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShardDeliver replays the held window at the coordinator-priced ratio.
+func (c *Client) ShardDeliver(ctx context.Context, session string, ratio float64) error {
+	var out struct{}
+	return c.post(ctx, "/v1/shard/deliver", wire.ShardDeliverRequest{Session: session, Ratio: ratio}, &out)
+}
+
+// ShardClose finishes a shard session and returns its partial counters.
+func (c *Client) ShardClose(ctx context.Context, session string) (*wire.ShardCloseResponse, error) {
+	var out wire.ShardCloseResponse
+	if err := c.post(ctx, "/v1/shard/close", wire.ShardSessionRequest{Session: session}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShardAbort tears down a shard session without a result.
+func (c *Client) ShardAbort(ctx context.Context, session string) error {
+	var out struct{}
+	return c.post(ctx, "/v1/shard/abort", wire.ShardSessionRequest{Session: session}, &out)
+}
+
 // Stats fetches the server's metrics snapshot.
 func (c *Client) Stats(ctx context.Context) (*Snapshot, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)

@@ -120,6 +120,16 @@ type SolverSnapshot struct {
 	MaxMs    float64 `json:"maxMs"`
 }
 
+// BatchSnapshot is one operator's batch-hit counters aggregated across
+// every cached compiled Program (dataflow.Program.BatchStats): how many
+// elements it processed and how many arrived through a BatchWork
+// dispatch.
+type BatchSnapshot struct {
+	Batched int64   `json:"batched"`
+	Total   int64   `json:"total"`
+	HitRate float64 `json:"hitRate"`
+}
+
 // Snapshot is the full stats document.
 type Snapshot struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
@@ -127,6 +137,10 @@ type Snapshot struct {
 	// Solvers is the per-backend win/latency breakdown of every solve the
 	// partition endpoints ran (raced backends report individually).
 	Solvers map[string]SolverSnapshot `json:"solvers,omitempty"`
+
+	// Batch is the per-operator batch-hit breakdown of every simulation
+	// served from the Program cache, keyed by operator name.
+	Batch map[string]BatchSnapshot `json:"batch,omitempty"`
 
 	// Program/graph cache counters.
 	CacheEntries int64   `json:"cacheEntries"`

@@ -87,6 +87,11 @@ type Config struct {
 	// whose firehose exceeds it gets 429 with code "backpressure" instead
 	// of occupying a job slot while the buffer grows. 0 means 1<<18.
 	StreamMaxBuffered int
+
+	// MaxShardSessions bounds concurrently open shard-host sessions
+	// (/v1/shard/open; each pins per-origin instances until closed).
+	// Excess opens get 429. 0 means 256.
+	MaxShardSessions int
 }
 
 // Server implements the partition service. Create with New, expose with
@@ -101,6 +106,12 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// Shard-host sessions (see shard.go): the only cross-request mutable
+	// state the server keeps besides the cache.
+	shardMu       sync.Mutex
+	shardSessions map[string]*shardSession
+	shardClosed   bool
 }
 
 // New returns a ready Server.
@@ -109,17 +120,23 @@ func New(cfg Config) *Server {
 		cfg.MaxJobs = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewCache(cfg.CacheEntries),
-		metrics: NewMetrics(),
-		jobs:    make(chan struct{}, cfg.MaxJobs),
-		mux:     http.NewServeMux(),
+		cfg:           cfg,
+		cache:         NewCache(cfg.CacheEntries),
+		metrics:       NewMetrics(),
+		jobs:          make(chan struct{}, cfg.MaxJobs),
+		mux:           http.NewServeMux(),
+		shardSessions: make(map[string]*shardSession),
 	}
 	s.mux.HandleFunc("POST /v1/graph", s.handleGraph)
 	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/simulate/stream", s.handleSimulateStream)
+	s.mux.HandleFunc("POST /v1/shard/open", s.handleShardOpen)
+	s.mux.HandleFunc("POST /v1/shard/compute", s.handleShardCompute)
+	s.mux.HandleFunc("POST /v1/shard/deliver", s.handleShardDeliver)
+	s.mux.HandleFunc("POST /v1/shard/close", s.handleShardClose)
+	s.mux.HandleFunc("POST /v1/shard/abort", s.handleShardAbort)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -131,15 +148,58 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close marks the server draining: new requests get 503 while the owning
-// http.Server's Shutdown finishes the in-flight ones.
+// http.Server's Shutdown finishes the in-flight ones. Open shard-host
+// sessions are aborted — their coordinator fails its next call and
+// retries the whole run elsewhere.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.abortShardSessions()
 }
 
 // Stats returns the current metrics snapshot (also served at /v1/stats).
-func (s *Server) Stats() Snapshot { return s.metrics.Snapshot(s.cache) }
+func (s *Server) Stats() Snapshot {
+	snap := s.metrics.Snapshot(s.cache)
+	snap.Batch = s.batchStats()
+	return snap
+}
+
+// batchStats aggregates batch-hit counters across every cached compiled
+// Program, keyed by operator name. Instances fold their local counters
+// into the Program at release, so the totals cover every simulation the
+// cache served (including shard-host sessions).
+func (s *Server) batchStats() map[string]BatchSnapshot {
+	agg := make(map[string]BatchSnapshot)
+	fold := func(p *dataflow.Program) {
+		if p == nil {
+			return
+		}
+		for _, st := range p.BatchStats() {
+			b := agg[st.Op.Name]
+			b.Batched += st.Batched
+			b.Total += st.Total
+			agg[st.Op.Name] = b
+		}
+	}
+	s.cache.Each(func(val any) {
+		switch v := val.(type) {
+		case *partitionPrograms:
+			fold(v.node)
+			fold(v.server)
+		case *dataflow.Program:
+			fold(v)
+		}
+	})
+	if len(agg) == 0 {
+		return nil
+	}
+	for name, b := range agg {
+		b.HitRate = float64(b.Batched) / float64(b.Total)
+		agg[name] = b
+	}
+	return agg
+}
 
 // httpError carries a status code (and optional machine-readable error
 // code) through the handler helpers.
@@ -695,7 +755,7 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 	if maxBuffered <= 0 {
 		maxBuffered = defaultStreamMaxBuffered
 	}
-	sess, err := wbruntime.NewSession(wbruntime.Config{
+	scfg := wbruntime.Config{
 		Graph:               e.graph,
 		OnNode:              onNode,
 		Platform:            plat,
@@ -708,13 +768,38 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 		MaxBufferedArrivals: maxBuffered,
 		NodeProgram:         progs.node,
 		ServerProgram:       progs.server,
-	})
+	}
+	var sess *wbruntime.Session
+	if len(req.Resume) > 0 {
+		// Continue a session snapshotted by an earlier stream request —
+		// here or on another host; the runtime verifies the run identity
+		// (graph structure, cut, platform, nodes, duration, seed, window).
+		sess, err = wbruntime.ResumeSession(scfg, req.Resume)
+	} else {
+		sess, err = wbruntime.NewSession(scfg)
+	}
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	if err := s.ingestStream(dec, e, sess); err != nil {
+	snap, err := s.ingestStream(dec, e, sess)
+	if err != nil {
 		sess.Close()
 		return nil, err
+	}
+	if snap {
+		data, err := sess.Snapshot()
+		if err != nil {
+			// A graph without snapshot codecs fails before teardown — the
+			// session is still open; release it and report the fault.
+			sess.Close()
+			return nil, badRequest("%v", err)
+		}
+		return &wire.SimulateResponse{
+			GraphHash:    e.key,
+			CacheHit:     entryHit && cutHit && progHit,
+			RateMultiple: rate,
+			Snapshot:     data,
+		}, nil
 	}
 	res, err := sess.Close()
 	if err != nil {
@@ -736,7 +821,11 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 // ingest arena. Nothing per-chunk or per-arrival is materialized: no
 // []ArrivalWire slice, no RawMessage copy (the wire's Value buffer is
 // reused — OfferRaw does not retain it), no per-value allocation.
-func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Session) error {
+//
+// A chunk carrying `"snapshot": true` ends ingestion: the return is
+// (true, nil) and the caller freezes the session instead of closing it;
+// any body bytes after the directive are ignored.
+func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Session) (snapshot bool, err error) {
 	var aw wire.ArrivalWire
 	offer := func() error {
 		src := e.graph.ByID(aw.Source)
@@ -762,43 +851,53 @@ func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Sessi
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
-			return nil
+			return false, nil
 		} else if err != nil {
-			return badRequest("bad stream chunk: %v", err)
+			return false, badRequest("bad stream chunk: %v", err)
 		}
 		if d, ok := tok.(json.Delim); !ok || d != '{' {
-			return badRequest("bad stream chunk: expected object, got %v", tok)
+			return false, badRequest("bad stream chunk: expected object, got %v", tok)
 		}
 		for {
 			tok, err := dec.Token()
 			if err != nil {
-				return badRequest("bad stream chunk: %v", err)
+				return false, badRequest("bad stream chunk: %v", err)
 			}
 			if d, ok := tok.(json.Delim); ok && d == '}' {
 				break
 			}
 			key, ok := tok.(string)
 			if !ok {
-				return badRequest("bad stream chunk: expected field name, got %v", tok)
+				return false, badRequest("bad stream chunk: expected field name, got %v", tok)
+			}
+			if key == "snapshot" {
+				var b bool
+				if err := dec.Decode(&b); err != nil {
+					return false, badRequest("bad stream chunk: %v", err)
+				}
+				if b {
+					return true, nil
+				}
+				continue
 			}
 			if key != "arrivals" {
 				// Unknown chunk fields are skipped whole, like the
 				// Decode-based loop would.
 				aw.Value = aw.Value[:0]
 				if err := dec.Decode(&aw.Value); err != nil {
-					return badRequest("bad stream chunk: %v", err)
+					return false, badRequest("bad stream chunk: %v", err)
 				}
 				continue
 			}
 			tok, err = dec.Token()
 			if err != nil {
-				return badRequest("bad stream chunk: %v", err)
+				return false, badRequest("bad stream chunk: %v", err)
 			}
 			if tok == nil {
 				continue // "arrivals": null — an empty chunk
 			}
 			if d, ok := tok.(json.Delim); !ok || d != '[' {
-				return badRequest("bad stream chunk: arrivals must be an array")
+				return false, badRequest("bad stream chunk: arrivals must be an array")
 			}
 			for dec.More() {
 				// Reset per element: Decode merges into the struct, so an
@@ -806,14 +905,14 @@ func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Sessi
 				// arrival's value.
 				aw = wire.ArrivalWire{Value: aw.Value[:0]}
 				if err := dec.Decode(&aw); err != nil {
-					return badRequest("bad stream chunk: %v", err)
+					return false, badRequest("bad stream chunk: %v", err)
 				}
 				if err := offer(); err != nil {
-					return err
+					return false, err
 				}
 			}
 			if _, err := dec.Token(); err != nil { // closing ']'
-				return badRequest("bad stream chunk: %v", err)
+				return false, badRequest("bad stream chunk: %v", err)
 			}
 		}
 	}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"wishbone/internal/wire"
+)
+
+// TestStatsBatchCounters pins the batch-hit surface of /v1/stats: after a
+// simulation served from the program cache, the snapshot carries
+// per-operator batch counters (Instances fold their local counters into
+// the cached Program at release), and the sharded delivery path actually
+// dispatched batches.
+func TestStatsBatchCounters(t *testing.T) {
+	_, client := startServer(t, Config{})
+	ctx := context.Background()
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+	var onNodeIDs []int
+	for i, op := range e.graph.Operators() {
+		if i >= 6 {
+			break
+		}
+		onNodeIDs = append(onNodeIDs, op.ID())
+	}
+	// Shards = Nodes gives each delivery shard a single-origin stream on
+	// the one cut edge — maximal same-edge runs, so the server partition
+	// must see batched dispatches.
+	resp, err := client.Simulate(ctx, wire.SimulateRequest{
+		Graph: spec, Platform: "Gumstix", OnNode: onNodeIDs,
+		Nodes: 4, Duration: 4, Seed: 3, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.MsgsSent == 0 {
+		t.Fatalf("degenerate run: %+v", *resp.Result)
+	}
+	snap, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Batch) == 0 {
+		t.Fatal("stats snapshot has no batch counters after a simulation")
+	}
+	var total, batched int64
+	for name, b := range snap.Batch {
+		if b.Total <= 0 {
+			t.Fatalf("operator %s reports non-positive Total %d", name, b.Total)
+		}
+		if b.Batched < 0 || b.Batched > b.Total {
+			t.Fatalf("operator %s: Batched %d outside [0,%d]", name, b.Batched, b.Total)
+		}
+		if want := float64(b.Batched) / float64(b.Total); b.HitRate != want {
+			t.Fatalf("operator %s: HitRate %g != %d/%d", name, b.HitRate, b.Batched, b.Total)
+		}
+		total += b.Total
+		batched += b.Batched
+	}
+	if total == 0 {
+		t.Fatal("no elements counted across operators")
+	}
+	if batched == 0 {
+		t.Fatal("sharded delivery dispatched no batches")
+	}
+}

@@ -129,6 +129,105 @@ func TestServerSimulateStreamParity(t *testing.T) {
 	}
 }
 
+// TestServerStreamSnapshotResume pins the resumable-session protocol: a
+// stream cut short by a snapshot chunk on one server, resumed on a
+// completely separate server (fresh process state, shared nothing) and
+// fed the rest of the trace, must produce the byte-identical Result of
+// an uninterrupted stream.
+func TestServerStreamSnapshotResume(t *testing.T) {
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+	trace := e.traces(wire.TraceSpec{Seed: 42, Seconds: 2})
+	src := trace[0].Source
+	var onNodeIDs []int
+	for i, op := range e.graph.Operators() {
+		if i >= 6 {
+			break
+		}
+		onNodeIDs = append(onNodeIDs, op.ID())
+	}
+	const (
+		nodes    = 3
+		duration = 8.0
+		seed     = int64(5)
+		window   = 2.0
+		shards   = 2
+	)
+	req := wire.SimulateStreamRequest{
+		Graph:         spec,
+		Platform:      "Gumstix",
+		OnNode:        onNodeIDs,
+		Nodes:         nodes,
+		Duration:      duration,
+		Seed:          seed,
+		Shards:        shards,
+		WindowSeconds: window,
+	}
+	period := 1 / trace[0].Rate
+	totalFrames := int(duration / period)
+	feeder := func(from, to int) func() ([]wire.ArrivalWire, bool) {
+		frame := from
+		return func() ([]wire.ArrivalWire, bool) {
+			if frame >= to {
+				return nil, false
+			}
+			tArr := float64(frame) * period
+			v := wireBytes(t, trace[0].Events[frame%len(trace[0].Events)])
+			batch := make([]wire.ArrivalWire, 0, nodes)
+			for n := 0; n < nodes; n++ {
+				batch = append(batch, wire.ArrivalWire{Node: n, Time: tArr, Source: src.ID(), Type: "i16s", Value: v})
+			}
+			frame++
+			return batch, true
+		}
+	}
+
+	// Uninterrupted reference on its own server.
+	_, refClient := startServer(t, Config{})
+	ctx := context.Background()
+	refResp, err := refClient.SimulateStream(ctx, req, feeder(0, totalFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := wireToResult(refResp.Result)
+	if ref.MsgsSent == 0 || ref.ServerEmits == 0 {
+		t.Fatalf("degenerate reference run: %+v", *ref)
+	}
+
+	// First half on server A, frozen mid-stream (mid-window, too: the cut
+	// lands inside a window so the buffered tail travels in the snapshot).
+	_, clientA := startServer(t, Config{})
+	cut := totalFrames/2 + 1
+	snap, err := clientA.SimulateStreamSnapshot(ctx, req, feeder(0, cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+
+	// Second half on server B — a different host as far as the protocol is
+	// concerned.
+	_, clientB := startServer(t, Config{})
+	resumeReq := req
+	resumeReq.Resume = snap
+	resp, err := clientB.SimulateStream(ctx, resumeReq, feeder(cut, totalFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wireToResult(resp.Result); *got != *ref {
+		t.Fatalf("resumed stream diverges from uninterrupted run:\nref: %+v\ngot: %+v", *ref, *got)
+	}
+
+	// A mismatched resume (different seed → different run identity) is a
+	// 4xx, not a silent wrong answer.
+	badReq := resumeReq
+	badReq.Seed = seed + 1
+	if _, err := clientB.SimulateStream(ctx, badReq, feeder(cut, totalFrames)); err == nil {
+		t.Fatal("resume under a mismatched config succeeded")
+	}
+}
+
 // TestServerSimulateStreamRejectsBadArrivals pins the endpoint's input
 // validation: unknown source operators and time-disordered arrivals are
 // 4xx errors, not crashes.

@@ -122,6 +122,15 @@ type SimulateStreamRequest struct {
 	// WindowSeconds sizes the ingestion window (0 = runtime default).
 	Shards        int     `json:"shards,omitempty"`
 	WindowSeconds float64 `json:"windowSeconds,omitempty"`
+
+	// Resume restarts a session from a snapshot a previous stream request
+	// returned (a chunk with "snapshot": true). The request must describe
+	// the same run — graph structure, cut, platform, nodes, duration,
+	// seed, window — on this or any other host; the runtime rejects
+	// mismatches. Arrivals then continue from where the snapshotted
+	// stream stopped, and the final Result is byte-identical to an
+	// uninterrupted stream.
+	Resume []byte `json:"resume,omitempty"`
 }
 
 // ArrivalWire is one client-supplied sensor event: which node it arrives
@@ -139,9 +148,15 @@ type ArrivalWire struct {
 }
 
 // StreamChunk is one batch of arrivals in a simulate-stream body.
-// Arrivals must be globally nondecreasing in time across chunks.
+// Arrivals must be globally nondecreasing in time across chunks. A chunk
+// with Snapshot set ends the session: instead of simulating to Duration
+// and returning a Result, the server freezes the session (window-aligned
+// internally; arrivals buffered for the window in progress are part of
+// the state) and responds with SimulateResponse.Snapshot — feed it to a
+// later request's Resume field to continue the run, on any host.
 type StreamChunk struct {
 	Arrivals []ArrivalWire `json:"arrivals"`
+	Snapshot bool          `json:"snapshot,omitempty"`
 }
 
 // ResultWire mirrors runtime.Result field for field (wire cannot import
@@ -170,6 +185,11 @@ type SimulateResponse struct {
 	// from the auto-partition fallback).
 	RateMultiple float64     `json:"rateMultiple"`
 	Result       *ResultWire `json:"result"`
+
+	// Snapshot is set (and Result nil) when a streaming simulation ended
+	// with a snapshot chunk: the session's frozen state, resumable via
+	// SimulateStreamRequest.Resume.
+	Snapshot []byte `json:"snapshot,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response. Code, when set,

@@ -1,4 +1,4 @@
-package wire
+package wire_test
 
 import (
 	"encoding/json"
@@ -8,6 +8,7 @@ import (
 	"wishbone/internal/apps/eeg"
 	"wishbone/internal/apps/speech"
 	"wishbone/internal/dataflow"
+	"wishbone/internal/wire"
 )
 
 // roundTripProgramHash is the property the partition server trusts: graph
@@ -20,11 +21,11 @@ func roundTripProgramHash(t *testing.T, g *dataflow.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := MarshalGraph(g)
+	data, err := wire.MarshalGraph(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := UnmarshalGraph(data)
+	g2, err := wire.UnmarshalGraph(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func roundTripProgramHash(t *testing.T, g *dataflow.Graph) {
 	if g.StructuralHash() != g2.StructuralHash() {
 		t.Fatalf("structural hash changed across the wire")
 	}
-	data2, err := MarshalGraph(g2)
+	data2, err := wire.MarshalGraph(g2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +81,11 @@ func TestGraphRoundTripPartitionedHash(t *testing.T) {
 	onNode := func(prefix int) func(op *dataflow.Operator) bool {
 		return func(op *dataflow.Operator) bool { return op.ID() < prefix }
 	}
-	data, err := MarshalGraph(app.Graph)
+	data, err := wire.MarshalGraph(app.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := UnmarshalGraph(data)
+	g2, err := wire.UnmarshalGraph(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,19 +111,19 @@ func TestGraphRoundTripPartitionedHash(t *testing.T) {
 
 // TestGraphWireRejectsBadInput checks corrupt encodings fail loudly.
 func TestGraphWireRejectsBadInput(t *testing.T) {
-	if _, err := UnmarshalGraph([]byte(`{"ops":[{"name":"a","ns":7}]}`)); err == nil {
+	if _, err := wire.UnmarshalGraph([]byte(`{"ops":[{"name":"a","ns":7}]}`)); err == nil {
 		t.Fatal("bad namespace accepted")
 	}
-	if _, err := UnmarshalGraph([]byte(`{"ops":[{"name":"a","ns":0}],"edges":[{"from":0,"to":9}]}`)); err == nil {
+	if _, err := wire.UnmarshalGraph([]byte(`{"ops":[{"name":"a","ns":0}],"edges":[{"from":0,"to":9}]}`)); err == nil {
 		t.Fatal("dangling edge accepted")
 	}
 	// A cycle must be rejected by validation.
-	cyc := GraphWire{
-		Ops:   []OpWire{{Name: "a", NS: 0}, {Name: "b", NS: 0}},
-		Edges: []EdgeWire{{From: 0, To: 1}, {From: 1, To: 0}},
+	cyc := wire.GraphWire{
+		Ops:   []wire.OpWire{{Name: "a", NS: 0}, {Name: "b", NS: 0}},
+		Edges: []wire.EdgeWire{{From: 0, To: 1}, {From: 1, To: 0}},
 	}
 	data, _ := json.Marshal(cyc)
-	if _, err := UnmarshalGraph(data); err == nil {
+	if _, err := wire.UnmarshalGraph(data); err == nil {
 		t.Fatal("cyclic graph accepted")
 	}
 }
