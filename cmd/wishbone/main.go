@@ -24,10 +24,9 @@
 // runs). -hosts places the simulation's origin shards across running
 // wbserved instances via the /v1/shard protocol (internal/dist),
 // falling back to local execution when the cut has global server state
-// the origin split cannot express. wscript graphs may share
-// state outside the engine (the output sink), so the simulation runs its
-// worker pools sequentially; use wbbench for multi-core scaling numbers
-// on the built-in applications.
+// the origin split cannot express. wscript work functions keep all state
+// in engine state slots, so script simulations parallelize, shard, and
+// distribute exactly like the built-in applications.
 //
 // Sources in the program are fed a synthetic ramp signal; real deployments
 // would substitute recorded traces (profiling only needs representative
@@ -137,7 +136,10 @@ func main() {
 		return
 	}
 
-	compiled, err := wscript.Compile(string(src))
+	// This command only prints Result- and Report-derived stats, never
+	// sink values, so the sink stays stateless (no RetainOutputs) and the
+	// graph stays shardable and distributable.
+	compiled, err := wscript.CompileOpts(string(src), wscript.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -237,13 +239,6 @@ func main() {
 	}
 
 	if *simNodes > 0 {
-		// wscript output sinks may share state outside the engine's state
-		// slots, so both worker pools run sequentially (Workers=1). With
-		// -shards the origin groups then run one after another: the
-		// printed Result is unchanged (per-origin counters are
-		// order-independent) but out-of-engine sink buffers may fill in
-		// shard order rather than time order — this command discards
-		// them, printing only Result-derived stats.
 		timings := &runtime.StageTimings{}
 		cfg := runtime.Config{
 			Graph:     compiled.Graph,
@@ -254,7 +249,6 @@ func main() {
 			RateScale: rate,
 			Seed:      1,
 			Shards:    *shards,
-			Workers:   1,
 			NoBatch:   noBatch,
 			Timings:   timings,
 		}

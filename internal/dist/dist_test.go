@@ -14,6 +14,7 @@ import (
 	"wishbone/internal/runtime"
 	"wishbone/internal/server"
 	"wishbone/internal/wire"
+	"wishbone/internal/wscript"
 )
 
 // startPeers runs n independent partition-service instances (each its own
@@ -59,6 +60,74 @@ func speechConfig(t *testing.T) (wire.GraphSpec, runtime.Config) {
 		},
 	}
 	return wire.GraphSpec{App: "speech"}, cfg
+}
+
+// TestCoordinatorParityWscript places a wscript simulation across HTTP
+// shard hosts: VM work functions keep all state in Instance slots, so a
+// script deployment distributes by origin like the built-in apps, and
+// every placement must reproduce the single-host streaming Result.
+func TestCoordinatorParityWscript(t *testing.T) {
+	const src = `
+namespace Node {
+  s = source("x", 4);
+  feat = iterate v in s state { total = 0.0; n = 0; } {
+    n = n + 1;
+    total = total + v * v;
+    if n % 4 == 0 { emit total / intToFloat(n); }
+  };
+}
+main = feat;
+`
+	c, err := wscript.CompileOpts(src, wscript.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onNode := make(map[int]bool)
+	for _, op := range c.Graph.Operators() {
+		onNode[op.ID()] = op.ID() != c.Sink.ID()
+	}
+	const duration = 16.0
+	cfg := runtime.Config{
+		Graph:         c.Graph,
+		OnNode:        onNode,
+		Platform:      platform.TMoteSky(),
+		Nodes:         4,
+		Duration:      duration,
+		Seed:          3,
+		Shards:        2,
+		WindowSeconds: 4,
+		ArrivalSource: func(nodeID int) (runtime.Stream, error) {
+			inputs, err := c.Inputs(16, func(_ string, i int) any {
+				return float64(nodeID*31+i) * 0.5
+			})
+			if err != nil {
+				return nil, err
+			}
+			return runtime.InputStream(inputs, 1, duration)
+		},
+	}
+	ref, err := runtime.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.MsgsSent == 0 || ref.MsgsReceived == 0 {
+		t.Fatalf("degenerate reference run: %+v", *ref)
+	}
+	spec := wire.GraphSpec{App: "wscript", Source: src}
+	ctx := context.Background()
+	for _, hosts := range []int{1, 2, cfg.Nodes} {
+		coord := dist.New(startPeers(t, hosts), nil)
+		got, distributed, err := coord.Run(ctx, spec, cfg)
+		if err != nil {
+			t.Fatalf("%d hosts: %v", hosts, err)
+		}
+		if !distributed {
+			t.Fatalf("%d hosts: wscript run fell back to local execution", hosts)
+		}
+		if *got != *ref {
+			t.Fatalf("%d hosts: distributed wscript result diverges:\nref: %+v\ngot: %+v", hosts, *ref, *got)
+		}
+	}
 }
 
 // TestCoordinatorParitySpeech places one speech simulation's origins on

@@ -88,17 +88,25 @@ func CompileForProfiling(g *dataflow.Graph) (*dataflow.Program, error) {
 // CompileForProfiling). Run is equivalent to CompileForProfiling followed
 // by RunProgram; the reports are identical.
 func RunProgram(prog *dataflow.Program, inputs []Input) (*Report, error) {
+	rep, _, err := RunProgramInstance(prog, inputs)
+	return rep, err
+}
+
+// RunProgramInstance is RunProgram exposing the Instance the trace executed
+// on, so callers can read per-instance operator state afterwards (e.g.
+// values a sink retained).
+func RunProgramInstance(prog *dataflow.Program, inputs []Input) (*Report, *dataflow.Instance, error) {
 	opts := prog.Options()
 	if !opts.CountOps || !opts.MeasureEdges {
-		return nil, fmt.Errorf("profile: program was not compiled with CompileForProfiling")
+		return nil, nil, fmt.Errorf("profile: program was not compiled with CompileForProfiling")
 	}
 	g := prog.Graph()
 	if prog.NumScheduled() != g.NumOperators() {
-		return nil, fmt.Errorf("profile: program excludes operators; profiling needs the whole graph")
+		return nil, nil, fmt.Errorf("profile: program excludes operators; profiling needs the whole graph")
 	}
 	rep, maxEvents, err := newReport(g, inputs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	inst := prog.NewInstance(0)
 	for i := 0; i < maxEvents; i++ {
@@ -128,7 +136,7 @@ func RunProgram(prog *dataflow.Program, inputs []Input) (*Report, error) {
 			rep.EdgePeak[e] = peak
 		}
 	}
-	return rep, nil
+	return rep, inst, nil
 }
 
 // newReport validates the profiling inputs and returns an empty report plus

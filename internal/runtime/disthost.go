@@ -197,8 +197,7 @@ func (h *ShardHost) ComputeWindow(span float64, arrivals []HostArrival) (*Window
 		}
 		defer func() {
 			if r := recover(); r != nil {
-				h.feedErrs[i] = fmt.Errorf("runtime: node %d work function panicked (likely a mistyped arrival value): %v: %w",
-					n, r, ErrBadArrival)
+				h.feedErrs[i] = workPanicError(r, fmt.Sprintf("node %d", n))
 			}
 		}()
 		h.nodes[n].feed(&h.cfg, h.buf[n])

@@ -172,8 +172,7 @@ func (p *pipe) nodeWorker(i int) {
 func (p *pipe) feedNode(win *windowBufs, shard, n int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runtime: node %d work function panicked (likely a mistyped arrival value): %v: %w",
-				n, r, ErrBadArrival)
+			err = workPanicError(r, fmt.Sprintf("node %d", n))
 		}
 	}()
 	ns := p.s.nodes[n]

@@ -90,8 +90,7 @@ func (sh *shardState) deliver(msgs []message, ratio float64) (err error) {
 	// is classified as a bad arrival for the streaming endpoint.
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runtime: server work function panicked (likely a mistyped arrival value): %v: %w",
-				r, ErrBadArrival)
+			err = workPanicError(r, "server")
 		}
 	}()
 	if sh.batch {

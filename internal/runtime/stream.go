@@ -39,6 +39,21 @@ var ErrBadArrival = errors.New("bad arrival")
 // WindowSeconds or thin the trace.
 var ErrBackpressure = errors.New("stream backpressure")
 
+// workPanicError converts a recovered work-function panic into an error.
+// Work functions run against client-supplied stream data, so a panic is
+// classified as a bad arrival rather than an engine failure. Panic values
+// that are themselves errors — wscript runtime aborts, wvm metering trips —
+// additionally stay in the chain so callers can classify the abort with
+// errors.Is (the partition service maps fuel and memory trips to 422, ahead
+// of the generic 400).
+func workPanicError(r any, what string) error {
+	if e, ok := r.(error); ok {
+		return fmt.Errorf("runtime: %s work function aborted: %w (%w)", what, e, ErrBadArrival)
+	}
+	return fmt.Errorf("runtime: %s work function panicked (likely a mistyped arrival value): %v: %w",
+		what, r, ErrBadArrival)
+}
+
 // Arrival is one sensor event offered to a node at an absolute simulated
 // time.
 type Arrival struct {
@@ -406,8 +421,7 @@ func (s *Session) flushWindow() error {
 	runPool(poolWorkers(cfg, cfg.Nodes), cfg.Nodes, func(n int) {
 		defer func() {
 			if r := recover(); r != nil {
-				feedErrs[n] = fmt.Errorf("runtime: node %d work function panicked (likely a mistyped arrival value): %v: %w",
-					n, r, ErrBadArrival)
+				feedErrs[n] = workPanicError(r, fmt.Sprintf("node %d", n))
 			}
 		}()
 		if len(s.buf[n]) == 0 {

@@ -15,14 +15,17 @@ import (
 	"wishbone/internal/profile"
 	"wishbone/internal/wire"
 	"wishbone/internal/wscript"
+	"wishbone/internal/wvm"
 )
 
 // entry is one resident graph: the executable graph re-elaborated from a
 // client's GraphSpec, its canonical content key, a deterministic trace
 // builder, and lazily computed per-mode classifications. Entries are
-// immutable after build except for the serialized-execution mutex and the
-// classification memos; one entry serves every tenant that submits the
-// same spec.
+// immutable after build except for the classification memos and the
+// metering telemetry; one entry serves every tenant that submits the same
+// (spec, limits) pair — wscript work functions keep all mutable state in
+// Instance state slots (the VM engine), so entries execute fully
+// concurrently, like the built-in applications.
 type entry struct {
 	spec  wire.GraphSpec
 	key   string // canonical (spec ‖ structural-hash) content hash
@@ -43,13 +46,14 @@ type entry struct {
 	// callers must not mutate them.
 	traces func(spec wire.TraceSpec) []profile.Input
 
-	// serialize marks graphs whose operators share mutable state outside
-	// Instance state slots (wscript's output sink appends to a buffer on
-	// the Compiled program); execution of such graphs takes mu. The
-	// built-in applications keep all state in Instance slots and run
-	// fully concurrently.
-	serialize bool
-	mu        sync.Mutex
+	// limits and meter are the wscript VM's per-tenant budgets and
+	// consumed-fuel telemetry, bound into the graph's work functions at
+	// compile time; both are zero/nil for the built-in applications.
+	// Distinct limits build distinct entries (the cache key includes
+	// them), so one tenant's budget never constrains another's runs of
+	// the same program.
+	limits wvm.Limits
+	meter  *wvm.Meter
 
 	clsOnce [2]sync.Once
 	cls     [2]*dataflow.Classification
@@ -68,15 +72,6 @@ func (e *entry) classify(mode dataflow.Mode) (*dataflow.Classification, error) {
 	return e.cls[i], e.clsErr[i]
 }
 
-// lock serializes execution for graphs that need it (no-op otherwise).
-func (e *entry) lock() func() {
-	if !e.serialize {
-		return func() {}
-	}
-	e.mu.Lock()
-	return e.mu.Unlock
-}
-
 // traceDefaults fills a TraceSpec's zero fields with the server defaults.
 func traceDefaults(t wire.TraceSpec) wire.TraceSpec {
 	if t.Seed == 0 {
@@ -91,11 +86,15 @@ func traceDefaults(t wire.TraceSpec) wire.TraceSpec {
 	return t
 }
 
-// buildEntry elaborates an executable graph from spec. This is the
-// expensive path the graph cache guards: wscript compilation or full
-// application elaboration (the 22-channel EEG app is ~1.2k operators).
-func buildEntry(spec wire.GraphSpec) (*entry, error) {
-	e := &entry{spec: spec}
+// buildEntry elaborates an executable graph from spec under the given VM
+// limits. This is the expensive path the graph cache guards: wscript
+// compilation or full application elaboration (the 22-channel EEG app is
+// ~1.2k operators).
+func buildEntry(spec wire.GraphSpec, limits wvm.Limits) (*entry, error) {
+	e := &entry{spec: spec, limits: limits}
+	if !limits.Unlimited() && spec.App != "wscript" {
+		return nil, fmt.Errorf("server: execution limits apply only to wscript graphs (app %q has no VM work functions)", spec.App)
+	}
 	switch spec.App {
 	case "eeg":
 		ch := spec.Channels
@@ -123,12 +122,19 @@ func buildEntry(spec wire.GraphSpec) (*entry, error) {
 		if spec.Source == "" {
 			return nil, fmt.Errorf("server: wscript spec has no source")
 		}
-		compiled, err := wscript.Compile(spec.Source)
+		// RetainOutputs off: the server reads Result counters, never sink
+		// values, and a stateless sink keeps the graph shardable,
+		// streamable, and snapshotable. The meter outlives any one run —
+		// /v1/stats aggregates it per graph.
+		e.meter = &wvm.Meter{}
+		compiled, err := wscript.CompileOpts(spec.Source, wscript.Options{
+			Limits: limits,
+			Meter:  e.meter,
+		})
 		if err != nil {
 			return nil, err
 		}
 		e.graph = compiled.Graph
-		e.serialize = true
 		e.traces = func(t wire.TraceSpec) []profile.Input {
 			// Synthetic sine ramp per source, matching cmd/wishbone's
 			// profiling input; seeded by phase offset so distinct seeds
@@ -166,6 +172,16 @@ var entrySeq atomic.Int64
 func specHash(spec wire.GraphSpec) string {
 	sum := sha256.Sum256(spec.Canonical())
 	return hex.EncodeToString(sum[:])
+}
+
+// limitsKey extends a cache key with the VM budget. Limits are compiled
+// into the graph's work functions, so distinct budgets need distinct
+// entries; the common unlimited case adds nothing.
+func limitsKey(l wvm.Limits) string {
+	if l.Unlimited() {
+		return ""
+	}
+	return fmt.Sprintf(":lim:%d:%d", l.Fuel, l.MemBytes)
 }
 
 // partitionHash canonically hashes a partition: the sorted on-node

@@ -130,6 +130,18 @@ type BatchSnapshot struct {
 	HitRate float64 `json:"hitRate"`
 }
 
+// FuelSnapshot is one wscript graph's accumulated VM metering telemetry,
+// aggregated across every resident entry compiled from that source
+// (budget variants share the graph's content key): abstract operations
+// spent, work-function invocations, and how many invocations tripped the
+// fuel or memory budget.
+type FuelSnapshot struct {
+	Fuel      uint64 `json:"fuel"`
+	Calls     uint64 `json:"calls"`
+	FuelTrips uint64 `json:"fuelTrips,omitempty"`
+	MemTrips  uint64 `json:"memTrips,omitempty"`
+}
+
 // Snapshot is the full stats document.
 type Snapshot struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
@@ -141,6 +153,10 @@ type Snapshot struct {
 	// Batch is the per-operator batch-hit breakdown of every simulation
 	// served from the Program cache, keyed by operator name.
 	Batch map[string]BatchSnapshot `json:"batch,omitempty"`
+
+	// Fuel is the per-graph VM metering breakdown of every resident
+	// wscript entry, keyed by graph content hash.
+	Fuel map[string]FuelSnapshot `json:"fuel,omitempty"`
 
 	// Program/graph cache counters.
 	CacheEntries int64   `json:"cacheEntries"`

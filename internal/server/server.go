@@ -66,6 +66,7 @@ import (
 	wbruntime "wishbone/internal/runtime"
 	"wishbone/internal/solver"
 	"wishbone/internal/wire"
+	"wishbone/internal/wvm"
 )
 
 // Config tunes a Server.
@@ -162,6 +163,7 @@ func (s *Server) Close() {
 func (s *Server) Stats() Snapshot {
 	snap := s.metrics.Snapshot(s.cache)
 	snap.Batch = s.batchStats()
+	snap.Fuel = s.fuelStats()
 	return snap
 }
 
@@ -201,6 +203,29 @@ func (s *Server) batchStats() map[string]BatchSnapshot {
 	return agg
 }
 
+// fuelStats aggregates VM metering counters across every resident wscript
+// entry, keyed by graph content hash. Budget variants of one program are
+// distinct entries sharing the key, so a graph's row covers all of them.
+func (s *Server) fuelStats() map[string]FuelSnapshot {
+	agg := make(map[string]FuelSnapshot)
+	s.cache.Each(func(val any) {
+		e, ok := val.(*entry)
+		if !ok || e.meter == nil {
+			return
+		}
+		f := agg[e.key]
+		f.Fuel += e.meter.Fuel()
+		f.Calls += e.meter.Calls()
+		f.FuelTrips += e.meter.FuelTrips()
+		f.MemTrips += e.meter.MemTrips()
+		agg[e.key] = f
+	})
+	if len(agg) == 0 {
+		return nil
+	}
+	return agg
+}
+
 // httpError carries a status code (and optional machine-readable error
 // code) through the handler helpers.
 type httpError struct {
@@ -217,6 +242,48 @@ func badRequest(format string, args ...any) error {
 
 func overloaded(err error) error {
 	return &httpError{code: http.StatusTooManyRequests, kind: "backpressure", err: err}
+}
+
+// meteringError maps a wscript VM budget trip to a typed 422, or returns
+// nil for anything else. Callers check it before the generic bad-arrival →
+// 400 mapping: a metered abort is the tenant's program exceeding its own
+// budget, not a malformed request, and the typed code lets clients react
+// (raise the budget, shrink the program) without parsing text.
+func meteringError(err error) error {
+	switch {
+	case errors.Is(err, wvm.ErrFuelExhausted):
+		return &httpError{code: http.StatusUnprocessableEntity, kind: "fuel_exhausted", err: err}
+	case errors.Is(err, wvm.ErrMemLimit):
+		return &httpError{code: http.StatusUnprocessableEntity, kind: "mem_limit", err: err}
+	}
+	return nil
+}
+
+// runGuarded invokes f, converting error-typed panics — wscript runtime
+// aborts, VM metering trips — into returned errors. The batch simulate and
+// profile paths execute work functions without the streaming session's
+// per-window recovery, and net/http would silently swallow the panic (one
+// empty 200 and a dead connection). Non-error panics are real bugs and
+// propagate.
+func runGuarded(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, ok := r.(error)
+			if !ok {
+				panic(r)
+			}
+			err = e
+		}
+	}()
+	return f()
+}
+
+// limitsOf converts the wire budget (absent = unlimited).
+func limitsOf(lw *wire.LimitsWire) wvm.Limits {
+	if lw == nil {
+		return wvm.Limits{}
+	}
+	return wvm.Limits{Fuel: lw.Fuel, MemBytes: lw.MemBytes}
 }
 
 // respond writes v as JSON.
@@ -272,10 +339,13 @@ func (s *Server) releaseJob() {
 	s.metrics.JobFinished()
 }
 
-// getEntry resolves a GraphSpec to its cached entry, building on miss.
-func (s *Server) getEntry(spec wire.GraphSpec) (*entry, bool, error) {
-	v, hit, err := s.cache.Get("graph:"+specHash(spec), func() (any, error) {
-		return buildEntry(spec)
+// getEntry resolves a (GraphSpec, limits) pair to its cached entry,
+// building on miss. Limits are part of the key: they compile into the
+// graph's work functions, so tenants running the same program under
+// different budgets get separate entries (and separate meters).
+func (s *Server) getEntry(spec wire.GraphSpec, lim wvm.Limits) (*entry, bool, error) {
+	v, hit, err := s.cache.Get("graph:"+specHash(spec)+limitsKey(lim), func() (any, error) {
+		return buildEntry(spec, lim)
 	})
 	if err != nil {
 		return nil, false, badRequest("%v", err)
@@ -332,11 +402,18 @@ func (s *Server) profiledReport(e *entry, t wire.TraceSpec) (*profile.Report, bo
 		if len(inputs) == 0 {
 			return nil, fmt.Errorf("server: graph has no profiling inputs")
 		}
-		unlock := e.lock()
-		defer unlock()
-		return profile.RunProgram(prog, inputs)
+		var rep *profile.Report
+		rerr := runGuarded(func() error {
+			var err error
+			rep, err = profile.RunProgram(prog, inputs)
+			return err
+		})
+		return rep, rerr
 	})
 	if err != nil {
+		if me := meteringError(err); me != nil {
+			return nil, false, me
+		}
 		return nil, false, err
 	}
 	return v.(*profile.Report), hit || progHit, nil
@@ -405,7 +482,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseJob()
 	var e *entry
-	e, hit, err = s.getEntry(req.Graph)
+	e, hit, err = s.getEntry(req.Graph, wvm.Limits{})
 	if err != nil {
 		fail(w, err)
 		return
@@ -428,7 +505,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseJob()
-	e, entryHit, err2 := s.getEntry(req.Graph)
+	e, entryHit, err2 := s.getEntry(req.Graph, wvm.Limits{})
 	if err = err2; err != nil {
 		fail(w, err)
 		return
@@ -487,7 +564,7 @@ func (s *Server) partition(ctx context.Context, req *wire.PartitionRequest) (*wi
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	e, entryHit, err := s.getEntry(req.Graph)
+	e, entryHit, err := s.getEntry(req.Graph, wvm.Limits{})
 	if err != nil {
 		return nil, err
 	}
@@ -573,7 +650,7 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 	if err := checkSimSize(req.Nodes, req.Duration); err != nil {
 		return nil, err
 	}
-	e, entryHit, err := s.getEntry(req.Graph)
+	e, entryHit, err := s.getEntry(req.Graph, limitsOf(req.Limits))
 	if err != nil {
 		return nil, err
 	}
@@ -593,12 +670,6 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 		Seed:      req.Seed,
 		Workers:   s.cfg.SimWorkers,
 		Shards:    req.Shards,
-	}
-	if e.serialize {
-		// Serialized graphs share mutable state outside Instance slots;
-		// their node replicas and delivery shards must not run
-		// concurrently (the entry lock only serializes across requests).
-		cfg.Workers, cfg.Shards = 1, 0
 	}
 	switch req.Engine {
 	case "", "compiled":
@@ -630,10 +701,16 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 		cfg.Inputs = func(nodeID int) []profile.Input { return shared }
 	}
 
-	unlock := e.lock()
-	res, err := wbruntime.Run(cfg)
-	unlock()
+	var res *wbruntime.Result
+	err = runGuarded(func() error {
+		var rerr error
+		res, rerr = wbruntime.Run(cfg)
+		return rerr
+	})
 	if err != nil {
+		if me := meteringError(err); me != nil {
+			return nil, me
+		}
 		return nil, badRequest("%v", err)
 	}
 	return &wire.SimulateResponse{
@@ -723,18 +800,9 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 	if err := checkSimSize(req.Nodes, req.Duration); err != nil {
 		return nil, err
 	}
-	e, entryHit, err := s.getEntry(req.Graph)
+	e, entryHit, err := s.getEntry(req.Graph, limitsOf(req.Limits))
 	if err != nil {
 		return nil, err
-	}
-	if e.serialize {
-		// A serialized graph's work functions share mutable state outside
-		// Instance slots (wscript's output sink), which is incompatible
-		// with a long-lived session running node feeds and shard engines
-		// concurrently — and holding the entry lock across a client-paced
-		// body would starve every other tenant of the graph. The built-in
-		// applications stream fine.
-		return nil, badRequest("streaming simulation is not supported for wscript graphs (shared out-of-engine state); use POST /v1/simulate")
 	}
 	onNode, rate, cutHit, err := s.resolveCut(ctx, e, &wire.SimulateRequest{
 		Graph:    req.Graph,
@@ -803,7 +871,12 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 	}
 	res, err := sess.Close()
 	if err != nil {
-		// Close failures are engine invariants, not client faults → 500.
+		// A budget trip surfacing at teardown (the final window's work
+		// runs inside Close) is still the tenant's 422; anything else is
+		// an engine invariant, not a client fault → 500.
+		if me := meteringError(err); me != nil {
+			return nil, me
+		}
 		return nil, err
 	}
 	return &wire.SimulateResponse{
@@ -838,6 +911,13 @@ func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Sessi
 				// the stream with a typed 429 instead of holding the job
 				// slot while it grows.
 				return overloaded(err)
+			}
+			// Metering trips outrank the generic bad-arrival 400: a
+			// work-function abort inside the session is tagged
+			// ErrBadArrival, but a fuel or memory trip is the tenant's
+			// budget, not a malformed arrival.
+			if me := meteringError(err); me != nil {
+				return me
 			}
 			if errors.Is(err, wbruntime.ErrBadArrival) {
 				return badRequest("%v", err)

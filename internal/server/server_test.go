@@ -15,6 +15,7 @@ import (
 	"wishbone/internal/profile"
 	"wishbone/internal/runtime"
 	"wishbone/internal/wire"
+	"wishbone/internal/wvm"
 )
 
 // startServer runs a Server behind a real HTTP listener and returns a
@@ -31,7 +32,7 @@ func startServer(t testing.TB, cfg Config) (*Server, *Client) {
 // spec, for in-process reference runs.
 func localEntry(t testing.TB, spec wire.GraphSpec) *entry {
 	t.Helper()
-	e, err := buildEntry(spec)
+	e, err := buildEntry(spec, wvm.Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}

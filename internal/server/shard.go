@@ -11,6 +11,7 @@ import (
 
 	wbruntime "wishbone/internal/runtime"
 	"wishbone/internal/wire"
+	"wishbone/internal/wvm"
 )
 
 // Shard-host mode: the /v1/shard/* endpoints let a coordinator
@@ -32,13 +33,13 @@ import (
 // server (each pins instances for its origins) when Config leaves it 0.
 const maxShardSessionsDefault = 256
 
-// shardSession is one open shard host plus the entry it executes (the
-// entry lock serializes wscript graphs whose work functions share state
-// outside the engine).
+// shardSession is one open shard host. The per-session mutex serializes
+// stray concurrent coordinator calls; graphs themselves (built-ins and
+// wscript alike) keep all mutable state in Instance slots, so sessions
+// need no cross-request graph lock.
 type shardSession struct {
 	mu   sync.Mutex
 	host *wbruntime.ShardHost
-	e    *entry
 }
 
 // newShardID returns an unguessable session handle.
@@ -81,7 +82,7 @@ func (s *Server) shardOpen(req *wire.ShardOpenRequest) (*wire.ShardOpenResponse,
 	if err := checkSimSize(req.Nodes, req.Duration); err != nil {
 		return nil, false, err
 	}
-	e, entryHit, err := s.getEntry(req.Graph)
+	e, entryHit, err := s.getEntry(req.Graph, wvm.Limits{})
 	if err != nil {
 		return nil, false, err
 	}
@@ -114,12 +115,6 @@ func (s *Server) shardOpen(req *wire.ShardOpenRequest) (*wire.ShardOpenResponse,
 		NodeProgram:   progs.node,
 		ServerProgram: progs.server,
 	}
-	if e.serialize {
-		// Work functions sharing state outside Instance slots must not run
-		// concurrently; the per-call entry lock serializes across sessions
-		// and the host's own pools run sequentially.
-		cfg.Workers, cfg.Shards = 1, 0
-	}
 	host, err := wbruntime.NewShardHost(cfg, req.Origins)
 	if err != nil {
 		return nil, false, badRequest("%v", err)
@@ -144,7 +139,7 @@ func (s *Server) shardOpen(req *wire.ShardOpenRequest) (*wire.ShardOpenResponse,
 		host.Abort()
 		return nil, false, overloaded(fmt.Errorf("server: %d shard sessions already open", max))
 	}
-	s.shardSessions[id] = &shardSession{host: host, e: e}
+	s.shardSessions[id] = &shardSession{host: host}
 	s.shardMu.Unlock()
 	return &wire.ShardOpenResponse{Session: id, GraphHash: e.key}, entryHit && progHit, nil
 }
@@ -193,9 +188,7 @@ func (s *Server) handleShardCompute(w http.ResponseWriter, r *http.Request) {
 		arrivals[i] = wbruntime.HostArrival{Node: a.Node, Time: a.Time, Source: a.Source, Value: v}
 	}
 	ss.mu.Lock()
-	unlock := ss.e.lock()
 	rep, err2 := ss.host.ComputeWindow(req.Span, arrivals)
-	unlock()
 	ss.mu.Unlock()
 	if err = err2; err != nil {
 		fail(w, shardRuntimeError(err))
@@ -230,9 +223,7 @@ func (s *Server) handleShardDeliver(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss.mu.Lock()
-	unlock := ss.e.lock()
 	err2 = ss.host.DeliverWindow(req.Ratio)
-	unlock()
 	ss.mu.Unlock()
 	if err = err2; err != nil {
 		fail(w, err)
@@ -256,9 +247,7 @@ func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss.mu.Lock()
-	unlock := ss.e.lock()
 	hr, err2 := ss.host.Close()
-	unlock()
 	ss.mu.Unlock()
 	if err = err2; err != nil {
 		fail(w, err)
@@ -299,9 +288,12 @@ func (s *Server) handleShardAbort(w http.ResponseWriter, r *http.Request) {
 	respond(w, struct{}{})
 }
 
-// shardRuntimeError maps arrival-shaped failures to 400s; engine
-// invariants stay 500s.
+// shardRuntimeError maps VM budget trips to typed 422s and arrival-shaped
+// failures to 400s; engine invariants stay 500s.
 func shardRuntimeError(err error) error {
+	if me := meteringError(err); me != nil {
+		return me
+	}
 	if errors.Is(err, wbruntime.ErrBadArrival) {
 		return badRequest("%v", err)
 	}

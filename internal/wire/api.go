@@ -94,6 +94,21 @@ type SimulateRequest struct {
 	// Engine is "compiled" (default; served from the program cache) or
 	// "legacy" (reference tree-walking engine, never cached).
 	Engine string `json:"engine,omitempty"`
+	// Limits caps the tenant's wscript VM execution for this graph; see
+	// LimitsWire. Only valid for wscript graphs.
+	Limits *LimitsWire `json:"limits,omitempty"`
+}
+
+// LimitsWire caps a wscript graph's VM execution: Fuel bounds the abstract
+// operations one work-function invocation (one stream element) may spend,
+// MemBytes bounds the live bytes of VM allocations per operator instance
+// (arrays, fifos, strings, and buffered zip queues). Zero or absent means
+// unlimited. A simulation that trips a budget fails with 422 and a typed
+// code ("fuel_exhausted" or "mem_limit"); consumed-fuel counters aggregate
+// per graph under /v1/stats "fuel".
+type LimitsWire struct {
+	Fuel     uint64 `json:"fuel,omitempty"`
+	MemBytes int64  `json:"memBytes,omitempty"`
 }
 
 // SimulateStreamRequest is the header object of a POST /v1/simulate/stream
@@ -131,6 +146,11 @@ type SimulateStreamRequest struct {
 	// stream stopped, and the final Result is byte-identical to an
 	// uninterrupted stream.
 	Resume []byte `json:"resume,omitempty"`
+
+	// Limits caps the tenant's wscript VM execution; see LimitsWire.
+	// Cumulative per-state fuel counters ride inside session snapshots, so
+	// a resumed stream keeps accounting from where the snapshot stopped.
+	Limits *LimitsWire `json:"limits,omitempty"`
 }
 
 // ArrivalWire is one client-supplied sensor event: which node it arrives

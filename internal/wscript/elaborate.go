@@ -6,6 +6,8 @@ import (
 	"wishbone/internal/cost"
 	"wishbone/internal/dataflow"
 	"wishbone/internal/profile"
+	"wishbone/internal/wire"
+	"wishbone/internal/wvm"
 )
 
 // Source describes a source operator declared by a wscript program.
@@ -15,6 +17,38 @@ type Source struct {
 	Rate float64 // events per second, from the program text
 }
 
+// Engine selects how iterate bodies execute at run time.
+type Engine int
+
+const (
+	// EngineVM compiles iterate bodies to wvm bytecode: metered (fuel and
+	// memory limits), snapshotable (operator state is plain serializable
+	// values), and the production default.
+	EngineVM Engine = iota
+	// EngineTree interprets iterate bodies with the tree-walking
+	// interpreter. It is the reference engine for parity testing; it has
+	// no metering and no snapshot support.
+	EngineTree
+)
+
+// Options configures elaboration.
+type Options struct {
+	// Engine selects the work-function execution engine.
+	Engine Engine
+	// Limits is the per-invocation fuel/memory budget enforced on every VM
+	// operator (EngineVM only; zero means unlimited).
+	Limits wvm.Limits
+	// Meter, when non-nil, accumulates fuel telemetry across all instances
+	// of this program (EngineVM only).
+	Meter *wvm.Meter
+	// RetainOutputs makes the sink stateful, buffering every value that
+	// reaches it per instance (drained via Outputs). Hosts running long or
+	// snapshotted simulations should leave it off: the sink is then
+	// stateless, so server cuts stay shardable and snapshotable, and
+	// output counts remain observable via emit statistics.
+	RetainOutputs bool
+}
+
 // Compiled is an elaborated wscript program: a dataflow graph ready for
 // profiling and partitioning.
 type Compiled struct {
@@ -22,26 +56,58 @@ type Compiled struct {
 	Sources map[string]*Source
 	// Sink is the implicitly attached server-side sink consuming `main`.
 	Sink *dataflow.Operator
-	// SinkValues collects values reaching the sink (for tests and hosts
-	// that want program output); it grows without bound, so hosts running
-	// long simulations should drain it via TakeOutputs.
-	sinkValues []value
+	opts Options
 }
 
-// TakeOutputs returns and clears the values that reached the sink, as
-// plain Go values (int64, float64, bool, string, []any).
-func (c *Compiled) TakeOutputs() []any {
-	out := make([]any, len(c.sinkValues))
-	for i, v := range c.sinkValues {
-		out[i] = toGo(v)
+// Engine reports which engine the program was compiled for.
+func (c *Compiled) Engine() Engine { return c.opts.Engine }
+
+// Meter returns the fuel meter shared by every instance (nil unless one
+// was supplied in Options).
+func (c *Compiled) Meter() *wvm.Meter { return c.opts.Meter }
+
+// sinkState buffers values reaching the sink of one instance. Keeping it in
+// per-instance operator state (rather than a field on Compiled) lets
+// concurrent sessions share one cached Compiled without interleaving
+// outputs.
+type sinkState struct {
+	vals []any
+}
+
+// Outputs drains the values that reached the sink in inst, as plain Go
+// values (int64, float64, bool, string, []any). It returns nil unless the
+// program was compiled with RetainOutputs.
+func (c *Compiled) Outputs(inst *dataflow.Instance) []any {
+	st, ok := inst.State(c.Sink).(*sinkState)
+	if !ok || st == nil {
+		return nil
 	}
-	c.sinkValues = nil
+	out := st.vals
+	st.vals = nil
 	return out
+}
+
+// hostValue converts either engine's value into plain Go data.
+func hostValue(v any) any {
+	switch x := v.(type) {
+	case *arrayVal, *fifoVal:
+		return toGo(x)
+	case *wvm.Array, *wvm.Fifo:
+		return wvm.ToGo(x)
+	default:
+		return v
+	}
 }
 
 func toGo(v value) any {
 	switch x := v.(type) {
 	case *arrayVal:
+		out := make([]any, len(x.elems))
+		for i, e := range x.elems {
+			out[i] = toGo(e)
+		}
+		return out
+	case *fifoVal:
 		out := make([]any, len(x.elems))
 		for i, e := range x.elems {
 			out[i] = toGo(e)
@@ -61,15 +127,22 @@ type elaborator struct {
 }
 
 // Compile parses and partially evaluates a wscript program into a dataflow
-// graph. The program must bind `main` to a stream; a server-side sink is
-// attached to it.
+// graph with the default options: VM engine, no limits, outputs retained
+// (the convenient shape for tests and in-process hosts).
 func Compile(src string) (*Compiled, error) {
+	return CompileOpts(src, Options{RetainOutputs: true})
+}
+
+// CompileOpts is Compile with explicit engine, metering, and sink options.
+// The program must bind `main` to a stream; a server-side sink is attached
+// to it.
+func CompileOpts(src string, opts Options) (*Compiled, error) {
 	prog, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	g := dataflow.New()
-	compiled := &Compiled{Graph: g, Sources: make(map[string]*Source)}
+	compiled := &Compiled{Graph: g, Sources: make(map[string]*Source), opts: opts}
 	el := &elaborator{g: g, out: compiled}
 	ip := &interp{elab: el}
 	top := newEnv(nil)
@@ -116,16 +189,20 @@ func Compile(src string) (*Compiled, error) {
 	if !ok {
 		return nil, fmt.Errorf("wscript: 'main' is %s, not a stream", typeName(mainV))
 	}
-	sink := g.Add(&dataflow.Operator{
+	sink := &dataflow.Operator{
 		Name: "main-sink", NS: dataflow.NSServer, SideEffect: true,
-		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
-			if wv, ok := v.(value); ok {
-				compiled.sinkValues = append(compiled.sinkValues, wv)
-			} else {
-				compiled.sinkValues = append(compiled.sinkValues, v)
+		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {},
+	}
+	if opts.RetainOutputs {
+		sink.Stateful = true
+		sink.NewState = func() any { return &sinkState{} }
+		sink.Work = func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+			if st, ok := ctx.State.(*sinkState); ok && st != nil {
+				st.vals = append(st.vals, hostValue(v))
 			}
-		},
-	})
+		}
+	}
+	g.Add(sink)
 	g.Connect(mainStream.op, sink, 0)
 	compiled.Sink = sink
 
@@ -172,14 +249,20 @@ func (el *elaborator) makeSource(ex *CallExpr, args []value) (value, error) {
 	return &streamVal{op: op}, nil
 }
 
-// iterState is the per-instance private state of an iterate operator: its
-// state-variable environment frame.
+// iterState is the per-instance private state of a tree-engine iterate
+// operator: its state-variable environment frame.
 type iterState struct {
 	vars map[string]value
 }
 
+// probeFuel bounds state-initializer execution during elaboration, so a
+// runaway initializer is a compile error rather than a hang. Initializers
+// run at compile rate (§2) and are not charged against tenant limits.
+const probeFuel = 1 << 30
+
 // makeIterate elaborates `iterate x in s state { } { body }` into a new
-// operator whose work function interprets body with cost counting.
+// operator. Under EngineVM the body is lowered to wvm bytecode and executed
+// with per-tenant metering; under EngineTree the body is interpreted.
 func (el *elaborator) makeIterate(ex *IterateExpr, e *env) (value, error) {
 	ip := &interp{elab: el}
 	sv, err := ip.evalExpr(ex.Stream, e)
@@ -196,14 +279,89 @@ func (el *elaborator) makeIterate(ex *IterateExpr, e *env) (value, error) {
 	if el.inNode {
 		ns = dataflow.NSNode
 	}
+	name := fmt.Sprintf("iter%d@%d", el.nameSeq, ex.Line)
+
+	op := &dataflow.Operator{
+		Name:     name,
+		NS:       ns,
+		Stateful: len(ex.State) > 0,
+	}
+	if el.out.opts.Engine == EngineVM {
+		if err := el.buildVMIterate(op, name, ex, e); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := el.buildTreeIterate(op, ex, e); err != nil {
+			return nil, err
+		}
+	}
+	el.g.Add(op)
+	el.g.Connect(strm.op, op, 0)
+	return &streamVal{op: op}, nil
+}
+
+// buildVMIterate compiles the body to bytecode and installs metered VM work
+// and snapshot hooks.
+func (el *elaborator) buildVMIterate(op *dataflow.Operator, name string, ex *IterateExpr, defEnv *env) error {
+	prog, err := compileIterateVM(name, ex.Var, ex.State, ex.Body, defEnv)
+	if err != nil {
+		return err
+	}
+	limits := el.out.opts.Limits
+	meter := el.out.opts.Meter
+
+	if prog.Init >= 0 {
+		// Validate the initializer once at compile time (bounded fuel) so
+		// instance construction cannot fail for well-typed programs.
+		probe := &wvm.State{}
+		if err := prog.RunInit(wvm.Env{State: probe, Limits: wvm.Limits{Fuel: probeFuel}}); err != nil {
+			return err
+		}
+		op.NewState = func() any {
+			st := &wvm.State{}
+			if err := prog.RunInit(wvm.Env{State: st}); err != nil {
+				// Initializers are deterministic and were probed above;
+				// failures here are programming errors.
+				panic(fmt.Sprintf("wscript: state init: %v", err))
+			}
+			return st
+		}
+		op.SaveState = func(s any) ([]byte, error) { return s.(*wvm.State).Save() }
+		op.LoadState = func(b []byte) (any, error) { return wvm.LoadState(b) }
+	}
+
+	op.Work = func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+		val, err := wvm.FromHost(v)
+		if err != nil {
+			panic(fmt.Sprintf("wscript: cannot convert %T into a wscript value", v))
+		}
+		var st *wvm.State
+		if s, ok := ctx.State.(*wvm.State); ok {
+			st = s
+		}
+		err = prog.RunEntry(val, wvm.Env{
+			Counter: ctx.Counter,
+			Emit:    func(out wvm.Value) { emit(out) },
+			Limits:  limits,
+			Meter:   meter,
+			State:   st,
+		})
+		if err != nil {
+			panic(runtimeError{err})
+		}
+	}
+	return nil
+}
+
+// buildTreeIterate installs the reference tree-walking work function
+// (unmetered, not snapshotable).
+func (el *elaborator) buildTreeIterate(op *dataflow.Operator, ex *IterateExpr, defEnv *env) error {
 	stateDecls := ex.State
 	body := ex.Body
 	varName := ex.Var
-	defEnv := e
 
-	var newState func() any
 	if len(stateDecls) > 0 {
-		newState = func() any {
+		op.NewState = func() any {
 			// State initializers run per instance at compile-rate costs
 			// (they execute once at operator construction, §2).
 			sip := &interp{}
@@ -217,8 +375,7 @@ func (el *elaborator) makeIterate(ex *IterateExpr, e *env) (value, error) {
 				}
 				frame.define(d.Name, v)
 			}
-			st := &iterState{vars: frame.vars}
-			return st
+			return &iterState{vars: frame.vars}
 		}
 		// Validate initializers once at compile time so runtime panics
 		// cannot happen for well-typed programs.
@@ -226,39 +383,91 @@ func (el *elaborator) makeIterate(ex *IterateExpr, e *env) (value, error) {
 		frame := newEnv(defEnv)
 		for _, d := range stateDecls {
 			if _, err := probe.evalExpr(d.Expr, frame); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 
-	op := el.g.Add(&dataflow.Operator{
-		Name:     fmt.Sprintf("iter%d@%d", el.nameSeq, ex.Line),
-		NS:       ns,
-		Stateful: len(stateDecls) > 0,
-		NewState: newState,
-		Work: func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
-			wip := &interp{counter: ctx.Counter}
-			frame := newEnv(defEnv)
-			if st, ok := ctx.State.(*iterState); ok && st != nil {
-				// Splice the persistent state frame between the defining
-				// environment and the per-element frame.
-				stEnv := &env{vars: st.vars, parent: defEnv}
-				frame = newEnv(stEnv)
-			}
-			frame.define(varName, fromDataflow(v))
-			wip.emit = func(out value) { emit(out) }
-			if _, err := wip.evalBlock(body, frame); err != nil {
-				panic(runtimeError{err})
-			}
-		},
-	})
-	el.g.Connect(strm.op, op, 0)
-	return &streamVal{op: op}, nil
+	op.Work = func(ctx *dataflow.Ctx, _ int, v dataflow.Value, emit dataflow.Emit) {
+		wip := &interp{counter: ctx.Counter}
+		frame := newEnv(defEnv)
+		if st, ok := ctx.State.(*iterState); ok && st != nil {
+			// Splice the persistent state frame between the defining
+			// environment and the per-element frame.
+			stEnv := &env{vars: st.vars, parent: defEnv}
+			frame = newEnv(stEnv)
+		}
+		frame.define(varName, fromDataflow(v))
+		wip.emit = func(out value) { emit(out) }
+		if _, err := wip.evalBlock(body, frame); err != nil {
+			panic(runtimeError{err})
+		}
+	}
+	return nil
 }
 
-// zipState buffers pending elements per input port.
+// zipState buffers pending elements per input port (tree engine).
 type zipState struct {
 	queues [][]value
+}
+
+// zipVMState is the VM engine's zip buffer: plain serializable values plus
+// the running byte estimate the memory cap is enforced against and the fuel
+// burned so far (so metering survives snapshot/resume).
+type zipVMState struct {
+	queues   [][]wvm.Value
+	bytes    int64
+	fuelUsed uint64
+}
+
+func (z *zipVMState) save() ([]byte, error) {
+	w := wire.NewSnapshotWriter()
+	w.Uvarint(z.fuelUsed)
+	w.Uvarint(uint64(len(z.queues)))
+	for _, q := range z.queues {
+		w.Uvarint(uint64(len(q)))
+		for _, v := range q {
+			wvm.EncodeValue(w, v)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+func loadZipVMState(data []byte, wantPorts int) (*zipVMState, error) {
+	r, err := wire.NewSnapshotReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("wscript: zip state: %w", err)
+	}
+	st := &zipVMState{fuelUsed: r.Uvarint()}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wscript: zip state: %w", err)
+	}
+	if int(n) != wantPorts {
+		return nil, fmt.Errorf("wscript: zip state has %d ports, want %d", n, wantPorts)
+	}
+	st.queues = make([][]wvm.Value, wantPorts)
+	for i := range st.queues {
+		qn := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("wscript: zip state: %w", err)
+		}
+		if qn > 1<<24 {
+			return nil, fmt.Errorf("wscript: zip queue length %d too large", qn)
+		}
+		for j := uint64(0); j < qn; j++ {
+			v, err := wvm.DecodeValue(r)
+			if err != nil {
+				return nil, fmt.Errorf("wscript: zip state: %w", err)
+			}
+			st.queues[i] = append(st.queues[i], v)
+			st.bytes += 16 + wvm.SizeOf(v)
+		}
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("wscript: zip state has trailing bytes")
+	}
+	return st, nil
 }
 
 // makeZip elaborates zip(s1, ..., sn): a stateful synchronizing merge that
@@ -284,12 +493,16 @@ func (el *elaborator) makeZip(ex *ZipExpr, e *env) (value, error) {
 		ns = dataflow.NSNode
 	}
 	n := len(ops)
-	op := el.g.Add(&dataflow.Operator{
+	op := &dataflow.Operator{
 		Name:     fmt.Sprintf("zip%d@%d", el.nameSeq, ex.Line),
 		NS:       ns,
 		Stateful: true,
-		NewState: func() any { return &zipState{queues: make([][]value, n)} },
-		Work: func(ctx *dataflow.Ctx, port int, v dataflow.Value, emit dataflow.Emit) {
+	}
+	if el.out.opts.Engine == EngineVM {
+		el.buildVMZip(op, n, int32(ex.Line))
+	} else {
+		op.NewState = func() any { return &zipState{queues: make([][]value, n)} }
+		op.Work = func(ctx *dataflow.Ctx, port int, v dataflow.Value, emit dataflow.Emit) {
 			st := ctx.State.(*zipState)
 			st.queues[port] = append(st.queues[port], fromDataflow(v))
 			ctx.Counter.Add(cost.Store, 1)
@@ -308,12 +521,75 @@ func (el *elaborator) makeZip(ex *ZipExpr, e *env) (value, error) {
 				ctx.Counter.Add(cost.Store, n)
 				emit(row)
 			}
-		},
-	})
+		}
+	}
+	el.g.Add(op)
 	for i, src := range ops {
 		el.g.Connect(src, op, i)
 	}
 	return &streamVal{op: op}, nil
+}
+
+// buildVMZip installs the metered, snapshotable zip work function. Charges
+// match the tree engine (Store 1 per arrival; Load n + Store n per row);
+// fuel is 1 per arrival plus 1+2n per emitted row, and the memory cap
+// bounds the bytes buffered across all queues.
+func (el *elaborator) buildVMZip(op *dataflow.Operator, n int, line int32) {
+	limits := el.out.opts.Limits
+	meter := el.out.opts.Meter
+	op.NewState = func() any { return &zipVMState{queues: make([][]wvm.Value, n)} }
+	op.SaveState = func(s any) ([]byte, error) { return s.(*zipVMState).save() }
+	op.LoadState = func(b []byte) (any, error) { return loadZipVMState(b, n) }
+	op.Work = func(ctx *dataflow.Ctx, port int, v dataflow.Value, emit dataflow.Emit) {
+		st := ctx.State.(*zipVMState)
+		val, err := wvm.FromHost(v)
+		if err != nil {
+			panic(fmt.Sprintf("wscript: cannot convert %T into a wscript value", v))
+		}
+		fuel := uint64(1)
+		fail := func(e error) {
+			st.fuelUsed += fuel
+			meter.AddFuel(fuel)
+			meter.AddCall()
+			panic(runtimeError{e})
+		}
+		st.queues[port] = append(st.queues[port], val)
+		st.bytes += 16 + wvm.SizeOf(val)
+		ctx.Counter.Add(cost.Store, 1)
+		if limits.MemBytes > 0 && st.bytes > limits.MemBytes {
+			meter.TripMem()
+			fail(fmt.Errorf("wscript:%d: %w (cap %d bytes)", line, wvm.ErrMemLimit, limits.MemBytes))
+		}
+		for {
+			ready := true
+			for _, q := range st.queues {
+				if len(q) == 0 {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				break
+			}
+			fuel += 1 + 2*uint64(n)
+			if limits.Fuel > 0 && fuel > limits.Fuel {
+				meter.TripFuel()
+				fail(fmt.Errorf("wscript:%d: %w (budget %d)", line, wvm.ErrFuelExhausted, limits.Fuel))
+			}
+			row := &wvm.Array{Elems: make([]wvm.Value, n)}
+			for i := range st.queues {
+				row.Elems[i] = st.queues[i][0]
+				st.bytes -= 16 + wvm.SizeOf(st.queues[i][0])
+				st.queues[i] = st.queues[i][1:]
+			}
+			ctx.Counter.Add(cost.Load, n)
+			ctx.Counter.Add(cost.Store, n)
+			emit(row)
+		}
+		st.fuelUsed += fuel
+		meter.AddFuel(fuel)
+		meter.AddCall()
+	}
 }
 
 // fromDataflow converts a host-injected element into a wscript value.
@@ -357,13 +633,23 @@ func fromDataflow(v dataflow.Value) value {
 
 // Inputs builds profiling inputs for the compiled program: the host
 // supplies a trace generator per source name. Each generator is called
-// once per event index.
+// once per event index. Elements are converted for the engine the program
+// was compiled with.
 func (c *Compiled) Inputs(events int, gen func(source string, i int) any) ([]profile.Input, error) {
 	var inputs []profile.Input
 	for name, src := range c.Sources {
 		evs := make([]dataflow.Value, events)
 		for i := range evs {
-			evs[i] = fromDataflow(gen(name, i))
+			raw := gen(name, i)
+			if c.opts.Engine == EngineVM {
+				v, err := wvm.FromHost(raw)
+				if err != nil {
+					return nil, fmt.Errorf("wscript: source %s: %v", name, err)
+				}
+				evs[i] = v
+			} else {
+				evs[i] = fromDataflow(raw)
+			}
 		}
 		inputs = append(inputs, profile.Input{Source: src.Op, Events: evs, Rate: src.Rate})
 	}

@@ -1,0 +1,28 @@
+package wscript
+
+import "testing"
+
+// FuzzParse pins the lexer and parser's error-never-panic contract on
+// arbitrary input. Parse only — compilation partially evaluates top-level
+// definitions, which is not meaningful on unconstrained fuzz input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		scaleProg,
+		firProg,
+		`fun f(x) { return x * 2; } namespace Node { s = source("a", 4); } main = s;`,
+		`x = iterate v in s state { a = [1, 2.5, "s"]; } { emit a[v % 3]; };`,
+		`while x < 10 { x = x + 1; if x == 3 && y != 0.5 { emit "t"; } }`,
+		`q = Fifo.make(8); Fifo.enqueue(q, -1); z = zip(a, b);`,
+		"\"unterminated",
+		"/* unterminated",
+		`for i = 0 to 10 { a[i] = i / 0; }`,
+		"fun \x00(",
+		`x = 1e309; y = 0x12; s = "\q";`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Errors are fine; panics fail the fuzz run.
+		_, _ = Parse(src)
+	})
+}

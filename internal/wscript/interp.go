@@ -38,6 +38,11 @@ func (r runtimeError) Error() string { return r.err.Error() }
 // String mirrors Error for %v formatting in panic output.
 func (r runtimeError) String() string { return r.err.Error() }
 
+// Unwrap exposes the underlying error so typed metering errors
+// (wvm.ErrFuelExhausted, wvm.ErrMemLimit) survive the panic/recover trip
+// through the engine and can be mapped to API status codes.
+func (r runtimeError) Unwrap() error { return r.err }
+
 func (ip *interp) failf(n Node, format string, args ...any) error {
 	return fmt.Errorf("wscript:%d: %s", n.nodeLine(), fmt.Sprintf(format, args...))
 }

@@ -113,6 +113,8 @@ func typeName(v value) string {
 		return "string"
 	case *arrayVal:
 		return "array"
+	case *fifoVal:
+		return "fifo"
 	case *streamVal:
 		return "stream"
 	case *funcVal:

@@ -21,10 +21,15 @@ func compileAndRun(t *testing.T, src string, n int, gen func(name string, i int)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := profile.Run(c.Graph, inputs); err != nil {
+	prog, err := profile.CompileForProfiling(c.Graph)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return c.TakeOutputs()
+	_, inst, err := profile.RunProgramInstance(prog, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Outputs(inst)
 }
 
 func TestLexerBasics(t *testing.T) {

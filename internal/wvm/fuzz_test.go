@@ -1,0 +1,79 @@
+package wvm
+
+import (
+	"testing"
+)
+
+// FuzzVerifyBytecode feeds arbitrary bytes through Decode+Verify, and runs
+// whatever survives under a tight budget. The contract under test: garbage
+// is rejected before execution, and anything the verifier admits executes
+// without panicking — type confusion, bad jumps, and stack abuse must all
+// have been caught statically (or surface as clean runtime errors).
+func FuzzVerifyBytecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Add(doubler().Encode())
+	{
+		p := doubler()
+		p.Templates = []Value{&Array{Elems: []Value{int64(1), 2.5, "seed"}}}
+		p.NumState = 3
+		f.Add(p.Encode())
+	}
+	{
+		// A seed exercising builtins, state, and control flow.
+		mk := int32(BuiltinIndex("Array.make"))
+		p := &Program{
+			Name:   "seed-loop",
+			Consts: []Value{int64(4), int64(0), int64(1)},
+			Entry:  0,
+			Init:   -1,
+			Funcs: []Func{{
+				Name: "entry", NumParams: 1, NumLocals: 5, NumWhiles: 1,
+				Code: []Instr{
+					{Op: OpConst, A: 0},
+					{Op: OpConst, A: 1},
+					{Op: OpCallB, A: mk, B: 2},
+					{Op: OpStoreL, A: 1},
+					{Op: OpConst, A: 1},
+					{Op: OpConst, A: 0},
+					{Op: OpForInit, B: 2},
+					{Op: OpForIter, A: 11, B: 2},
+					{Op: OpLoadL, A: 0},
+					{Op: OpEmit},
+					{Op: OpForStep, A: 7, B: 2},
+					{Op: OpUnit},
+					{Op: OpRet},
+				},
+				Lines: []int32{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 2, 4, 4},
+			}},
+		}
+		if err := p.Verify(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.Encode())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := p.Verify(); err != nil {
+			return
+		}
+		// Verified programs must execute without panicking. Budgets keep
+		// fuzz iterations fast; metering errors are legitimate outcomes.
+		env := Env{
+			Emit:   func(Value) {},
+			Limits: Limits{Fuel: 20_000, MemBytes: 1 << 20},
+		}
+		if p.NumState > 0 {
+			env.State = &State{}
+		}
+		if p.Init >= 0 {
+			if err := p.RunInit(env); err != nil {
+				return
+			}
+		}
+		_ = p.RunEntry(int64(3), env)
+	})
+}

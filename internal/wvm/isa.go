@@ -1,0 +1,336 @@
+package wvm
+
+import (
+	"fmt"
+
+	"wishbone/internal/wire"
+)
+
+// Opcode identifies one VM instruction. The ISA is a compact stack machine:
+// expressions leave exactly one value, statements leave none, and the three
+// fused loop opcodes (ForInit/ForIter/ForStep) keep counted loops off the
+// operand stack entirely.
+type Opcode uint8
+
+// The instruction set. Cost-counter charges are listed per opcode; they
+// replicate the wscript tree-walking interpreter exactly so both engines
+// produce byte-identical profiles. Every executed instruction additionally
+// burns one unit of fuel (builtins may add more).
+const (
+	// OpNop does nothing (padding; the compiler never emits it).
+	OpNop Opcode = iota
+	// OpConst pushes Consts[A]. Literals are free, as in the tree-walker.
+	OpConst
+	// OpUnit pushes the unit value.
+	OpUnit
+	// OpLoadC pushes Consts[A], charging Load 1 (a captured scalar read
+	// through an identifier).
+	OpLoadC
+	// OpLoadT pushes this element's materialized copy of Templates[A],
+	// charging Load 1 (a captured mutable value read through an
+	// identifier). Copies are per work invocation: mutations do not
+	// persist across elements or leak between operator instances.
+	OpLoadT
+	// OpLoadL pushes local slot A, charging Load 1.
+	OpLoadL
+	// OpLoadLN pushes local slot A with no charge (internal fetches the
+	// tree-walker performs via uncharged env lookups).
+	OpLoadLN
+	// OpStoreL pops into local slot A, charging Store 1.
+	OpStoreL
+	// OpStoreLN pops into local slot A with no charge.
+	OpStoreLN
+	// OpLoadS pushes state slot A, charging Load 1.
+	OpLoadS
+	// OpLoadSN pushes state slot A with no charge.
+	OpLoadSN
+	// OpStoreS pops into state slot A, charging Store 1.
+	OpStoreS
+	// OpStoreSN pops into state slot A with no charge (state initializers
+	// define their slots for free).
+	OpStoreSN
+	// OpPop drops the top of stack.
+	OpPop
+	// OpJmp jumps to A.
+	OpJmp
+	// OpBranchF pops the condition, charges Branch 1, requires a bool
+	// (B selects the error message context: 0 = if, 1 = while), and jumps
+	// to A when false.
+	OpBranchF
+	// OpAnd pops the left operand of &&: requires a bool, charges
+	// Branch 1; when false pushes false and jumps to A (short circuit),
+	// otherwise falls through to the right operand.
+	OpAnd
+	// OpOr pops the left operand of ||: requires a bool, charges Branch 1;
+	// when true pushes true and jumps to A.
+	OpOr
+	// OpCkBool type-checks the top of stack as the right operand of a
+	// logical operator (B: 0 = &&, 1 = ||) without charging.
+	OpCkBool
+	// OpNot pops a bool, charges IntOp 1, pushes the negation.
+	OpNot
+	// OpNeg pops a number and pushes its negation: IntOp 1 for ints,
+	// FloatAdd 1 for floats.
+	OpNeg
+	// OpArith pops r then l and applies binary operator B (see binopNames)
+	// with numeric promotion and the tree-walker's per-type charges.
+	OpArith
+	// OpMkArray pops A elements into a fresh array, charging Store A.
+	OpMkArray
+	// OpIndex pops index then array, charging Load 1 + IntOp 1.
+	OpIndex
+	// OpIndexSet pops value, index, then array and stores the element,
+	// charging Store 1 + IntOp 1. B names the assigned variable (a string
+	// constant index) for error messages.
+	OpIndexSet
+	// OpEmit pops a value, charges Call 1, and emits it downstream.
+	OpEmit
+	// OpRet pops the return value and unwinds one frame; returning from
+	// the bottom frame ends the invocation.
+	OpRet
+	// OpCall calls Funcs[A] with B arguments (popped; pushed as the
+	// callee's first locals), charging Call 1 and enforcing the call-depth
+	// limit.
+	OpCall
+	// OpCallB calls builtin A with B arguments, charging Call 1 plus the
+	// builtin's own operation costs.
+	OpCallB
+	// OpWhileInit zeroes the frame's while-iteration counter A.
+	OpWhileInit
+	// OpWhileStep bumps while-counter A and traps after 10M iterations,
+	// mirroring the tree-walker's runaway-loop guard.
+	OpWhileStep
+	// OpForInit pops hi then lo (both must be ints) into hidden locals
+	// B and B+1.
+	OpForInit
+	// OpForIter jumps to A when the counter in local B has passed the
+	// bound in B+1; otherwise it charges Branch 1 + IntOp 1 and copies the
+	// counter into the visible loop variable at B+2.
+	OpForIter
+	// OpForStep increments local B (free, like the tree-walker's loop
+	// bookkeeping) and jumps back to A.
+	OpForStep
+
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpUnit: "unit", OpLoadC: "loadc",
+	OpLoadT: "loadt", OpLoadL: "loadl", OpLoadLN: "loadln",
+	OpStoreL: "storel", OpStoreLN: "storeln", OpLoadS: "loads",
+	OpLoadSN: "loadsn", OpStoreS: "stores", OpStoreSN: "storesn",
+	OpPop: "pop", OpJmp: "jmp", OpBranchF: "branchf", OpAnd: "and",
+	OpOr: "or", OpCkBool: "ckbool", OpNot: "not", OpNeg: "neg",
+	OpArith: "arith", OpMkArray: "mkarray", OpIndex: "index",
+	OpIndexSet: "indexset", OpEmit: "emit", OpRet: "ret", OpCall: "call",
+	OpCallB: "callb", OpWhileInit: "whileinit", OpWhileStep: "whilestep",
+	OpForInit: "forinit", OpForIter: "foriter", OpForStep: "forstep",
+}
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Binary operator indices for OpArith's B operand.
+const (
+	ArithAdd = iota
+	ArithSub
+	ArithMul
+	ArithDiv
+	ArithMod
+	ArithEq
+	ArithNe
+	ArithLt
+	ArithGt
+	ArithLe
+	ArithGe
+
+	numArith
+)
+
+var binopNames = [...]string{
+	ArithAdd: "+", ArithSub: "-", ArithMul: "*", ArithDiv: "/",
+	ArithMod: "%", ArithEq: "==", ArithNe: "!=", ArithLt: "<",
+	ArithGt: ">", ArithLe: "<=", ArithGe: ">=",
+}
+
+// ArithIndex maps an operator token to its OpArith operand, or -1.
+func ArithIndex(op string) int {
+	for i, n := range binopNames {
+		if n == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// Instr is one instruction. A is usually a jump target or pool index; B is
+// a secondary operand (argument count, operator index, context code).
+type Instr struct {
+	Op   Opcode
+	A, B int32
+}
+
+// String renders the instruction for disassembly and verifier errors.
+func (i Instr) String() string { return fmt.Sprintf("%s %d %d", i.Op, i.A, i.B) }
+
+// Func is one compiled function body.
+type Func struct {
+	// Name labels the function in errors and disassembly.
+	Name string
+	// NumParams values are popped by OpCall into the first locals.
+	NumParams int
+	// NumLocals is the frame's local slot count (params included).
+	NumLocals int
+	// NumWhiles is the frame's while-loop counter count.
+	NumWhiles int
+	// Code is the instruction sequence; every reachable path ends in
+	// OpRet.
+	Code []Instr
+	// Lines maps each instruction to its wscript source line for error
+	// messages; len(Lines) == len(Code).
+	Lines []int32
+	// MaxStack is the operand-stack bound computed by Verify.
+	MaxStack int
+}
+
+// Program is a complete compiled operator body: an entry function invoked
+// once per stream element, an optional state initializer, shared constant
+// and template pools, and the function table.
+type Program struct {
+	// Name labels the program (the operator name).
+	Name string
+	// Funcs is the function table; Entry and Init index into it.
+	Funcs []Func
+	// Consts holds immutable scalar constants (int64, float64, bool,
+	// string, Unit).
+	Consts []Value
+	// Templates holds captured mutable values (*Array, *Fifo); OpLoadT
+	// deep-copies them once per work invocation.
+	Templates []Value
+	// NumState is the operator's state slot count.
+	NumState int
+	// Entry is the element function: one parameter, the arriving element.
+	Entry int
+	// Init initializes the state slots (no parameters); -1 when the
+	// operator is stateless.
+	Init int
+}
+
+// MaxCallDepth bounds the call stack, matching the tree-walker's limit.
+const MaxCallDepth = 500
+
+// maxWhileIters matches the tree-walker's runaway-while guard.
+const maxWhileIters = 10_000_000
+
+// Encode serializes the program to a stable binary form. The format exists
+// so programs can be persisted, fuzzed, and rejected by Verify before any
+// execution; it reuses the snapshot wire primitives.
+func (p *Program) Encode() []byte {
+	w := wire.NewSnapshotWriter()
+	w.String(p.Name)
+	w.Uvarint(uint64(len(p.Consts)))
+	for _, c := range p.Consts {
+		EncodeValue(w, c)
+	}
+	w.Uvarint(uint64(len(p.Templates)))
+	for _, t := range p.Templates {
+		EncodeValue(w, t)
+	}
+	w.Uvarint(uint64(p.NumState))
+	w.Int(int64(p.Entry))
+	w.Int(int64(p.Init))
+	w.Uvarint(uint64(len(p.Funcs)))
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		w.String(f.Name)
+		w.Uvarint(uint64(f.NumParams))
+		w.Uvarint(uint64(f.NumLocals))
+		w.Uvarint(uint64(f.NumWhiles))
+		w.Uvarint(uint64(len(f.Code)))
+		for j, ins := range f.Code {
+			w.Byte(byte(ins.Op))
+			w.Int(int64(ins.A))
+			w.Int(int64(ins.B))
+			w.Int(int64(f.Lines[j]))
+		}
+	}
+	return w.Bytes()
+}
+
+// Decode parses a serialized program. Decoding only checks framing; run
+// Verify before executing the result.
+func Decode(data []byte) (*Program, error) {
+	r, err := wire.NewSnapshotReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("wvm: %w", err)
+	}
+	p := &Program{}
+	p.Name = r.String()
+	nc := r.Uvarint()
+	if nc > uint64(len(data)) {
+		return nil, fmt.Errorf("wvm: constant pool length %d exceeds input", nc)
+	}
+	p.Consts = make([]Value, 0, nc)
+	for i := uint64(0); i < nc && r.Err() == nil; i++ {
+		v, err := DecodeValue(r)
+		if err != nil {
+			return nil, err
+		}
+		p.Consts = append(p.Consts, v)
+	}
+	nt := r.Uvarint()
+	if nt > uint64(len(data)) {
+		return nil, fmt.Errorf("wvm: template pool length %d exceeds input", nt)
+	}
+	p.Templates = make([]Value, 0, nt)
+	for i := uint64(0); i < nt && r.Err() == nil; i++ {
+		v, err := DecodeValue(r)
+		if err != nil {
+			return nil, err
+		}
+		p.Templates = append(p.Templates, v)
+	}
+	ns := r.Uvarint()
+	p.NumState = int(ns)
+	p.Entry = int(r.Int())
+	p.Init = int(r.Int())
+	nf := r.Uvarint()
+	if nf > uint64(len(data)) {
+		return nil, fmt.Errorf("wvm: function count %d exceeds input", nf)
+	}
+	p.Funcs = make([]Func, 0, nf)
+	for i := uint64(0); i < nf && r.Err() == nil; i++ {
+		var f Func
+		f.Name = r.String()
+		f.NumParams = int(r.Uvarint())
+		f.NumLocals = int(r.Uvarint())
+		f.NumWhiles = int(r.Uvarint())
+		n := r.Uvarint()
+		if n > uint64(len(data)) {
+			return nil, fmt.Errorf("wvm: code length %d exceeds input", n)
+		}
+		f.Code = make([]Instr, 0, n)
+		f.Lines = make([]int32, 0, n)
+		for j := uint64(0); j < n && r.Err() == nil; j++ {
+			op := Opcode(r.Byte())
+			a := int32(r.Int())
+			b := int32(r.Int())
+			line := int32(r.Int())
+			f.Code = append(f.Code, Instr{Op: op, A: a, B: b})
+			f.Lines = append(f.Lines, line)
+		}
+		p.Funcs = append(p.Funcs, f)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wvm: %w", err)
+	}
+	if ns > 1<<20 || uint64(p.NumState) != ns {
+		return nil, fmt.Errorf("wvm: unreasonable state slot count %d", ns)
+	}
+	return p, nil
+}

@@ -1,0 +1,167 @@
+package wvm
+
+import (
+	"fmt"
+
+	"wishbone/internal/wire"
+)
+
+// Value serialization tags. VM values serialize with a one-byte tag so
+// operator state can ride inside session snapshots and cross shard-host
+// boundaries like any other engine state.
+const (
+	tagUnit byte = iota
+	tagInt
+	tagFloat
+	tagBool
+	tagString
+	tagArray
+	tagFifo
+)
+
+// maxDecodeDepth bounds nesting when decoding untrusted state payloads.
+const maxDecodeDepth = 64
+
+// EncodeValue appends one value to w in the snapshot wire format.
+// Floats are written bit-exactly, so a restored state continues the
+// computation byte-identically.
+func EncodeValue(w *wire.SnapshotWriter, v Value) {
+	switch x := v.(type) {
+	case Unit, nil:
+		w.Byte(tagUnit)
+	case int64:
+		w.Byte(tagInt)
+		w.Int(x)
+	case float64:
+		w.Byte(tagFloat)
+		w.F64(x)
+	case bool:
+		w.Byte(tagBool)
+		w.Bool(x)
+	case string:
+		w.Byte(tagString)
+		w.String(x)
+	case *Array:
+		w.Byte(tagArray)
+		w.Uvarint(uint64(len(x.Elems)))
+		for _, e := range x.Elems {
+			EncodeValue(w, e)
+		}
+	case *Fifo:
+		w.Byte(tagFifo)
+		w.Uvarint(uint64(len(x.Elems)))
+		for _, e := range x.Elems {
+			EncodeValue(w, e)
+		}
+	default:
+		panic(fmt.Sprintf("wvm: cannot serialize %T", v))
+	}
+}
+
+// DecodeValue reads one value written by EncodeValue.
+func DecodeValue(r *wire.SnapshotReader) (Value, error) {
+	return decodeValue(r, 0)
+}
+
+func decodeValue(r *wire.SnapshotReader, depth int) (Value, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("wvm: value nesting exceeds %d", maxDecodeDepth)
+	}
+	tag := r.Byte()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagUnit:
+		return Unit{}, nil
+	case tagInt:
+		return r.Int(), r.Err()
+	case tagFloat:
+		return r.F64(), r.Err()
+	case tagBool:
+		return r.Bool(), r.Err()
+	case tagString:
+		return r.String(), r.Err()
+	case tagArray, tagFifo:
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n > 1<<24 {
+			return nil, fmt.Errorf("wvm: container length %d too large", n)
+		}
+		elems := make([]Value, 0, min(int(n), 1024))
+		for i := uint64(0); i < n; i++ {
+			e, err := decodeValue(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		if tag == tagArray {
+			return &Array{Elems: elems}, nil
+		}
+		return &Fifo{Elems: elems}, nil
+	default:
+		return nil, fmt.Errorf("wvm: unknown value tag %d", tag)
+	}
+}
+
+// State is one operator instance's VM state: the state-variable slots plus
+// the fuel the instance has burned so far. It lives in dataflow.Ctx.State
+// as a plain serializable value, which is what lets wscript operators
+// stream, snapshot, resume, and shard like built-in ones.
+type State struct {
+	// Slots are the operator's state variables, in declaration order.
+	Slots []Value
+	// FuelUsed is the cumulative fuel this instance has burned. It is
+	// part of the snapshot so metering survives resume.
+	FuelUsed uint64
+	// memBytes caches the retained-size estimate of Slots as of the last
+	// completed invocation (only maintained when a memory cap is set).
+	memBytes int64
+}
+
+// Save serializes the state with SaveState semantics: the restored
+// instance's future output is byte-identical to continuing with this one.
+func (s *State) Save() ([]byte, error) {
+	w := wire.NewSnapshotWriter()
+	w.Uvarint(s.FuelUsed)
+	w.Uvarint(uint64(len(s.Slots)))
+	for _, v := range s.Slots {
+		EncodeValue(w, v)
+	}
+	return w.Bytes(), nil
+}
+
+// LoadState restores a state serialized by Save.
+func LoadState(data []byte) (*State, error) {
+	r, err := wire.NewSnapshotReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("wvm: state: %w", err)
+	}
+	st := &State{FuelUsed: r.Uvarint()}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wvm: state: %w", err)
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("wvm: state slot count %d too large", n)
+	}
+	st.Slots = make([]Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := DecodeValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("wvm: state slot %d: %w", i, err)
+		}
+		st.Slots = append(st.Slots, v)
+	}
+	if !r.Done() {
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("wvm: state: %w", err)
+		}
+		return nil, fmt.Errorf("wvm: state has trailing bytes")
+	}
+	st.memBytes = -1 // recompute lazily on first metered invocation
+	return st, nil
+}

@@ -1,0 +1,216 @@
+// Package wvm is a compact stack-machine bytecode VM for tenant-submitted
+// work functions. The wscript front end (internal/wscript) lowers iterate
+// bodies to wvm programs; the VM executes them with per-tenant metering — a
+// fuel budget charged per opcode and a memory cap on VM allocations — and
+// keeps all mutable state in plain serializable values so operator state can
+// ride inside dataflow.Ctx.State, cross session snapshots, and resume on
+// another host.
+//
+// The VM pairs with the tree-walking wscript interpreter the way the
+// compiled dataflow engine pairs with the reference Executor: the fast
+// engine is production, the tree-walker is the reference, and parity tests
+// keep them byte-identical (values, emitted elements, and cost-counter
+// charges).
+package wvm
+
+import "fmt"
+
+// Value is one VM value. Concrete types:
+//
+//	int64, float64, bool, string — scalars
+//	Unit                         — the unit value of statements
+//	*Array                       — mutable arrays (reference semantics)
+//	*Fifo                        — FIFO queues (reference semantics)
+//
+// The scalar types are shared with the host, so values emitted by a program
+// flow onto dataflow edges unwrapped.
+type Value = any
+
+// Unit is the value of statements and empty expressions.
+type Unit struct{}
+
+// WireSize implements dataflow.Sized: unit carries no payload.
+func (Unit) WireSize() int { return 0 }
+
+// Array is a mutable array value.
+type Array struct {
+	Elems []Value
+}
+
+// WireSize implements dataflow.Sized with the same pricing as the wscript
+// tree-walker's array type: scalar elements by type, nested arrays recurse.
+func (a *Array) WireSize() int {
+	n := 0
+	for _, e := range a.Elems {
+		n += wireSizeOf(e)
+	}
+	return n
+}
+
+// Fifo is a FIFO queue value (the paper's Figure 1 delay line).
+type Fifo struct {
+	Elems []Value
+}
+
+// WireSize implements dataflow.Sized.
+func (f *Fifo) WireSize() int {
+	n := 0
+	for _, e := range f.Elems {
+		n += wireSizeOf(e)
+	}
+	return n
+}
+
+func wireSizeOf(v Value) int {
+	switch x := v.(type) {
+	case int64:
+		return 8
+	case float64:
+		return 8
+	case bool:
+		return 1
+	case string:
+		return len(x)
+	case *Array:
+		return x.WireSize()
+	case *Fifo:
+		return x.WireSize()
+	case Unit:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// SizeOf estimates the heap bytes a value retains. The memory meter charges
+// these deterministic sizes (not Go's real allocator sizes, which would vary
+// by platform) so a tenant's memory accounting is identical on every host.
+func SizeOf(v Value) int64 {
+	switch x := v.(type) {
+	case int64, float64:
+		return 8
+	case bool:
+		return 1
+	case string:
+		return 16 + int64(len(x))
+	case Unit:
+		return 0
+	case *Array:
+		n := int64(24)
+		for _, e := range x.Elems {
+			n += 16 + SizeOf(e)
+		}
+		return n
+	case *Fifo:
+		n := int64(24)
+		for _, e := range x.Elems {
+			n += 16 + SizeOf(e)
+		}
+		return n
+	default:
+		return 8
+	}
+}
+
+// TypeName describes a value for error messages, matching the wscript
+// tree-walker's vocabulary so both engines fail with identical text.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case int64:
+		return "int"
+	case float64:
+		return "float"
+	case bool:
+		return "bool"
+	case string:
+		return "string"
+	case *Array:
+		return "array"
+	case *Fifo:
+		return "fifo"
+	case Unit:
+		return "unit"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// Copy deep-copies a value. Captured mutable templates are materialized
+// per element with Copy so instances never share compile-time structures.
+func Copy(v Value) Value {
+	switch x := v.(type) {
+	case *Array:
+		out := &Array{Elems: make([]Value, len(x.Elems))}
+		for i, e := range x.Elems {
+			out.Elems[i] = Copy(e)
+		}
+		return out
+	case *Fifo:
+		out := &Fifo{Elems: make([]Value, len(x.Elems))}
+		for i, e := range x.Elems {
+			out.Elems[i] = Copy(e)
+		}
+		return out
+	default:
+		return x
+	}
+}
+
+// FromHost converts a host-injected stream element into a VM value. VM
+// values pass through unchanged; common host scalar and slice types are
+// widened the same way the tree-walker widens them.
+func FromHost(v any) (Value, error) {
+	switch x := v.(type) {
+	case *Array, *Fifo, int64, float64, bool, string, Unit:
+		return x, nil
+	case int:
+		return int64(x), nil
+	case int16:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case float32:
+		return float64(x), nil
+	case []float64:
+		arr := &Array{Elems: make([]Value, len(x))}
+		for i, e := range x {
+			arr.Elems[i] = e
+		}
+		return arr, nil
+	case []int16:
+		arr := &Array{Elems: make([]Value, len(x))}
+		for i, e := range x {
+			arr.Elems[i] = int64(e)
+		}
+		return arr, nil
+	case []int64:
+		arr := &Array{Elems: make([]Value, len(x))}
+		for i, e := range x {
+			arr.Elems[i] = e
+		}
+		return arr, nil
+	default:
+		return nil, fmt.Errorf("wvm: cannot convert %T into a VM value", v)
+	}
+}
+
+// ToGo converts a VM value into plain Go data (int64, float64, bool,
+// string, []any) for hosts that consume program output.
+func ToGo(v Value) any {
+	switch x := v.(type) {
+	case *Array:
+		out := make([]any, len(x.Elems))
+		for i, e := range x.Elems {
+			out[i] = ToGo(e)
+		}
+		return out
+	case *Fifo:
+		out := make([]any, len(x.Elems))
+		for i, e := range x.Elems {
+			out[i] = ToGo(e)
+		}
+		return out
+	default:
+		return x
+	}
+}
