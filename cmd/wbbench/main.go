@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|batch|dist|all]
+//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|batch|replan|dist|all]
 //	        [-seconds N] [-fig6n N] [-engine compiled|legacy] [-shards N]
 //	        [-stream] [-workers N] [-batch on|off]
 //	        [-solver exact|lagrangian|greedy|race|all]
@@ -13,6 +13,12 @@
 // The solvers figure compares the pluggable solver backends (objective,
 // proven gap, latency, race wins) on the speech and EEG specs; -solver
 // restricts it to one backend (plus the exact reference).
+//
+// The replan figure evaluates the online control plane: dual
+// iterations-to-gap for re-plan pricing (plain subgradient vs Newton vs
+// warm-started Newton on the drift-scaled specs) and the control loop's
+// window-by-window recovery trajectory through a mid-stream re-partition
+// of a drift-injected speech deployment.
 //
 // -shards splits each deployment simulation — the node phase by origin
 // and the server-side delivery loop — by origin node (byte-identical
@@ -50,7 +56,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, batch, dist, all; dist only runs when named)")
+	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, batch, replan, dist, all; dist only runs when named)")
 	seconds := flag.Float64("seconds", 60, "simulated deployment duration for figures 9-10")
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
 	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
@@ -219,6 +225,19 @@ func main() {
 			log.Fatal(err)
 		}
 		out(experiments.DistScalingTable(*distNodes, *distSeconds, rows))
+	}
+	if want("replan") {
+		iters, err := experiments.NewtonIterations(1.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out(experiments.NewtonIterationsTable(1.5, iters))
+		rows, res, err := experiments.ReplanRecovery(4, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out(experiments.ReplanRecoveryTable(rows))
+		fmt.Printf("\nreplan recovery run: %d msgs sent, %d server emits\n", res.MsgsSent, res.ServerEmits)
 	}
 	if want("solvers") {
 		backends := []string{"exact", "lagrangian", "greedy", "race"}

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	wbserved [-addr :9090] [-cache 256] [-jobs N] [-sim-workers N]
-//	         [-shard-sessions N]
+//	         [-shard-sessions N] [-replan-max N]
 //
 // Try it:
 //
@@ -42,6 +42,7 @@ func main() {
 	simWorkers := flag.Int("sim-workers", 0, "per-simulation node worker bound (0 = GOMAXPROCS)")
 	streamBuffer := flag.Int("stream-buffer", 0, "per-session window-buffer bound for /v1/simulate/stream; exceeding it returns 429 code=backpressure (0 = default)")
 	shardSessions := flag.Int("shard-sessions", 0, "max concurrently open /v1/shard sessions (0 = default 256)")
+	replanMax := flag.Int("replan-max", 0, "server-side cap on mid-stream re-partitions per controlled session, overriding larger tenant requests (0 = uncapped)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	// Note: http.Server.ReadTimeout is an absolute whole-body deadline —
 	// it caps every upload's total duration, progressing or stalled, so
@@ -58,6 +59,8 @@ func main() {
 		SimWorkers:        *simWorkers,
 		StreamMaxBuffered: *streamBuffer,
 		MaxShardSessions:  *shardSessions,
+
+		ReplanMaxPerSession: *replanMax,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -11,6 +11,13 @@
 //	         [-engine compiled|legacy] [-server http://host:9090]
 //	         [-simulate N] [-simseconds S] [-shards K] [-stream]
 //	         [-batch on|off] [-hosts url1,url2,...]
+//	         [-replan] [-replan-window S]
+//
+// -replan attaches the online control plane to the streaming simulation:
+// each ingestion window's observed load folds into a decaying profile,
+// and when it drifts past the policy threshold the partition is re-solved
+// with -solver at the observed multiple and operator state relocates
+// mid-stream (results stay deterministic for a fixed input).
 //
 // With -simulate N, the chosen partition is additionally deployed on a
 // simulated N-node network (§7.3): each node runs the node partition
@@ -45,6 +52,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"wishbone/internal/core"
@@ -75,6 +83,8 @@ func main() {
 	simSeconds := flag.Float64("simseconds", 30, "simulated deployment duration in seconds")
 	shards := flag.Int("shards", 0, "server-side delivery shards for the simulation (0/1 = sequential)")
 	stream := flag.Bool("stream", false, "feed the simulation trace through streaming ingestion (bounded windows, constant memory)")
+	replan := flag.Bool("replan", false, "attach the online control loop to the streaming simulation: detect load drift and re-partition mid-stream with -solver (requires -stream)")
+	replanWindow := flag.Float64("replan-window", 2, "ingestion window in simulated seconds for -replan drift detection")
 	batch := flag.String("batch", "on", "batched work-function dispatch for the simulation: on|off (byte-identical results)")
 	hosts := flag.String("hosts", "", "comma-separated wbserved base URLs; the simulation's origin shards are placed across them")
 	flag.Parse()
@@ -265,7 +275,19 @@ func main() {
 		}
 		var res *runtime.Result
 		distributed := false
-		if *hosts != "" {
+		if *replan {
+			if !*stream {
+				log.Fatal("-replan requires -stream (drift detection rides the ingestion windows)")
+			}
+			if *hosts != "" {
+				log.Fatal("-replan does not compose with -hosts (the partition service coordinates distributed replans)")
+			}
+			res, err = runReplanned(ctx, cfg, *replanWindow, spec.Scaled(rate), sv, inputs, rate, *simSeconds)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mode = "streaming+replan"
+		} else if *hosts != "" {
 			var peers []string
 			for _, u := range strings.Split(*hosts, ",") {
 				if u = strings.TrimSpace(u); u != "" {
@@ -296,6 +318,75 @@ func main() {
 				1e3*timings.NodeSeconds(), 1e3*timings.DeliverySeconds(), 1e3*timings.WallSeconds())
 		}
 	}
+}
+
+// runReplanned drives the streaming simulation through a
+// ControlledSession: the control loop folds each ingestion window's load
+// into a decaying online profile, and when it drifts past the policy
+// threshold for the hysteresis interval, re-solves the partition with the
+// chosen backend at the observed load multiple and relocates operator
+// state at the window boundary. Replan events print as they land in the
+// final result.
+func runReplanned(ctx context.Context, cfg runtime.Config, window float64, base *core.Spec,
+	sv solver.Solver, inputs []profile.Input, rate, seconds float64) (*runtime.Result, error) {
+	cfg.ArrivalSource = nil
+	cfg.Inputs = nil
+	cfg.WindowSeconds = window
+	planner := func(multiple float64) (*runtime.Plan, error) {
+		res, err := core.AutoPartitionWith(ctx, base, multiple, 0.005, core.Limits{}, sv)
+		if err != nil || res.Assignment == nil {
+			return nil, nil // keep the incumbent cut
+		}
+		return &runtime.Plan{OnNode: res.Assignment.OnNode, Solver: res.Assignment.Stats.Solver}, nil
+	}
+	cs, err := runtime.NewControlledSession(cfg, runtime.ReplanPolicy{}, 0, planner)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge every node's arrival stream into the global offer order.
+	type feedItem struct {
+		node int
+		a    runtime.Arrival
+	}
+	var feed []feedItem
+	for n := 0; n < cfg.Nodes; n++ {
+		st, err := runtime.InputStream(inputs, rate, seconds)
+		if err != nil {
+			return nil, err
+		}
+		for a, ok := st.Next(); ok; a, ok = st.Next() {
+			feed = append(feed, feedItem{node: n, a: a})
+		}
+	}
+	sort.SliceStable(feed, func(i, j int) bool {
+		if feed[i].a.Time != feed[j].a.Time {
+			return feed[i].a.Time < feed[j].a.Time
+		}
+		return feed[i].node < feed[j].node
+	})
+	for _, f := range feed {
+		if err := cs.Offer(f.node, f.a); err != nil {
+			return nil, err
+		}
+	}
+	res, err := cs.Close()
+	if err != nil {
+		return nil, err
+	}
+	events := cs.Events()
+	if len(events) == 0 {
+		fmt.Println("control loop: no drift past threshold; cut unchanged")
+	}
+	for _, ev := range events {
+		via := ""
+		if ev.Solver != "" {
+			via = " via " + ev.Solver
+		}
+		fmt.Printf("control loop: replan at t=%.0fs (load ×%.2f): moved %d operator(s)%s\n",
+			ev.Time, ev.RateMultiple, len(ev.Moved), via)
+	}
+	return res, nil
 }
 
 // runRemote is the client mode: submit the program to a wbserved

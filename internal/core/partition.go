@@ -22,6 +22,13 @@ type Options struct {
 	TimeLimit time.Duration
 	GapTol    float64
 	MaxNodes  int
+
+	// Cutoff optionally feeds the branch-and-bound an external upper
+	// bound — a feasible α·cpu + β·net objective some other backend
+	// already holds (the race incumbent). Only sound for the Restricted
+	// formulation, where the ILP objective equals the assignment
+	// objective exactly; Exact.Solve installs it there and nowhere else.
+	Cutoff func() (float64, bool)
 }
 
 // DefaultOptions returns the paper-default options: restricted formulation
@@ -174,11 +181,20 @@ func Partition(ctx context.Context, s *Spec, opts Options) (*Assignment, error) 
 		}
 	}
 
+	// The external cutoff shares objective space with the model only in
+	// the Restricted formulation (General's tiny edge-variable weights
+	// shift the model objective above α·cpu + β·net, which would make an
+	// assignment-space bound unsound there).
+	var cutoff func() (float64, bool)
+	if opts.Formulation == Restricted {
+		cutoff = opts.Cutoff
+	}
 	res, err := ilp.Solve(ctx, m, ilp.Options{
 		TimeLimit: opts.TimeLimit,
 		GapTol:    opts.GapTol,
 		MaxNodes:  opts.MaxNodes,
 		Rounder:   rounder,
+		Cutoff:    cutoff,
 	})
 	if err != nil {
 		return nil, err
@@ -186,6 +202,7 @@ func Partition(ctx context.Context, s *Spec, opts Options) (*Assignment, error) 
 	stats := SolveStats{
 		Solver:         SolverExact,
 		Nodes:          res.Nodes,
+		CutoffPruned:   res.CutoffPruned,
 		DiscoverTime:   res.DiscoverTime.Seconds(),
 		ProveTime:      res.ProveTime.Seconds(),
 		ClustersBefore: s.Graph.NumOperators(),

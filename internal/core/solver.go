@@ -13,6 +13,7 @@ import (
 const (
 	SolverExact      = "exact"
 	SolverLagrangian = "lagrangian"
+	SolverNewton     = "newton"
 	SolverGreedy     = "greedy"
 	SolverRace       = "race"
 )
@@ -46,6 +47,12 @@ type BackendStats struct {
 	// Backend is the solver's registered name.
 	Backend string `json:"backend"`
 
+	// Formulation tags the (ILP encoding, load statistic) variant the
+	// solve ran under, e.g. "restricted/mean" — see FormulationTag. The
+	// service breaks per-backend win/latency metrics down by it, so an
+	// auto-picker can race heterogeneous Options, not just algorithms.
+	Formulation string `json:"formulation,omitempty"`
+
 	// Seconds is the wall-clock solve time.
 	Seconds float64 `json:"seconds"`
 
@@ -68,6 +75,11 @@ type BackendStats struct {
 	// Iterations counts backend-specific work: branch-and-bound nodes,
 	// subgradient iterations, or candidate cuts evaluated.
 	Iterations int `json:"iterations,omitempty"`
+
+	// Lambda records the final dual multipliers (λcpu, λnet, λram) for
+	// backends that price the budgets (lagrangian, newton); a re-plan
+	// warm-starts the newton backend from these instead of zero.
+	Lambda []float64 `json:"lambda,omitempty"`
 
 	// Winner marks the backend whose assignment a race returned.
 	Winner bool `json:"winner,omitempty"`
@@ -145,10 +157,15 @@ func NewExact(opts Options) Exact { return Exact{Opts: opts} }
 func (Exact) Name() string { return SolverExact }
 
 // Solve runs the exact ILP. The result is deterministic for a given spec
-// and limits: Exact deliberately ignores Limits.Incumbent for pruning, so
-// a raced exact solve returns byte-identical assignments to a standalone
-// one (racing ties are then exact wins by construction); it still Offers
-// its result to the shared bound for the other backends' benefit.
+// and limits even when raced: Limits.Incumbent feeds the branch-and-bound
+// an external prune cutoff (Restricted formulation, where the model and
+// assignment objectives coincide exactly), but the cutoff margin is wider
+// than the race tie tolerance and the search's best-bound order is a
+// total order, so the pruned subtrees are exactly those that could never
+// have produced the returned incumbent — a raced exact solve returns
+// byte-identical assignments to a standalone one in fewer nodes, and
+// racing ties stay exact wins by construction. Exact also Offers its
+// result to the shared bound for the other backends' benefit.
 func (e Exact) Solve(ctx context.Context, s *Spec, lim Limits) (*Assignment, BackendStats, error) {
 	opts := e.Opts
 	if lim.TimeLimit > 0 && (opts.TimeLimit == 0 || lim.TimeLimit < opts.TimeLimit) {
@@ -160,9 +177,16 @@ func (e Exact) Solve(ctx context.Context, s *Spec, lim Limits) (*Assignment, Bac
 	if lim.GapTol > opts.GapTol {
 		opts.GapTol = lim.GapTol
 	}
+	if inc := lim.Incumbent; inc != nil && opts.Cutoff == nil {
+		opts.Cutoff = inc.Best
+	}
 	start := time.Now()
 	asg, err := Partition(ctx, s, opts)
-	stats := BackendStats{Backend: SolverExact, Seconds: time.Since(start).Seconds()}
+	stats := BackendStats{
+		Backend:     SolverExact,
+		Formulation: FormulationTag(opts.Formulation, s.Load),
+		Seconds:     time.Since(start).Seconds(),
+	}
 	if asg != nil {
 		stats.Iterations = asg.Stats.Nodes
 	}

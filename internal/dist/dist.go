@@ -62,10 +62,91 @@ func (c *Coordinator) Run(ctx context.Context, spec wire.GraphSpec, cfg runtime.
 	if err != nil {
 		return nil, false, err
 	}
+	hosts, err := c.openShards(ctx, spec, cfg, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	ds, err := runtime.NewDistSession(cfg, hosts)
+	if err != nil {
+		for _, b := range hosts {
+			b.Driver.Abort()
+		}
+		return nil, false, err
+	}
+	if err := feed(ds, &cfg, source); err != nil {
+		ds.Abort()
+		return nil, true, err
+	}
+	res, err = ds.Close()
+	if err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
+}
 
-	// One shard-host session per peer, each owning a round-robin slice of
-	// the origins. PartitionOrigins drops surplus peers when there are
-	// more hosts than nodes.
+// RunControlled is Run with the online control plane attached: the
+// per-window load observations drive a drift detector, and when drift
+// persists the planner is consulted for a new cut. Relocated operators
+// hand state off mid-stream — on the distributed path the coordinator
+// freezes every host (/v1/shard/snapshot), folds the blobs into one
+// session snapshot, rewrites it onto the new cut with MigrateSnapshot,
+// and re-opens the hosts with the migrated snapshot as their Resume
+// blob; the local fallback runs the same handoff in-process. Either way
+// the continuation is byte-identical to a run that started on the new
+// cut at the handoff boundary.
+//
+// plannedLoad is the offered-load rate (air bytes/sec) the initial cut
+// was planned for; 0 adopts the first observed window. planner may be
+// nil for drift detection without relocation. The returned events record
+// every trigger, moved set, and the load multiple solved for.
+func (c *Coordinator) RunControlled(ctx context.Context, spec wire.GraphSpec, cfg runtime.Config,
+	policy runtime.ReplanPolicy, plannedLoad float64, planner runtime.Planner) (res *runtime.Result, events []runtime.ReplanEvent, distributed bool, err error) {
+	source, err := arrivalSource(&cfg)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if len(c.peers) == 0 || !runtime.Distributable(cfg) {
+		cs, err := runtime.NewControlledSession(cfg, policy, plannedLoad, planner)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if err := feed(cs, &cfg, source); err != nil {
+			cs.Close()
+			return nil, cs.Events(), false, err
+		}
+		res, err = cs.Close()
+		return res, cs.Events(), false, err
+	}
+	hosts, err := c.openShards(ctx, spec, cfg, nil)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	ds, err := runtime.NewDistSession(cfg, hosts)
+	if err != nil {
+		for _, b := range hosts {
+			b.Driver.Abort()
+		}
+		return nil, nil, false, err
+	}
+	dcs := runtime.NewDistControlledSession(ds, policy, plannedLoad, runtime.DistPlanner(planner),
+		func(ncfg runtime.Config, snapshot []byte) ([]runtime.HostBinding, error) {
+			return c.openShards(ctx, spec, ncfg, snapshot)
+		})
+	if err := feed(dcs, &cfg, source); err != nil {
+		dcs.Abort()
+		return nil, dcs.Events(), true, err
+	}
+	res, err = dcs.Close()
+	return res, dcs.Events(), true, err
+}
+
+// openShards opens one shard-host session per peer, each owning a
+// round-robin slice of the origins (PartitionOrigins drops surplus peers
+// when there are more hosts than nodes). A non-nil resume blob — a full
+// session snapshot, typically MigrateSnapshot's output during a replan
+// handoff — makes each host restore its owned origins from it instead of
+// starting fresh. On error every already-opened session is aborted.
+func (c *Coordinator) openShards(ctx context.Context, spec wire.GraphSpec, cfg runtime.Config, resume []byte) ([]runtime.HostBinding, error) {
 	parts := runtime.PartitionOrigins(cfg.Nodes, len(c.peers))
 	hash := cfg.Graph.StructuralHash()
 	var onNode []int
@@ -91,30 +172,18 @@ func (c *Coordinator) Run(ctx context.Context, spec wire.GraphSpec, cfg runtime.
 			Seed:      cfg.Seed,
 			Shards:    cfg.Shards,
 			Origins:   origins,
+			Resume:    resume,
 		})
 		if err != nil {
 			abortHosts()
-			return nil, false, fmt.Errorf("dist: open shard on %s: %w", c.urls[hi], err)
+			return nil, fmt.Errorf("dist: open shard on %s: %w", c.urls[hi], err)
 		}
 		hosts = append(hosts, runtime.HostBinding{
 			Driver:  &httpHost{ctx: ctx, client: c.peers[hi], url: c.urls[hi], session: open.Session},
 			Origins: origins,
 		})
 	}
-	ds, err := runtime.NewDistSession(cfg, hosts)
-	if err != nil {
-		abortHosts()
-		return nil, false, err
-	}
-	if err := feed(ds, &cfg, source); err != nil {
-		ds.Abort()
-		return nil, true, err
-	}
-	res, err = ds.Close()
-	if err != nil {
-		return nil, true, err
-	}
-	return res, true, nil
+	return hosts, nil
 }
 
 // arrivalSource resolves where the run's arrivals come from: the
@@ -138,11 +207,17 @@ func arrivalSource(cfg *runtime.Config) (func(nodeID int) (runtime.Stream, error
 	}, nil
 }
 
+// offerer is feed's arrival sink: plain and controlled sessions, local
+// and distributed, all share the one merge.
+type offerer interface {
+	Offer(nodeID int, a runtime.Arrival) error
+}
+
 // feed merges every node's arrival stream by time and offers the merged
 // sequence to the session — the exact merge the single-host streaming
 // path runs (strictly-earliest head wins, lowest node index on ties),
 // which is what makes the distributed Result byte-identical to it.
-func feed(ds *runtime.DistSession, cfg *runtime.Config, source func(nodeID int) (runtime.Stream, error)) error {
+func feed(ds offerer, cfg *runtime.Config, source func(nodeID int) (runtime.Stream, error)) error {
 	streams := make([]runtime.Stream, cfg.Nodes)
 	heads := make([]runtime.Arrival, cfg.Nodes)
 	live := make([]bool, cfg.Nodes)
@@ -240,6 +315,14 @@ func (h *httpHost) Close() (*runtime.HostResult, error) {
 		hr.NodeBusy = append(hr.NodeBusy, runtime.NodeBusy{Node: nb.Node, Busy: nb.Busy})
 	}
 	return hr, nil
+}
+
+func (h *httpHost) Snapshot() ([]byte, error) {
+	data, err := h.client.ShardSnapshot(h.ctx, h.session)
+	if err != nil {
+		return nil, fmt.Errorf("dist: snapshot on %s: %w", h.url, err)
+	}
+	return data, nil
 }
 
 func (h *httpHost) Abort() {

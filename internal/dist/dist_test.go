@@ -228,3 +228,95 @@ func TestCoordinatorGraphHashMismatch(t *testing.T) {
 		t.Fatal("structural-hash mismatch between coordinator and host was accepted")
 	}
 }
+
+// burstStream triples the arrival density of a base stream past the
+// half-way mark: each late arrival is echoed twice a few milliseconds
+// later — the drift injection the replan tests stream.
+type burstStream struct {
+	base runtime.Stream
+	half float64
+	pend []runtime.Arrival
+}
+
+func (b *burstStream) Next() (runtime.Arrival, bool) {
+	if len(b.pend) > 0 {
+		a := b.pend[0]
+		b.pend = b.pend[1:]
+		return a, true
+	}
+	a, ok := b.base.Next()
+	if !ok {
+		return a, false
+	}
+	if a.Time > b.half {
+		e1, e2 := a, a
+		e1.Time += 0.005
+		e2.Time += 0.01
+		b.pend = append(b.pend, e1, e2)
+	}
+	return a, true
+}
+
+// TestCoordinatorReplanParity is the cross-host half of the replan
+// parity pin: a drift-injected speech trace replanned mid-stream through
+// the /v1/shard protocol — every host freezing its shard, the
+// coordinator migrating the assembled snapshot onto the new cut, and the
+// hosts re-opening from the migrated blob — must produce the
+// byte-identical Result and replan schedule of the local in-process
+// control loop, at every host count.
+func TestCoordinatorReplanParity(t *testing.T) {
+	spec, cfg := speechConfig(t)
+	cfg.WindowSeconds = 1
+	base := cfg.ArrivalSource
+	cfg.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
+		st, err := base(nodeID)
+		if err != nil {
+			return nil, err
+		}
+		return &burstStream{base: st, half: cfg.Duration / 2}, nil
+	}
+	cutB := make(map[int]bool)
+	for i, op := range cfg.Graph.Operators() {
+		cutB[op.ID()] = i < 4
+	}
+	policy := runtime.ReplanPolicy{Threshold: 0.5, Hysteresis: 2, Decay: 0.5, MaxReplans: 1}
+	planner := func(float64) (*runtime.Plan, error) { return &runtime.Plan{OnNode: cutB}, nil }
+	ctx := context.Background()
+
+	ref, refEvents, distributed, err := dist.New(nil, nil).RunControlled(ctx, spec, cfg, policy, 0, planner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distributed {
+		t.Fatal("peerless controlled run claims it distributed")
+	}
+	if len(refEvents) != 1 || len(refEvents[0].Moved) == 0 {
+		t.Fatalf("local reference saw events %+v, want one relocating replan", refEvents)
+	}
+	if ref.MsgsSent == 0 {
+		t.Fatalf("degenerate reference run: %+v", *ref)
+	}
+
+	for _, hosts := range []int{1, 2, 3} {
+		coord := dist.New(startPeers(t, hosts), nil)
+		got, events, distributed, err := coord.RunControlled(ctx, spec, cfg, policy, 0, planner)
+		if err != nil {
+			t.Fatalf("%d hosts: %v", hosts, err)
+		}
+		if !distributed {
+			t.Fatalf("%d hosts: controlled run fell back to local execution", hosts)
+		}
+		if len(events) != 1 {
+			t.Fatalf("%d hosts: %d replan events, want 1", hosts, len(events))
+		}
+		if events[0].Time != refEvents[0].Time {
+			t.Fatalf("%d hosts: replanned at t=%g, local loop at t=%g", hosts, events[0].Time, refEvents[0].Time)
+		}
+		if len(events[0].Moved) != len(refEvents[0].Moved) {
+			t.Fatalf("%d hosts: moved %v, local loop moved %v", hosts, events[0].Moved, refEvents[0].Moved)
+		}
+		if *got != *ref {
+			t.Fatalf("%d hosts: distributed replan diverges:\nref: %+v\ngot: %+v", hosts, *ref, *got)
+		}
+	}
+}

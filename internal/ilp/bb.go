@@ -60,7 +60,28 @@ type Options struct {
 	// the model before being accepted as incumbents, so an unsound rounder
 	// costs time but never correctness.
 	Rounder func(m *Model, x []float64) []float64
+
+	// Cutoff optionally reads an external upper bound: the objective (in
+	// model space) of a feasible solution some other solver already holds —
+	// a racing heuristic's incumbent. Children whose relaxation bound
+	// cannot beat it by more than the cutoff margin (1e-6, wider than any
+	// tie tolerance) are never pushed, and stale nodes above it are
+	// dropped at pop. Because the external bound is a feasible objective
+	// of the same problem, it is never below the optimum; best-bound
+	// search pops bounds in nondecreasing order and the optimum's path has
+	// bounds at most the optimum, so every pruned node would anyway have
+	// been discarded against the final incumbent after the winner was
+	// installed. The returned X is therefore byte-identical to an
+	// un-cut-off solve; only heap work (Result.CutoffPruned) and memory
+	// shrink. The callback may tighten over time; it must never report a
+	// value below a feasible objective.
+	Cutoff func() (float64, bool)
 }
+
+// cutoffMargin is how far a subtree's bound must exceed the external
+// cutoff before it is pruned. It is wider than the race's tie tolerance
+// (1e-9) so equal-objective ties still surface the exact solution.
+const cutoffMargin = 1e-6
 
 // Result reports the outcome of a Solve.
 type Result struct {
@@ -78,6 +99,10 @@ type Result struct {
 	// is unused padding for future reporting.
 	Nodes int
 
+	// CutoffPruned counts subtrees discarded against the external
+	// Options.Cutoff bound (never pushed, or dropped at pop).
+	CutoffPruned int
+
 	// BestBound is the proven lower bound (for minimization) at
 	// termination; Gap is the final relative gap.
 	BestBound float64
@@ -92,6 +117,7 @@ type bbNode struct {
 	lo, hi   float64
 	bound    float64 // parent LP objective: a valid bound for this subtree
 	depth    int
+	seq      int // push order: the deterministic last-resort tiebreak
 	hasFixes bool
 }
 
@@ -109,7 +135,13 @@ func (h nodeHeap) Less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound // best-bound first (minimization)
 	}
-	return h[i].depth > h[j].depth // deeper first to find incumbents sooner
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth // deeper first to find incumbents sooner
+	}
+	// Total order: push sequence breaks exact ties, so the exploration
+	// order of surviving nodes cannot depend on which other nodes an
+	// external cutoff pruned (container/heap is not otherwise stable).
+	return h[i].seq < h[j].seq
 }
 func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*bbNode)) }
@@ -212,6 +244,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
 	}
 
 	nodes := 1
+	seq := 0
 	proved := true
 	canceled := false
 	for h.Len() > 0 {
@@ -231,6 +264,12 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
 		node := heap.Pop(h).(*bbNode)
 		if node.bound >= incumbentObj-1e-9 {
 			continue // pruned by bound
+		}
+		if opts.Cutoff != nil {
+			if co, ok := opts.Cutoff(); ok && node.bound > scale*co+cutoffMargin {
+				res.CutoffPruned++
+				continue // pruned by the external (raced) incumbent
+			}
 		}
 		if opts.GapTol > 0 && !math.IsInf(incumbentObj, 1) {
 			gap := (incumbentObj - node.bound) / math.Max(1, math.Abs(incumbentObj))
@@ -284,11 +323,32 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
 			parent: node, v: fv, lo: math.Ceil(xf), hi: hi,
 			bound: bound, depth: node.depth + 1, hasFixes: true,
 		}
+		// An external cutoff keeps doomed children out of the heap
+		// entirely; their pops could only ever have been discarded.
+		cutChild := func(b float64) bool {
+			if opts.Cutoff == nil {
+				return false
+			}
+			co, ok := opts.Cutoff()
+			return ok && b > scale*co+cutoffMargin
+		}
 		if down.hi >= down.lo-1e-9 {
-			heap.Push(h, down)
+			if cutChild(down.bound) {
+				res.CutoffPruned++
+			} else {
+				seq++
+				down.seq = seq
+				heap.Push(h, down)
+			}
 		}
 		if up.lo <= up.hi+1e-9 {
-			heap.Push(h, up)
+			if cutChild(up.bound) {
+				res.CutoffPruned++
+			} else {
+				seq++
+				up.seq = seq
+				heap.Push(h, up)
+			}
 		}
 	}
 

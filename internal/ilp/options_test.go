@@ -145,3 +145,76 @@ func TestBoundsTighterThanIntegrality(t *testing.T) {
 		t.Fatalf("obj=%v status=%v want 11", res.Objective, res.Status)
 	}
 }
+
+// TestCutoffDeterministic: seeding the search with an external upper
+// bound (the race incumbent) must not change the returned solution or
+// the LP-solved node count — only discard doomed heap entries. Without a
+// rounder the first incumbent arrives late, so the cutoff has real work
+// to do on branchy instances.
+func TestCutoffDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1009))
+	pruned, branchy := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + rng.Intn(7)
+		m := NewModel()
+		for j := 0; j < n; j++ {
+			v := m.AddBinary("b")
+			m.SetObjCoef(v, float64(rng.Intn(21)-10))
+		}
+		minimize := rng.Intn(2) == 0
+		if !minimize {
+			m.SetDirection(Maximize)
+		}
+		for k, nCons := 0, 1+rng.Intn(4); k < nCons; k++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					terms = append(terms, Term{Var(j), float64(rng.Intn(11) - 5)})
+				}
+			}
+			if len(terms) == 0 {
+				terms = append(terms, Term{Var(rng.Intn(n)), 1})
+			}
+			m.AddConstraint("r", terms, []Sense{LE, GE}[rng.Intn(2)], float64(rng.Intn(15)-7))
+		}
+		plain, err := Solve(context.Background(), m, Options{})
+		if err != nil || plain.Status != StatusOptimal {
+			continue
+		}
+		if plain.CutoffPruned != 0 {
+			t.Fatalf("trial %d: no cutoff installed but CutoffPruned=%d", trial, plain.CutoffPruned)
+		}
+		// The optimum itself is the harshest bound a racing backend may
+		// legally report.
+		opt := plain.Objective
+		cut, err := Solve(context.Background(), m, Options{
+			Cutoff: func() (float64, bool) { return opt, true },
+		})
+		if err != nil {
+			t.Fatalf("trial %d: cutoff solve: %v", trial, err)
+		}
+		if cut.Status != StatusOptimal || math.Abs(cut.Objective-plain.Objective) > 1e-9 {
+			t.Fatalf("trial %d: cutoff changed outcome: %v/%v vs %v/%v",
+				trial, cut.Status, cut.Objective, plain.Status, plain.Objective)
+		}
+		for j := range plain.X {
+			if cut.X[j] != plain.X[j] {
+				t.Fatalf("trial %d: cutoff changed solution at var %d: %v vs %v",
+					trial, j, cut.X, plain.X)
+			}
+		}
+		if cut.Nodes != plain.Nodes {
+			t.Fatalf("trial %d: cutoff changed LP-solved nodes: %d vs %d", trial, cut.Nodes, plain.Nodes)
+		}
+		if plain.Nodes > 2 {
+			branchy++
+			if cut.CutoffPruned > 0 {
+				pruned++
+			}
+		}
+	}
+	t.Logf("cutoff discarded subtrees on %d of %d branchy instances", pruned, branchy)
+	if branchy > 10 && pruned == 0 {
+		t.Error("cutoff never discarded a subtree; prune path looks dead")
+	}
+}

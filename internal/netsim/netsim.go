@@ -109,18 +109,46 @@ func (c Channel) Sweep(lo, hi float64, n int) []ProfileEntry {
 // MaxSendRate returns the maximum aggregate on-air send rate at which the
 // delivery ratio is still at least target (e.g. 0.9). This is the paper's
 // profiling-tool output: the cap for the data-rate binary search.
+//
+// DeliveryRatio is piecewise closed-form, so its inverse is too: in the
+// queue-drop regime base·cap/x ≥ target gives x = base·cap/target, and in
+// the collapse regime atCliff·(col/x)² ≥ target gives x = col·√(atCliff/
+// target). The solution is verified against DeliveryRatio before being
+// returned; degenerate channels (zero or inverted capacity/collapse
+// settings) fall back to the old bisection, which is correct for any
+// monotone ratio curve.
 func (c Channel) MaxSendRate(target float64) (float64, error) {
 	if target <= 0 || target >= 1 {
 		return 0, fmt.Errorf("netsim: target reception %v out of (0,1)", target)
 	}
-	if c.DeliveryRatio(0) < target {
+	base := 1 - c.BaselineLoss
+	if base < target {
 		return 0, fmt.Errorf("netsim: baseline loss %.2f already below target %.2f",
 			c.BaselineLoss, target)
 	}
-	lo, hi := 0.0, c.CollapseBytesPerSec*4
+	hi := c.CollapseBytesPerSec * 4
 	if c.DeliveryRatio(hi) >= target {
 		return hi, nil
 	}
+	// The inverse is only well-defined on the usual shape cap ≤ collapse;
+	// an inverted channel has a discontinuous ratio curve where a closed-
+	// form answer can be feasible yet not maximal.
+	if c.CapacityBytesPerSec > 0 && c.CollapseBytesPerSec >= c.CapacityBytesPerSec {
+		x := base * c.CapacityBytesPerSec / target
+		if x > c.CollapseBytesPerSec {
+			atCliff := base * c.CapacityBytesPerSec / c.CollapseBytesPerSec
+			x = c.CollapseBytesPerSec * math.Sqrt(atCliff/target)
+		}
+		if c.DeliveryRatio(x) >= target {
+			return x, nil
+		}
+		// The inverse lands exactly on the boundary; absorb the rounding.
+		if x *= 1 - 1e-12; c.DeliveryRatio(x) >= target {
+			return x, nil
+		}
+	}
+	// Degenerate channel: bisect the monotone region instead.
+	lo := 0.0
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
 		if c.DeliveryRatio(mid) >= target {

@@ -138,3 +138,53 @@ func TestLossSamplerReseed(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxSendRateClosedForm pins the closed-form inverse against a
+// reference bisection across both regimes (queue-drop and collapse) and
+// over degenerate channel shapes. The closed form must land within the
+// bisection's own tolerance and never report a rate whose delivery falls
+// below target.
+func TestMaxSendRateClosedForm(t *testing.T) {
+	bisect := func(ch Channel, target float64) float64 {
+		lo, hi := 0.0, ch.CollapseBytesPerSec*4
+		if ch.DeliveryRatio(hi) >= target {
+			return hi
+		}
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			if ch.DeliveryRatio(mid) >= target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	channels := []Channel{
+		tmoteChannel(),
+		{CapacityBytesPerSec: 1000, CollapseBytesPerSec: 3000, BaselineLoss: 0.05},
+		{CapacityBytesPerSec: 1000, CollapseBytesPerSec: 1000, BaselineLoss: 0},  // cliff at capacity
+		{CapacityBytesPerSec: 2000, CollapseBytesPerSec: 1000, BaselineLoss: 0},  // inverted (degenerate)
+		{CapacityBytesPerSec: 500, CollapseBytesPerSec: 4000, BaselineLoss: 0.2}, // deep collapse regime
+	}
+	targets := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.949}
+	for ci, ch := range channels {
+		for _, target := range targets {
+			if 1-ch.BaselineLoss < target {
+				continue
+			}
+			got, err := ch.MaxSendRate(target)
+			if err != nil {
+				t.Fatalf("channel %d target %v: %v", ci, target, err)
+			}
+			if ch.DeliveryRatio(got) < target {
+				t.Fatalf("channel %d target %v: delivery %v below target at returned rate %v",
+					ci, target, ch.DeliveryRatio(got), got)
+			}
+			want := bisect(ch, target)
+			if diff := got - want; diff > 1e-6*want+1e-6 || diff < -1e-6*want-1e-6 {
+				t.Fatalf("channel %d target %v: closed form %v, bisection %v", ci, target, got, want)
+			}
+		}
+	}
+}

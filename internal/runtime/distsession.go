@@ -18,6 +18,10 @@ import (
 type HostDriver interface {
 	ComputeWindow(span float64, arrivals []HostArrival) (*WindowReport, error)
 	DeliverWindow(ratio float64) error
+	// Snapshot freezes the host at the current window boundary and
+	// returns its contribution blob (terminal — the coordinator folds it
+	// into the full run snapshot; see DistSession.Snapshot).
+	Snapshot() ([]byte, error)
 	Close() (*HostResult, error)
 	Abort()
 }
@@ -58,6 +62,10 @@ type DistSession struct {
 	hostArr [][]HostArrival
 	reports []*WindowReport
 	errs    []error
+
+	// OnWindow mirrors Session.OnWindow: every priced window's load
+	// observation, delivered on the Offer caller's goroutine.
+	OnWindow func(WindowObservation)
 
 	buf          [][]arrival
 	maxBuffered  int
@@ -324,6 +332,9 @@ func (s *DistSession) deliverWindow(out []message, span float64, active []int) e
 		air += out[i].air
 	}
 	if held+len(out) == 0 {
+		if s.OnWindow != nil {
+			s.OnWindow(WindowObservation{Start: s.windowStart - s.window, Span: span})
+		}
 		return nil
 	}
 	s.totalAir += air
@@ -334,6 +345,12 @@ func (s *DistSession) deliverWindow(out []message, span float64, active []int) e
 		s.ratioUniform = false
 	}
 	s.ratioAir += ratio * float64(air)
+	if s.OnWindow != nil {
+		s.OnWindow(WindowObservation{
+			Start: s.windowStart - s.window, Span: span,
+			AirBytes: air, Ratio: ratio, Messages: held + len(out),
+		})
+	}
 
 	deliverers := make([]int, 0, len(active))
 	for _, hi := range active {
@@ -491,6 +508,7 @@ func (l LocalHost) ComputeWindow(span float64, arrivals []HostArrival) (*WindowR
 	return l.H.ComputeWindow(span, arrivals)
 }
 func (l LocalHost) DeliverWindow(ratio float64) error { return l.H.DeliverWindow(ratio) }
+func (l LocalHost) Snapshot() ([]byte, error)         { return l.H.Snapshot() }
 func (l LocalHost) Close() (*HostResult, error)       { return l.H.Close() }
 func (l LocalHost) Abort()                            { l.H.Abort() }
 

@@ -1,0 +1,438 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"wishbone/internal/wire"
+)
+
+// Distributed snapshot/handoff: a distributed run freezes into the SAME
+// versioned session-snapshot encoding a single-host Session produces —
+// the coordinator assembles its global pieces (clock, ratio bookkeeping,
+// buffered arrivals, reduce-aggregation rounds, AggregateOrigin delivery
+// state) with each host's per-origin contribution (node sides and
+// per-origin delivery state), and the result resumes anywhere: a local
+// Session, the same placement, a different placement, or — after
+// MigrateSnapshot — a different cut. Cross-host operator relocation is
+// exactly this round trip.
+
+// check validates a decoded snapshot against a run Config (the same
+// fields checkSessionHeader pins).
+func (snap *sessionSnap) check(cfg *Config, window float64) error {
+	saved := make(map[int]bool, len(snap.onNode))
+	for _, id := range snap.onNode {
+		saved[id] = true
+	}
+	for _, op := range cfg.Graph.Operators() {
+		if cfg.OnNode[op.ID()] != saved[op.ID()] {
+			return fmt.Errorf("runtime: snapshot is of a different cut (operator %s changed sides)", op)
+		}
+	}
+	if snap.platform != cfg.Platform.Name {
+		return fmt.Errorf("runtime: snapshot platform %q, config platform %q", snap.platform, cfg.Platform.Name)
+	}
+	if snap.nodes != cfg.Nodes {
+		return fmt.Errorf("runtime: snapshot has %d nodes, config %d", snap.nodes, cfg.Nodes)
+	}
+	if snap.duration != cfg.Duration {
+		return fmt.Errorf("runtime: snapshot duration %g, config %g", snap.duration, cfg.Duration)
+	}
+	if snap.seed != cfg.Seed {
+		return fmt.Errorf("runtime: snapshot seed %d, config %d", snap.seed, cfg.Seed)
+	}
+	if snap.window != window {
+		return fmt.Errorf("runtime: snapshot window %g, config %g", snap.window, window)
+	}
+	return nil
+}
+
+// hostSnap is one shard host's frozen contribution: its send-side
+// counters, its per-origin node sides, and its delivery plan's state.
+type hostSnap struct {
+	msgsSent     int64
+	payloadBytes int64
+	origins      []int
+	sides        map[int]nodeSnap
+	shard        *ShardState
+}
+
+// Snapshot freezes the host at the current window boundary and returns
+// its contribution blob. Terminal, like Session.Snapshot: the host's
+// instances release and further calls fail. The coordinator folds the
+// blob into the full run snapshot (DistSession.Snapshot).
+func (h *ShardHost) Snapshot() ([]byte, error) {
+	if h.closed {
+		return nil, fmt.Errorf("runtime: Snapshot on a closed ShardHost")
+	}
+	if len(h.held) > 0 {
+		return nil, fmt.Errorf("runtime: Snapshot with a window awaiting DeliverWindow")
+	}
+	if err := checkSnapshotable(&h.cfg); err != nil {
+		return nil, err
+	}
+	h.closed = true
+	defer func() {
+		h.release()
+		h.plan.close()
+	}()
+	eidx, err := edgeIndexes(&h.cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewSnapshotWriter()
+	w.Int(int64(h.res.MsgsSent))
+	w.Int(int64(h.res.PayloadBytes))
+	w.Uvarint(uint64(len(h.origins)))
+	for _, n := range h.origins {
+		w.Int(int64(n))
+		if err := saveNodeSide(w, &h.cfg, h.prog, eidx, h.nodes[n], h.insts[n]); err != nil {
+			return nil, err
+		}
+	}
+	st, err := h.plan.snapshotState(&h.cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.save(w)
+	return w.Bytes(), nil
+}
+
+func decodeHostSnap(cfg *Config, data []byte) (*hostSnap, error) {
+	r, err := wire.NewSnapshotReader(data)
+	if err != nil {
+		return nil, err
+	}
+	hs := &hostSnap{sides: make(map[int]nodeSnap)}
+	hs.msgsSent = r.Int()
+	hs.payloadBytes = r.Int()
+	nOrigins := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	nEdges := len(cfg.Graph.Edges())
+	for i := 0; i < nOrigins; i++ {
+		n := int(r.Int())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n < 0 || n >= cfg.Nodes {
+			return nil, fmt.Errorf("runtime: host snapshot origin %d outside [0,%d)", n, cfg.Nodes)
+		}
+		side, err := decodeNodeSide(r, nEdges)
+		if err != nil {
+			return nil, err
+		}
+		hs.origins = append(hs.origins, n)
+		hs.sides[n] = side
+	}
+	hs.shard = loadShardState(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("runtime: trailing bytes after host snapshot")
+	}
+	return hs, nil
+}
+
+// RestoreShardHost builds a shard host whose owned origins resume from a
+// full session snapshot (the coordinator ships every host the same
+// bytes; each host restores only its origins' node sides and delivery
+// state). The coordinator keeps the snapshot's clock, buffered arrivals
+// and carried counters — a restored host starts its own counters at
+// zero, exactly like the counter split in deliveryPlan.restoreState.
+func RestoreShardHost(cfg Config, origins []int, data []byte) (*ShardHost, error) {
+	if err := checkSnapshotable(&cfg); err != nil {
+		return nil, err
+	}
+	h, err := NewShardHost(cfg, origins)
+	if err != nil {
+		return nil, err
+	}
+	abort := func(err error) (*ShardHost, error) {
+		h.Abort()
+		return nil, err
+	}
+	snap, err := decodeSessionSnap(cfg.Graph, data)
+	if err != nil {
+		return abort(err)
+	}
+	if err := snap.check(&h.cfg, snap.window); err != nil {
+		// The window is the coordinator's to validate; hosts only pin the
+		// cut/platform/run identity (snap.window self-compares above).
+		return abort(err)
+	}
+	for _, n := range h.origins {
+		side := snap.perNode[n]
+		if err := applyNodeSnap(&h.cfg, h.prog, &side, h.nodes[n], h.insts[n]); err != nil {
+			return abort(err)
+		}
+	}
+	// The host's delivery plan restores only its owned origins' state;
+	// AggregateOrigin stays with the coordinator, and the carried counters
+	// stay zero here (the coordinator folds them exactly once).
+	sub := &ShardState{}
+	for i := range snap.shard.Origins {
+		o := snap.shard.Origins[i]
+		if o.Origin == AggregateOrigin || !h.owned[o.Origin] {
+			continue
+		}
+		sub.Origins = append(sub.Origins, o)
+	}
+	if err := h.plan.restoreState(&h.cfg, sub); err != nil {
+		return abort(err)
+	}
+	return h, nil
+}
+
+// Snapshot freezes a distributed run at the current window boundary into
+// the standard session-snapshot encoding. Terminal for the coordinator
+// and every host. The bytes resume through ResumeSession (single-host),
+// ResumeDistSession (any placement) or MigrateSnapshot (a new cut).
+func (s *DistSession) Snapshot() ([]byte, error) {
+	if s.closed {
+		return nil, fmt.Errorf("runtime: Snapshot on a closed DistSession")
+	}
+	if err := checkSnapshotable(&s.cfg); err != nil {
+		return nil, err
+	}
+	s.closed = true
+	cfg := &s.cfg
+	blobs := make([][]byte, len(s.hosts))
+	all := s.activeHosts(func(int) bool { return true })
+	s.eachHost(all, func(hi int) error {
+		data, err := s.hosts[hi].Driver.Snapshot()
+		blobs[hi] = data
+		return err
+	})
+	abort := func(err error) ([]byte, error) {
+		// Snapshot is terminal on every driver that succeeded; Abort the
+		// rest and the coordinator's plan.
+		for hi := range s.hosts {
+			if blobs[hi] == nil {
+				s.hosts[hi].Driver.Abort()
+			}
+		}
+		s.aggPlan.close()
+		return nil, err
+	}
+	for _, hi := range all {
+		if err := s.errs[hi]; err != nil {
+			return abort(err)
+		}
+	}
+	hostSnaps := make([]*hostSnap, len(s.hosts))
+	for hi := range s.hosts {
+		hs, err := decodeHostSnap(cfg, blobs[hi])
+		if err != nil {
+			return abort(err)
+		}
+		hostSnaps[hi] = hs
+	}
+	aggSt, err := s.aggPlan.snapshotState(cfg)
+	if err != nil {
+		return abort(err)
+	}
+	s.aggPlan.close()
+
+	eidx, err := edgeIndexes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewSnapshotWriter()
+	saveSessionHeader(w, cfg, s.window)
+	w.F64(s.lastTime)
+	w.F64(s.windowStart)
+	w.F64(s.lastSpan)
+	w.Int(int64(s.peakBuffered))
+	w.Int(int64(s.totalAir))
+	w.F64(s.ratioFirst)
+	w.F64(s.ratioAir)
+	w.Bool(s.ratioUniform)
+	w.Bool(s.sawWindow)
+
+	res := s.res
+	st := &ShardState{
+		MsgsReceived:   res.MsgsReceived + aggSt.MsgsReceived,
+		DeliveredBytes: res.DeliveredBytes + aggSt.DeliveredBytes,
+		ServerEmits:    res.ServerEmits + aggSt.ServerEmits,
+	}
+	res.MsgsReceived, res.DeliveredBytes, res.ServerEmits = 0, 0, 0
+	for _, hs := range hostSnaps {
+		res.MsgsSent += int(hs.msgsSent)
+		res.PayloadBytes += int(hs.payloadBytes)
+		st.MsgsReceived += hs.shard.MsgsReceived
+		st.DeliveredBytes += hs.shard.DeliveredBytes
+		st.ServerEmits += hs.shard.ServerEmits
+	}
+	w.Int(int64(res.InputEvents))
+	w.Int(int64(res.ProcessedEvents))
+	w.Int(int64(res.MsgsSent))
+	w.Int(int64(res.MsgsReceived))
+	w.Int(int64(res.PayloadBytes))
+	w.Int(int64(res.DeliveredBytes))
+	w.Int(int64(res.ServerEmits))
+
+	for n := 0; n < cfg.Nodes; n++ {
+		hs := hostSnaps[s.ownerOf[n]]
+		side, ok := hs.sides[n]
+		if !ok {
+			return nil, fmt.Errorf("runtime: host %d's snapshot is missing origin %d", s.ownerOf[n], n)
+		}
+		encodeNodeSide(w, &side)
+		buf := s.buf[n]
+		w.Uvarint(uint64(len(buf)))
+		for _, a := range buf {
+			w.F64(a.t)
+			w.Uvarint(uint64(a.src.ID()))
+			enc, err := wire.Marshal(a.v)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: buffered arrival at node %d does not marshal: %w", n, err)
+			}
+			w.Blob(enc)
+		}
+	}
+
+	if err := saveAggregator(w, s.agg, eidx); err != nil {
+		return nil, err
+	}
+	for _, hs := range hostSnaps {
+		for i := range hs.shard.Origins {
+			o := hs.shard.Origins[i]
+			if o.Origin == AggregateOrigin {
+				// The aggregate origin belongs to the coordinator's plan; a
+				// host plan can hold only a defensive empty entry.
+				continue
+			}
+			st.Origins = append(st.Origins, o)
+		}
+	}
+	st.Origins = append(st.Origins, aggSt.Origins...)
+	sort.Slice(st.Origins, func(i, j int) bool { return st.Origins[i].Origin < st.Origins[j].Origin })
+	st.Server = aggSt.Server
+	st.save(w)
+	return w.Bytes(), nil
+}
+
+// ResumeDistSession rebuilds a distributed coordinator from a session
+// snapshot. The host bindings must already hold drivers whose sessions
+// restored their origins from the same snapshot (RestoreShardHost
+// locally, /v1/shard/open with Resume remotely) — this call restores
+// only the coordinator's pieces: clock, ratio bookkeeping, carried
+// counters, buffered arrivals, reduce rounds and the AggregateOrigin
+// delivery state.
+func ResumeDistSession(cfg Config, hosts []HostBinding, data []byte) (*DistSession, error) {
+	if err := checkSnapshotable(&cfg); err != nil {
+		return nil, err
+	}
+	s, err := NewDistSession(cfg, hosts)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := decodeSessionSnap(cfg.Graph, data)
+	if err != nil {
+		s.aggPlan.close()
+		return nil, err
+	}
+	if err := snap.check(&s.cfg, s.window); err != nil {
+		s.aggPlan.close()
+		return nil, err
+	}
+	s.lastTime = snap.lastTime
+	s.windowStart = snap.windowStart
+	s.lastSpan = snap.lastSpan
+	s.peakBuffered = int(snap.peakBuffered)
+	s.totalAir = int(snap.totalAir)
+	s.ratioFirst = snap.ratioFirst
+	s.ratioAir = snap.ratioAir
+	s.ratioUniform = snap.ratioUniform
+	s.sawWindow = snap.sawWindow
+	s.res.InputEvents = int(snap.res[0])
+	s.res.ProcessedEvents = int(snap.res[1])
+	s.res.MsgsSent = int(snap.res[2])
+	s.res.MsgsReceived = int(snap.res[3])
+	s.res.PayloadBytes = int(snap.res[4])
+	s.res.DeliveredBytes = int(snap.res[5])
+	s.res.ServerEmits = int(snap.res[6])
+
+	for n := range snap.perNode {
+		for _, a := range snap.perNode[n].arrivals {
+			src := cfg.Graph.ByID(a.src)
+			if src == nil || !s.sources[src] {
+				s.aggPlan.close()
+				return nil, fmt.Errorf("runtime: snapshot buffered arrival at non-source operator %d", a.src)
+			}
+			v, _, err := wire.Unmarshal(a.blob)
+			if err != nil {
+				s.aggPlan.close()
+				return nil, err
+			}
+			s.buf[n] = append(s.buf[n], arrival{t: a.t, src: src, v: v})
+			s.buffered++
+		}
+	}
+	if s.buffered > s.peakBuffered {
+		s.peakBuffered = s.buffered
+	}
+
+	if err := restoreAggFromSnap(&s.cfg, s.agg, snap.agg); err != nil {
+		s.aggPlan.close()
+		return nil, err
+	}
+	// The snapshot's carried delivery counters fold here exactly once
+	// (hosts restore with zeroed counters); the coordinator's plan takes
+	// only the AggregateOrigin state.
+	st := snap.shard
+	s.res.MsgsReceived += st.MsgsReceived
+	s.res.DeliveredBytes += st.DeliveredBytes
+	s.res.ServerEmits += st.ServerEmits
+	sub := &ShardState{}
+	for i := range st.Origins {
+		if st.Origins[i].Origin == AggregateOrigin {
+			sub.Origins = append(sub.Origins, st.Origins[i])
+		}
+	}
+	sub.Server = st.Server
+	if err := s.aggPlan.restoreState(&s.cfg, sub); err != nil {
+		s.aggPlan.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreAggFromSnap loads decoded aggregator state into a live
+// reduceAggregator — the struct-form twin of loadAggregator.
+func restoreAggFromSnap(cfg *Config, a *reduceAggregator, snaps []aggEdgeSnap) error {
+	edges := cfg.Graph.Edges()
+	for i := range snaps {
+		ae := &snaps[i]
+		if ae.edge < 0 || ae.edge >= len(edges) {
+			return fmt.Errorf("runtime: snapshot aggregator edge %d of %d", ae.edge, len(edges))
+		}
+		e := edges[ae.edge]
+		a.edgeOrder = append(a.edgeOrder, e)
+		counts := make([]int, len(ae.counts))
+		for j, c := range ae.counts {
+			counts[j] = int(c)
+		}
+		a.counts[e] = counts
+		a.flushed[e] = int(ae.flushed)
+		a.seq[e] = ae.seq
+		pend := make([]*message, 0, len(ae.pending))
+		for j := range ae.pending {
+			p := &ae.pending[j]
+			if !p.present {
+				pend = append(pend, nil)
+				continue
+			}
+			v, _, err := wire.Unmarshal(p.blob)
+			if err != nil {
+				return err
+			}
+			pend = append(pend, &message{time: p.time, nodeID: AggregateOrigin, edge: e, value: v})
+		}
+		a.pending[e] = pend
+	}
+	return nil
+}

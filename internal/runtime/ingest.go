@@ -189,6 +189,24 @@ func (a *ingestArena) decode(typ string, raw []byte, discard bool) (dataflow.Val
 	}
 }
 
+// ArrivalDecoder decodes raw JSON arrival values into the typed elements
+// sensor traces carry, using the same arena-backed zero-copy path as
+// Session.OfferRaw — exported for consumers that ingest client traces
+// without a session behind them (the profile-stream endpoint decodes a
+// whole request's arrivals through one decoder, so slab blocks amortize
+// across the trace). Values stay valid as long as the decoder itself: the
+// arena never rotates. Not safe for concurrent use.
+type ArrivalDecoder struct {
+	arena ingestArena
+}
+
+// Decode maps one raw JSON value onto its trace element type (the typ
+// values of wire.ArrivalWire: "", "f64", "i64", "f64s", "f32s", "i32s",
+// "i16s", "bytes").
+func (d *ArrivalDecoder) Decode(typ string, raw []byte) (dataflow.Value, error) {
+	return d.arena.decode(typ, raw, false)
+}
+
 // jsonNull reports a bare JSON null, which encoding/json maps to a nil
 // slice with no error — the one array-typed input that must not reach
 // the scanner or the scratch path (both would produce a non-nil empty).

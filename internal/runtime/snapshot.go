@@ -548,6 +548,478 @@ func (s *Session) Snapshot() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
+// MigrateSnapshot rewrites a Session snapshot taken on one cut into a
+// snapshot valid for another cut of the same graph — the state-handoff
+// step behind mid-stream re-partitioning (§2.1.1 relocation, live). The
+// clock, Result accumulators, buffered arrivals and loss-RNG positions are
+// cut-independent and carry over unchanged; everything keyed to the cut
+// moves or resets:
+//
+//   - Stateful node operators that change sides carry their state with
+//     them: node→server moves a node's private state into the origin's
+//     relocated-state row; server→node moves each origin's row back into
+//     that node's instance. Rows an engine never materialized stay absent
+//     and re-initialize fresh on first touch — deterministically, the same
+//     way a run that started on the new cut would.
+//   - Sender sequence counters and in-flight reassembly partials survive
+//     only on edges that are cut under both cuts. A newly cut edge starts
+//     its sequence stream at zero; an edge no longer cut abandons its
+//     partials (the fragments in flight belong to a link that no longer
+//     exists).
+//   - Pending reduce rounds survive only on edges still aggregated under
+//     the new cut; abandoned rounds' contributions were already un-counted
+//     when they entered the aggregator, so the books stay balanced.
+//   - A relocated operator's AggregateOrigin state row (driven by
+//     in-network aggregates) is dropped when the operator moves back onto
+//     the nodes: per-node execution has no aggregate-origin row to map it
+//     to.
+//
+// Stateful server-namespace operators cannot change sides: their state is
+// global, not per-origin, so neither direction has a well-defined handoff.
+//
+// The migrated snapshot resumes through ResumeSession (or a distributed
+// placement) with cfg.OnNode = newOnNode; Shards/Workers/pipelining stay
+// free. By construction, resuming it IS the run that "started on the new
+// cut at that boundary" — the replan parity tests pin byte-identity
+// between the in-place handoff and an external migrate+resume at any
+// placement.
+func MigrateSnapshot(g *dataflow.Graph, data []byte, newOnNode map[int]bool) ([]byte, error) {
+	snap, err := decodeSessionSnap(g, data)
+	if err != nil {
+		return nil, err
+	}
+	oldOnNode := make(map[int]bool, len(snap.onNode))
+	for _, id := range snap.onNode {
+		oldOnNode[id] = true
+	}
+	for _, op := range g.Operators() {
+		if oldOnNode[op.ID()] == newOnNode[op.ID()] {
+			continue
+		}
+		if op.Stateful && op.NewState != nil && op.NS == dataflow.NSServer {
+			return nil, fmt.Errorf("runtime: cannot migrate: stateful server-namespace operator %s changes sides", op)
+		}
+	}
+	edges := g.Edges()
+	// captured: the edge crosses the cut node→server, so its elements are
+	// sequenced by the sender and reassembled server-side. aggregated:
+	// additionally folded through in-network reduce rounds, which re-key
+	// its streams and states to AggregateOrigin.
+	captured := func(onNode map[int]bool, ei int) bool {
+		e := edges[ei]
+		return onNode[e.From.ID()] && !onNode[e.To.ID()]
+	}
+	aggregated := func(onNode map[int]bool, ei int) bool {
+		e := edges[ei]
+		return captured(onNode, ei) && e.From.Reduce && e.From.Combine != nil
+	}
+
+	// Node sides: filter sender sequences to still-cut edges; split each
+	// node's operator states into stay-on-node vs relocate-to-server.
+	relocating := make(map[int][]OpState) // origin → states moving node→server
+	for n := range snap.perNode {
+		ns := &snap.perNode[n]
+		seqs := ns.seqs[:0]
+		for _, se := range ns.seqs {
+			if captured(newOnNode, se.edge) {
+				seqs = append(seqs, se)
+			}
+		}
+		ns.seqs = seqs
+		keep := ns.ops[:0]
+		for _, os := range ns.ops {
+			if newOnNode[os.Op] {
+				keep = append(keep, os)
+			} else {
+				relocating[n] = append(relocating[n], os)
+			}
+		}
+		ns.ops = keep
+	}
+
+	// Origin states: filter reassembly streams by the new cut, move
+	// relocated rows whose operator returns to the nodes back into the
+	// node sides, then merge the freshly relocating states in.
+	st := snap.shard
+	byOrigin := make(map[int]*OriginState, len(st.Origins))
+	for i := range st.Origins {
+		o := st.Origins[i]
+		var streams []EdgeStream
+		for _, es := range o.Streams {
+			if !captured(newOnNode, es.Edge) {
+				continue
+			}
+			// Aggregated edges reassemble under AggregateOrigin, plain cut
+			// edges under their contributor — a stream survives only where
+			// the new cut still files it.
+			if aggregated(newOnNode, es.Edge) != (o.Origin == AggregateOrigin) {
+				continue
+			}
+			streams = append(streams, es)
+		}
+		o.Streams = streams
+		var ops []OpState
+		for _, os := range o.Ops {
+			if !newOnNode[os.Op] {
+				ops = append(ops, os)
+				continue
+			}
+			if o.Origin == AggregateOrigin {
+				continue // no per-node home for an aggregate-driven row
+			}
+			node := &snap.perNode[o.Origin]
+			node.ops = append(node.ops, os)
+		}
+		o.Ops = ops
+		cp := o
+		byOrigin[o.Origin] = &cp
+	}
+	for n, states := range relocating {
+		o := byOrigin[n]
+		if o == nil {
+			o = &OriginState{Origin: n}
+			byOrigin[n] = o
+		}
+		o.Ops = append(o.Ops, states...)
+	}
+	st.Origins = st.Origins[:0]
+	for _, o := range byOrigin {
+		if o.Draws > 0 || len(o.Streams) > 0 || len(o.Ops) > 0 {
+			st.Origins = append(st.Origins, *o)
+		}
+	}
+	for i := range st.Origins {
+		o := &st.Origins[i]
+		sort.Slice(o.Streams, func(a, b int) bool { return o.Streams[a].Edge < o.Streams[b].Edge })
+		sort.Slice(o.Ops, func(a, b int) bool { return o.Ops[a].Op < o.Ops[b].Op })
+	}
+	sort.Slice(st.Origins, func(a, b int) bool { return st.Origins[a].Origin < st.Origins[b].Origin })
+	for n := range snap.perNode {
+		ns := &snap.perNode[n]
+		sort.Slice(ns.ops, func(a, b int) bool { return ns.ops[a].Op < ns.ops[b].Op })
+	}
+
+	// Aggregator: rounds survive only on edges still aggregated.
+	aggEdges := snap.agg[:0]
+	for _, ae := range snap.agg {
+		if aggregated(newOnNode, ae.edge) {
+			aggEdges = append(aggEdges, ae)
+		}
+	}
+	snap.agg = aggEdges
+
+	var onNode []int
+	for _, op := range g.Operators() {
+		if newOnNode[op.ID()] {
+			onNode = append(onNode, op.ID())
+		}
+	}
+	sort.Ints(onNode)
+	snap.onNode = onNode
+	return encodeSessionSnap(snap), nil
+}
+
+// sessionSnap is a Session snapshot held fully decoded — the working form
+// MigrateSnapshot transforms. Field order mirrors Snapshot's encoding.
+type sessionSnap struct {
+	hash     string
+	onNode   []int
+	platform string
+	nodes    int
+	duration float64
+	seed     int64
+	window   float64
+
+	lastTime, windowStart, lastSpan float64
+	peakBuffered, totalAir          int64
+	ratioFirst, ratioAir            float64
+	ratioUniform, sawWindow         bool
+	res                             [7]int64
+
+	perNode []nodeSnap
+	agg     []aggEdgeSnap
+	shard   *ShardState
+}
+
+type nodeSnap struct {
+	busyUntil, busy              float64
+	inputEvents, processedEvents int64
+	seqs                         []seqSnap
+	ops                          []OpState
+	arrivals                     []arrivalSnap
+}
+
+type seqSnap struct {
+	edge int
+	seq  uint16
+}
+
+type arrivalSnap struct {
+	t    float64
+	src  int
+	blob []byte
+}
+
+type aggEdgeSnap struct {
+	edge    int
+	counts  []int64
+	flushed int64
+	seq     uint16
+	pending []pendSnap
+}
+
+type pendSnap struct {
+	present bool
+	time    float64
+	blob    []byte
+}
+
+// decodeNodeSide reads one node side (the saveNodeSide layout) into its
+// decoded form.
+func decodeNodeSide(r *wire.SnapshotReader, nEdges int) (nodeSnap, error) {
+	var ns nodeSnap
+	ns.busyUntil = r.F64()
+	ns.busy = r.F64()
+	ns.inputEvents = r.Int()
+	ns.processedEvents = r.Int()
+	ns.seqs = make([]seqSnap, r.Uvarint())
+	for i := range ns.seqs {
+		ns.seqs[i].edge = int(r.Uvarint())
+		ns.seqs[i].seq = r.U16()
+		if err := r.Err(); err != nil {
+			return ns, err
+		}
+		if ns.seqs[i].edge < 0 || ns.seqs[i].edge >= nEdges {
+			return ns, fmt.Errorf("runtime: snapshot sender sequence on edge %d of %d", ns.seqs[i].edge, nEdges)
+		}
+	}
+	ns.ops = make([]OpState, r.Uvarint())
+	for i := range ns.ops {
+		ns.ops[i].Op = int(r.Uvarint())
+		ns.ops[i].Data = append([]byte(nil), r.Blob()...)
+	}
+	return ns, r.Err()
+}
+
+// encodeNodeSide writes one node side in the saveNodeSide layout.
+func encodeNodeSide(w *wire.SnapshotWriter, ns *nodeSnap) {
+	w.F64(ns.busyUntil)
+	w.F64(ns.busy)
+	w.Int(ns.inputEvents)
+	w.Int(ns.processedEvents)
+	w.Uvarint(uint64(len(ns.seqs)))
+	for _, se := range ns.seqs {
+		w.Uvarint(uint64(se.edge))
+		w.U16(se.seq)
+	}
+	w.Uvarint(uint64(len(ns.ops)))
+	for _, os := range ns.ops {
+		w.Uvarint(uint64(os.Op))
+		w.Blob(os.Data)
+	}
+}
+
+// applyNodeSnap loads a decoded node side into a live simulator/instance
+// pair — the struct-form twin of loadNodeSide.
+func applyNodeSnap(cfg *Config, prog *dataflow.Program, snap *nodeSnap, ns *nodeSim, inst *dataflow.Instance) error {
+	edges := cfg.Graph.Edges()
+	ns.busyUntil = snap.busyUntil
+	ns.busy = snap.busy
+	ns.inputEvents = int(snap.inputEvents)
+	ns.processedEvents = int(snap.processedEvents)
+	if len(snap.seqs) > 0 {
+		ns.s.seqs = make(map[*dataflow.Edge]uint16, len(snap.seqs))
+		for _, se := range snap.seqs {
+			if se.edge < 0 || se.edge >= len(edges) {
+				return fmt.Errorf("runtime: snapshot sender sequence on edge %d of %d", se.edge, len(edges))
+			}
+			ns.s.seqs[edges[se.edge]] = se.seq
+		}
+	}
+	for _, os := range snap.ops {
+		op := cfg.Graph.ByID(os.Op)
+		if op == nil || !prog.Included(op) {
+			return fmt.Errorf("runtime: snapshot node state for operator %d outside the node partition", os.Op)
+		}
+		state, err := loadOperatorState(op, os.Data)
+		if err != nil {
+			return err
+		}
+		inst.SetState(op, state)
+	}
+	return nil
+}
+
+func decodeSessionSnap(g *dataflow.Graph, data []byte) (*sessionSnap, error) {
+	r, err := wire.NewSnapshotReader(data)
+	if err != nil {
+		return nil, err
+	}
+	snap := &sessionSnap{}
+	snap.hash = r.String()
+	if snap.hash != g.StructuralHash() {
+		return nil, fmt.Errorf("runtime: snapshot is of a different graph (structural hash mismatch)")
+	}
+	snap.onNode = make([]int, r.Uvarint())
+	for i := range snap.onNode {
+		snap.onNode[i] = int(r.Uvarint())
+	}
+	snap.platform = r.String()
+	snap.nodes = int(r.Int())
+	snap.duration = r.F64()
+	snap.seed = r.Int()
+	snap.window = r.F64()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if snap.nodes <= 0 || snap.nodes > 1<<20 {
+		return nil, fmt.Errorf("runtime: snapshot node count %d", snap.nodes)
+	}
+
+	snap.lastTime = r.F64()
+	snap.windowStart = r.F64()
+	snap.lastSpan = r.F64()
+	snap.peakBuffered = r.Int()
+	snap.totalAir = r.Int()
+	snap.ratioFirst = r.F64()
+	snap.ratioAir = r.F64()
+	snap.ratioUniform = r.Bool()
+	snap.sawWindow = r.Bool()
+	for i := range snap.res {
+		snap.res[i] = r.Int()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+
+	nEdges := len(g.Edges())
+	snap.perNode = make([]nodeSnap, snap.nodes)
+	for n := range snap.perNode {
+		side, err := decodeNodeSide(r, nEdges)
+		if err != nil {
+			return nil, err
+		}
+		snap.perNode[n] = side
+		ns := &snap.perNode[n]
+		ns.arrivals = make([]arrivalSnap, r.Uvarint())
+		for i := range ns.arrivals {
+			ns.arrivals[i].t = r.F64()
+			ns.arrivals[i].src = int(r.Uvarint())
+			ns.arrivals[i].blob = append([]byte(nil), r.Blob()...)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	nAgg := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	snap.agg = make([]aggEdgeSnap, nAgg)
+	for i := range snap.agg {
+		ae := &snap.agg[i]
+		ae.edge = int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if ae.edge < 0 || ae.edge >= nEdges {
+			return nil, fmt.Errorf("runtime: snapshot aggregator edge %d of %d", ae.edge, nEdges)
+		}
+		ae.counts = make([]int64, r.Uvarint())
+		for j := range ae.counts {
+			ae.counts[j] = r.Int()
+		}
+		ae.flushed = r.Int()
+		ae.seq = r.U16()
+		ae.pending = make([]pendSnap, r.Uvarint())
+		for j := range ae.pending {
+			p := &ae.pending[j]
+			p.present = r.Bool()
+			if !p.present {
+				continue
+			}
+			p.time = r.F64()
+			p.blob = append([]byte(nil), r.Blob()...)
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	snap.shard = loadShardState(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("runtime: trailing bytes after session snapshot")
+	}
+	return snap, nil
+}
+
+func encodeSessionSnap(snap *sessionSnap) []byte {
+	w := wire.NewSnapshotWriter()
+	w.String(snap.hash)
+	w.Uvarint(uint64(len(snap.onNode)))
+	for _, id := range snap.onNode {
+		w.Uvarint(uint64(id))
+	}
+	w.String(snap.platform)
+	w.Int(int64(snap.nodes))
+	w.F64(snap.duration)
+	w.Int(snap.seed)
+	w.F64(snap.window)
+
+	w.F64(snap.lastTime)
+	w.F64(snap.windowStart)
+	w.F64(snap.lastSpan)
+	w.Int(snap.peakBuffered)
+	w.Int(snap.totalAir)
+	w.F64(snap.ratioFirst)
+	w.F64(snap.ratioAir)
+	w.Bool(snap.ratioUniform)
+	w.Bool(snap.sawWindow)
+	for _, v := range snap.res {
+		w.Int(v)
+	}
+
+	for n := range snap.perNode {
+		ns := &snap.perNode[n]
+		encodeNodeSide(w, ns)
+		w.Uvarint(uint64(len(ns.arrivals)))
+		for _, a := range ns.arrivals {
+			w.F64(a.t)
+			w.Uvarint(uint64(a.src))
+			w.Blob(a.blob)
+		}
+	}
+
+	w.Uvarint(uint64(len(snap.agg)))
+	for i := range snap.agg {
+		ae := &snap.agg[i]
+		w.Uvarint(uint64(ae.edge))
+		w.Uvarint(uint64(len(ae.counts)))
+		for _, c := range ae.counts {
+			w.Int(c)
+		}
+		w.Int(ae.flushed)
+		w.U16(ae.seq)
+		w.Uvarint(uint64(len(ae.pending)))
+		for _, p := range ae.pending {
+			if !p.present {
+				w.Bool(false)
+				continue
+			}
+			w.Bool(true)
+			w.F64(p.time)
+			w.Blob(p.blob)
+		}
+	}
+
+	snap.shard.save(w)
+	return w.Bytes()
+}
+
 // saveSessionHeader pins the run identity a snapshot is only valid for:
 // the graph's structural hash, the cut, the platform, and the simulation
 // parameters that shape every downstream byte.

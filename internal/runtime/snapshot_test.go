@@ -96,8 +96,8 @@ func checkSnapshotParity(t *testing.T, base runtime.Config, feed []feedItem, see
 
 	rng := rand.New(rand.NewSource(seed))
 	trials := [][]int{
-		{0},          // snapshot before any input
-		{len(feed)},  // snapshot after the last offer, before Close
+		{0},         // snapshot before any input
+		{len(feed)}, // snapshot after the last offer, before Close
 		{len(feed) / 3, len(feed) / 2, len(feed) - 1}, // chained migrations
 	}
 	for i := 0; i < 3; i++ {

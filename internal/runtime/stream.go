@@ -157,6 +157,13 @@ type Session struct {
 	// arrival. Rotated once per flushed window.
 	ingest ingestArena
 
+	// OnWindow, when set, observes every priced window as it flushes —
+	// the live load signal the control loop (control.go) folds into its
+	// online profile. It always runs on the Offer caller's goroutine
+	// (window pricing is a coordinator-side step even when delivery is
+	// pipelined), so implementations need no locking against the session.
+	OnWindow func(WindowObservation)
+
 	maxBuffered  int
 	started      time.Time
 	stageStart   time.Time
@@ -487,6 +494,9 @@ func (s *Session) deliverWindow(out []message, span float64, win *windowBufs) er
 		if win != nil {
 			s.pipe.recycle(win)
 		}
+		if s.OnWindow != nil {
+			s.OnWindow(WindowObservation{Start: s.windowStart - s.window, Span: span})
+		}
 		return nil
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].time < out[j].time })
@@ -496,6 +506,12 @@ func (s *Session) deliverWindow(out []message, span float64, win *windowBufs) er
 	}
 	s.totalAir += air
 	ratio := s.ch.DeliveryRatio(float64(air) / span)
+	if s.OnWindow != nil {
+		s.OnWindow(WindowObservation{
+			Start: s.windowStart - s.window, Span: span,
+			AirBytes: air, Ratio: ratio, Messages: len(out),
+		})
+	}
 	if !s.sawWindow {
 		s.ratioFirst, s.sawWindow = ratio, true
 	} else if ratio != s.ratioFirst {

@@ -26,6 +26,11 @@ type Cache struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	shared atomic.Int64 // waits that piggybacked on an in-flight build
+
+	// onEvict, if set, receives every value dropped by LRU overflow —
+	// invoked outside c.mu so it may inspect the value freely (but must
+	// not call back into the cache from another goroutine it blocks on).
+	onEvict func(val any)
 }
 
 // cacheEntry is one resident value.
@@ -39,6 +44,16 @@ type call struct {
 	done chan struct{}
 	val  any
 	err  error
+}
+
+// OnEvict registers f to receive values dropped by LRU overflow. Call it
+// before the cache is shared; the server uses it to fold a retiring
+// entry's metering counters into persistent stats so /v1/stats stays
+// cumulative across eviction.
+func (c *Cache) OnEvict(f func(val any)) {
+	c.mu.Lock()
+	c.onEvict = f
+	c.mu.Unlock()
 }
 
 // NewCache returns a cache holding at most max entries (max ≤ 0 means 256).
@@ -85,28 +100,37 @@ func (c *Cache) Get(key string, build func() (any, error)) (val any, hit bool, e
 
 	c.mu.Lock()
 	delete(c.inflight, key)
+	var evicted []any
 	if cl.err == nil {
-		c.insert(key, cl.val)
+		evicted = c.insert(key, cl.val)
 	}
+	onEvict := c.onEvict
 	c.mu.Unlock()
+	if onEvict != nil {
+		for _, v := range evicted {
+			onEvict(v)
+		}
+	}
 	close(cl.done)
 	return cl.val, false, cl.err
 }
 
-// insert adds a value and evicts the least-recently-used overflow. Caller
-// holds c.mu.
-func (c *Cache) insert(key string, val any) {
+// insert adds a value and evicts the least-recently-used overflow,
+// returning the evicted values. Caller holds c.mu.
+func (c *Cache) insert(key string, val any) (evicted []any) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).val = val
 		c.ll.MoveToFront(el)
-		return
+		return nil
 	}
 	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).key)
+		evicted = append(evicted, last.Value.(*cacheEntry).val)
 	}
+	return evicted
 }
 
 // Each calls f with every resident value, most recent first. The stats

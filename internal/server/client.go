@@ -231,6 +231,53 @@ func (c *Client) SimulateStreamSnapshot(ctx context.Context, req wire.SimulateSt
 	return out.Snapshot, nil
 }
 
+// ProfileStream profiles a graph against a client-supplied trace: the
+// header is sent first, then next is called repeatedly for arrival
+// batches (return false when the trace is exhausted), chunked exactly
+// like SimulateStream. The server measures operator costs and edge rates
+// from these arrivals instead of its synthetic trace.
+func (c *Client) ProfileStream(ctx context.Context, req wire.ProfileStreamRequest,
+	next func() ([]wire.ArrivalWire, bool)) (*wire.ProfileResponse, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		if err := enc.Encode(req); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		for {
+			batch, ok := next()
+			if !ok {
+				break
+			}
+			if err := enc.Encode(wire.StreamChunk{Arrivals: batch}); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/profile/stream", pr)
+	if err != nil {
+		pr.CloseWithError(err)
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out wire.ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ShardOpen opens a shard-host session for an origin subset of one
 // simulation (see internal/dist for the coordinator that drives these).
 func (c *Client) ShardOpen(ctx context.Context, req wire.ShardOpenRequest) (*wire.ShardOpenResponse, error) {
@@ -263,6 +310,21 @@ func (c *Client) ShardClose(ctx context.Context, session string) (*wire.ShardClo
 		return nil, err
 	}
 	return &out, nil
+}
+
+// ShardSnapshot freezes a shard session and returns the host's
+// contribution blob; the session ends (terminal, like close). The
+// coordinator folds every host's blob into one full session snapshot
+// that MigrateSnapshot can rewrite onto a new cut.
+func (c *Client) ShardSnapshot(ctx context.Context, session string) ([]byte, error) {
+	var out wire.ShardSnapshotResponse
+	if err := c.post(ctx, "/v1/shard/snapshot", wire.ShardSessionRequest{Session: session}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Snapshot) == 0 {
+		return nil, fmt.Errorf("server returned no shard snapshot")
+	}
+	return out.Snapshot, nil
 }
 
 // ShardAbort tears down a shard session without a result.

@@ -40,12 +40,14 @@
 //
 // Endpoints (all request/response bodies in internal/wire):
 //
-//	POST /v1/graph      → structure + content hash of a spec's graph
-//	POST /v1/profile    → profile.Report (§3)
-//	POST /v1/partition  → AutoPartition assignment + sustainable rate
-//	POST /v1/simulate   → runtime.Result (§7.3), explicit or auto cut
-//	GET  /v1/stats      → metrics snapshot
-//	GET  /healthz       → liveness
+//	POST /v1/graph           → structure + content hash of a spec's graph
+//	POST /v1/profile         → profile.Report (§3), synthetic trace
+//	POST /v1/profile/stream  → profile.Report against a client-supplied trace
+//	POST /v1/partition       → AutoPartition assignment + sustainable rate
+//	POST /v1/simulate        → runtime.Result (§7.3), explicit or auto cut
+//	POST /v1/simulate/stream → streaming ingestion; optional replan control loop
+//	GET  /v1/stats           → metrics snapshot
+//	GET  /healthz            → liveness
 package server
 
 import (
@@ -93,6 +95,12 @@ type Config struct {
 	// (/v1/shard/open; each pins per-origin instances until closed).
 	// Excess opens get 429. 0 means 256.
 	MaxShardSessions int
+
+	// ReplanMaxPerSession caps mid-stream re-partitions per controlled
+	// session regardless of the tenant's requested MaxReplans: each
+	// replan runs a solver inside the tenant's stream, so an operator can
+	// bound that work. 0 means no server-side cap.
+	ReplanMaxPerSession int
 }
 
 // Server implements the partition service. Create with New, expose with
@@ -107,6 +115,14 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// retiredFuel holds the metering counters of evicted wscript entries,
+	// keyed by graph content hash: the cache's OnEvict folds a retiring
+	// entry's meter in here, so /v1/stats "fuel" stays cumulative across
+	// eviction (a rebuilt entry starts a fresh meter at zero — resident
+	// plus retired is the true total, never double-counted).
+	fuelMu      sync.Mutex
+	retiredFuel map[string]FuelSnapshot
 
 	// Shard-host sessions (see shard.go): the only cross-request mutable
 	// state the server keeps besides the cache.
@@ -126,10 +142,13 @@ func New(cfg Config) *Server {
 		metrics:       NewMetrics(),
 		jobs:          make(chan struct{}, cfg.MaxJobs),
 		mux:           http.NewServeMux(),
+		retiredFuel:   make(map[string]FuelSnapshot),
 		shardSessions: make(map[string]*shardSession),
 	}
+	s.cache.OnEvict(s.retireEntry)
 	s.mux.HandleFunc("POST /v1/graph", s.handleGraph)
 	s.mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("POST /v1/profile/stream", s.handleProfileStream)
 	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/simulate/stream", s.handleSimulateStream)
@@ -137,6 +156,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/shard/compute", s.handleShardCompute)
 	s.mux.HandleFunc("POST /v1/shard/deliver", s.handleShardDeliver)
 	s.mux.HandleFunc("POST /v1/shard/close", s.handleShardClose)
+	s.mux.HandleFunc("POST /v1/shard/snapshot", s.handleShardSnapshot)
 	s.mux.HandleFunc("POST /v1/shard/abort", s.handleShardAbort)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -203,11 +223,35 @@ func (s *Server) batchStats() map[string]BatchSnapshot {
 	return agg
 }
 
+// retireEntry is the cache's eviction hook: it folds an evicted wscript
+// entry's meter into the persistent per-graph totals before the entry
+// (and its meter) become garbage.
+func (s *Server) retireEntry(val any) {
+	e, ok := val.(*entry)
+	if !ok || e.meter == nil {
+		return
+	}
+	s.fuelMu.Lock()
+	defer s.fuelMu.Unlock()
+	f := s.retiredFuel[e.key]
+	f.Fuel += e.meter.Fuel()
+	f.Calls += e.meter.Calls()
+	f.FuelTrips += e.meter.FuelTrips()
+	f.MemTrips += e.meter.MemTrips()
+	s.retiredFuel[e.key] = f
+}
+
 // fuelStats aggregates VM metering counters across every resident wscript
-// entry, keyed by graph content hash. Budget variants of one program are
-// distinct entries sharing the key, so a graph's row covers all of them.
+// entry, keyed by graph content hash, plus the retired totals of evicted
+// ones. Budget variants of one program are distinct entries sharing the
+// key, so a graph's row covers all of them.
 func (s *Server) fuelStats() map[string]FuelSnapshot {
 	agg := make(map[string]FuelSnapshot)
+	s.fuelMu.Lock()
+	for key, f := range s.retiredFuel {
+		agg[key] = f
+	}
+	s.fuelMu.Unlock()
 	s.cache.Each(func(val any) {
 		e, ok := val.(*entry)
 		if !ok || e.meter == nil {
@@ -605,14 +649,14 @@ func (s *Server) observeSolves(solves []core.BackendStats) {
 	for _, st := range solves {
 		if len(st.Sub) > 0 {
 			for _, sub := range st.Sub {
-				s.metrics.ObserveSolver(sub.Backend,
+				s.metrics.ObserveSolver(sub.Backend, sub.Formulation,
 					time.Duration(sub.Seconds*float64(time.Second)),
 					sub.Feasible, sub.Winner, sub.Err != "")
 			}
 			continue
 		}
 		// A lone backend's feasible answer is trivially the winner.
-		s.metrics.ObserveSolver(st.Backend,
+		s.metrics.ObserveSolver(st.Backend, st.Formulation,
 			time.Duration(st.Seconds*float64(time.Second)),
 			st.Feasible, st.Feasible, st.Err != "")
 	}
@@ -792,6 +836,13 @@ func (s *Server) handleSimulateStream(w http.ResponseWriter, r *http.Request) {
 	respond(w, resp)
 }
 
+// streamSession is the ingestion surface ingestStream drives: a plain
+// runtime Session, a control-loop-wrapped one, or the profile-stream
+// collector.
+type streamSession interface {
+	OfferRaw(nodeID int, t float64, src *dataflow.Operator, typ string, raw []byte) error
+}
+
 func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamRequest, dec *json.Decoder) (*wire.SimulateResponse, error) {
 	plat, err := parsePlatform(req.Platform)
 	if err != nil {
@@ -849,27 +900,64 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	snap, err := s.ingestStream(dec, e, sess)
+
+	// With Replan set, attach the control loop: the wrapper owns the inner
+	// session across handoffs, so all teardown goes through it. This
+	// composes with Resume — a resumed stream restarts drift detection
+	// with the post-resume load as its baseline.
+	var cs *wbruntime.ControlledSession
+	ingest := streamSession(sess)
+	closeSess := sess.Close
+	snapSess := sess.Snapshot
+	if req.Replan != nil {
+		planner, perr := s.replanPlanner(ctx, e, req, plat)
+		if perr != nil {
+			sess.Close()
+			return nil, perr
+		}
+		cs = wbruntime.ControlSession(sess, s.sessionReplanPolicy(req.Replan), 0, planner)
+		ingest = cs
+		closeSess = cs.Close
+		snapSess = cs.Snapshot
+	}
+	finish := func(resp *wire.SimulateResponse) *wire.SimulateResponse {
+		if cs == nil {
+			return resp
+		}
+		events := cs.Events()
+		moves, kept := 0, 0
+		for _, ev := range events {
+			if len(ev.Moved) == 0 {
+				kept++
+			}
+			moves += len(ev.Moved)
+		}
+		s.metrics.ObserveReplanSession(len(events), moves, kept)
+		resp.Replans = replansToWire(events)
+		return resp
+	}
+
+	snap, err := s.ingestStream(dec, e, ingest)
 	if err != nil {
-		sess.Close()
+		closeSess()
 		return nil, err
 	}
 	if snap {
-		data, err := sess.Snapshot()
+		data, err := snapSess()
 		if err != nil {
 			// A graph without snapshot codecs fails before teardown — the
 			// session is still open; release it and report the fault.
-			sess.Close()
+			closeSess()
 			return nil, badRequest("%v", err)
 		}
-		return &wire.SimulateResponse{
+		return finish(&wire.SimulateResponse{
 			GraphHash:    e.key,
 			CacheHit:     entryHit && cutHit && progHit,
 			RateMultiple: rate,
 			Snapshot:     data,
-		}, nil
+		}), nil
 	}
-	res, err := sess.Close()
+	res, err := closeSess()
 	if err != nil {
 		// A budget trip surfacing at teardown (the final window's work
 		// runs inside Close) is still the tenant's 422; anything else is
@@ -879,12 +967,174 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 		}
 		return nil, err
 	}
-	return &wire.SimulateResponse{
+	return finish(&wire.SimulateResponse{
 		GraphHash:    e.key,
 		CacheHit:     entryHit && cutHit && progHit,
 		RateMultiple: rate,
 		Result:       resultToWire(res),
+	}), nil
+}
+
+// replanPolicy maps the wire control-loop knobs onto the runtime policy.
+func replanPolicy(rw *wire.ReplanWire) wbruntime.ReplanPolicy {
+	return wbruntime.ReplanPolicy{
+		Threshold:  rw.Threshold,
+		Hysteresis: rw.Hysteresis,
+		Cooldown:   rw.Cooldown,
+		Decay:      rw.Decay,
+		MaxReplans: rw.MaxReplans,
+	}
+}
+
+// sessionReplanPolicy applies the operator's per-session replan cap on
+// top of the tenant's requested policy: a configured ReplanMaxPerSession
+// overrides both "unlimited" (0) and any larger tenant value.
+func (s *Server) sessionReplanPolicy(rw *wire.ReplanWire) wbruntime.ReplanPolicy {
+	policy := replanPolicy(rw)
+	if max := s.cfg.ReplanMaxPerSession; max > 0 && (policy.MaxReplans == 0 || policy.MaxReplans > max) {
+		policy.MaxReplans = max
+	}
+	return policy
+}
+
+// replansToWire copies the control loop's event log onto the wire.
+func replansToWire(events []wbruntime.ReplanEvent) []wire.ReplanEventWire {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]wire.ReplanEventWire, len(events))
+	for i, ev := range events {
+		out[i] = wire.ReplanEventWire{
+			Time:         ev.Time,
+			PlannedLoad:  ev.PlannedLoad,
+			ObservedLoad: ev.ObservedLoad,
+			RateMultiple: ev.RateMultiple,
+			Moved:        ev.Moved,
+			Solver:       ev.Solver,
+		}
+	}
+	return out
+}
+
+// replanPlanner builds a streaming session's mid-stream planner: on drift
+// it re-solves the partition on the profiled spec scaled by the observed
+// load multiple (§4.3: load is linear in rate, so the incumbent profile
+// re-prices by scaling), through the tenant's chosen backend or the
+// auto-picked lineup, and compiles the new cut's programs from cache.
+// Every solve feeds the per-(backend, formulation) metrics — the same
+// history the auto-picker draws its next lineup from.
+func (s *Server) replanPlanner(ctx context.Context, e *entry, req *wire.SimulateStreamRequest, plat *platform.Platform) (wbruntime.Planner, error) {
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := e.classify(mode)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	rep, _, err := s.profiledReport(e, traceDefaults(req.Trace))
+	if err != nil {
+		return nil, err
+	}
+	spec := profile.BuildSpec(cls, rep, plat)
+	name := req.Replan.Solver
+	// Validate the solver choice now — a planner error mid-stream poisons
+	// the session, a bad request should fail before ingestion starts.
+	if _, err := s.replanSolver(name, [3]float64{}, false); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	// Incumbent dual prices warm-start the next replan's Newton solve.
+	var warm [3]float64
+	var haveWarm bool
+	return func(multiple float64) (*wbruntime.Plan, error) {
+		if multiple <= 0 {
+			return nil, nil // load vanished; nothing to re-fit
+		}
+		sv, err := s.replanSolver(name, warm, haveWarm)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.AutoPartitionWith(ctx, spec, multiple, 0.005, core.Limits{}, sv)
+		if res != nil {
+			s.observeSolves(res.Solves)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if res.Assignment == nil {
+			return nil, nil // infeasible at any rate: keep the incumbent cut
+		}
+		if lam, ok := lambdaOf(res.Solves); ok {
+			warm, haveWarm = lam, true
+		}
+		progs, _, err := s.partitionProgramsFor(e, res.Assignment.OnNode)
+		if err != nil {
+			return nil, err
+		}
+		return &wbruntime.Plan{
+			OnNode:        res.Assignment.OnNode,
+			NodeProgram:   progs.node,
+			ServerProgram: progs.server,
+			Solver:        res.Assignment.Stats.Solver,
+		}, nil
 	}, nil
+}
+
+// replanSolver resolves a ReplanWire.Solver choice. "auto" (or empty)
+// races the historically best (backend, formulation) pairs from the
+// per-solver win/latency metrics — heterogeneous Options, not just
+// algorithms — falling back to the full homogeneous race until history
+// accumulates. An explicit "newton" choice warm-starts from the previous
+// replan's final multipliers.
+func (s *Server) replanSolver(name string, warm [3]float64, haveWarm bool) (solver.Solver, error) {
+	switch name {
+	case "", "auto":
+		choices := s.metrics.SolverChoices(3)
+		var variants []solver.Variant
+		for _, c := range choices {
+			if c.Formulation == "" {
+				continue
+			}
+			v, err := solver.VariantFromTag(c.Backend, c.Formulation)
+			if err != nil {
+				continue
+			}
+			variants = append(variants, v)
+		}
+		if len(variants) == 0 {
+			return solver.New(core.SolverRace, core.DefaultOptions())
+		}
+		return solver.NewVariantRace(core.DefaultOptions(), variants...)
+	case core.SolverNewton:
+		n := solver.NewNewton(core.DefaultOptions())
+		if haveWarm {
+			n.Warm = warm
+		}
+		return n, nil
+	default:
+		return solver.New(name, core.DefaultOptions())
+	}
+}
+
+// lambdaOf scans a rate search's backend stats (racing breakdowns
+// included) for the most recent final dual multipliers a priced backend
+// recorded.
+func lambdaOf(solves []core.BackendStats) ([3]float64, bool) {
+	var out [3]float64
+	found := false
+	scan := func(st core.BackendStats) {
+		if len(st.Lambda) == 3 {
+			copy(out[:], st.Lambda)
+			found = true
+		}
+	}
+	for _, st := range solves {
+		scan(st)
+		for _, sub := range st.Sub {
+			scan(sub)
+		}
+	}
+	return out, found
 }
 
 // ingestStream walks the request body's StreamChunk sequence at the
@@ -898,7 +1148,7 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 // A chunk carrying `"snapshot": true` ends ingestion: the return is
 // (true, nil) and the caller freezes the session instead of closing it;
 // any body bytes after the directive are ignored.
-func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Session) (snapshot bool, err error) {
+func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess streamSession) (snapshot bool, err error) {
 	var aw wire.ArrivalWire
 	offer := func() error {
 		src := e.graph.ByID(aw.Source)
@@ -996,6 +1246,141 @@ func (s *Server) ingestStream(dec *json.Decoder, e *entry, sess *wbruntime.Sessi
 			}
 		}
 	}
+}
+
+// handleProfileStream is the client-trace profiling endpoint: the body is
+// a ProfileStreamRequest header followed by StreamChunk objects until EOF,
+// exactly like /v1/simulate/stream. Instead of the synthetic trace, the
+// profiler measures operator costs and edge rates against the tenant's
+// own arrivals — the profile the control plane's drift detection and
+// re-planning consume. The resulting report is trace-specific and never
+// cached.
+func (s *Server) handleProfileStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var err error
+	defer func() { s.metrics.Observe("profile_stream", time.Since(start), false, err) }()
+	dec := json.NewDecoder(r.Body)
+	var req wire.ProfileStreamRequest
+	if err2 := dec.Decode(&req); err2 != nil {
+		err = badRequest("bad request header: %v", err2)
+		fail(w, err)
+		return
+	}
+	if err = s.acquireJob(r.Context()); err != nil {
+		fail(w, err)
+		return
+	}
+	defer s.releaseJob()
+	resp, err2 := s.profileStream(&req, dec)
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	respond(w, resp)
+}
+
+func (s *Server) profileStream(req *wire.ProfileStreamRequest, dec *json.Decoder) (*wire.ProfileResponse, error) {
+	e, _, err := s.getEntry(req.Graph, wvm.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	prog, _, err := s.profileProgram(e)
+	if err != nil {
+		return nil, err
+	}
+	pc := newProfileCollector(e.graph)
+	if _, err := s.ingestStream(dec, e, pc); err != nil {
+		return nil, err
+	}
+	inputs, err := pc.inputs(req.Rate)
+	if err != nil {
+		return nil, err
+	}
+	var rep *profile.Report
+	rerr := runGuarded(func() error {
+		var err error
+		rep, err = profile.RunProgram(prog, inputs)
+		return err
+	})
+	if rerr != nil {
+		if me := meteringError(rerr); me != nil {
+			return nil, me
+		}
+		return nil, badRequest("%v", rerr)
+	}
+	return &wire.ProfileResponse{
+		GraphHash: e.key,
+		Report:    wire.NewReportWire(rep),
+	}, nil
+}
+
+// profileCollector is the streamSession that backs /v1/profile/stream: it
+// decodes each raw arrival through the runtime's arena-backed decoder and
+// accumulates a per-source trace. Arrivals from every node fold into one
+// trace per source — the profiler prices a representative node, the way
+// the synthetic-trace path does.
+type profileCollector struct {
+	g      *dataflow.Graph
+	dec    wbruntime.ArrivalDecoder
+	traces map[int]*sourceTrace
+}
+
+type sourceTrace struct {
+	events      []dataflow.Value
+	first, last float64
+}
+
+func newProfileCollector(g *dataflow.Graph) *profileCollector {
+	return &profileCollector{g: g, traces: make(map[int]*sourceTrace)}
+}
+
+// OfferRaw implements streamSession over the collector.
+func (pc *profileCollector) OfferRaw(nodeID int, t float64, src *dataflow.Operator, typ string, raw []byte) error {
+	if len(pc.g.In(src)) > 0 {
+		return badRequest("arrival source operator %s is not a graph source", src)
+	}
+	v, err := pc.dec.Decode(typ, raw)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	tr := pc.traces[src.ID()]
+	if tr == nil {
+		tr = &sourceTrace{first: t}
+		pc.traces[src.ID()] = tr
+	}
+	if t < tr.first {
+		tr.first = t
+	}
+	if t > tr.last {
+		tr.last = t
+	}
+	tr.events = append(tr.events, v)
+	return nil
+}
+
+// inputs assembles the profiling inputs, estimating each source's event
+// rate from its arrival span unless rate overrides it.
+func (pc *profileCollector) inputs(rate float64) ([]profile.Input, error) {
+	var inputs []profile.Input
+	for _, src := range pc.g.Sources() {
+		tr := pc.traces[src.ID()]
+		if tr == nil || len(tr.events) == 0 {
+			continue
+		}
+		r := rate
+		if r <= 0 {
+			if span := tr.last - tr.first; span > 0 && len(tr.events) > 1 {
+				r = float64(len(tr.events)-1) / span
+			} else {
+				r = 1
+			}
+		}
+		inputs = append(inputs, profile.Input{Source: src, Events: tr.events, Rate: r})
+	}
+	if len(inputs) == 0 {
+		return nil, badRequest("stream carried no arrivals")
+	}
+	return inputs, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -115,7 +115,12 @@ func (s *Server) shardOpen(req *wire.ShardOpenRequest) (*wire.ShardOpenResponse,
 		NodeProgram:   progs.node,
 		ServerProgram: progs.server,
 	}
-	host, err := wbruntime.NewShardHost(cfg, req.Origins)
+	var host *wbruntime.ShardHost
+	if len(req.Resume) > 0 {
+		host, err = wbruntime.RestoreShardHost(cfg, req.Origins, req.Resume)
+	} else {
+		host, err = wbruntime.NewShardHost(cfg, req.Origins)
+	}
 	if err != nil {
 		return nil, false, badRequest("%v", err)
 	}
@@ -266,6 +271,30 @@ func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
 		resp.NodeBusy = append(resp.NodeBusy, wire.NodeBusyWire{Node: nb.Node, Busy: nb.Busy})
 	}
 	respond(w, resp)
+}
+
+func (s *Server) handleShardSnapshot(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var err error
+	defer func() { s.metrics.Observe("shard_snapshot", time.Since(start), false, err) }()
+	var req wire.ShardSessionRequest
+	if err = decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	ss, err2 := s.shardLookup(req.Session, true)
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	ss.mu.Lock()
+	data, err2 := ss.host.Snapshot()
+	ss.mu.Unlock()
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	respond(w, &wire.ShardSnapshotResponse{Snapshot: data})
 }
 
 func (s *Server) handleShardAbort(w http.ResponseWriter, r *http.Request) {

@@ -170,10 +170,64 @@ func (p *lagProblem) repair(sel []bool) []bool {
 	}
 }
 
+// dualStepper drives the multiplier update of the priced dual ascent.
+// The loop hands it the current multipliers (λcpu, λnet, λram), the
+// subgradient (budget violations), the iterate's dual value, the best
+// known upper bound (+Inf when none), and whether the dual just
+// improved; it returns the next multipliers. Implementations are the
+// Polyak subgradient rule and the diagonal quasi-Newton step.
+type dualStepper interface {
+	init() [3]float64
+	step(lam, g [3]float64, dual, ub float64, improved bool, iter int) [3]float64
+}
+
+// polyakStepper is the classic rule: step length θ·(ub−dual)/‖g‖² when
+// an upper bound exists (Polyak), a divergent series otherwise, with θ
+// halved after 8 non-improving iterations.
+type polyakStepper struct {
+	theta float64
+	since int
+}
+
+func newPolyakStepper() *polyakStepper { return &polyakStepper{theta: 2} }
+
+func (p *polyakStepper) init() [3]float64 { return [3]float64{} }
+
+func (p *polyakStepper) step(lam, g [3]float64, dual, ub float64, improved bool, iter int) [3]float64 {
+	if improved {
+		p.since = 0
+	} else if p.since++; p.since >= 8 {
+		p.theta /= 2
+		p.since = 0
+	}
+	norm := g[0]*g[0] + g[1]*g[1] + g[2]*g[2]
+	step := 0.0
+	if !math.IsInf(ub, 1) {
+		step = p.theta * math.Max(1e-9, ub-dual) / norm
+	} else {
+		step = p.theta * (math.Abs(dual) + 1) / (norm * float64(iter+1))
+	}
+	var out [3]float64
+	for i := range lam {
+		out[i] = math.Max(0, lam[i]+step*g[i])
+	}
+	return out
+}
+
 // Solve runs the subgradient loop.
 func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core.Assignment, Stats, error) {
+	return solveDual(ctx, s, lim, core.SolverLagrangian, l.MaxIter, l.Opts, newPolyakStepper())
+}
+
+// solveDual is the shared dual-ascent loop: price the budgets into the
+// objective, solve each priced subproblem exactly as a minimum closure,
+// repair iterates to feasible cuts, and let the stepper drive the
+// multipliers. Every iterate's dual value is a true lower bound, so the
+// answer carries a proven gap (Restricted formulation only).
+func solveDual(ctx context.Context, s *core.Spec, lim Limits, name string,
+	maxIter int, lopts core.Options, st dualStepper) (*core.Assignment, Stats, error) {
 	start := time.Now()
-	stats := Stats{Backend: core.SolverLagrangian, Gap: -1}
+	stats := Stats{Backend: name, Formulation: core.FormulationTag(lopts.Formulation, s.Load), Gap: -1}
 	fail := func(err error) (*core.Assignment, Stats, error) {
 		stats.Seconds = time.Since(start).Seconds()
 		stats.Err = err.Error()
@@ -185,7 +239,6 @@ func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core
 	p := newLagProblem(s)
 	n := len(p.ops)
 
-	maxIter := l.MaxIter
 	if maxIter <= 0 {
 		maxIter = 120
 	}
@@ -198,18 +251,35 @@ func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core
 		gapTol = 1e-4
 	}
 
-	// Multipliers only for budgets that exist.
-	var lc, ln, lr float64
+	// Multipliers only for budgets that exist; a warm start on a budget
+	// that does not is discarded.
 	useCPU := s.CPUBudget > 0
 	useNet := s.NetBudget > 0
 	useRAM := s.RAMBudget > 0 && len(s.RAM) > 0
+	lam := st.init()
+	if !useCPU {
+		lam[0] = 0
+	}
+	if !useNet {
+		lam[1] = 0
+	}
+	if !useRAM {
+		lam[2] = 0
+	}
 
 	var bestSel []bool
 	bestObj := math.Inf(1)
 	bestDual := math.Inf(-1)
 	w := make([]float64, n)
-	theta := 2.0
-	sinceImprove := 0
+
+	// Combinatorial duals usually carry an intrinsic gap the gap test can
+	// never close; stop once the dual has made no meaningful gain for a
+	// while, so Iterations measures time-to-converged-bound rather than
+	// always hitting maxIter. The window is longer than the Polyak
+	// stepper's 8-iteration halving period, so slow ascent gets at least
+	// two step-length reductions before being called stalled.
+	const stallLimit = 16
+	lastGain := 0
 
 	record := func(sel []bool) {
 		cpu, net, ram := p.loads(sel)
@@ -235,23 +305,23 @@ func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core
 		// Vertex prices: objective + priced budgets; cut bandwidth
 		// telescopes to out-minus-in per vertex over monotone cuts.
 		for i := range w {
-			w[i] = (s.Alpha+lc)*p.cpu[i] + lr*p.ram[i]
+			w[i] = (s.Alpha+lam[0])*p.cpu[i] + lam[2]*p.ram[i]
 		}
 		for k, e := range p.edges {
-			w[e[0]] += (s.Beta + ln) * p.edgeW[k]
-			w[e[1]] -= (s.Beta + ln) * p.edgeW[k]
+			w[e[0]] += (s.Beta + lam[1]) * p.edgeW[k]
+			w[e[1]] -= (s.Beta + lam[1]) * p.edgeW[k]
 		}
 		sel, inner := minClosure(n, p.edges, w, p.force)
-		dual := inner - lc*s.CPUBudget - ln*s.NetBudget
+		dual := inner - lam[0]*s.CPUBudget - lam[1]*s.NetBudget
 		if useRAM {
-			dual -= lr * s.RAMBudget
+			dual -= lam[2] * s.RAMBudget
 		}
-		if dual > bestDual+1e-12 {
+		improved := dual > bestDual+1e-12
+		if improved {
+			if dual > bestDual+1e-9*math.Max(1, math.Abs(bestDual)) {
+				lastGain = iter
+			}
 			bestDual = dual
-			sinceImprove = 0
-		} else if sinceImprove++; sinceImprove >= 8 {
-			theta /= 2
-			sinceImprove = 0
 		}
 
 		record(sel)
@@ -267,36 +337,31 @@ func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core
 		if !math.IsInf(ub, 1) && ub-bestDual <= gapTol*math.Max(1, math.Abs(ub)) {
 			break
 		}
+		if iter-lastGain >= stallLimit {
+			break // dual has flatlined; more steps only burn time
+		}
 
-		// Subgradient step (Polyak when an upper bound exists).
+		// Multiplier step on the budget violations.
 		cpu, net, ram := p.loads(sel)
-		gc, gn, gr := 0.0, 0.0, 0.0
+		var g [3]float64
 		if useCPU {
-			gc = cpu - s.CPUBudget
+			g[0] = cpu - s.CPUBudget
 		}
 		if useNet {
-			gn = net - s.NetBudget
+			g[1] = net - s.NetBudget
 		}
 		if useRAM {
-			gr = ram - s.RAMBudget
+			g[2] = ram - s.RAMBudget
 		}
-		norm := gc*gc + gn*gn + gr*gr
-		if norm <= 1e-18 {
+		if g[0]*g[0]+g[1]*g[1]+g[2]*g[2] <= 1e-18 {
 			break // relaxed optimum satisfies the budgets exactly
 		}
-		step := 0.0
-		if !math.IsInf(ub, 1) {
-			step = theta * math.Max(1e-9, ub-dual) / norm
-		} else {
-			step = theta * (math.Abs(dual) + 1) / (norm * float64(iter+1))
-		}
-		lc = math.Max(0, lc+step*gc)
-		ln = math.Max(0, ln+step*gn)
-		lr = math.Max(0, lr+step*gr)
+		lam = st.step(lam, g, dual, ub, improved, iter)
 	}
 
 	stats.Seconds = time.Since(start).Seconds()
-	if bestDual > math.Inf(-1) && l.Opts.Formulation != core.General {
+	stats.Lambda = []float64{lam[0], lam[1], lam[2]}
+	if bestDual > math.Inf(-1) && lopts.Formulation != core.General {
 		stats.Bound = bestDual
 	}
 	if bestSel == nil {
@@ -304,8 +369,8 @@ func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core
 		if cerr := ctx.Err(); cerr != nil {
 			return fail(cerr)
 		}
-		err := fmt.Errorf("solver: lagrangian found no feasible cut in %d iterations: %w",
-			stats.Iterations, &core.ErrInfeasible{Spec: s})
+		err := fmt.Errorf("solver: %s found no feasible cut in %d iterations: %w",
+			name, stats.Iterations, &core.ErrInfeasible{Spec: s})
 		stats.Err = err.Error()
 		return nil, stats, err
 	}
@@ -319,11 +384,11 @@ func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core
 	// the General formulation bidirectional cuts may beat it, so no gap
 	// can be claimed there.
 	gap := -1.0
-	if !math.IsInf(bestDual, -1) && l.Opts.Formulation != core.General {
+	if !math.IsInf(bestDual, -1) && lopts.Formulation != core.General {
 		gap = math.Max(0, (asg.Objective-bestDual)/math.Max(1, math.Abs(asg.Objective)))
 	}
 	asg.Stats = core.SolveStats{
-		Solver:         core.SolverLagrangian,
+		Solver:         name,
 		Gap:            gap,
 		Feasible:       true,
 		Nodes:          stats.Iterations,
@@ -333,7 +398,7 @@ func (l *Lagrangian) Solve(ctx context.Context, s *core.Spec, lim Limits) (*core
 		ProveTime:      stats.Seconds,
 	}
 	if err := asg.Verify(s); err != nil {
-		return fail(fmt.Errorf("solver: lagrangian produced an invalid cut: %w", err))
+		return fail(fmt.Errorf("solver: %s produced an invalid cut: %w", name, err))
 	}
 	stats.Feasible = true
 	stats.Objective = asg.Objective

@@ -1,0 +1,212 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wishbone/internal/core"
+)
+
+// TestSolverNewtonDifferential fuzzes the quasi-Newton backend against
+// exact: every answer must Verify, never beat the proven optimum, and
+// never claim feasibility where exact proved infeasibility.
+func TestSolverNewtonDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1005))
+	exactSv := core.NewExact(core.DefaultOptions())
+	newtonSv, err := New(core.SolverNewton, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasibleSpecs, feasibleNewton := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		spec := randomSpec(rng)
+		exact, _, exactErr := exactSv.Solve(ctxBG(), spec, core.Limits{})
+		if exactErr != nil && !core.IsInfeasible(exactErr) {
+			t.Fatalf("trial %d: exact: %v", trial, exactErr)
+		}
+		if exactErr == nil {
+			feasibleSpecs++
+		}
+		asg, st, err := newtonSv.Solve(ctxBG(), spec, core.Limits{})
+		if err != nil {
+			if !core.IsInfeasible(err) {
+				t.Fatalf("trial %d: newton: %v", trial, err)
+			}
+			continue
+		}
+		if err := asg.Verify(spec); err != nil {
+			t.Fatalf("trial %d: newton returned unverifiable assignment: %v", trial, err)
+		}
+		if exactErr != nil {
+			t.Fatalf("trial %d: newton found a feasible cut where exact proved infeasibility", trial)
+		}
+		if asg.Objective < exact.Objective-1e-9 {
+			t.Fatalf("trial %d: newton objective %v beats proven optimum %v",
+				trial, asg.Objective, exact.Objective)
+		}
+		if st.Bound > exact.Objective+1e-6 {
+			t.Fatalf("trial %d: newton dual bound %v exceeds optimum %v", trial, st.Bound, exact.Objective)
+		}
+		feasibleNewton++
+	}
+	t.Logf("newton feasible on %d/%d feasible specs", feasibleNewton, feasibleSpecs)
+	if feasibleNewton < feasibleSpecs*8/10 {
+		t.Errorf("newton found feasible cuts on only %d/%d feasible specs", feasibleNewton, feasibleSpecs)
+	}
+}
+
+// TestSolverNewtonFewerIterations is the iterations-to-gap acceptance
+// check. Both dual backends are run to convergence to establish a gap
+// target both can reach, then re-run with that target as GapTol; the
+// quasi-Newton stepper must reach it in measurably fewer total
+// iterations than the plain subgradient, without degrading the returned
+// objectives in aggregate.
+func TestSolverNewtonFewerIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1507))
+	lagSv, _ := New(core.SolverLagrangian, core.DefaultOptions())
+	newtonSv, _ := New(core.SolverNewton, core.DefaultOptions())
+	lagIters, newtonIters, compared := 0, 0, 0
+	var lagObj, newtonObj float64
+	for trial := 0; trial < 120; trial++ {
+		spec := randomSpec(rng)
+		la, ls, lerr := lagSv.Solve(ctxBG(), spec, core.Limits{})
+		na, ns, nerr := newtonSv.Solve(ctxBG(), spec, core.Limits{})
+		if lerr != nil || nerr != nil || ls.Gap < 0 || ns.Gap < 0 {
+			continue
+		}
+		lagObj += la.Objective
+		newtonObj += na.Objective
+		// A gap both reached, with slack so neither stalls just short.
+		target := math.Max(ls.Gap, ns.Gap)*1.02 + 1e-4
+		_, ls2, lerr := lagSv.Solve(ctxBG(), spec, core.Limits{GapTol: target})
+		_, ns2, nerr := newtonSv.Solve(ctxBG(), spec, core.Limits{GapTol: target})
+		if lerr != nil || nerr != nil {
+			t.Fatalf("trial %d: re-solve with GapTol %v failed: %v / %v", trial, target, lerr, nerr)
+		}
+		compared++
+		lagIters += ls2.Iterations
+		newtonIters += ns2.Iterations
+	}
+	if compared < 20 {
+		t.Fatalf("only %d comparable specs; generator drifted", compared)
+	}
+	t.Logf("%d specs: lagrangian %d iterations to target gap, newton %d",
+		compared, lagIters, newtonIters)
+	if newtonIters >= lagIters*9/10 {
+		t.Errorf("newton used %d iterations vs lagrangian's %d; expected measurably fewer",
+			newtonIters, lagIters)
+	}
+	if newtonObj > lagObj+1e-6 {
+		t.Errorf("newton aggregate objective %v worse than lagrangian's %v", newtonObj, lagObj)
+	}
+}
+
+// TestSolverNewtonWarmStart: re-solving with the previous solve's final
+// multipliers must not take more iterations than the cold start, and on
+// the fig3 example it must return the same optimum.
+func TestSolverNewtonWarmStart(t *testing.T) {
+	spec := fig3Spec(t, 3)
+	cold := NewNewton(core.DefaultOptions())
+	asg1, st1, err := cold.Solve(ctxBG(), spec, core.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st1.Lambda) != 3 {
+		t.Fatalf("dual backend must record final multipliers, got %v", st1.Lambda)
+	}
+	warm := NewNewton(core.DefaultOptions())
+	copy(warm.Warm[:], st1.Lambda)
+	asg2, st2, err := warm.Solve(ctxBG(), spec, core.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg2.Objective != asg1.Objective {
+		t.Fatalf("warm start changed the objective: %v vs %v", asg2.Objective, asg1.Objective)
+	}
+	if st2.Iterations > st1.Iterations {
+		t.Fatalf("warm start took %d iterations vs cold %d", st2.Iterations, st1.Iterations)
+	}
+	t.Logf("cold %d iterations, warm %d", st1.Iterations, st2.Iterations)
+}
+
+// TestSolverExactCutoffDeterministic: feeding the exact backend an
+// external incumbent bound (as a race does) must discard doomed subtrees
+// without changing the returned assignment, byte for byte, or the count
+// of LP-solved nodes (best-bound search never LP-solves a subtree the
+// final incumbent would not also kill — the cutoff saves heap work, not
+// relaxation solves).
+func TestSolverExactCutoffDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(462))
+	greedySv, _ := New(core.SolverGreedy, core.DefaultOptions())
+	pruned, checked := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		spec := randomSpec(rng)
+		plain, _, err := core.NewExact(core.DefaultOptions()).Solve(ctxBG(), spec, core.Limits{})
+		if err != nil {
+			continue
+		}
+		if plain.Stats.CutoffPruned != 0 {
+			t.Fatalf("trial %d: un-cut-off solve reported cutoff prunes", trial)
+		}
+		inc := &core.Incumbent{}
+		if g, _, gerr := greedySv.Solve(ctxBG(), spec, core.Limits{}); gerr == nil {
+			inc.Offer(g.Objective)
+		} else {
+			// No heuristic bound: seed the optimum itself, the harshest
+			// legal cutoff.
+			inc.Offer(plain.Objective)
+		}
+		cut, _, err := core.NewExact(core.DefaultOptions()).Solve(ctxBG(), spec, core.Limits{Incumbent: inc})
+		if err != nil {
+			t.Fatalf("trial %d: exact with cutoff: %v", trial, err)
+		}
+		if got, want := canon(t, spec, cut), canon(t, spec, plain); got != want {
+			t.Fatalf("trial %d: cutoff changed the assignment:\n  with %s\n  plain %s", trial, got, want)
+		}
+		if cut.Stats.Nodes != plain.Stats.Nodes {
+			t.Fatalf("trial %d: cutoff changed LP-solved nodes: %d vs %d (exploration diverged)",
+				trial, cut.Stats.Nodes, plain.Stats.Nodes)
+		}
+		checked++
+		if cut.Stats.CutoffPruned > 0 {
+			pruned++
+		}
+	}
+	// The Restricted rounder installs near-optimal incumbents at the
+	// root, so on specs this small the internal prune usually dominates;
+	// internal/ilp's TestCutoffDeterministic exercises the prune itself.
+	t.Logf("cutoff discarded subtrees on %d/%d feasible specs", pruned, checked)
+}
+
+// TestSolverNewtonRaceTie: with newton in the default race lineup the
+// raced answer must still be byte-identical to a standalone exact solve.
+func TestSolverNewtonRaceTie(t *testing.T) {
+	for _, budget := range []float64{2, 3, 4} {
+		spec := fig3Spec(t, budget)
+		exact, _, err := core.NewExact(core.DefaultOptions()).Solve(ctxBG(), spec, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		race, err := New(core.SolverRace, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		raced, rstats, err := race.Solve(ctxBG(), spec, core.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := canon(t, spec, raced), canon(t, spec, exact); got != want {
+			t.Fatalf("budget %v: race with newton differs from exact:\n race %s\nexact %s", budget, got, want)
+		}
+		sawNewton := false
+		for _, sub := range rstats.Sub {
+			if sub.Backend == core.SolverNewton {
+				sawNewton = true
+			}
+		}
+		if !sawNewton {
+			t.Fatal("race stats must include the newton backend")
+		}
+	}
+}

@@ -151,6 +151,38 @@ type SimulateStreamRequest struct {
 	// Cumulative per-state fuel counters ride inside session snapshots, so
 	// a resumed stream keeps accounting from where the snapshot stopped.
 	Limits *LimitsWire `json:"limits,omitempty"`
+
+	// Replan turns on the drift-aware control loop for this session: the
+	// server folds per-window load observations into a decaying profile,
+	// and when observed load drifts persistently from the planned load it
+	// re-partitions mid-stream and relocates operators through the
+	// snapshot/handoff path — results stay byte-identical to a run that
+	// started on the final cut. Nil disables replanning.
+	Replan *ReplanWire `json:"replan,omitempty"`
+}
+
+// ReplanWire is a tenant's control-loop policy knobs. Zero values select
+// the runtime defaults (threshold 0.2, hysteresis 3 windows, cooldown =
+// hysteresis, decay 0.25, unlimited replans).
+type ReplanWire struct {
+	// Threshold is the relative load error |observed-planned|/planned
+	// that counts as drift.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Hysteresis is how many consecutive drifting windows arm a replan.
+	Hysteresis int `json:"hysteresis,omitempty"`
+	// Cooldown is the minimum number of windows between replans; negative
+	// means zero (replan immediately when re-armed).
+	Cooldown int `json:"cooldown,omitempty"`
+	// Decay is the EWMA weight of the newest window in the online profile
+	// (0 < Decay <= 1).
+	Decay float64 `json:"decay,omitempty"`
+	// MaxReplans caps replans per session; 0 means unlimited.
+	MaxReplans int `json:"maxReplans,omitempty"`
+	// Solver picks the re-planning backend: a registered backend name,
+	// "race", or "auto" (default) — auto races the historically best
+	// (backend, formulation) pairs from this server's /v1/stats
+	// win/latency record.
+	Solver string `json:"solver,omitempty"`
 }
 
 // ArrivalWire is one client-supplied sensor event: which node it arrives
@@ -210,6 +242,37 @@ type SimulateResponse struct {
 	// with a snapshot chunk: the session's frozen state, resumable via
 	// SimulateStreamRequest.Resume.
 	Snapshot []byte `json:"snapshot,omitempty"`
+
+	// Replans lists the control loop's replan events, in order, when the
+	// request enabled SimulateStreamRequest.Replan.
+	Replans []ReplanEventWire `json:"replans,omitempty"`
+}
+
+// ReplanEventWire is one mid-stream re-partition: when it fired, the load
+// the incumbent cut was planned for vs the decayed observed load that
+// triggered it, the sustainable rate multiple the new plan was solved at,
+// and which operators moved (graph operator IDs). Empty Moved means the
+// drift trigger fired but the planner kept the incumbent cut.
+type ReplanEventWire struct {
+	Time         float64 `json:"t"`
+	PlannedLoad  float64 `json:"plannedLoad"`
+	ObservedLoad float64 `json:"observedLoad"`
+	RateMultiple float64 `json:"rateMultiple"`
+	Moved        []int   `json:"moved,omitempty"`
+	// Solver names the backend whose answer the replan adopted.
+	Solver string `json:"solver,omitempty"`
+}
+
+// ProfileStreamRequest is the header object of a POST /v1/profile/stream
+// body: this header first, then StreamChunk objects until EOF, exactly
+// like /v1/simulate/stream. Instead of the synthetic trace, the profiler
+// measures operator costs and edge rates against the client's own
+// arrivals — the profile that drift detection and re-planning consume.
+// Rate, when set, overrides the per-source event rate estimate (events
+// per second) derived from each source's arrival span.
+type ProfileStreamRequest struct {
+	Graph GraphSpec `json:"graph"`
+	Rate  float64   `json:"rate,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response. Code, when set,

@@ -33,6 +33,13 @@ type ShardOpenRequest struct {
 	Shards int `json:"shards,omitempty"`
 	// Origins is the subset of [0, Nodes) this host owns.
 	Origins []int `json:"origins"`
+	// Resume, when non-empty, is a full session snapshot (the versioned
+	// encoding Session.Snapshot / DistSession.Snapshot produce, possibly
+	// rewritten by MigrateSnapshot); the host restores its owned origins'
+	// node sides and delivery state from it instead of starting fresh —
+	// the state-handoff half of mid-run shard migration and cross-host
+	// operator relocation.
+	Resume []byte `json:"resume,omitempty"`
 }
 
 // ShardOpenResponse returns the session handle every subsequent call
@@ -89,6 +96,13 @@ type ShardDeliverRequest struct {
 // ShardSessionRequest names a session (deliver-less calls: close, abort).
 type ShardSessionRequest struct {
 	Session string `json:"session"`
+}
+
+// ShardSnapshotResponse carries one host's frozen contribution blob (the
+// coordinator folds every host's into a full session snapshot). The call
+// is terminal for the session, like close.
+type ShardSnapshotResponse struct {
+	Snapshot []byte `json:"snapshot"`
 }
 
 // NodeBusyWire is one node's accumulated CPU-busy seconds. JSON float64
