@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|batch|replan|dist|all]
+//	wbbench [-fig 5a|5b|6|7|8|9|10|3|text|scale|solvers|batch|replan|recovery|dist|all]
 //	        [-seconds N] [-fig6n N] [-engine compiled|legacy] [-shards N]
 //	        [-stream] [-workers N] [-batch on|off]
 //	        [-solver exact|lagrangian|greedy|race|all]
@@ -13,6 +13,13 @@
 // The solvers figure compares the pluggable solver backends (objective,
 // proven gap, latency, race wins) on the speech and EEG specs; -solver
 // restricts it to one backend (plus the exact reference).
+//
+// The recovery figure evaluates the fault-tolerance machinery: the
+// windows replayed to restore a shard host killed mid-run at every
+// (checkpoint cadence, failure window) pair — the recovered result must
+// be byte-identical to the clean run — and the control plane's drift
+// detection latency under node churn, swept over the mean time to
+// failure.
 //
 // The replan figure evaluates the online control plane: dual
 // iterations-to-gap for re-plan pricing (plain subgradient vs Newton vs
@@ -56,7 +63,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, batch, replan, dist, all; dist only runs when named)")
+	fig := flag.String("fig", "all", "which figure to regenerate (3, 5a, 5b, 6, 7, 8, 9, 10, text, scale, solvers, batch, replan, recovery, dist, all; dist only runs when named)")
 	seconds := flag.Float64("seconds", 60, "simulated deployment duration for figures 9-10")
 	fig6n := flag.Int("fig6n", 9, "solver invocations for the figure 6 sweep (paper: 2100)")
 	engineName := flag.String("engine", "compiled", "simulation engine for figures 9-10 and §7.3.1: compiled|legacy")
@@ -238,6 +245,23 @@ func main() {
 		}
 		out(experiments.ReplanRecoveryTable(rows))
 		fmt.Printf("\nreplan recovery run: %d msgs sent, %d server emits\n", res.MsgsSent, res.ServerEmits)
+	}
+	if want("recovery") {
+		if engine == runtime.EngineLegacy {
+			log.Fatal("the recovery figure requires the compiled engine")
+		}
+		const recNodes, recSeconds = 4, 16
+		rows, err := experiments.HostFailureRecovery(needSpeech(), recNodes, recSeconds,
+			[]int{1, 2, 4}, []int{1, 3, 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out(experiments.HostFailureRecoveryTable(recNodes, recSeconds, rows))
+		churn, err := experiments.ChurnRecovery(recNodes, 40, []float64{40, 20, 10, 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out(experiments.ChurnRecoveryTable(recNodes, 40, churn))
 	}
 	if want("solvers") {
 		backends := []string{"exact", "lagrangian", "greedy", "race"}

@@ -10,8 +10,18 @@
 //	         [-solver exact|lagrangian|greedy|race]
 //	         [-engine compiled|legacy] [-server http://host:9090]
 //	         [-simulate N] [-simseconds S] [-shards K] [-stream]
-//	         [-batch on|off] [-hosts url1,url2,...]
+//	         [-batch on|off] [-hosts url1,url2,...] [-checkpoint W]
 //	         [-replan] [-replan-window S]
+//	         [-churn meanUp[,meanDown]] [-burst pGB,pBG,factor]
+//	         [-scenario-seed N]
+//
+// -churn and -burst inject failure models into the simulation
+// (internal/netsim): node churn with exponential MTTF/MTTR (MeanDown
+// omitted or 0 = permanent crashes) and a Gilbert–Elliott bursty-loss
+// channel multiplying the delivery ratio by factor during bursts. Both
+// are pure functions of -scenario-seed, so a scenario run is exactly
+// reproducible — and byte-identical however it is placed (local,
+// -shards, -hosts, -replan).
 //
 // -replan attaches the online control plane to the streaming simulation:
 // each ingestion window's observed load folds into a decaying profile,
@@ -31,9 +41,15 @@
 // runs). -hosts places the simulation's origin shards across running
 // wbserved instances via the /v1/shard protocol (internal/dist),
 // falling back to local execution when the cut has global server state
-// the origin split cannot express. wscript work functions keep all state
-// in engine state slots, so script simulations parallelize, shard, and
-// distribute exactly like the built-in applications.
+// the origin split cannot express. Distributed runs are fault-tolerant:
+// shard RPCs retry transient errors, hosts checkpoint every -checkpoint
+// window boundaries (default every boundary; negative disables
+// recovery), and a host that dies mid-run re-opens on a surviving peer
+// from its last checkpoint — the result stays byte-identical to the
+// uninterrupted run (docs/fault-tolerance.md). wscript work functions
+// keep all state in engine state slots, so script simulations
+// parallelize, shard, and distribute exactly like the built-in
+// applications.
 //
 // Sources in the program are fed a synthetic ramp signal; real deployments
 // would substitute recorded traces (profiling only needs representative
@@ -53,11 +69,13 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"wishbone/internal/core"
 	"wishbone/internal/dataflow"
 	"wishbone/internal/dist"
+	"wishbone/internal/netsim"
 	"wishbone/internal/platform"
 	"wishbone/internal/profile"
 	"wishbone/internal/runtime"
@@ -87,6 +105,10 @@ func main() {
 	replanWindow := flag.Float64("replan-window", 2, "ingestion window in simulated seconds for -replan drift detection")
 	batch := flag.String("batch", "on", "batched work-function dispatch for the simulation: on|off (byte-identical results)")
 	hosts := flag.String("hosts", "", "comma-separated wbserved base URLs; the simulation's origin shards are placed across them")
+	checkpoint := flag.Int("checkpoint", 0, "with -hosts, windows per host checkpoint for failure recovery (0 = every window boundary, negative = disable recovery)")
+	churnSpec := flag.String("churn", "", "inject node churn into the simulation: meanUp[,meanDown] mean seconds alive/down (meanDown 0 or omitted = permanent crashes)")
+	burstSpec := flag.String("burst", "", "inject Gilbert–Elliott bursty loss: pGoodBad,pBadGood,badFactor (per-window transition probabilities, delivery-ratio multiplier during bursts)")
+	scenarioSeed := flag.Int64("scenario-seed", 1, "seed for the -churn/-burst failure schedules")
 	flag.Parse()
 
 	noBatch := false
@@ -248,6 +270,11 @@ func main() {
 		fmt.Printf("wrote %s\n", *dotPath)
 	}
 
+	scenario, err := parseScenario(*churnSpec, *burstSpec, *scenarioSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *simNodes > 0 {
 		timings := &runtime.StageTimings{}
 		cfg := runtime.Config{
@@ -261,6 +288,7 @@ func main() {
 			Shards:    *shards,
 			NoBatch:   noBatch,
 			Timings:   timings,
+			Scenario:  scenario,
 		}
 		if *stream {
 			cfg.ArrivalSource = func(nodeID int) (runtime.Stream, error) {
@@ -294,7 +322,7 @@ func main() {
 					peers = append(peers, u)
 				}
 			}
-			coord := dist.New(peers, nil)
+			coord := dist.NewWithOptions(peers, dist.Options{CheckpointEvery: *checkpoint})
 			res, distributed, err = coord.Run(ctx, wire.GraphSpec{App: "wscript", Source: string(src)}, cfg)
 			if err != nil {
 				log.Fatal(err)
@@ -318,6 +346,53 @@ func main() {
 				1e3*timings.NodeSeconds(), 1e3*timings.DeliverySeconds(), 1e3*timings.WallSeconds())
 		}
 	}
+}
+
+// parseScenario builds the failure-injection scenario from the -churn
+// and -burst flag values (comma-separated floats); both empty means no
+// scenario.
+func parseScenario(churn, burst string, seed int64) (*netsim.Scenario, error) {
+	if churn == "" && burst == "" {
+		return nil, nil
+	}
+	fields := func(flag, s string, min, max int) ([]float64, error) {
+		parts := strings.Split(s, ",")
+		if len(parts) < min || len(parts) > max {
+			return nil, fmt.Errorf("%s wants %d to %d comma-separated numbers, got %q", flag, min, max, s)
+		}
+		vals := make([]float64, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad number %q", flag, p)
+			}
+			vals = append(vals, v)
+		}
+		return vals, nil
+	}
+	sc := &netsim.Scenario{}
+	if churn != "" {
+		v, err := fields("-churn", churn, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		c := &netsim.Churn{Seed: seed, MeanUp: v[0]}
+		if len(v) > 1 {
+			c.MeanDown = v[1]
+		}
+		sc.Churn = c
+	}
+	if burst != "" {
+		v, err := fields("-burst", burst, 3, 3)
+		if err != nil {
+			return nil, err
+		}
+		sc.Burst = &netsim.Burst{Seed: seed, PGoodBad: v[0], PBadGood: v[1], BadFactor: v[2]}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
 }
 
 // runReplanned drives the streaming simulation through a

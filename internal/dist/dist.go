@@ -7,41 +7,92 @@
 // the split exact, and the coordinator keeps the only globally coupled
 // pieces (delivery-ratio pricing, in-network reduce aggregation).
 //
+// The coordinator is fault tolerant: every shard RPC retries transient
+// failures with capped exponential backoff (errors.go), each host is
+// checkpointed at window boundaries, and a host that dies mid-run is
+// re-opened on a surviving peer from its last checkpoint with the window
+// tail replayed — the recovered Result is byte-identical to the
+// uninterrupted run (runtime/recovery.go has the protocol; Options tunes
+// the policy).
+//
 // A Coordinator with no peers, or a run the origin split cannot express
 // (legacy engine, global server state), falls back to local execution.
 package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"time"
 
 	"wishbone/internal/runtime"
 	"wishbone/internal/server"
 	"wishbone/internal/wire"
 )
 
+// Options tunes a Coordinator. The zero value is fully usable.
+type Options struct {
+	// HTTPClient carries the shard RPCs; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry shapes every shard RPC's timeout/retry loop; zero fields
+	// select the defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// CheckpointEvery is the host-checkpoint cadence in flushed windows:
+	// 0 means 1 (checkpoint every window boundary — shortest replay tail),
+	// larger values trade checkpoint RPCs for longer replays on failure,
+	// and a negative value disables host-failure recovery entirely (any
+	// host death aborts the run, the pre-recovery behavior).
+	CheckpointEvery int
+	// OnRecover, when set, observes each completed host recovery.
+	OnRecover func(runtime.RecoveryEvent)
+}
+
 // Coordinator runs simulations, distributed across its peers when the
-// run allows it. The zero value is not usable; call New. A Coordinator
-// is safe for concurrent use — each Run builds its own sessions.
+// run allows it. The zero value is not usable; call New or
+// NewWithOptions. A Coordinator is safe for concurrent use — each Run
+// builds its own sessions.
 type Coordinator struct {
 	peers []*server.Client
 	urls  []string
+	opts  Options
 }
 
 // New returns a coordinator over the given peer base URLs (wbserved
-// instances). httpClient may be nil for http.DefaultClient. An empty
-// peer list is valid: every Run executes locally.
+// instances) with default options. httpClient may be nil for
+// http.DefaultClient. An empty peer list is valid: every Run executes
+// locally.
 func New(peers []string, httpClient *http.Client) *Coordinator {
-	c := &Coordinator{urls: append([]string(nil), peers...)}
+	return NewWithOptions(peers, Options{HTTPClient: httpClient})
+}
+
+// NewWithOptions returns a coordinator with explicit retry/recovery
+// options.
+func NewWithOptions(peers []string, opts Options) *Coordinator {
+	opts.Retry = opts.Retry.withDefaults()
+	c := &Coordinator{urls: append([]string(nil), peers...), opts: opts}
 	for _, u := range peers {
-		c.peers = append(c.peers, server.NewClient(u, httpClient))
+		c.peers = append(c.peers, server.NewClient(u, opts.HTTPClient))
 	}
 	return c
 }
 
 // Peers returns the configured peer URLs.
 func (c *Coordinator) Peers() []string { return append([]string(nil), c.urls...) }
+
+// recovery builds the DistRecovery policy for one run's shard state, or
+// nil when recovery is disabled.
+func (c *Coordinator) recovery(st *runShards) *runtime.DistRecovery {
+	if c.opts.CheckpointEvery < 0 {
+		return nil
+	}
+	return &runtime.DistRecovery{
+		Every:     c.opts.CheckpointEvery,
+		Reopen:    st.reopen,
+		OnRecover: c.opts.OnRecover,
+	}
+}
 
 // Run simulates cfg, splitting the origin nodes across the peers when
 // the run is distributable; spec must elaborate to cfg.Graph's structure
@@ -62,7 +113,8 @@ func (c *Coordinator) Run(ctx context.Context, spec wire.GraphSpec, cfg runtime.
 	if err != nil {
 		return nil, false, err
 	}
-	hosts, err := c.openShards(ctx, spec, cfg, nil)
+	st := c.newRunShards(ctx, spec)
+	hosts, err := st.open(cfg, nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -73,6 +125,7 @@ func (c *Coordinator) Run(ctx context.Context, spec wire.GraphSpec, cfg runtime.
 		}
 		return nil, false, err
 	}
+	ds.EnableRecovery(c.recovery(st))
 	if err := feed(ds, &cfg, source); err != nil {
 		ds.Abort()
 		return nil, true, err
@@ -117,7 +170,8 @@ func (c *Coordinator) RunControlled(ctx context.Context, spec wire.GraphSpec, cf
 		res, err = cs.Close()
 		return res, cs.Events(), false, err
 	}
-	hosts, err := c.openShards(ctx, spec, cfg, nil)
+	st := c.newRunShards(ctx, spec)
+	hosts, err := st.open(cfg, nil)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -128,9 +182,10 @@ func (c *Coordinator) RunControlled(ctx context.Context, spec wire.GraphSpec, cf
 		}
 		return nil, nil, false, err
 	}
+	ds.EnableRecovery(c.recovery(st))
 	dcs := runtime.NewDistControlledSession(ds, policy, plannedLoad, runtime.DistPlanner(planner),
 		func(ncfg runtime.Config, snapshot []byte) ([]runtime.HostBinding, error) {
-			return c.openShards(ctx, spec, ncfg, snapshot)
+			return st.open(ncfg, snapshot)
 		})
 	if err := feed(dcs, &cfg, source); err != nil {
 		dcs.Abort()
@@ -140,50 +195,180 @@ func (c *Coordinator) RunControlled(ctx context.Context, spec wire.GraphSpec, cf
 	return res, dcs.Events(), true, err
 }
 
-// openShards opens one shard-host session per peer, each owning a
+// runShards is one run's live placement: which peer serves each host
+// slot, which peers are considered dead, and what a replacement host
+// must restore (the latest session resume blob, superseded per host by
+// its checkpoint). It is both the opener (initial placement, replan
+// rebind) and the recovery reopener for runtime.DistRecovery.
+type runShards struct {
+	c    *Coordinator
+	ctx  context.Context
+	spec wire.GraphSpec
+
+	mu       sync.Mutex
+	cfg      runtime.Config
+	resume   []byte       // session blob hosts resumed from (nil = fresh)
+	hostPeer []int        // host slot -> peer index currently serving it
+	dead     map[int]bool // peer indices considered lost for this run
+}
+
+func (c *Coordinator) newRunShards(ctx context.Context, spec wire.GraphSpec) *runShards {
+	return &runShards{c: c, ctx: ctx, spec: spec, dead: make(map[int]bool)}
+}
+
+// alivePeers lists the peer indices not marked dead.
+func (r *runShards) alivePeers() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	alive := make([]int, 0, len(r.c.peers))
+	for pi := range r.c.peers {
+		if !r.dead[pi] {
+			alive = append(alive, pi)
+		}
+	}
+	return alive
+}
+
+// open places one shard-host session per live peer, each owning a
 // round-robin slice of the origins (PartitionOrigins drops surplus peers
 // when there are more hosts than nodes). A non-nil resume blob — a full
 // session snapshot, typically MigrateSnapshot's output during a replan
 // handoff — makes each host restore its owned origins from it instead of
-// starting fresh. On error every already-opened session is aborted.
-func (c *Coordinator) openShards(ctx context.Context, spec wire.GraphSpec, cfg runtime.Config, resume []byte) ([]runtime.HostBinding, error) {
-	parts := runtime.PartitionOrigins(cfg.Nodes, len(c.peers))
-	hash := cfg.Graph.StructuralHash()
+// starting fresh. A peer that proves dead during placement is dropped
+// and the placement retried over the survivors. On error every
+// already-opened session is aborted.
+func (r *runShards) open(cfg runtime.Config, resume []byte) ([]runtime.HostBinding, error) {
+	for {
+		alive := r.alivePeers()
+		if len(alive) == 0 {
+			return nil, fmt.Errorf("dist: no live peers to place shards on: %w", ErrHostDown)
+		}
+		parts := runtime.PartitionOrigins(cfg.Nodes, len(alive))
+		hosts := make([]runtime.HostBinding, 0, len(parts))
+		abortHosts := func() {
+			for _, b := range hosts {
+				b.Driver.Abort()
+			}
+		}
+		retry := false
+		for hi, origins := range parts {
+			pi := alive[hi]
+			d, err := r.openOne(pi, cfg, origins, resume, nil)
+			if err != nil {
+				abortHosts()
+				if errors.Is(err, ErrHostDown) {
+					// The peer is gone; drop it and re-place over the
+					// survivors.
+					r.mu.Lock()
+					r.dead[pi] = true
+					r.mu.Unlock()
+					retry = true
+					break
+				}
+				return nil, err
+			}
+			hosts = append(hosts, runtime.HostBinding{Driver: d, Origins: origins})
+		}
+		if retry {
+			continue
+		}
+		r.mu.Lock()
+		r.cfg, r.resume = cfg, resume
+		r.hostPeer = make([]int, len(parts))
+		for hi := range parts {
+			r.hostPeer[hi] = alive[hi]
+		}
+		r.mu.Unlock()
+		return hosts, nil
+	}
+}
+
+// openOne opens one shard session on peer pi. ckpt non-nil opens from a
+// host checkpoint blob (recovery); else resume non-nil opens from the
+// run's session snapshot; else fresh.
+func (r *runShards) openOne(pi int, cfg runtime.Config, origins []int, resume, ckpt []byte) (runtime.HostDriver, error) {
 	var onNode []int
 	for _, op := range cfg.Graph.Operators() {
 		if cfg.OnNode[op.ID()] {
 			onNode = append(onNode, op.ID())
 		}
 	}
-	hosts := make([]runtime.HostBinding, 0, len(parts))
-	abortHosts := func() {
-		for _, b := range hosts {
-			b.Driver.Abort()
+	req := wire.ShardOpenRequest{
+		Graph:     r.spec,
+		GraphHash: cfg.Graph.StructuralHash(),
+		Platform:  cfg.Platform.Name,
+		OnNode:    onNode,
+		Nodes:     cfg.Nodes,
+		Duration:  cfg.Duration,
+		Seed:      cfg.Seed,
+		Shards:    cfg.Shards,
+		Origins:   origins,
+	}
+	if ckpt != nil {
+		req.ResumeHost = ckpt
+	} else {
+		req.Resume = resume
+	}
+	var open *wire.ShardOpenResponse
+	err := retryRPC(r.ctx, r.c.opts.Retry, r.c.urls[pi], "open", func(ctx context.Context) error {
+		resp, err := r.c.peers[pi].ShardOpen(ctx, req)
+		open = resp
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dist: open shard on %s: %w", r.c.urls[pi], err)
+	}
+	return &httpHost{
+		ctx: r.ctx, client: r.c.peers[pi], url: r.c.urls[pi],
+		session: open.Session, retry: r.c.opts.Retry,
+	}, nil
+}
+
+// reopen is the DistRecovery.Reopen callback: host slot host died; mark
+// its peer dead and re-open its origins on the next surviving peer —
+// from the host's checkpoint when one exists, else from the run's resume
+// blob, else fresh (the coordinator replays the window tail either way).
+func (r *runShards) reopen(host int, origins []int, ckpt []byte) (runtime.HostDriver, error) {
+	r.mu.Lock()
+	failed := 0
+	if host >= 0 && host < len(r.hostPeer) {
+		failed = r.hostPeer[host]
+		r.dead[failed] = true
+	}
+	cfg, resume := r.cfg, r.resume
+	n := len(r.c.peers)
+	cands := make([]int, 0, n)
+	for i := 1; i <= n; i++ {
+		pi := (failed + i) % n
+		if !r.dead[pi] {
+			cands = append(cands, pi)
 		}
 	}
-	for hi, origins := range parts {
-		open, err := c.peers[hi].ShardOpen(ctx, wire.ShardOpenRequest{
-			Graph:     spec,
-			GraphHash: hash,
-			Platform:  cfg.Platform.Name,
-			OnNode:    onNode,
-			Nodes:     cfg.Nodes,
-			Duration:  cfg.Duration,
-			Seed:      cfg.Seed,
-			Shards:    cfg.Shards,
-			Origins:   origins,
-			Resume:    resume,
-		})
-		if err != nil {
-			abortHosts()
-			return nil, fmt.Errorf("dist: open shard on %s: %w", c.urls[hi], err)
+	r.mu.Unlock()
+	var lastErr error
+	for _, pi := range cands {
+		d, err := r.openOne(pi, cfg, origins, resume, ckpt)
+		if err == nil {
+			r.mu.Lock()
+			if host >= 0 && host < len(r.hostPeer) {
+				r.hostPeer[host] = pi
+			}
+			r.mu.Unlock()
+			return d, nil
 		}
-		hosts = append(hosts, runtime.HostBinding{
-			Driver:  &httpHost{ctx: ctx, client: c.peers[hi], url: c.urls[hi], session: open.Session},
-			Origins: origins,
-		})
+		lastErr = err
+		if errors.Is(err, ErrHostDown) {
+			r.mu.Lock()
+			r.dead[pi] = true
+			r.mu.Unlock()
+			continue
+		}
+		return nil, err
 	}
-	return hosts, nil
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dist: every peer is dead: %w", ErrHostDown)
+	}
+	return nil, fmt.Errorf("dist: no surviving peer for host %d's origins: %w", host, lastErr)
 }
 
 // arrivalSource resolves where the run's arrivals come from: the
@@ -260,15 +445,28 @@ func feed(ds offerer, cfg *runtime.Config, source func(nodeID int) (runtime.Stre
 // base64 in the JSON envelope), so every element round-trips bit-exactly;
 // the plain float64 fields (times, ratio, busy seconds) are exact under
 // JSON's shortest-round-trip encoding.
+//
+// Every call runs under the coordinator's retry policy. The compute and
+// deliver calls are not idempotent, so each carries the coordinator's
+// window sequence number and the server dedupes repeats from a reply
+// cache — a retry whose first attempt actually executed (response lost)
+// is acknowledged, not re-applied.
 type httpHost struct {
 	ctx     context.Context
 	client  *server.Client
 	url     string
 	session string
+	retry   RetryPolicy
+	seq     int64 // window sequence: bumped per ComputeWindow, shared by its DeliverWindow
+}
+
+func (h *httpHost) rpc(op string, f func(ctx context.Context) error) error {
+	return retryRPC(h.ctx, h.retry, h.url, op, f)
 }
 
 func (h *httpHost) ComputeWindow(span float64, arrivals []runtime.HostArrival) (*runtime.WindowReport, error) {
-	req := wire.ShardComputeRequest{Session: h.session, Span: span}
+	h.seq++
+	req := wire.ShardComputeRequest{Session: h.session, Window: h.seq, Span: span}
 	req.Arrivals = make([]wire.ShardArrivalWire, len(arrivals))
 	for i, a := range arrivals {
 		data, err := wire.Marshal(a.Value)
@@ -277,9 +475,13 @@ func (h *httpHost) ComputeWindow(span float64, arrivals []runtime.HostArrival) (
 		}
 		req.Arrivals[i] = wire.ShardArrivalWire{Node: a.Node, Time: a.Time, Source: a.Source, Value: data}
 	}
-	resp, err := h.client.ShardCompute(h.ctx, req)
-	if err != nil {
-		return nil, fmt.Errorf("dist: compute on %s: %w", h.url, err)
+	var resp *wire.ShardComputeResponse
+	if err := h.rpc("compute", func(ctx context.Context) error {
+		r, err := h.client.ShardCompute(ctx, req)
+		resp = r
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	rep := &runtime.WindowReport{Held: resp.Held, Air: resp.Air}
 	for _, rm := range resp.Reduce {
@@ -291,16 +493,32 @@ func (h *httpHost) ComputeWindow(span float64, arrivals []runtime.HostArrival) (
 }
 
 func (h *httpHost) DeliverWindow(ratio float64) error {
-	if err := h.client.ShardDeliver(h.ctx, h.session, ratio); err != nil {
-		return fmt.Errorf("dist: deliver on %s: %w", h.url, err)
+	req := wire.ShardDeliverRequest{Session: h.session, Window: h.seq, Ratio: ratio}
+	return h.rpc("deliver", func(ctx context.Context) error {
+		return h.client.ShardDeliver(ctx, req)
+	})
+}
+
+func (h *httpHost) Checkpoint() ([]byte, error) {
+	var data []byte
+	if err := h.rpc("checkpoint", func(ctx context.Context) error {
+		d, err := h.client.ShardCheckpoint(ctx, h.session)
+		data = d
+		return err
+	}); err != nil {
+		return nil, err
 	}
-	return nil
+	return data, nil
 }
 
 func (h *httpHost) Close() (*runtime.HostResult, error) {
-	resp, err := h.client.ShardClose(h.ctx, h.session)
-	if err != nil {
-		return nil, fmt.Errorf("dist: close on %s: %w", h.url, err)
+	var resp *wire.ShardCloseResponse
+	if err := h.rpc("close", func(ctx context.Context) error {
+		r, err := h.client.ShardClose(ctx, h.session)
+		resp = r
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	hr := &runtime.HostResult{
 		InputEvents:     resp.InputEvents,
@@ -318,14 +536,24 @@ func (h *httpHost) Close() (*runtime.HostResult, error) {
 }
 
 func (h *httpHost) Snapshot() ([]byte, error) {
-	data, err := h.client.ShardSnapshot(h.ctx, h.session)
-	if err != nil {
-		return nil, fmt.Errorf("dist: snapshot on %s: %w", h.url, err)
+	var data []byte
+	if err := h.rpc("snapshot", func(ctx context.Context) error {
+		d, err := h.client.ShardSnapshot(ctx, h.session)
+		data = d
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return data, nil
 }
 
 func (h *httpHost) Abort() {
-	// Best effort: the server also reaps sessions at drain.
-	_ = h.client.ShardAbort(h.ctx, h.session)
+	// Best effort, single attempt, detached from the run context — error
+	// paths abort with the parent context already canceled, and skipping
+	// the RPC then would leak the remote session (and its
+	// MaxShardSessions slot) until the peer drains. The server also reaps
+	// sessions at drain.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(h.ctx), 2*time.Second)
+	defer cancel()
+	_ = h.client.ShardAbort(ctx, h.session)
 }

@@ -507,6 +507,14 @@ func (cs *DistControlledSession) relocate(plan *Plan) error {
 		return err
 	}
 	ns.OnWindow = cs.loop.Observe
+	// Recovery carries across the handoff: the replacement session starts
+	// with no checkpoints (its hosts resumed from the migrated snapshot,
+	// which the Reopen callback falls back to) and the recovery history so
+	// far; the rebind has already repointed the callback's host table.
+	if cs.s.rec != nil {
+		ns.EnableRecovery(cs.s.rec)
+		ns.recoveries = cs.s.recoveries
+	}
 	cs.s = ns
 	return nil
 }
@@ -536,3 +544,7 @@ func (cs *DistControlledSession) OnNode() map[int]bool { return cs.s.cfg.OnNode 
 
 // Loop exposes the detector.
 func (cs *DistControlledSession) Loop() *ControlLoop { return cs.loop }
+
+// Recoveries returns the host recoveries performed so far (carried
+// across replan handoffs).
+func (cs *DistControlledSession) Recoveries() []RecoveryEvent { return cs.s.Recoveries() }

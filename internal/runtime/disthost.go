@@ -37,6 +37,15 @@ type ShardHost struct {
 	feedErrs []error // indexed by position in origins
 	res      Result
 	closed   bool
+
+	// Delivery-side counters carried in from a checkpoint restore
+	// (RestoreShardHostCheckpoint): the dead predecessor's accrued
+	// MsgsReceived/DeliveredBytes/ServerEmits, which this host must
+	// report as its own at Close — unlike a full-session restore, where
+	// the coordinator carries them (RestoreShardHost zeroes counters).
+	carriedRecv      int
+	carriedDelivered int
+	carriedEmits     int
 }
 
 // HostArrival is one arrival routed to a shard host, with the source
@@ -298,9 +307,9 @@ func (h *ShardHost) Close() (*HostResult, error) {
 	}
 	var collected Result
 	h.plan.collect(&collected)
-	hr.MsgsReceived = collected.MsgsReceived
-	hr.DeliveredBytes = collected.DeliveredBytes
-	hr.ServerEmits = collected.ServerEmits
+	hr.MsgsReceived = h.carriedRecv + collected.MsgsReceived
+	hr.DeliveredBytes = h.carriedDelivered + collected.DeliveredBytes
+	hr.ServerEmits = h.carriedEmits + collected.ServerEmits
 	return hr, nil
 }
 

@@ -18,6 +18,10 @@ import (
 type HostDriver interface {
 	ComputeWindow(span float64, arrivals []HostArrival) (*WindowReport, error)
 	DeliverWindow(ratio float64) error
+	// Checkpoint freezes the host's state blob at the current window
+	// boundary without disturbing the run (non-terminal) — the
+	// coordinator retains it for host-failure recovery (recovery.go).
+	Checkpoint() ([]byte, error)
 	// Snapshot freezes the host at the current window boundary and
 	// returns its contribution blob (terminal — the coordinator folds it
 	// into the full run snapshot; see DistSession.Snapshot).
@@ -66,6 +70,16 @@ type DistSession struct {
 	// OnWindow mirrors Session.OnWindow: every priced window's load
 	// observation, delivered on the Offer caller's goroutine.
 	OnWindow func(WindowObservation)
+
+	// Host-failure recovery (recovery.go): the armed policy, each host's
+	// last boundary checkpoint, and the window tail flushed since it.
+	rec        *DistRecovery
+	ckpts      [][]byte
+	tail       []distWindowRec
+	sinceCkpt  int
+	recoveries []RecoveryEvent
+
+	scen *scenarioState
 
 	buf          [][]arrival
 	maxBuffered  int
@@ -172,6 +186,7 @@ func NewDistSession(cfg Config, hosts []HostBinding) (*DistSession, error) {
 	for _, src := range cfg.Graph.Sources() {
 		s.sources[src] = true
 	}
+	s.scen = newScenarioState(&s.cfg)
 	return s, nil
 }
 
@@ -196,6 +211,9 @@ func (s *DistSession) Offer(nodeID int, a Arrival) error {
 	}
 	if err := s.advance(a.Time); err != nil {
 		return err
+	}
+	if s.scen.drops(nodeID, a.Time) {
+		return nil
 	}
 	if s.buffered >= s.maxBuffered {
 		return fmt.Errorf("runtime: window [%g,%g) exceeds %d buffered arrivals: %w",
@@ -270,6 +288,7 @@ func (s *DistSession) flushWindow() error {
 		s.buf[n] = s.buf[n][:0]
 	}
 	s.buffered = 0
+	s.recordWindow(span)
 
 	active := s.activeHosts(func(hi int) bool { return len(s.hostArr[hi]) > 0 })
 	s.eachHost(active, func(hi int) error {
@@ -279,7 +298,14 @@ func (s *DistSession) flushWindow() error {
 	})
 	for _, hi := range active {
 		if err := s.errs[hi]; err != nil {
-			return err
+			// A lost host recovers here: its replacement replays the tail
+			// and answers for the in-flight window as the original would
+			// have (recovery.go).
+			rep, rerr := s.recoverHost(hi, err, "compute")
+			if rerr != nil {
+				return rerr
+			}
+			s.reports[hi] = rep
 		}
 	}
 
@@ -316,7 +342,15 @@ func (s *DistSession) flushWindow() error {
 			return fmt.Errorf("runtime: non-aggregate message from origin %d in the coordinator's window", out[i].nodeID)
 		}
 	}
-	return s.deliverWindow(out, span, active)
+	if n := len(s.tail); n > 0 {
+		// The window's reduce contributions are in the global rounds now;
+		// a replay of this record must not fold them again.
+		s.tail[n-1].folded = true
+	}
+	if err := s.deliverWindow(out, span, active); err != nil {
+		return err
+	}
+	return s.maybeCheckpoint()
 }
 
 // deliverWindow prices one window's global offered load and fans the
@@ -339,6 +373,14 @@ func (s *DistSession) deliverWindow(out []message, span float64, active []int) e
 	}
 	s.totalAir += air
 	ratio := s.ch.DeliveryRatio(float64(air) / span)
+	ratio = s.scen.priceRatio(ratio, s.windowIndex())
+	if len(active) > 0 && len(s.tail) > 0 {
+		// flushWindow-driven deliveries record the priced ratio on the
+		// window's replay record; the Close-tail delivery (active == nil)
+		// has no record — it belongs to the coordinator's aggregates only.
+		rec := &s.tail[len(s.tail)-1]
+		rec.priced, rec.ratio = true, ratio
+	}
 	if !s.sawWindow {
 		s.ratioFirst, s.sawWindow = ratio, true
 	} else if ratio != s.ratioFirst {
@@ -363,7 +405,11 @@ func (s *DistSession) deliverWindow(out []message, span float64, active []int) e
 	})
 	for _, hi := range deliverers {
 		if err := s.errs[hi]; err != nil {
-			return err
+			// The window is folded and priced by now, so the replacement's
+			// tail replay performs this delivery too.
+			if _, rerr := s.recoverHost(hi, err, "deliver"); rerr != nil {
+				return rerr
+			}
 		}
 	}
 	if len(out) > 0 {
@@ -441,6 +487,15 @@ func (s *DistSession) Close() (*Result, error) {
 		results[hi] = hr
 		return err
 	})
+	for _, hi := range all {
+		if err := s.errs[hi]; err != nil {
+			if _, rerr := s.recoverHost(hi, err, "close"); rerr != nil {
+				s.errs[hi] = rerr
+				continue
+			}
+			results[hi], s.errs[hi] = s.hosts[hi].Driver.Close()
+		}
+	}
 	for hi := range s.hosts {
 		if err := s.errs[hi]; err != nil {
 			if !aborted {
@@ -500,6 +555,15 @@ func (s *DistSession) Abort() {
 // PeakBuffered mirrors Session.PeakBuffered.
 func (s *DistSession) PeakBuffered() int { return s.peakBuffered }
 
+// windowIndex is the zero-based index of the window being priced (its
+// start is windowStart - window: flushWindow has already advanced the
+// clock past it). The index is what the burst model's per-window chain
+// keys on, so it must be identical across placements — it is, because
+// the window clock is identical.
+func (s *DistSession) windowIndex() int {
+	return int(math.Round(s.windowStart/s.window)) - 1
+}
+
 // LocalHost adapts an in-process ShardHost to HostDriver — the degenerate
 // single-machine placement, and the reference the HTTP driver must match.
 type LocalHost struct{ H *ShardHost }
@@ -508,6 +572,7 @@ func (l LocalHost) ComputeWindow(span float64, arrivals []HostArrival) (*WindowR
 	return l.H.ComputeWindow(span, arrivals)
 }
 func (l LocalHost) DeliverWindow(ratio float64) error { return l.H.DeliverWindow(ratio) }
+func (l LocalHost) Checkpoint() ([]byte, error)       { return l.H.Checkpoint() }
 func (l LocalHost) Snapshot() ([]byte, error)         { return l.H.Snapshot() }
 func (l LocalHost) Close() (*HostResult, error)       { return l.H.Close() }
 func (l LocalHost) Abort()                            { l.H.Abort() }

@@ -76,6 +76,33 @@ func (h *ShardHost) Snapshot() ([]byte, error) {
 		h.release()
 		h.plan.close()
 	}()
+	return h.encodeHostBlob()
+}
+
+// Checkpoint freezes the host's state blob at the current window
+// boundary without disturbing the run: the encoding is the same as
+// Snapshot's (the whole encode path is read-only), but the host keeps
+// executing. The coordinator retains the blob so a replacement host can
+// restore it after a failure (RestoreShardHostCheckpoint).
+func (h *ShardHost) Checkpoint() ([]byte, error) {
+	if h.closed {
+		return nil, fmt.Errorf("runtime: Checkpoint on a closed ShardHost")
+	}
+	if len(h.held) > 0 {
+		return nil, fmt.Errorf("runtime: Checkpoint with a window awaiting DeliverWindow")
+	}
+	if err := checkSnapshotable(&h.cfg); err != nil {
+		return nil, err
+	}
+	return h.encodeHostBlob()
+}
+
+// encodeHostBlob writes the host contribution encoding shared by
+// Snapshot and Checkpoint: send-side counters, per-origin node sides,
+// and the delivery plan's state with any checkpoint-carried delivery
+// counters folded in (so a chain of restores keeps reporting the full
+// accrual).
+func (h *ShardHost) encodeHostBlob() ([]byte, error) {
 	eidx, err := edgeIndexes(&h.cfg)
 	if err != nil {
 		return nil, err
@@ -94,6 +121,9 @@ func (h *ShardHost) Snapshot() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.MsgsReceived += h.carriedRecv
+	st.DeliveredBytes += h.carriedDelivered
+	st.ServerEmits += h.carriedEmits
 	st.save(w)
 	return w.Bytes(), nil
 }
@@ -186,6 +216,63 @@ func RestoreShardHost(cfg Config, origins []int, data []byte) (*ShardHost, error
 	return h, nil
 }
 
+// RestoreShardHostCheckpoint builds a shard host resuming from a host
+// checkpoint blob (ShardHost.Checkpoint) — the recovery path: the blob is
+// one host's whole contribution, so unlike RestoreShardHost the restored
+// host takes over the dead host's counters too (send-side into res,
+// delivery-side as carried values folded in at Close and into future
+// checkpoints). origins must be exactly the checkpoint's origin set — a
+// host's counters are not splittable per origin, so a lost host's origins
+// move to their new home together.
+func RestoreShardHostCheckpoint(cfg Config, origins []int, data []byte) (*ShardHost, error) {
+	if err := checkSnapshotable(&cfg); err != nil {
+		return nil, err
+	}
+	h, err := NewShardHost(cfg, origins)
+	if err != nil {
+		return nil, err
+	}
+	abort := func(err error) (*ShardHost, error) {
+		h.Abort()
+		return nil, err
+	}
+	hs, err := decodeHostSnap(&h.cfg, data)
+	if err != nil {
+		return abort(err)
+	}
+	if len(hs.origins) != len(h.origins) {
+		return abort(fmt.Errorf("runtime: checkpoint holds %d origins, host owns %d", len(hs.origins), len(h.origins)))
+	}
+	for i, n := range hs.origins {
+		if n != h.origins[i] {
+			return abort(fmt.Errorf("runtime: checkpoint origin set %v does not match host origins %v", hs.origins, h.origins))
+		}
+	}
+	h.res.MsgsSent = int(hs.msgsSent)
+	h.res.PayloadBytes = int(hs.payloadBytes)
+	for _, n := range h.origins {
+		side := hs.sides[n]
+		if err := applyNodeSnap(&h.cfg, h.prog, &side, h.nodes[n], h.insts[n]); err != nil {
+			return abort(err)
+		}
+	}
+	h.carriedRecv = hs.shard.MsgsReceived
+	h.carriedDelivered = hs.shard.DeliveredBytes
+	h.carriedEmits = hs.shard.ServerEmits
+	sub := &ShardState{}
+	for i := range hs.shard.Origins {
+		o := hs.shard.Origins[i]
+		if o.Origin == AggregateOrigin || !h.owned[o.Origin] {
+			continue
+		}
+		sub.Origins = append(sub.Origins, o)
+	}
+	if err := h.plan.restoreState(&h.cfg, sub); err != nil {
+		return abort(err)
+	}
+	return h, nil
+}
+
 // Snapshot freezes a distributed run at the current window boundary into
 // the standard session-snapshot encoding. Terminal for the coordinator
 // and every host. The bytes resume through ResumeSession (single-host),
@@ -219,7 +306,16 @@ func (s *DistSession) Snapshot() ([]byte, error) {
 	}
 	for _, hi := range all {
 		if err := s.errs[hi]; err != nil {
-			return abort(err)
+			// A lost host recovers even at the freeze barrier: the
+			// replacement replays the tail, then snapshots in its place.
+			if _, rerr := s.recoverHost(hi, err, "snapshot"); rerr != nil {
+				return abort(rerr)
+			}
+			data, serr := s.hosts[hi].Driver.Snapshot()
+			if serr != nil {
+				return abort(serr)
+			}
+			blobs[hi] = data
 		}
 	}
 	hostSnaps := make([]*hostSnap, len(s.hosts))

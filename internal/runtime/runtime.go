@@ -171,6 +171,16 @@ type Config struct {
 	// (node compute vs server delivery) — the instrumentation behind the
 	// pipelining benchmarks. It does not influence the Result.
 	Timings *StageTimings
+
+	// Scenario injects failure models into the run (netsim.Scenario):
+	// node churn drops a crashed node's arrivals at the source, and
+	// Gilbert–Elliott bursts multiply each window's priced delivery
+	// ratio. Both models are pure functions of their seeds, so scenario
+	// runs stay byte-identical across placements, shard counts, pipelined
+	// vs phased execution, and snapshot/resume. Scenario runs always
+	// execute on the streaming path (Run synthesizes an ArrivalSource
+	// from Inputs when needed) and require the compiled engine.
+	Scenario *netsim.Scenario
 }
 
 // Result reports a deployment run.
@@ -257,6 +267,23 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Inputs == nil {
 		return nil, fmt.Errorf("runtime: need Inputs (or ArrivalSource for streaming)")
+	}
+	if cfg.Scenario != nil {
+		// Failure models are windowed phenomena (churn gates arrivals in
+		// time, bursts price per window), so a scenario run executes on
+		// the streaming path even when the caller supplied batch Inputs.
+		if cfg.Engine == EngineLegacy {
+			return nil, fmt.Errorf("runtime: failure scenarios require the compiled engine")
+		}
+		inputs, scale, duration := cfg.Inputs, cfg.RateScale, cfg.Duration
+		cfg.ArrivalSource = func(nodeID int) (Stream, error) {
+			in := inputs(nodeID)
+			if len(in) == 0 {
+				return nil, fmt.Errorf("runtime: node %d has no inputs", nodeID)
+			}
+			return InputStream(in, scale, duration)
+		}
+		return runStream(cfg)
 	}
 	runStart := time.Now()
 	scale := cfg.RateScale
@@ -380,6 +407,9 @@ func validateConfig(cfg *Config) error {
 		if !cfg.OnNode[src.ID()] {
 			return fmt.Errorf("runtime: source %s not in the node partition (§4.2.1 pins sources to the node)", src)
 		}
+	}
+	if err := cfg.Scenario.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,62 @@
+package runtime
+
+import (
+	"wishbone/internal/netsim"
+)
+
+// scenarioState is a session's live view of its failure scenario
+// (Config.Scenario): incremental per-node churn walkers gating arrivals
+// and one burst walker modulating the per-window delivery ratio. The
+// models are pure functions of (seed, node, time) and (seed, window
+// index), so this state is pure cache — a session rebuilt anywhere (a
+// different placement, a resumed snapshot, a relocated cut) replays the
+// identical schedule, which keeps scenario runs byte-identical across
+// placements. A nil *scenarioState (no scenario) is valid on every
+// method.
+type scenarioState struct {
+	churnModel *netsim.Churn
+	churn      []*netsim.ChurnWalker // per node, built lazily
+	burst      *netsim.BurstWalker
+}
+
+func newScenarioState(cfg *Config) *scenarioState {
+	sc := cfg.Scenario
+	if sc == nil {
+		return nil
+	}
+	st := &scenarioState{}
+	if sc.Churn != nil {
+		st.churnModel = sc.Churn
+		st.churn = make([]*netsim.ChurnWalker, cfg.Nodes)
+	}
+	if sc.Burst != nil && sc.Burst.BadFactor != 1 {
+		st.burst = sc.Burst.Walker()
+	}
+	return st
+}
+
+// drops reports whether the scenario drops an arrival offered at node at
+// simulated time t (the node is crashed). Called after the window clock
+// has advanced: a dead node's arrivals vanish, but their timestamps still
+// drive the window boundaries, so windows flush (and the control loop
+// observes the load collapse) even while nodes are down.
+func (st *scenarioState) drops(node int, t float64) bool {
+	if st == nil || st.churnModel == nil {
+		return false
+	}
+	w := st.churn[node]
+	if w == nil {
+		w = st.churnModel.WalkerFor(node)
+		st.churn[node] = w
+	}
+	return !w.Alive(t)
+}
+
+// priceRatio applies the burst model's multiplier for the given window
+// index to the channel-priced delivery ratio.
+func (st *scenarioState) priceRatio(ratio float64, idx int) float64 {
+	if st == nil || st.burst == nil {
+		return ratio
+	}
+	return ratio * st.burst.Factor(idx)
+}

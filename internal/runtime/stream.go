@@ -137,6 +137,7 @@ type Session struct {
 	buf     [][]arrival
 	sources map[*dataflow.Operator]bool
 	window  float64
+	scen    *scenarioState
 
 	// pipe is non-nil when the session pipelines its stages (delivery of
 	// window w overlapping simulation of window w+1 — see pipeline.go);
@@ -228,6 +229,7 @@ func NewSession(cfg Config) (*Session, error) {
 	for _, src := range cfg.Graph.Sources() {
 		s.sources[src] = true
 	}
+	s.scen = newScenarioState(&s.cfg)
 	passthrough := !cfg.NoBatch && passthroughPartition(&s.cfg)
 	for n := 0; n < cfg.Nodes; n++ {
 		inst := prog.AcquireInstance(n)
@@ -278,6 +280,13 @@ func (s *Session) Offer(nodeID int, a Arrival) error {
 	if err := s.advance(a.Time); err != nil {
 		return err
 	}
+	if s.scen.drops(nodeID, a.Time) {
+		// The node is crashed under the failure scenario: the arrival
+		// vanishes, but its time already advanced the window clock so
+		// windows keep flushing (and the control loop keeps observing)
+		// while nodes are down.
+		return nil
+	}
 	return s.push(nodeID, arrival{t: a.Time, src: a.Source, v: a.Value})
 }
 
@@ -301,6 +310,14 @@ func (s *Session) OfferRaw(nodeID int, t float64, src *dataflow.Operator, typ st
 	}
 	if err := s.advance(t); err != nil {
 		return err
+	}
+	if s.scen.drops(nodeID, t) {
+		// Dropped by the churn model, exactly like Offer — but the value
+		// must still validate, matching the decode-then-Offer behavior.
+		if _, err := s.ingest.decode(typ, raw, true); err != nil {
+			return fmt.Errorf("runtime: %v: %w", err, ErrBadArrival)
+		}
+		return nil
 	}
 	v, err := s.ingest.decode(typ, raw, false)
 	if err != nil {
@@ -506,6 +523,7 @@ func (s *Session) deliverWindow(out []message, span float64, win *windowBufs) er
 	}
 	s.totalAir += air
 	ratio := s.ch.DeliveryRatio(float64(air) / span)
+	ratio = s.scen.priceRatio(ratio, s.windowIndex())
 	if s.OnWindow != nil {
 		s.OnWindow(WindowObservation{
 			Start: s.windowStart - s.window, Span: span,
@@ -527,6 +545,14 @@ func (s *Session) deliverWindow(out []message, span float64, win *windowBufs) er
 		t.addDelivery(time.Since(start))
 	}
 	return err
+}
+
+// windowIndex is the zero-based index of the window being priced (its
+// start is windowStart - window: flushWindow has already advanced the
+// clock past it). It keys the burst model's per-window loss chain, and
+// is identical across placements because the window clock is.
+func (s *Session) windowIndex() int {
+	return int(math.Round(s.windowStart/s.window)) - 1
 }
 
 // PeakBuffered reports the most arrivals ever buffered at once — the

@@ -298,9 +298,24 @@ func (c *Client) ShardCompute(ctx context.Context, req wire.ShardComputeRequest)
 }
 
 // ShardDeliver replays the held window at the coordinator-priced ratio.
-func (c *Client) ShardDeliver(ctx context.Context, session string, ratio float64) error {
+func (c *Client) ShardDeliver(ctx context.Context, req wire.ShardDeliverRequest) error {
 	var out struct{}
-	return c.post(ctx, "/v1/shard/deliver", wire.ShardDeliverRequest{Session: session, Ratio: ratio}, &out)
+	return c.post(ctx, "/v1/shard/deliver", req, &out)
+}
+
+// ShardCheckpoint returns the host's boundary checkpoint blob without
+// ending the session (non-terminal snapshot; see
+// wire.ShardCheckpointResponse). The coordinator retains it to restore
+// the host on a surviving peer if this one later fails.
+func (c *Client) ShardCheckpoint(ctx context.Context, session string) ([]byte, error) {
+	var out wire.ShardCheckpointResponse
+	if err := c.post(ctx, "/v1/shard/checkpoint", wire.ShardSessionRequest{Session: session}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Checkpoint) == 0 {
+		return nil, fmt.Errorf("server returned no shard checkpoint")
+	}
+	return out.Checkpoint, nil
 }
 
 // ShardClose finishes a shard session and returns its partial counters.

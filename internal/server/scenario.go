@@ -1,0 +1,34 @@
+package server
+
+import (
+	"wishbone/internal/netsim"
+	"wishbone/internal/wire"
+)
+
+// scenarioFromWire converts a request's failure-injection spec into the
+// runtime's netsim models and validates it. nil in, nil out.
+func scenarioFromWire(sw *wire.ScenarioWire) (*netsim.Scenario, error) {
+	if sw == nil {
+		return nil, nil
+	}
+	sc := &netsim.Scenario{}
+	if sw.Churn != nil {
+		sc.Churn = &netsim.Churn{
+			Seed:     sw.Churn.Seed,
+			MeanUp:   sw.Churn.MeanUp,
+			MeanDown: sw.Churn.MeanDown,
+		}
+	}
+	if sw.Burst != nil {
+		sc.Burst = &netsim.Burst{
+			Seed:      sw.Burst.Seed,
+			PGoodBad:  sw.Burst.PGoodBad,
+			PBadGood:  sw.Burst.PBadGood,
+			BadFactor: sw.Burst.BadFactor,
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, badRequest("scenario: %v", err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"wishbone/internal/wire"
+)
+
+// TestSimulateScenarioOverWire pins the failure-injection surface of the
+// API: a tenant can request node churn and Gilbert–Elliott bursty loss on
+// a plain simulate call, the scenario observably perturbs the run, and —
+// because both models are pure functions of their seeds — repeating the
+// request reproduces the exact Result.
+func TestSimulateScenarioOverWire(t *testing.T) {
+	_, client := startServer(t, Config{})
+	ctx := context.Background()
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+	var onNode []int
+	for i, op := range e.graph.Operators() {
+		if i < 6 {
+			onNode = append(onNode, op.ID())
+		}
+	}
+	req := wire.SimulateRequest{
+		Graph: spec, Platform: "Gumstix", OnNode: onNode,
+		Nodes: 4, Duration: 8, Seed: 3,
+	}
+	clean, err := client.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Scenario = &wire.ScenarioWire{
+		Churn: &wire.ChurnWire{Seed: 9, MeanUp: 4, MeanDown: 2},
+		Burst: &wire.BurstWire{Seed: 4, PGoodBad: 0.4, PBadGood: 0.5, BadFactor: 0.5},
+	}
+	faulty, err := client.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *faulty.Result == *clean.Result {
+		t.Fatal("scenario had no observable effect on the run")
+	}
+	if faulty.Result.MsgsSent == 0 {
+		t.Fatalf("degenerate scenario run: %+v", *faulty.Result)
+	}
+	again, err := client.Simulate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again.Result != *faulty.Result {
+		t.Fatalf("scenario run is not reproducible:\n1st: %+v\n2nd: %+v", *faulty.Result, *again.Result)
+	}
+}
+
+// TestSimulateScenarioRejected pins validation at the API boundary:
+// malformed failure models are a 400 naming the scenario, not an engine
+// error mid-run.
+func TestSimulateScenarioRejected(t *testing.T) {
+	_, client := startServer(t, Config{})
+	ctx := context.Background()
+	cases := []*wire.ScenarioWire{
+		{}, // no model at all
+		{Churn: &wire.ChurnWire{MeanUp: 0}},
+		{Churn: &wire.ChurnWire{MeanUp: 5, MeanDown: -1}},
+		{Burst: &wire.BurstWire{PGoodBad: 1.5, PBadGood: 0.5, BadFactor: 0.5}},
+		{Burst: &wire.BurstWire{PGoodBad: 0.5, PBadGood: 0.5, BadFactor: 2}},
+	}
+	for i, sc := range cases {
+		_, err := client.Simulate(ctx, wire.SimulateRequest{
+			Graph: wire.GraphSpec{App: "speech"}, Platform: "Gumstix",
+			OnNode: []int{0, 1, 2}, Nodes: 3, Duration: 4, Seed: 1,
+			Scenario: sc,
+		})
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != 400 {
+			t.Fatalf("case %d: bad scenario produced %v, want a 400 APIError", i, err)
+		}
+		if !strings.Contains(ae.Message, "scenario") {
+			t.Fatalf("case %d: rejection %q does not name the scenario", i, ae.Message)
+		}
+	}
+}

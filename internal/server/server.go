@@ -155,6 +155,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/shard/open", s.handleShardOpen)
 	s.mux.HandleFunc("POST /v1/shard/compute", s.handleShardCompute)
 	s.mux.HandleFunc("POST /v1/shard/deliver", s.handleShardDeliver)
+	s.mux.HandleFunc("POST /v1/shard/checkpoint", s.handleShardCheckpoint)
 	s.mux.HandleFunc("POST /v1/shard/close", s.handleShardClose)
 	s.mux.HandleFunc("POST /v1/shard/snapshot", s.handleShardSnapshot)
 	s.mux.HandleFunc("POST /v1/shard/abort", s.handleShardAbort)
@@ -715,6 +716,9 @@ func (s *Server) simulate(ctx context.Context, req *wire.SimulateRequest) (*wire
 		Workers:   s.cfg.SimWorkers,
 		Shards:    req.Shards,
 	}
+	if cfg.Scenario, err = scenarioFromWire(req.Scenario); err != nil {
+		return nil, err
+	}
 	switch req.Engine {
 	case "", "compiled":
 		progs, progHit, err := s.partitionProgramsFor(e, onNode)
@@ -887,6 +891,9 @@ func (s *Server) simulateStream(ctx context.Context, req *wire.SimulateStreamReq
 		MaxBufferedArrivals: maxBuffered,
 		NodeProgram:         progs.node,
 		ServerProgram:       progs.server,
+	}
+	if scfg.Scenario, err = scenarioFromWire(req.Scenario); err != nil {
+		return nil, err
 	}
 	var sess *wbruntime.Session
 	if len(req.Resume) > 0 {

@@ -23,11 +23,21 @@ import (
 // per-session mutex serializes stray concurrent calls rather than
 // corrupting the host.
 //
-//	POST /v1/shard/open     → build the host for an origin subset
-//	POST /v1/shard/compute  → one window's node phase (arrivals in, air + reduce out)
-//	POST /v1/shard/deliver  → replay the held window at the priced ratio
-//	POST /v1/shard/close    → final partial counters, session ends
-//	POST /v1/shard/abort    → tear down without a result
+//	POST /v1/shard/open       → build the host for an origin subset
+//	POST /v1/shard/compute    → one window's node phase (arrivals in, air + reduce out)
+//	POST /v1/shard/deliver    → replay the held window at the priced ratio
+//	POST /v1/shard/checkpoint → boundary state blob, session keeps running
+//	POST /v1/shard/close      → final partial counters, session ends
+//	POST /v1/shard/abort      → tear down without a result
+//
+// Fault tolerance: compute and deliver carry the coordinator's window
+// sequence number, and the session remembers its last sequence (and the
+// last compute response) so a coordinator retry whose first attempt
+// executed — response lost in flight — is answered from the cache
+// instead of re-applied. Lookup failures surface the machine-readable
+// code "unknown_session", which the coordinator's retry loop reads as
+// "this host lost my state" (restart or drain) and triggers recovery
+// rather than pointless retries.
 
 // maxShardSessionsDefault bounds concurrently open shard sessions per
 // server (each pins instances for its origins) when Config leaves it 0.
@@ -40,6 +50,13 @@ const maxShardSessionsDefault = 256
 type shardSession struct {
 	mu   sync.Mutex
 	host *wbruntime.ShardHost
+
+	// At-most-once reply cache for the coordinator's retries of the two
+	// non-idempotent calls. Guarded by mu; sequence 0 means "no window
+	// seen yet" (the wire field is 1-based).
+	lastComputeWin  int64
+	lastComputeResp *wire.ShardComputeResponse
+	lastDeliverWin  int64
 }
 
 // newShardID returns an unguessable session handle.
@@ -115,10 +132,16 @@ func (s *Server) shardOpen(req *wire.ShardOpenRequest) (*wire.ShardOpenResponse,
 		NodeProgram:   progs.node,
 		ServerProgram: progs.server,
 	}
+	if len(req.Resume) > 0 && len(req.ResumeHost) > 0 {
+		return nil, false, badRequest("resume and resumeHost are mutually exclusive")
+	}
 	var host *wbruntime.ShardHost
-	if len(req.Resume) > 0 {
+	switch {
+	case len(req.ResumeHost) > 0:
+		host, err = wbruntime.RestoreShardHostCheckpoint(cfg, req.Origins, req.ResumeHost)
+	case len(req.Resume) > 0:
 		host, err = wbruntime.RestoreShardHost(cfg, req.Origins, req.Resume)
-	} else {
+	default:
 		host, err = wbruntime.NewShardHost(cfg, req.Origins)
 	}
 	if err != nil {
@@ -156,7 +179,13 @@ func (s *Server) shardLookup(id string, remove bool) (*shardSession, error) {
 	defer s.shardMu.Unlock()
 	ss := s.shardSessions[id]
 	if ss == nil {
-		return nil, badRequest("unknown shard session %q", id)
+		// Typed so a coordinator can tell "this host lost my session"
+		// (restart/drain → recover the host) from a malformed request.
+		return nil, &httpError{
+			code: http.StatusBadRequest,
+			kind: "unknown_session",
+			err:  fmt.Errorf("unknown shard session %q", id),
+		}
 	}
 	if remove {
 		delete(s.shardSessions, id)
@@ -193,9 +222,17 @@ func (s *Server) handleShardCompute(w http.ResponseWriter, r *http.Request) {
 		arrivals[i] = wbruntime.HostArrival{Node: a.Node, Time: a.Time, Source: a.Source, Value: v}
 	}
 	ss.mu.Lock()
+	if req.Window != 0 && req.Window == ss.lastComputeWin && ss.lastComputeResp != nil {
+		// Retry of the window we already computed: replay the cached
+		// reply rather than double-applying the arrivals.
+		resp := ss.lastComputeResp
+		ss.mu.Unlock()
+		respond(w, resp)
+		return
+	}
 	rep, err2 := ss.host.ComputeWindow(req.Span, arrivals)
-	ss.mu.Unlock()
 	if err = err2; err != nil {
+		ss.mu.Unlock()
 		fail(w, shardRuntimeError(err))
 		return
 	}
@@ -205,6 +242,10 @@ func (s *Server) handleShardCompute(w http.ResponseWriter, r *http.Request) {
 			Node: rm.Node, Edge: rm.Edge, Time: rm.Time, Packets: rm.Packets, Data: rm.Data,
 		})
 	}
+	if req.Window != 0 {
+		ss.lastComputeWin, ss.lastComputeResp = req.Window, resp
+	}
+	ss.mu.Unlock()
 	respond(w, resp)
 }
 
@@ -228,7 +269,17 @@ func (s *Server) handleShardDeliver(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss.mu.Lock()
+	if req.Window != 0 && req.Window == ss.lastDeliverWin {
+		// Retry of a delivery that already ran: acknowledge without
+		// delivering the window twice.
+		ss.mu.Unlock()
+		respond(w, struct{}{})
+		return
+	}
 	err2 = ss.host.DeliverWindow(req.Ratio)
+	if err2 == nil && req.Window != 0 {
+		ss.lastDeliverWin = req.Window
+	}
 	ss.mu.Unlock()
 	if err = err2; err != nil {
 		fail(w, err)
@@ -253,6 +304,11 @@ func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
 	}
 	ss.mu.Lock()
 	hr, err2 := ss.host.Close()
+	if err2 != nil {
+		// The session is already unregistered; abort the host (idempotent)
+		// so a failed close can't leak its pinned instances.
+		ss.host.Abort()
+	}
 	ss.mu.Unlock()
 	if err = err2; err != nil {
 		fail(w, err)
@@ -289,12 +345,40 @@ func (s *Server) handleShardSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	ss.mu.Lock()
 	data, err2 := ss.host.Snapshot()
+	if err2 != nil {
+		// Unregistered above; don't leak the host on a failed freeze.
+		ss.host.Abort()
+	}
 	ss.mu.Unlock()
 	if err = err2; err != nil {
 		fail(w, err)
 		return
 	}
 	respond(w, &wire.ShardSnapshotResponse{Snapshot: data})
+}
+
+func (s *Server) handleShardCheckpoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var err error
+	defer func() { s.metrics.Observe("shard_checkpoint", time.Since(start), false, err) }()
+	var req wire.ShardSessionRequest
+	if err = decode(r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	ss, err2 := s.shardLookup(req.Session, false)
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	ss.mu.Lock()
+	data, err2 := ss.host.Checkpoint()
+	ss.mu.Unlock()
+	if err = err2; err != nil {
+		fail(w, err)
+		return
+	}
+	respond(w, &wire.ShardCheckpointResponse{Checkpoint: data})
 }
 
 func (s *Server) handleShardAbort(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"wishbone/internal/runtime"
+	"wishbone/internal/wire"
+)
+
+// shardWindowBatch is one window's worth of arrivals, wire-encoded.
+type shardWindowBatch struct {
+	span     float64
+	arrivals []wire.ShardArrivalWire
+}
+
+// speechShardWindows materializes the speech app's arrivals grouped into
+// fixed windows, nodes ascending within a window (the coordinator's
+// shipping order).
+func speechShardWindows(t *testing.T, e *entry, nodes int, duration, span float64) []shardWindowBatch {
+	t.Helper()
+	inputs := e.traces(traceDefaults(wire.TraceSpec{Seed: 11, Seconds: duration}))
+	if len(inputs) == 0 {
+		t.Fatal("speech graph has no trace inputs")
+	}
+	n := int(duration / span)
+	batches := make([]shardWindowBatch, n)
+	for i := range batches {
+		batches[i].span = span
+	}
+	for node := 0; node < nodes; node++ {
+		st, err := runtime.InputStream(inputs, 1, duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, ok := st.Next(); ok; a, ok = st.Next() {
+			w := int(a.Time / span)
+			if w >= n {
+				continue
+			}
+			data, err := wire.Marshal(a.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches[w].arrivals = append(batches[w].arrivals, wire.ShardArrivalWire{
+				Node: node, Time: a.Time, Source: a.Source.ID(), Value: data,
+			})
+		}
+	}
+	for i := range batches {
+		// Nodes ascending, stable in time within a node.
+		sort.SliceStable(batches[i].arrivals, func(a, b int) bool {
+			return batches[i].arrivals[a].Node < batches[i].arrivals[b].Node
+		})
+	}
+	return batches
+}
+
+// TestShardRetryDedupe pins the at-most-once reply cache: a session
+// whose every compute and deliver is issued twice (the coordinator
+// retrying after a lost response) must answer the duplicate from cache —
+// identical response bytes — and close with counters identical to a
+// session that never saw a retry.
+func TestShardRetryDedupe(t *testing.T) {
+	_, client := startServer(t, Config{})
+	ctx := context.Background()
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+
+	var onNode []int
+	for i, op := range e.graph.Operators() {
+		if i < 6 {
+			onNode = append(onNode, op.ID())
+		}
+	}
+	const nodes, duration, span = 4, 8.0, 2.0
+	origins := []int{0, 1, 2, 3}
+	open := func() string {
+		resp, err := client.ShardOpen(ctx, wire.ShardOpenRequest{
+			Graph: spec, Platform: "Gumstix", OnNode: onNode,
+			Nodes: nodes, Duration: duration, Seed: 7, Origins: origins,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Session
+	}
+	batches := speechShardWindows(t, e, nodes, duration, span)
+
+	runSession := func(retry bool) *wire.ShardCloseResponse {
+		session := open()
+		for wi, b := range batches {
+			req := wire.ShardComputeRequest{
+				Session: session, Window: int64(wi + 1), Span: b.span, Arrivals: b.arrivals,
+			}
+			rep, err := client.ShardCompute(ctx, req)
+			if err != nil {
+				t.Fatalf("window %d: %v", wi, err)
+			}
+			if retry {
+				again, err := client.ShardCompute(ctx, req)
+				if err != nil {
+					t.Fatalf("window %d retry: %v", wi, err)
+				}
+				if !reflect.DeepEqual(rep, again) {
+					t.Fatalf("window %d: retried compute answered differently:\n1st: %+v\n2nd: %+v", wi, rep, again)
+				}
+			}
+			if rep.Held == 0 {
+				continue
+			}
+			dreq := wire.ShardDeliverRequest{Session: session, Window: int64(wi + 1), Ratio: 0.85}
+			if err := client.ShardDeliver(ctx, dreq); err != nil {
+				t.Fatalf("window %d deliver: %v", wi, err)
+			}
+			if retry {
+				if err := client.ShardDeliver(ctx, dreq); err != nil {
+					t.Fatalf("window %d deliver retry: %v", wi, err)
+				}
+			}
+		}
+		resp, err := client.ShardClose(ctx, session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	clean := runSession(false)
+	dup := runSession(true)
+	if clean.MsgsSent == 0 {
+		t.Fatalf("degenerate session: %+v", clean)
+	}
+	if !reflect.DeepEqual(clean, dup) {
+		t.Fatalf("retried session diverged from clean session:\nclean: %+v\ndup:   %+v", clean, dup)
+	}
+}
+
+// TestShardUnknownSessionCode pins the typed lookup failure the
+// coordinator's recovery classifier keys on.
+func TestShardUnknownSessionCode(t *testing.T) {
+	_, client := startServer(t, Config{})
+	_, err := client.ShardCompute(context.Background(), wire.ShardComputeRequest{
+		Session: "nope", Window: 1, Span: 1,
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("lookup failure %v is not an APIError", err)
+	}
+	if ae.Code != "unknown_session" || ae.StatusCode != 400 {
+		t.Fatalf("lookup failure carries code %q status %d, want unknown_session/400", ae.Code, ae.StatusCode)
+	}
+}
+
+// TestShardCheckpointResume pins the non-terminal checkpoint call and
+// the ResumeHost open path: checkpoint mid-run, keep driving the
+// original session, and in parallel restore a second session from the
+// blob and drive it identically — both must close with identical
+// counters (the restored host carries the checkpoint's accrual).
+func TestShardCheckpointResume(t *testing.T) {
+	_, client := startServer(t, Config{})
+	ctx := context.Background()
+	spec := wire.GraphSpec{App: "speech"}
+	e := localEntry(t, spec)
+
+	var onNode []int
+	for i, op := range e.graph.Operators() {
+		if i < 6 {
+			onNode = append(onNode, op.ID())
+		}
+	}
+	const nodes, duration, span = 4, 8.0, 2.0
+	origins := []int{0, 1, 2, 3}
+	openReq := wire.ShardOpenRequest{
+		Graph: spec, Platform: "Gumstix", OnNode: onNode,
+		Nodes: nodes, Duration: duration, Seed: 7, Origins: origins,
+	}
+	first, err := client.ShardOpen(ctx, openReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := speechShardWindows(t, e, nodes, duration, span)
+	cut := len(batches) / 2
+
+	drive := func(session string, wi int, b shardWindowBatch) {
+		t.Helper()
+		rep, err := client.ShardCompute(ctx, wire.ShardComputeRequest{
+			Session: session, Window: int64(wi + 1), Span: b.span, Arrivals: b.arrivals,
+		})
+		if err != nil {
+			t.Fatalf("window %d: %v", wi, err)
+		}
+		if rep.Held > 0 {
+			if err := client.ShardDeliver(ctx, wire.ShardDeliverRequest{
+				Session: session, Window: int64(wi + 1), Ratio: 0.85,
+			}); err != nil {
+				t.Fatalf("window %d deliver: %v", wi, err)
+			}
+		}
+	}
+	for wi, b := range batches[:cut] {
+		drive(first.Session, wi, b)
+	}
+	ckpt, err := client.ShardCheckpoint(ctx, first.Session)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	restoreReq := openReq
+	restoreReq.ResumeHost = ckpt
+	second, err := client.ShardOpen(ctx, restoreReq)
+	if err != nil {
+		t.Fatalf("open from checkpoint: %v", err)
+	}
+	for wi, b := range batches[cut:] {
+		drive(first.Session, cut+wi, b)
+		drive(second.Session, cut+wi, b)
+	}
+	a, err := client.ShardClose(ctx, first.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.ShardClose(ctx, second.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MsgsSent == 0 {
+		t.Fatalf("degenerate session: %+v", a)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("checkpoint-restored session diverged from the original:\norig:     %+v\nrestored: %+v", a, b)
+	}
+}

@@ -97,6 +97,10 @@ type SimulateRequest struct {
 	// Limits caps the tenant's wscript VM execution for this graph; see
 	// LimitsWire. Only valid for wscript graphs.
 	Limits *LimitsWire `json:"limits,omitempty"`
+	// Scenario injects failure models — node churn, Gilbert–Elliott
+	// bursty loss — into the run; see ScenarioWire. Requires the compiled
+	// engine.
+	Scenario *ScenarioWire `json:"scenario,omitempty"`
 }
 
 // LimitsWire caps a wscript graph's VM execution: Fuel bounds the abstract
@@ -159,6 +163,45 @@ type SimulateStreamRequest struct {
 	// snapshot/handoff path — results stay byte-identical to a run that
 	// started on the final cut. Nil disables replanning.
 	Replan *ReplanWire `json:"replan,omitempty"`
+
+	// Scenario injects failure models into the stream; see ScenarioWire.
+	// Composes with Replan: a churn-crashed node's load collapse is
+	// drift, so the crash fires the same drift→replan loop.
+	Scenario *ScenarioWire `json:"scenario,omitempty"`
+}
+
+// ScenarioWire requests failure injection for a run: deviations from the
+// paper's static, i.i.d.-loss network that real deployments exhibit.
+// Both models are deterministic functions of their seeds, so a scenario
+// run is exactly reproducible — and byte-identical however the run is
+// placed (single host, shards, distributed, resumed). At least one model
+// must be present.
+type ScenarioWire struct {
+	Churn *ChurnWire `json:"churn,omitempty"`
+	Burst *BurstWire `json:"burst,omitempty"`
+}
+
+// ChurnWire crashes (and optionally revives) nodes mid-stream: each node
+// alternates alive/down phases with exponential sojourn times. A crashed
+// node's arrivals are dropped at the source until it rejoins.
+type ChurnWire struct {
+	Seed int64 `json:"seed,omitempty"`
+	// MeanUp is the mean seconds a node stays alive (MTTF); required.
+	MeanUp float64 `json:"meanUp"`
+	// MeanDown is the mean seconds a crashed node stays down (MTTR);
+	// 0 means crashes are permanent.
+	MeanDown float64 `json:"meanDown,omitempty"`
+}
+
+// BurstWire is a Gilbert–Elliott bursty-loss channel: a two-state chain
+// stepped once per ingestion window; in the bad state the delivery ratio
+// is multiplied by BadFactor.
+type BurstWire struct {
+	Seed     int64   `json:"seed,omitempty"`
+	PGoodBad float64 `json:"pGoodBad"`
+	PBadGood float64 `json:"pBadGood"`
+	// BadFactor in [0,1]: the delivery-ratio multiplier during bursts.
+	BadFactor float64 `json:"badFactor"`
 }
 
 // ReplanWire is a tenant's control-loop policy knobs. Zero values select

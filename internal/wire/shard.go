@@ -40,6 +40,12 @@ type ShardOpenRequest struct {
 	// the state-handoff half of mid-run shard migration and cross-host
 	// operator relocation.
 	Resume []byte `json:"resume,omitempty"`
+	// ResumeHost, when non-empty, is one host's checkpoint blob
+	// (/v1/shard/checkpoint): the recovery path. The opened session takes
+	// over the dead host's whole contribution — Origins must equal the
+	// checkpoint's origin set exactly, and the host carries the
+	// checkpoint's counters forward. Mutually exclusive with Resume.
+	ResumeHost []byte `json:"resumeHost,omitempty"`
 }
 
 // ShardOpenResponse returns the session handle every subsequent call
@@ -59,9 +65,15 @@ type ShardArrivalWire struct {
 }
 
 // ShardComputeRequest ships one window's arrivals (owned origins only,
-// per-node nondecreasing time) for the node phase.
+// per-node nondecreasing time) for the node phase. Window is the
+// coordinator's 1-based window sequence number for this session: the
+// host answers a repeat of the last sequence from its reply cache
+// instead of recomputing, which is what makes the coordinator's
+// retry-after-timeout safe on this non-idempotent call (the first
+// attempt may have executed even though its response was lost).
 type ShardComputeRequest struct {
 	Session  string             `json:"session"`
+	Window   int64              `json:"window,omitempty"`
 	Span     float64            `json:"span"`
 	Arrivals []ShardArrivalWire `json:"arrivals"`
 }
@@ -87,9 +99,12 @@ type ShardComputeResponse struct {
 }
 
 // ShardDeliverRequest broadcasts the coordinator's priced delivery ratio;
-// the host replays its held window at that ratio.
+// the host replays its held window at that ratio. Window dedupes retries
+// like ShardComputeRequest.Window (a repeat of the last delivered
+// sequence is acknowledged without delivering twice).
 type ShardDeliverRequest struct {
 	Session string  `json:"session"`
+	Window  int64   `json:"window,omitempty"`
 	Ratio   float64 `json:"ratio"`
 }
 
@@ -103,6 +118,15 @@ type ShardSessionRequest struct {
 // is terminal for the session, like close.
 type ShardSnapshotResponse struct {
 	Snapshot []byte `json:"snapshot"`
+}
+
+// ShardCheckpointResponse carries one host's boundary checkpoint blob —
+// the same encoding as ShardSnapshotResponse.Snapshot, but the call is
+// NOT terminal: the session keeps running, and the coordinator retains
+// the blob to restore the host elsewhere if it later fails
+// (ShardOpenRequest.ResumeHost).
+type ShardCheckpointResponse struct {
+	Checkpoint []byte `json:"checkpoint"`
 }
 
 // NodeBusyWire is one node's accumulated CPU-busy seconds. JSON float64
